@@ -1,0 +1,252 @@
+// Ablation — sparsity *pattern* at matched budget: what does each pattern
+// buy in accuracy, and what does it cost on STC-class hardware?
+//
+// Five patterns, one saliency metric, one training pipeline, one global
+// budget (90 % except where the pattern itself caps lower):
+//   unstructured     — accuracy upper bound, no hardware win (§I)
+//   channel (OCAP)   — hardware-trivial, accuracy collapses (§I, Fig. 7)
+//   layer-wise N:M   — DominoSearch-style per-layer ratios; capped at
+//                      1 - 1/M sparsity, one hyperparameter per layer (§I)
+//   block-only       — hardware-friendly, accuracy decays > 80 % (Fig. 3)
+//   CRISP hybrid     — the paper's point: both columns at once
+//
+// The hardware columns run the real ImageNet ResNet-50 layer shapes on the
+// edge fabric; each pattern is mapped to the execution model it affords
+// (unstructured cannot skip on an STC; channels shrink the dense GEMM;
+// the rest use the sparse datapaths).
+#include <algorithm>
+
+#include "accel/report.h"
+#include "common.h"
+#include "core/baselines/block_pruner.h"
+#include "core/baselines/channel_pruner.h"
+#include "core/baselines/layerwise_nm.h"
+#include "core/baselines/unstructured_pruner.h"
+
+using namespace crisp;
+
+namespace {
+
+struct PatternResult {
+  const char* label;
+  double achieved = 0.0;
+  float accuracy = 0.0f;
+  double flops_ratio = 1.0;
+  double speedup = 1.0;     ///< end-to-end cycles, dense / pattern
+  double energy_eff = 1.0;  ///< end-to-end energy, dense / pattern
+};
+
+struct NetworkCost {
+  double cycles = 0.0;
+  double energy = 0.0;
+};
+
+NetworkCost network_cost(const accel::AcceleratorModel& model,
+                         const std::vector<accel::GemmWorkload>& net,
+                         const std::vector<accel::SparsityProfile>& profiles) {
+  NetworkCost t;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const accel::SimResult r = model.simulate(net[i], profiles[i]);
+    t.cycles += r.cycles;
+    t.energy += r.energy_pj;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "ablation_patterns — sparsity pattern at matched budget",
+      "design rationale of §I / §III-A (pattern choice), Fig. 3 + Fig. 8");
+
+  const double kappa = 0.90;
+  const nn::ZooSpec spec = bench::bench_spec(nn::ModelKind::kResNet50,
+                                             nn::DatasetKind::kImageNetLike);
+  nn::PretrainedModel pm = nn::zoo_pretrained(spec, /*verbose=*/true);
+  const TensorMap snapshot = pm.model->state_dict();
+
+  Rng crng(11);
+  const auto classes =
+      data::sample_user_classes(pm.data.train.num_classes, 10, crng);
+  const data::Dataset user_train = data::filter_classes(pm.data.train, classes);
+  const data::Dataset user_test = data::filter_classes(pm.data.test, classes);
+
+  const std::int64_t iters = bench::fast_mode() ? 2 : 3;
+  const std::int64_t recovery = bench::fast_mode() ? 8 : 12;
+
+  // --- accuracy side (bench-scale training) ---------------------------------
+  std::vector<PatternResult> results;
+  std::vector<core::LayerNmChoice> layerwise_choices;
+
+  {
+    PatternResult r{"unstructured"};
+    bench::restore(*pm.model, snapshot);
+    core::UnstructuredPruneConfig cfg;
+    cfg.target_sparsity = kappa;
+    cfg.iterations = iters;
+    cfg.finetune_epochs = 2;
+    cfg.recovery_epochs = recovery;
+    Rng rng(4);
+    core::UnstructuredPruner pruner(*pm.model, cfg);
+    r.achieved = pruner.run(user_train, rng).achieved_sparsity;
+    r.accuracy = nn::evaluate(*pm.model, user_test, 64, classes);
+    r.flops_ratio = bench::flops_ratio(*pm.model, spec.input_size);
+    results.push_back(r);
+  }
+  {
+    PatternResult r{"channel (OCAP-like)"};
+    bench::restore(*pm.model, snapshot);
+    core::ChannelPruneConfig cfg;
+    cfg.target_sparsity = kappa;
+    cfg.iterations = iters;
+    cfg.finetune_epochs = 2;
+    Rng rng(4);
+    core::ChannelPruner pruner(*pm.model, cfg);
+    const auto report = pruner.run(user_train, rng);
+    // Match the total fine-tune budget of the other patterns.
+    nn::TrainConfig tc;
+    tc.epochs = recovery;
+    tc.sgd.lr = 0.01f;
+    tc.lr_decay = 0.92f;
+    nn::train(*pm.model, user_train, tc, rng);
+    r.achieved = report.mask_sparsity;
+    r.accuracy = nn::evaluate(*pm.model, user_test, 64, classes);
+    r.flops_ratio = report.effective_flops_ratio;
+    results.push_back(r);
+  }
+  {
+    PatternResult r{"layer-wise N:M"};
+    bench::restore(*pm.model, snapshot);
+    core::LayerwiseNmConfig cfg;
+    cfg.m = 4;
+    // The pattern's structural ceiling is 1 - 1/M = 0.75; ask for just
+    // under it and report what it actually reaches.
+    cfg.target_sparsity = 0.72;
+    cfg.iterations = iters;
+    cfg.finetune_epochs = 2;
+    cfg.recovery_epochs = recovery;
+    Rng rng(4);
+    core::LayerwiseNmPruner pruner(*pm.model, cfg);
+    const auto report = pruner.run(user_train, rng);
+    layerwise_choices = report.choices;
+    r.achieved = report.achieved_sparsity;
+    r.accuracy = nn::evaluate(*pm.model, user_test, 64, classes);
+    r.flops_ratio = bench::flops_ratio(*pm.model, spec.input_size);
+    results.push_back(r);
+  }
+  {
+    PatternResult r{"block-only B=8"};
+    bench::restore(*pm.model, snapshot);
+    core::CrispConfig cfg = core::block_pruning_config(8, kappa, iters, 2);
+    cfg.recovery_epochs = recovery;
+    Rng rng(4);
+    core::CrispPruner pruner(*pm.model, cfg);
+    r.achieved = pruner.run(user_train, rng).achieved_sparsity();
+    r.accuracy = nn::evaluate(*pm.model, user_test, 64, classes);
+    r.flops_ratio = bench::flops_ratio(*pm.model, spec.input_size);
+    results.push_back(r);
+  }
+  {
+    PatternResult r{"CRISP 2:4 B=8"};
+    bench::restore(*pm.model, snapshot);
+    core::CrispConfig cfg = bench::bench_crisp_config(kappa, 2, 4, 8);
+    cfg.iterations = iters;
+    cfg.recovery_epochs = recovery;
+    Rng rng(4);
+    core::CrispPruner pruner(*pm.model, cfg);
+    r.achieved = pruner.run(user_train, rng).achieved_sparsity();
+    r.accuracy = nn::evaluate(*pm.model, user_test, 64, classes);
+    r.flops_ratio = bench::flops_ratio(*pm.model, spec.input_size);
+    results.push_back(r);
+  }
+
+  // --- hardware side (real ResNet-50 shapes, edge fabric) -------------------
+  const accel::AcceleratorConfig config = accel::AcceleratorConfig::edge_default();
+  const accel::EnergyModel energy = accel::EnergyModel::edge_default();
+  const auto net = accel::resnet50_imagenet_workloads();
+  const auto layer_count = static_cast<std::int64_t>(net.size());
+
+  const accel::DenseModel dense_model(config, energy);
+  const accel::CrispStc crisp_model(config, energy);
+  const std::vector<accel::SparsityProfile> dense_profiles(
+      net.size(), accel::SparsityProfile::dense());
+  const NetworkCost dense_cost =
+      network_cost(dense_model, net, dense_profiles);
+
+  // unstructured: random non-zeros defeat the STC datapath — executes dense.
+  results[0].speedup = 1.0;
+  results[0].energy_eff = 1.0;
+
+  // channel: rows (and next-layer reduction) shrink by the kept fraction —
+  // a smaller dense GEMM.
+  {
+    const double kept = 1.0 - results[1].achieved;
+    std::vector<accel::GemmWorkload> shrunk = net;
+    for (auto& w : shrunk) {
+      w.s = std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                          static_cast<double>(w.s) * kept));
+      w.k = std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                          static_cast<double>(w.k) * kept));
+    }
+    const NetworkCost c = network_cost(dense_model, shrunk, dense_profiles);
+    results[1].speedup = dense_cost.cycles / c.cycles;
+    results[1].energy_eff = dense_cost.energy / c.energy;
+  }
+
+  // layer-wise N:M: a flexible-N:M STC fabric, no block skip. Per-layer N
+  // resampled (by depth) from the ratios the search actually chose.
+  {
+    std::vector<accel::SparsityProfile> profiles(net.size());
+    const auto nb = static_cast<std::int64_t>(layerwise_choices.size());
+    for (std::int64_t i = 0; i < layer_count; ++i) {
+      accel::SparsityProfile p;
+      p.m = 4;
+      const std::int64_t src =
+          nb <= 1 ? 0 : i * (nb - 1) / std::max<std::int64_t>(1, layer_count - 1);
+      p.n = std::clamp<std::int64_t>(
+          nb == 0 ? 2 : layerwise_choices[static_cast<std::size_t>(src)].n, 1,
+          4);
+      p.kept_cols_fraction = 1.0;  // no block component
+      p.block = 64;
+      profiles[static_cast<std::size_t>(i)] = p;
+    }
+    const NetworkCost c = network_cost(crisp_model, net, profiles);
+    results[2].speedup = dense_cost.cycles / c.cycles;
+    results[2].energy_eff = dense_cost.energy / c.energy;
+  }
+
+  // block-only and CRISP: the CRISP-STC datapath, kept-column fraction from
+  // the achieved sparsity.
+  for (const std::size_t idx : {std::size_t{3}, std::size_t{4}}) {
+    accel::SparsityProfile p;
+    p.block = 64;
+    if (idx == 3) {
+      p.n = p.m = 1;  // dense inside surviving blocks
+      p.kept_cols_fraction = 1.0 - results[idx].achieved;
+    } else {
+      p.n = 2;
+      p.m = 4;
+      p.kept_cols_fraction = (1.0 - results[idx].achieved) * 2.0;
+    }
+    const std::vector<accel::SparsityProfile> profiles(net.size(), p);
+    const NetworkCost c = network_cost(crisp_model, net, profiles);
+    results[idx].speedup = dense_cost.cycles / c.cycles;
+    results[idx].energy_eff = dense_cost.energy / c.energy;
+  }
+
+  // --- the table -------------------------------------------------------------
+  std::printf("\n%-20s %9s %9s %7s %9s %9s\n", "pattern", "achieved",
+              "accuracy", "flops", "speedup", "energyx");
+  for (const PatternResult& r : results)
+    std::printf("%-20s %8.1f%% %8.1f%% %7.2f %8.1fx %8.1fx\n", r.label,
+                100 * r.achieved, 100 * r.accuracy, r.flops_ratio, r.speedup,
+                r.energy_eff);
+
+  std::printf("\nexpected shape: unstructured wins accuracy but 1x hardware; "
+              "channel wins hardware but loses accuracy; layer-wise N:M caps "
+              "at 75%% sparsity with ~2x speedup; among patterns reaching "
+              "90%% sparsity CRISP matches the best accuracy at the highest "
+              "load-balanced speedup\n");
+  return 0;
+}

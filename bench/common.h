@@ -1,0 +1,90 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every training bench runs at a single "bench scale" (width-0.125 models,
+// 16 px inputs, 16 train samples per class) so the whole suite finishes on
+// one CPU core in minutes. CRISP_BENCH_FAST=1 halves the sweeps for smoke
+// runs. Pre-trained universal models come from the zoo cache and are
+// restored from a state_dict snapshot between pruning runs, so every run
+// starts from identical weights.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/pruner.h"
+#include "nn/flops.h"
+#include "nn/zoo.h"
+
+namespace crisp::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("CRISP_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline nn::ZooSpec bench_spec(nn::ModelKind model, nn::DatasetKind dataset) {
+  nn::ZooSpec spec;
+  spec.model = model;
+  spec.dataset = dataset;
+  spec.width_mult = 0.125f;
+  spec.input_size = 16;
+  spec.pretrain_epochs = fast_mode() ? 6 : 12;
+  spec.train_per_class = 16;
+  spec.test_per_class = 8;
+  return spec;
+}
+
+/// Restores pre-training weights and drops any masks from a previous run.
+inline void restore(nn::Sequential& model, const TensorMap& snapshot) {
+  nn::clear_masks(model);
+  model.load_state_dict(snapshot);
+}
+
+/// Fine-tunes the dense model on the user classes — the paper's accuracy
+/// upper bound in Fig. 7.
+inline float dense_finetune_accuracy(nn::Sequential& model,
+                                     const data::Dataset& user_train,
+                                     const data::Dataset& user_test,
+                                     const std::vector<std::int64_t>& classes,
+                                     Rng& rng) {
+  // Budget matched to a CRISP run (iterations*finetune + recovery) so the
+  // dense row really is the upper bound, not an under-trained strawman.
+  nn::TrainConfig tc;
+  tc.epochs = fast_mode() ? 10 : 16;
+  tc.batch_size = 32;
+  tc.sgd.lr = 0.02f;
+  tc.lr_decay = 0.92f;
+  nn::train(model, user_train, tc, rng);
+  return nn::evaluate(model, user_test, 64, classes);
+}
+
+/// Default CRISP config at bench scale.
+inline core::CrispConfig bench_crisp_config(double kappa, std::int64_t n = 2,
+                                            std::int64_t m = 4,
+                                            std::int64_t block = 16) {
+  core::CrispConfig cfg;
+  cfg.n = n;
+  cfg.m = m;
+  cfg.block = block;
+  cfg.target_sparsity = kappa;
+  cfg.iterations = fast_mode() ? 2 : 3;
+  cfg.finetune_epochs = 2;
+  cfg.recovery_epochs = fast_mode() ? 8 : 12;
+  return cfg;
+}
+
+/// FLOPs ratio after pruning (1 = dense).
+inline double flops_ratio(nn::Sequential& model, std::int64_t input_size) {
+  return nn::count_flops(model, {1, 3, input_size, input_size}).ratio();
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace crisp::bench

@@ -1,0 +1,87 @@
+// Fig. 3 — "CRISP against block sparsity on ImageNet".
+//
+// Pure coarse block pruning collapses once global sparsity passes ~80 %;
+// CRISP's hybrid pattern holds accuracy deep into the 90s. The paper runs
+// ten user classes on ImageNet; we use 25 classes of the harder
+// ImageNet-like synthetic preset so the task is not trivially recoverable
+// at bench scale.
+//
+// Block sizes are width-scaled: the paper sweeps B in 16..64 on full-width
+// ResNet-50 (reshaped matrices up to 2048 columns); our bench models are
+// width-0.125, so B in {4, 8, 16} probes the same block-to-matrix
+// granularity ratios. Every cell reports the sparsity the pruner actually
+// achieved, because at coarse granularity the layer-collapse guard can stop
+// block-only pruning short of its target — itself a finding of the figure
+// (coarse blocks cannot even *express* extreme sparsity on narrow layers).
+//
+// Known scale limitation (EXPERIMENTS.md): beyond ~90 % sparsity these
+// narrow matrices keep only 1-2 half-dense block-columns per layer, and
+// the hybrid's ordering over block-only inverts — verified not to be a
+// recovery-budget artifact. The paper's regime (8x wider matrices) keeps
+// dozens of surviving columns at the same kappa.
+#include "common.h"
+#include "core/baselines/block_pruner.h"
+
+using namespace crisp;
+
+int main() {
+  bench::print_header("fig3_crisp_vs_block — hybrid vs pure block pruning",
+                      "Fig. 3 (CRISP vs block sparsity, user-class subset)");
+
+  const nn::ZooSpec spec =
+      bench::bench_spec(nn::ModelKind::kResNet50, nn::DatasetKind::kImageNetLike);
+  nn::PretrainedModel pm = nn::zoo_pretrained(spec, /*verbose=*/true);
+  const TensorMap snapshot = pm.model->state_dict();
+
+  Rng crng(11);
+  const auto classes = data::sample_user_classes(pm.data.train.num_classes,
+                                                 25, crng);
+  const data::Dataset user_train = data::filter_classes(pm.data.train, classes);
+  const data::Dataset user_test = data::filter_classes(pm.data.test, classes);
+
+  const std::vector<double> kappas =
+      bench::fast_mode() ? std::vector<double>{0.80, 0.92}
+                         : std::vector<double>{0.75, 0.85, 0.92, 0.96};
+
+  struct Series {
+    const char* label;
+    std::int64_t n, m, block;
+    bool hybrid;
+  };
+  const Series series[] = {
+      {"crisp 2:4 B=8", 2, 4, 8, true},
+      {"crisp 1:4 B=16", 1, 4, 16, true},
+      {"block-only B=4", 1, 1, 4, false},
+      {"block-only B=8", 1, 1, 8, false},
+  };
+
+  std::printf("\neach cell: accuracy%% (achieved sparsity)\n");
+  std::printf("%-10s", "kappa");
+  for (const Series& s : series) std::printf(" %18s", s.label);
+  std::printf("\n");
+
+  for (double kappa : kappas) {
+    std::printf("%-9.0f%%", 100 * kappa);
+    for (const Series& s : series) {
+      bench::restore(*pm.model, snapshot);
+      core::CrispConfig cfg = s.hybrid
+                                  ? bench::bench_crisp_config(kappa, s.n, s.m,
+                                                              s.block)
+                                  : core::block_pruning_config(
+                                        s.block, kappa,
+                                        bench::fast_mode() ? 2 : 3, 2);
+      if (!s.hybrid)
+        cfg.recovery_epochs = bench::bench_crisp_config(kappa).recovery_epochs;
+      Rng rng(4);
+      core::CrispPruner pruner(*pm.model, cfg);
+      const core::PruneReport report = pruner.run(user_train, rng);
+      const float acc = nn::evaluate(*pm.model, user_test, 64, classes);
+      std::printf("     %5.1f%% (%4.2f)", 100 * acc,
+                  report.achieved_sparsity());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: block-only decays steeply past ~80%%; CRISP "
+              "holds high accuracy beyond 92%%\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Fig. 7 — "Accuracy for different models with varying numbers of classes"
+// plus the normalized-FLOPs-ratio rows at the bottom of the figure.
+//
+// Three models x two datasets x class counts: dense fine-tune (upper
+// bound), CRISP, and the OCAP-style class-aware channel-pruning baseline.
+// As in the paper, the global sparsity target scales with how few classes
+// the user keeps (fewer classes -> more prunable capacity).
+#include "core/baselines/channel_pruner.h"
+#include "common.h"
+
+using namespace crisp;
+
+namespace {
+
+/// Fewer user classes leave more redundant capacity: κ ramps 0.88 -> 0.80.
+/// The paper runs 0.95 -> 0.85 on full-width models; our width-0.125
+/// matrices keep only 1-2 block-columns per layer beyond ~0.90 (the
+/// documented Fig. 3 scale limitation, EXPERIMENTS.md), so the sweep sits
+/// in the range where the hybrid pattern is expressible at this width.
+double kappa_for_classes(std::int64_t classes, std::int64_t total) {
+  const double frac = static_cast<double>(classes) / static_cast<double>(total);
+  return 0.88 - 0.08 * frac;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "fig7_accuracy_vs_classes — personalization accuracy + FLOPs ratios",
+      "Fig. 7 (accuracy vs #user classes; FLOPs-ratio rows)");
+
+  const std::vector<std::int64_t> class_counts =
+      bench::fast_mode() ? std::vector<std::int64_t>{5, 25}
+                         : std::vector<std::int64_t>{1, 5, 10, 25};
+
+  for (nn::DatasetKind dkind :
+       {nn::DatasetKind::kCifar100Like, nn::DatasetKind::kImageNetLike}) {
+    for (nn::ModelKind mkind :
+         {nn::ModelKind::kResNet50, nn::ModelKind::kVgg16,
+          nn::ModelKind::kMobileNetV2}) {
+      const nn::ZooSpec spec = bench::bench_spec(mkind, dkind);
+      nn::PretrainedModel pm = nn::zoo_pretrained(spec, /*verbose=*/true);
+      const TensorMap snapshot = pm.model->state_dict();
+
+      std::printf("\n--- %s on %s (dense all-class accuracy %.1f%%) ---\n",
+                  nn::model_kind_name(mkind), nn::dataset_kind_name(dkind),
+                  100 * pm.test_accuracy);
+      std::printf("%-9s | %10s | %10s %10s | %10s %10s | %7s\n", "#classes",
+                  "dense-ft", "crisp", "flops", "channel", "eff-flops",
+                  "kappa");
+
+      for (std::int64_t count : class_counts) {
+        Rng crng(100 + count);
+        const auto classes = data::sample_user_classes(
+            pm.data.train.num_classes, count, crng);
+        const data::Dataset user_train =
+            data::filter_classes(pm.data.train, classes);
+        const data::Dataset user_test =
+            data::filter_classes(pm.data.test, classes);
+        const double kappa =
+            kappa_for_classes(count, pm.data.train.num_classes);
+
+        bench::restore(*pm.model, snapshot);
+        Rng r1(1);
+        const float dense_acc = bench::dense_finetune_accuracy(
+            *pm.model, user_train, user_test, classes, r1);
+
+        bench::restore(*pm.model, snapshot);
+        core::CrispConfig ccfg = bench::bench_crisp_config(kappa);
+        Rng r2(2);
+        core::CrispPruner crisp_pruner(*pm.model, ccfg);
+        crisp_pruner.run(user_train, r2);
+        const float crisp_acc = nn::evaluate(*pm.model, user_test, 64, classes);
+        const double crisp_flops =
+            bench::flops_ratio(*pm.model, spec.input_size);
+
+        bench::restore(*pm.model, snapshot);
+        core::ChannelPruneConfig chcfg;
+        // Match CRISP's *effective* FLOPs: channel fraction ~ sqrt(ratio).
+        chcfg.target_sparsity = 0.5;
+        chcfg.iterations = ccfg.iterations;
+        chcfg.finetune_epochs = 2;
+        Rng r3(3);
+        core::ChannelPruner channel_pruner(*pm.model, chcfg);
+        const core::ChannelPruneReport chrep =
+            channel_pruner.run(user_train, r3);
+        // Recovery epochs to match CRISP's budget.
+        nn::TrainConfig rec;
+        rec.epochs = ccfg.recovery_epochs;
+        rec.batch_size = 32;
+        rec.sgd.lr = 0.02f;
+        rec.lr_decay = 0.92f;
+        nn::train(*pm.model, user_train, rec, r3);
+        const float channel_acc =
+            nn::evaluate(*pm.model, user_test, 64, classes);
+
+        std::printf("%-9lld | %9.1f%% | %9.1f%% %10.3f | %9.1f%% %10.3f | "
+                    "%5.0f%%\n",
+                    static_cast<long long>(count), 100 * dense_acc,
+                    100 * crisp_acc, crisp_flops, 100 * channel_acc,
+                    chrep.effective_flops_ratio, 100 * kappa);
+      }
+    }
+  }
+  std::printf("\npaper shape: CRISP tracks the dense-ft upper bound at far "
+              "lower FLOPs and beats the channel-pruning baseline, with a "
+              "mild accuracy decline as #classes grows. At this width the "
+              "shape holds in full on VGG-16 (the model the paper's OCAP/"
+              "CAPNN baselines report); residual/depthwise architectures "
+              "favour the channel baseline at bench scale (EXPERIMENTS.md)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Kernel microbenchmarks (google-benchmark): CPU SpMM throughput of every
+// storage format on a hybrid-pruned ResNet-50-shaped layer. Not a paper
+// figure — supporting evidence that the CRISP layout is also kernel-
+// friendly on CPUs (dense work scales with kept blocks x N/M).
+#include <benchmark/benchmark.h>
+
+#include "sparse/metadata.h"
+#include "sparse/nm.h"
+#include "sparse/spmm.h"
+#include "tensor/matmul.h"
+
+namespace {
+
+using namespace crisp;
+
+constexpr std::int64_t kRows = 256;   // output channels S
+constexpr std::int64_t kCols = 576;   // reduction K (64 input ch x 3x3)
+constexpr std::int64_t kBatch = 64;   // output positions P
+constexpr std::int64_t kBlock = 16;
+
+Tensor hybrid_weights(std::int64_t n, std::int64_t m, double kappa) {
+  Rng rng(7);
+  Tensor w = Tensor::randn({kRows, kCols}, rng);
+  Tensor scores = Tensor::rand({kRows, kCols}, rng, 0.01f, 1.0f);
+  Tensor nm = sparse::nm_mask(as_matrix(scores, kRows, kCols), n, m);
+  const std::int64_t k_prime =
+      sparse::k_prime_for_sparsity(kCols, kBlock, n, m, kappa);
+  const std::int64_t pruned =
+      (kCols - k_prime) / kBlock;
+  sparse::BlockGrid grid{kRows, kCols, kBlock};
+  Tensor bscores = sparse::block_scores(as_matrix(scores, kRows, kCols), grid);
+  std::vector<std::int64_t> prune(
+      static_cast<std::size_t>(grid.grid_rows()), pruned);
+  Tensor bmask = sparse::expand_block_mask(
+      sparse::uniform_row_block_mask(bscores, grid, prune), grid);
+  w.mul_(nm);
+  w.mul_(bmask);
+  return w;
+}
+
+Tensor activations() {
+  Rng rng(9);
+  return Tensor::randn({kCols, kBatch}, rng);
+}
+
+void BM_DenseGemm(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor w = Tensor::randn({kRows, kCols}, rng);
+  const Tensor x = activations();
+  Tensor y({kRows, kBatch});
+  for (auto _ : state) {
+    matmul(as_matrix(w, kRows, kCols), as_matrix(x, kCols, kBatch),
+           as_matrix(y, kRows, kBatch));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch);
+}
+BENCHMARK(BM_DenseGemm);
+
+void BM_MaskedDenseGemm(benchmark::State& state) {
+  // The dense kernel on pruned weights: zero-skip branch gets the wins.
+  const Tensor w = hybrid_weights(2, 4, 0.875);
+  const Tensor x = activations();
+  Tensor y({kRows, kBatch});
+  for (auto _ : state) {
+    matmul(as_matrix(w, kRows, kCols), as_matrix(x, kCols, kBatch),
+           as_matrix(y, kRows, kBatch));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch);
+}
+BENCHMARK(BM_MaskedDenseGemm);
+
+void BM_CsrSpmm(benchmark::State& state) {
+  const Tensor w = hybrid_weights(2, 4, 0.875);
+  const auto csr = sparse::CsrMatrix::encode(as_matrix(w, kRows, kCols));
+  const Tensor x = activations();
+  Tensor y({kRows, kBatch});
+  for (auto _ : state) {
+    csr.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * csr.nnz() * kBatch);
+}
+BENCHMARK(BM_CsrSpmm);
+
+void BM_EllpackSpmm(benchmark::State& state) {
+  const Tensor w = hybrid_weights(2, 4, 0.875);
+  const auto ell = sparse::EllpackMatrix::encode(as_matrix(w, kRows, kCols));
+  const Tensor x = activations();
+  Tensor y({kRows, kBatch});
+  for (auto _ : state) {
+    ell.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * ell.width() * kBatch);
+}
+BENCHMARK(BM_EllpackSpmm);
+
+void BM_BlockedEllSpmm(benchmark::State& state) {
+  const Tensor w = hybrid_weights(4, 4, 0.5);  // block-only pattern
+  const auto bell =
+      sparse::BlockedEllMatrix::encode(as_matrix(w, kRows, kCols), kBlock);
+  const Tensor x = activations();
+  Tensor y({kRows, kBatch});
+  for (auto _ : state) {
+    bell.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch / 2);
+}
+BENCHMARK(BM_BlockedEllSpmm);
+
+void BM_CrispSpmm(benchmark::State& state) {
+  const Tensor w = hybrid_weights(2, 4, 0.875);
+  const auto cm =
+      sparse::CrispMatrix::encode(as_matrix(w, kRows, kCols), kBlock, 2, 4);
+  const Tensor x = activations();
+  Tensor y({kRows, kBatch});
+  for (auto _ : state) {
+    cm.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * cm.slot_count() * kBatch);
+}
+BENCHMARK(BM_CrispSpmm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

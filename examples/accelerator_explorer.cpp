@@ -1,0 +1,102 @@
+// accelerator_explorer — design-space exploration for CRISP-STC.
+//
+// Sweeps N:M ratio, block size, and global sparsity over the full 54-layer
+// ImageNet ResNet-50 workload and reports end-to-end latency and energy on
+// the edge fabric, against the NVIDIA-STC and DSTC baselines. No training —
+// pure analytical simulation, a few milliseconds.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/report.h"
+
+using namespace crisp::accel;
+
+namespace {
+
+struct Totals {
+  double cycles = 0;
+  double energy = 0;
+};
+
+Totals run_network(const AcceleratorModel& model,
+                   const std::vector<GemmWorkload>& net,
+                   const std::vector<SparsityProfile>& profiles) {
+  Totals t;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const SimResult r = model.simulate(net[i], profiles[i]);
+    t.cycles += r.cycles;
+    t.energy += r.energy_pj;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CRISP-STC design-space explorer (full ResNet-50 @224) ===\n");
+
+  const AcceleratorConfig config = AcceleratorConfig::edge_default();
+  const EnergyModel energy = EnergyModel::edge_default();
+  const auto net = resnet50_imagenet_workloads();
+
+  const DenseModel dense(config, energy);
+  const NvidiaStc nvidia(config, energy);
+  const Dstc dstc(config, energy);
+  const CrispStc crisp(config, energy);
+
+  std::vector<SparsityProfile> dense_profiles(
+      net.size(), SparsityProfile::dense());
+  const Totals dense_t = run_network(dense, net, dense_profiles);
+  std::printf("\ndense baseline: %.1f Mcycles, %.1f mJ per frame\n",
+              dense_t.cycles / 1e6, dense_t.energy / 1e9);
+
+  std::printf("\n%-8s %-6s %-7s | %13s %13s | %11s %11s\n", "N:M", "block",
+              "kappa", "latency (Mcy)", "speedup", "energy (mJ)", "efficiency");
+
+  struct Best {
+    double speedup = 0;
+    std::string label;
+  } best_latency, best_energy;
+
+  for (const std::int64_t n : {1LL, 2LL, 3LL}) {
+    for (const std::int64_t block : {16LL, 32LL, 64LL}) {
+      for (const double kappa : {0.80, 0.875, 0.92}) {
+        const auto profiles = ramp_profiles(
+            static_cast<std::int64_t>(net.size()), n, 4, block,
+            kappa - 0.03, kappa + 0.03);
+        const Totals t = run_network(crisp, net, profiles);
+        const double speedup = dense_t.cycles / t.cycles;
+        const double eff = dense_t.energy / t.energy;
+        char label[64];
+        std::snprintf(label, sizeof label, "%lld:4 B=%lld kappa=%.3f",
+                      static_cast<long long>(n),
+                      static_cast<long long>(block), kappa);
+        std::printf("%lld:4     %-6lld %-7.3f | %13.2f %12.2fx | %11.2f %10.2fx\n",
+                    static_cast<long long>(n), static_cast<long long>(block),
+                    kappa, t.cycles / 1e6, speedup, t.energy / 1e9, eff);
+        if (speedup > best_latency.speedup)
+          best_latency = {speedup, label};
+        if (eff > best_energy.speedup) best_energy = {eff, label};
+      }
+    }
+  }
+
+  // Baselines at a representative 2:4, 87.5 % point.
+  const auto base_profiles =
+      ramp_profiles(static_cast<std::int64_t>(net.size()), 2, 4, 32, 0.845,
+                    0.905);
+  const Totals nv = run_network(nvidia, net, base_profiles);
+  const Totals ds = run_network(dstc, net, base_profiles);
+  std::printf("\nbaselines at 2:4 / 84.5-90.5%% sparsity:\n");
+  std::printf("  NVIDIA-STC: %.2fx speedup, %.2fx energy efficiency\n",
+              dense_t.cycles / nv.cycles, dense_t.energy / nv.energy);
+  std::printf("  DSTC:       %.2fx speedup, %.2fx energy efficiency\n",
+              dense_t.cycles / ds.cycles, dense_t.energy / ds.energy);
+
+  std::printf("\nbest latency config: %s (%.2fx)\n", best_latency.label.c_str(),
+              best_latency.speedup);
+  std::printf("best energy config:  %s (%.2fx)\n", best_energy.label.c_str(),
+              best_energy.speedup);
+  return 0;
+}

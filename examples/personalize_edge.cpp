@@ -1,0 +1,156 @@
+// personalize_edge — the paper's end-to-end story in one program.
+//
+// A universal 100-class model ships to a user who only ever sees a handful
+// of classes (the paper's motivating scenario, §I). The device:
+//  1. identifies the frequently-occurring classes in an observation window,
+//  2. CRISP-prunes the model for those classes (class-aware saliency,
+//     hybrid 2:4 + block sparsity, iterative fine-tuning),
+//  3. exports the pruned weights to the CRISP storage format, and
+//  4. estimates on-device latency/energy on the CRISP-STC edge accelerator.
+#include <cstdio>
+#include <map>
+
+#include "accel/report.h"
+#include "core/pruner.h"
+#include "nn/flops.h"
+#include "nn/zoo.h"
+#include "sparse/formats/crisp_format.h"
+
+using namespace crisp;
+
+namespace {
+
+/// Simulates the observation window: the device sees a stream of samples
+/// heavily skewed toward the user's actual interests, and keeps the classes
+/// above a frequency threshold (§III-B "frequently occurring classes").
+std::vector<std::int64_t> observe_user_classes(const data::Dataset& stream,
+                                               Rng& rng,
+                                               std::int64_t window = 400,
+                                               double threshold = 0.04) {
+  // The "true" user interests: 6 classes the stream is biased toward.
+  const auto interests = data::sample_user_classes(stream.num_classes, 6, rng);
+  std::map<std::int64_t, std::int64_t> counts;
+  for (std::int64_t i = 0; i < window; ++i) {
+    std::int64_t label;
+    if (rng.bernoulli(0.9)) {  // 90 % of observations hit user interests
+      label = interests[static_cast<std::size_t>(
+          rng.randint(0, static_cast<std::int64_t>(interests.size()) - 1))];
+    } else {
+      label = rng.randint(0, stream.num_classes - 1);
+    }
+    ++counts[label];
+  }
+  std::vector<std::int64_t> uc;
+  for (const auto& [cls, n] : counts)
+    if (static_cast<double>(n) >= threshold * static_cast<double>(window))
+      uc.push_back(cls);
+  return uc;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CRISP edge personalization walkthrough ===\n\n");
+
+  // -- 1. the universal model (from the zoo cache; trains on first run) ----
+  nn::ZooSpec spec;
+  spec.model = nn::ModelKind::kResNet50;
+  spec.dataset = nn::DatasetKind::kCifar100Like;
+  spec.width_mult = 0.125f;
+  spec.input_size = 16;
+  spec.pretrain_epochs = 12;
+  spec.train_per_class = 16;
+  spec.test_per_class = 8;
+  nn::PretrainedModel pm = nn::zoo_pretrained(spec, /*verbose=*/true);
+  std::printf("universal model: %s, %zu prunable layers, dense accuracy "
+              "%.1f%% over %lld classes\n",
+              nn::model_kind_name(spec.model),
+              pm.model->prunable_parameters().size(), 100 * pm.test_accuracy,
+              static_cast<long long>(pm.data.train.num_classes));
+
+  // -- 2. observe the user, derive preferred classes ------------------------
+  Rng rng(2024);
+  const auto user_classes = observe_user_classes(pm.data.train, rng);
+  std::printf("\nobservation window found %zu user-preferred classes:",
+              user_classes.size());
+  for (auto c : user_classes) std::printf(" %lld", static_cast<long long>(c));
+  std::printf("\n");
+
+  const data::Dataset user_train =
+      data::filter_classes(pm.data.train, user_classes);
+  const data::Dataset user_test =
+      data::filter_classes(pm.data.test, user_classes);
+  const float before =
+      nn::evaluate(*pm.model, user_test, 64, user_classes);
+
+  // -- 3. CRISP pruning ------------------------------------------------------
+  core::CrispConfig cfg;
+  cfg.n = 2;
+  cfg.m = 4;
+  cfg.block = 16;
+  cfg.target_sparsity = 0.92;
+  cfg.iterations = 3;
+  cfg.finetune_epochs = 2;
+  cfg.recovery_epochs = 12;
+  cfg.verbose = true;
+  core::CrispPruner pruner(*pm.model, cfg);
+  const core::PruneReport report = pruner.run(user_train, rng);
+  const float after = nn::evaluate(*pm.model, user_test, 64, user_classes);
+  const double flops =
+      nn::count_flops(*pm.model, {1, 3, spec.input_size, spec.input_size})
+          .ratio();
+
+  std::printf("\npersonalization: accuracy %.1f%% -> %.1f%% on user classes, "
+              "sparsity %.1f%%, FLOPs ratio %.3f\n",
+              100 * before, 100 * after, 100 * report.achieved_sparsity(),
+              flops);
+
+  // -- 4. deployment artefacts ----------------------------------------------
+  pruner.bake();
+  double payload_kib = 0, metadata_kib = 0, dense_kib = 0;
+  for (nn::Parameter* p : pm.model->prunable_parameters()) {
+    const auto mat = as_matrix(p->value, p->matrix_rows, p->matrix_cols);
+    const auto cm = sparse::CrispMatrix::encode(mat, cfg.block, cfg.n, cfg.m);
+    payload_kib += static_cast<double>(cm.payload_bits()) / 8192.0;
+    metadata_kib += static_cast<double>(cm.metadata_bits()) / 8192.0;
+    dense_kib += static_cast<double>(p->value.numel()) * 4.0 / 1024.0;
+  }
+  std::printf("CRISP-format weights: %.0f KiB payload + %.0f KiB metadata "
+              "(dense fp32 was %.0f KiB) -> %.1fx smaller\n",
+              payload_kib, metadata_kib, dense_kib,
+              dense_kib / (payload_kib + metadata_kib));
+
+  // -- 5. on-device latency/energy estimate (true ResNet-50 shapes) --------
+  const auto workloads = accel::resnet50_representative_workloads();
+  std::vector<accel::SparsityProfile> profiles;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    accel::SparsityProfile p;
+    p.n = cfg.n;
+    p.m = cfg.m;
+    p.block = cfg.block;
+    p.kept_cols_fraction = std::min(
+        1.0, (1.0 - report.achieved_sparsity()) * static_cast<double>(cfg.m) /
+                 static_cast<double>(cfg.n));
+    profiles.push_back(p);
+  }
+  const auto rows = accel::compare_accelerators(
+      workloads, profiles, accel::AcceleratorConfig::edge_default(),
+      accel::EnergyModel::edge_default());
+  double total_dense_cycles = 0, total_crisp_cycles = 0;
+  double total_dense_energy = 0, total_crisp_energy = 0;
+  for (const auto& row : rows) {
+    total_dense_cycles += row.dense.cycles;
+    total_crisp_cycles += row.crisp.cycles;
+    total_dense_energy += row.dense.energy_pj;
+    total_crisp_energy += row.crisp.energy_pj;
+  }
+  std::printf("\nCRISP-STC estimate over representative ResNet-50 layers:\n");
+  std::printf("  latency: %.2fx faster than the dense edge baseline\n",
+              total_dense_cycles / total_crisp_cycles);
+  std::printf("  energy:  %.2fx more efficient\n",
+              total_dense_energy / total_crisp_energy);
+  std::printf("\ndone — the pruned model answers the user's %zu classes at "
+              "%.1f%% accuracy on a fraction of the compute.\n",
+              user_classes.size(), 100 * after);
+  return 0;
+}

@@ -1,0 +1,9 @@
+#include "accel/config.h"
+
+namespace crisp::accel {
+
+AcceleratorConfig AcceleratorConfig::edge_default() {
+  return AcceleratorConfig{};  // defaults mirror §III-E
+}
+
+}  // namespace crisp::accel

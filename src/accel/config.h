@@ -1,0 +1,47 @@
+// Architectural parameters shared by all accelerator models (paper §III-E).
+//
+// CRISP-STC is an edge-scaled Sparse-Tensor-Core-like design: SMEM → RF →
+// compute topology, 4 tensor cores x 64 MACs, 256 KB shared memory, 1 KB
+// register file per core, and "only a fraction of the SMEM bandwidth" of a
+// datacenter STC. All baselines are evaluated on the same resource budget,
+// as the paper does via Sparseloop.
+#pragma once
+
+#include <cstdint>
+
+namespace crisp::accel {
+
+struct AcceleratorConfig {
+  std::int64_t tensor_cores = 4;
+  std::int64_t macs_per_core = 64;
+  std::int64_t smem_kbytes = 256;
+  std::int64_t rf_bytes_per_core = 1024;
+
+  /// Operand width. Edge inference runs reduced precision (fp16).
+  std::int64_t bytes_per_element = 2;
+
+  /// On-chip (SMEM) bandwidth in bytes/cycle — deliberately a fraction of a
+  /// datacenter STC's, per the paper's edge-centric setup.
+  double smem_bw_bytes_per_cycle = 64.0;
+  /// Off-chip bandwidth in bytes/cycle (LPDDR-class edge memory).
+  double dram_bw_bytes_per_cycle = 16.0;
+
+  /// Fixed pipeline set-up cost charged once per scheduled weight block
+  /// (tile descriptor fetch, index decode). Penalises very small blocks.
+  double cycles_per_block_dispatch = 4.0;
+
+  /// Activation-selection throughput of the N:M datapath (Fig. 6): how many
+  /// candidate operands each MAC lane's MUX network can scan per cycle. The
+  /// base 2:4 design has a 4:2 MUX pair (= 2); the paper's adapted 1:4/3:4
+  /// fabrics add "an appropriate number of MUXs" (§IV-A) — modelled as a
+  /// modest over-provisioning. Ratios tighter than selects/(M/N) become
+  /// selector-bound.
+  double mux_selects_per_mac_cycle = 2.5;
+
+  std::int64_t total_macs() const { return tensor_cores * macs_per_core; }
+
+  /// The configuration described in §III-E.
+  static AcceleratorConfig edge_default();
+};
+
+}  // namespace crisp::accel

@@ -1,0 +1,100 @@
+#include "accel/crisp_stc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/metadata.h"
+
+namespace crisp::accel {
+
+SimResult CrispStc::simulate(const GemmWorkload& w,
+                             const SparsityProfile& profile) const {
+  const double e = static_cast<double>(config_.bytes_per_element);
+  const double macs = static_cast<double>(w.macs());
+  const double nm_density =
+      static_cast<double>(profile.n) / static_cast<double>(profile.m);
+
+  // Surviving columns quantize to whole blocks: a layer whose reduction is
+  // narrower than a few blocks cannot be block-pruned to an arbitrary
+  // fraction (K = 64 at B = 64 is a single block — nothing to remove).
+  const std::int64_t b_cols = std::max<std::int64_t>(
+      1, (w.k + profile.block - 1) / profile.block);
+  const std::int64_t kept_blocks = std::min(
+      b_cols,
+      std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::llround(
+                 profile.kept_cols_fraction * static_cast<double>(b_cols)))));
+  const std::int64_t k_prime =
+      std::min(w.k, kept_blocks * profile.block);
+  const double kc = static_cast<double>(k_prime) / static_cast<double>(w.k);
+
+  SimResult r;
+  const double useful = macs * kc * nm_density;
+  r.executed_macs = useful;
+  r.utilization = 1.0;  // uniform rows: no imbalance, no padded slots
+  r.compute_cycles = useful / static_cast<double>(config_.total_macs());
+
+  // Activation-selection throughput (Fig. 6): every useful MAC requires its
+  // MUX network to scan M/N candidate operands, at
+  // config.mux_selects_per_mac_cycle scans per cycle. Ratios tighter than
+  // the selector can feed become selector-bound — which is what keeps the
+  // 1:4 fabric from realising its full 4x MAC reduction (paper Fig. 8:
+  // 14x vs 12x, not 2x apart).
+  const double selector_cycles =
+      useful *
+      (static_cast<double>(profile.m) / static_cast<double>(profile.n) /
+       config_.mux_selects_per_mac_cycle) /
+      static_cast<double>(config_.total_macs());
+  if (selector_cycles > r.compute_cycles) {
+    r.utilization = r.compute_cycles / selector_cycles;
+    r.compute_cycles = selector_cycles;
+  }
+
+  // Per-block dispatch: descriptor fetch + index decode for every surviving
+  // weight block, re-issued per 64-wide output-position tile.
+  const double b = static_cast<double>(profile.block);
+  const double num_blocks = std::ceil(static_cast<double>(w.s) / b) *
+                            std::ceil(static_cast<double>(k_prime) / b);
+  const double p_tiles = std::ceil(static_cast<double>(w.p) / 64.0);
+  const double dispatch_cycles =
+      num_blocks * config_.cycles_per_block_dispatch * p_tiles;
+
+  // Weights: N:M-compressed values inside surviving blocks + the paper's
+  // two metadata structures (§III-A formulas).
+  const double value_bytes = static_cast<double>(w.s) *
+                             static_cast<double>(k_prime) * nm_density * e;
+  const double metadata_bytes =
+      (static_cast<double>(sparse::paper_block_metadata_bits(
+           w.s, std::max<std::int64_t>(k_prime, profile.block),
+           profile.block)) +
+       static_cast<double>(sparse::paper_nm_metadata_bits(
+           w.s, std::max<std::int64_t>(k_prime, 1), profile.n, profile.m))) /
+      8.0;
+  // Block skipping shrinks the live activation set to the K' rows.
+  const double act_spill = activation_spill_bytes(w, kc);
+  r.dram_bytes = value_bytes + metadata_bytes + act_spill;
+  r.dram_cycles = r.dram_bytes / config_.dram_bw_bytes_per_cycle;
+
+  const double act_reuse = static_cast<double>(
+      std::min<std::int64_t>(w.s, config_.macs_per_core));
+  // The Fig. 6 activation-selection unit streams all M candidate rows of
+  // every group into the MUXes and keeps N — operand fetch is M/N x the
+  // useful traffic. This is what caps very tight ratios (1:4) on
+  // bandwidth-starved layers.
+  const double select_ratio =
+      static_cast<double>(profile.m) / static_cast<double>(profile.n);
+  r.smem_bytes = useful * select_ratio * e / act_reuse + metadata_bytes +
+                 static_cast<double>(w.s * w.p) * e;
+  r.smem_cycles = r.smem_bytes / config_.smem_bw_bytes_per_cycle;
+
+  r.overhead_cycles = dispatch_cycles;
+  r.cycles = std::max(
+      {r.compute_cycles + dispatch_cycles, r.dram_cycles, r.smem_cycles});
+  r.energy_pj = useful * energy_.mac_pj + rf_energy_pj(useful) +
+                useful * energy_.mux_pj_per_select +
+                smem_energy_pj(r.smem_bytes) +
+                r.dram_bytes * energy_.dram_pj_per_byte + leakage_pj(r.cycles);
+  return r;
+}
+
+}  // namespace crisp::accel

@@ -1,0 +1,27 @@
+// CRISP-STC — the paper's accelerator (§III-E, Fig. 6).
+//
+// An edge-scaled sparse tensor core extended beyond 2:4 to 1:4 and 3:4,
+// plus block-sparsity awareness:
+//  * uniform blocks-per-row ⇒ every N non-zeros map onto N parallel MACs
+//    with no load imbalance — full utilization by construction;
+//  * block indices skip whole K-columns: only K' activation rows are
+//    loaded into SMEM (shrinking both streaming and the spill working set);
+//  * 2-bit intra-M offsets drive the activation-select MUXes;
+//  * the only structural overhead is per-block dispatch, which is why
+//    larger blocks (64) win in Fig. 8.
+#pragma once
+
+#include "accel/model.h"
+
+namespace crisp::accel {
+
+class CrispStc final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+
+  SimResult simulate(const GemmWorkload& workload,
+                     const SparsityProfile& profile) const override;
+  std::string name() const override { return "CRISP-STC"; }
+};
+
+}  // namespace crisp::accel

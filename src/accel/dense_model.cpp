@@ -1,0 +1,38 @@
+#include "accel/dense_model.h"
+
+#include <algorithm>
+
+namespace crisp::accel {
+
+SimResult DenseModel::simulate(const GemmWorkload& w,
+                               const SparsityProfile& /*profile*/) const {
+  const double e = static_cast<double>(config_.bytes_per_element);
+  const double macs = static_cast<double>(w.macs());
+
+  SimResult r;
+  r.executed_macs = macs;
+  r.utilization = 1.0;
+  r.compute_cycles = macs / static_cast<double>(config_.total_macs());
+
+  // Weights stream from DRAM once; activations spill when oversized.
+  const double weight_dram = static_cast<double>(w.s * w.k) * e;
+  const double act_spill = activation_spill_bytes(w, /*input_fraction=*/1.0);
+  r.dram_bytes = weight_dram + act_spill;
+  r.dram_cycles = r.dram_bytes / config_.dram_bw_bytes_per_cycle;
+
+  // SMEM feeds the MAC array; activation reuse across an output-channel
+  // tile (RF broadcast) divides the per-MAC traffic.
+  const double act_reuse = static_cast<double>(
+      std::min<std::int64_t>(w.s, config_.macs_per_core));
+  r.smem_bytes = macs * e / act_reuse +
+                 static_cast<double>(w.s * w.p) * e;  // output writeback
+  r.smem_cycles = r.smem_bytes / config_.smem_bw_bytes_per_cycle;
+
+  r.cycles = std::max({r.compute_cycles, r.dram_cycles, r.smem_cycles});
+  r.energy_pj = macs * energy_.mac_pj + rf_energy_pj(macs) +
+                smem_energy_pj(r.smem_bytes) +
+                r.dram_bytes * energy_.dram_pj_per_byte + leakage_pj(r.cycles);
+  return r;
+}
+
+}  // namespace crisp::accel

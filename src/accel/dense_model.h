@@ -1,0 +1,17 @@
+// Dense baseline: the same edge fabric running the unpruned model.
+#pragma once
+
+#include "accel/model.h"
+
+namespace crisp::accel {
+
+class DenseModel final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+
+  SimResult simulate(const GemmWorkload& workload,
+                     const SparsityProfile& profile) const override;
+  std::string name() const override { return "Dense"; }
+};
+
+}  // namespace crisp::accel

@@ -1,0 +1,83 @@
+#include "accel/dse.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace crisp::accel {
+
+std::string DsePoint::label() const {
+  return std::to_string(config.tensor_cores) + "c x " +
+         std::to_string(config.macs_per_core) + "m, " +
+         std::to_string(config.smem_kbytes) + "KB, smem " +
+         std::to_string(static_cast<std::int64_t>(
+             config.smem_bw_bytes_per_cycle)) +
+         "B/c, dram " +
+         std::to_string(static_cast<std::int64_t>(
+             config.dram_bw_bytes_per_cycle)) +
+         "B/c";
+}
+
+std::vector<DsePoint> sweep_configs(
+    const AcceleratorConfig& base, const EnergyModel& energy,
+    const DseKnobs& knobs, const std::vector<GemmWorkload>& workloads,
+    const std::vector<SparsityProfile>& profiles) {
+  CRISP_CHECK(workloads.size() == profiles.size(),
+              "workload/profile count mismatch");
+  const auto or_base = [](auto candidates, auto base_value) {
+    if (candidates.empty()) candidates.push_back(base_value);
+    return candidates;
+  };
+  const auto cores = or_base(knobs.tensor_cores, base.tensor_cores);
+  const auto macs = or_base(knobs.macs_per_core, base.macs_per_core);
+  const auto smem = or_base(knobs.smem_kbytes, base.smem_kbytes);
+  const auto smem_bw =
+      or_base(knobs.smem_bw_bytes_per_cycle, base.smem_bw_bytes_per_cycle);
+  const auto dram_bw =
+      or_base(knobs.dram_bw_bytes_per_cycle, base.dram_bw_bytes_per_cycle);
+
+  std::vector<DsePoint> points;
+  for (const std::int64_t c : cores)
+    for (const std::int64_t m : macs)
+      for (const std::int64_t s : smem)
+        for (const double sb : smem_bw)
+          for (const double db : dram_bw) {
+            DsePoint pt;
+            pt.config = base;
+            pt.config.tensor_cores = c;
+            pt.config.macs_per_core = m;
+            pt.config.smem_kbytes = s;
+            pt.config.smem_bw_bytes_per_cycle = sb;
+            pt.config.dram_bw_bytes_per_cycle = db;
+            const CrispStc model(pt.config, energy);
+            for (std::size_t i = 0; i < workloads.size(); ++i) {
+              const SimResult r = model.simulate(workloads[i], profiles[i]);
+              pt.cycles += r.cycles;
+              pt.energy_pj += r.energy_pj;
+            }
+            points.push_back(pt);
+          }
+  return points;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].cycles != points[b].cycles)
+      return points[a].cycles < points[b].cycles;
+    return points[a].energy_pj < points[b].energy_pj;
+  });
+
+  std::vector<std::size_t> front;
+  double best_energy = 0.0;
+  for (const std::size_t i : order) {
+    if (front.empty() || points[i].energy_pj < best_energy) {
+      front.push_back(i);
+      best_energy = points[i].energy_pj;
+    }
+  }
+  return front;
+}
+
+}  // namespace crisp::accel

@@ -1,0 +1,54 @@
+// Design-space exploration over the CRISP-STC fabric.
+//
+// The paper fixes one edge configuration (§III-E: 4 cores x 64 MACs,
+// 256 KB SMEM, a fraction of datacenter SMEM bandwidth) and motivates it
+// qualitatively. This module makes that choice reproducible: sweep the
+// architectural knobs over a workload, collect end-to-end cycles/energy,
+// and report the Pareto-efficient configurations. bench/ablation_bandwidth
+// uses it to show where the fabric turns bandwidth-bound — the regime the
+// paper's DSTC discussion lives in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/crisp_stc.h"
+#include "accel/workload.h"
+
+namespace crisp::accel {
+
+/// Candidate values per knob; the sweep is their cross product. Empty
+/// vectors mean "hold at the base config's value".
+struct DseKnobs {
+  std::vector<std::int64_t> tensor_cores;
+  std::vector<std::int64_t> macs_per_core;
+  std::vector<std::int64_t> smem_kbytes;
+  std::vector<double> smem_bw_bytes_per_cycle;
+  std::vector<double> dram_bw_bytes_per_cycle;
+};
+
+struct DsePoint {
+  AcceleratorConfig config;
+  double cycles = 0.0;     ///< end-to-end over the workload list
+  double energy_pj = 0.0;
+
+  /// Energy-delay product — the usual single-number edge figure of merit.
+  double edp() const { return cycles * energy_pj; }
+  std::string label() const;
+};
+
+/// Simulates every knob combination on a CRISP-STC model over the given
+/// (workload, profile) pairs. `profiles` must align with `workloads`.
+std::vector<DsePoint> sweep_configs(const AcceleratorConfig& base,
+                                    const EnergyModel& energy,
+                                    const DseKnobs& knobs,
+                                    const std::vector<GemmWorkload>& workloads,
+                                    const std::vector<SparsityProfile>& profiles);
+
+/// Indices of the (cycles, energy) non-dominated points, sorted by cycles.
+/// A point dominates another when it is no worse on both axes and strictly
+/// better on one.
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);
+
+}  // namespace crisp::accel

@@ -1,0 +1,51 @@
+#include "accel/dstc.h"
+
+#include <algorithm>
+
+namespace crisp::accel {
+
+SimResult Dstc::simulate(const GemmWorkload& w,
+                         const SparsityProfile& profile) const {
+  const double e = static_cast<double>(config_.bytes_per_element);
+  const double macs = static_cast<double>(w.macs());
+  // Unstructured view of the hybrid mask: DSTC sees the overall density.
+  const double wd = profile.weight_density();
+  const double ad = profile.activation_density;
+
+  SimResult r;
+  const double useful = macs * wd * ad;
+  r.executed_macs = useful;
+  r.utilization = 1.0;  // dual-side skipping wastes no slots...
+  r.compute_cycles = useful / static_cast<double>(config_.total_macs());
+  // ...but every surviving product passes the psum merge pipeline.
+  const double merge_cycles = useful / kMergeLanes;
+
+  // Whole-matrix bitmap + compressed values, gather-limited DRAM bursts.
+  // Activation spills stream sequentially and pay no gather penalty.
+  const double weight_bytes =
+      static_cast<double>(w.s * w.k) * (e * wd + 1.0 / 8.0);
+  const double act_spill = activation_spill_bytes(w, ad);
+  r.dram_bytes = weight_bytes / kDramGatherEfficiency + act_spill;
+  r.dram_cycles = r.dram_bytes / config_.dram_bw_bytes_per_cycle;
+
+  // SMEM activation gathers lose efficiency when output rows are short.
+  const double gather_efficiency =
+      std::min(1.0, static_cast<double>(w.p) / 256.0);
+  const double act_reuse = static_cast<double>(
+      std::min<std::int64_t>(w.s, config_.macs_per_core));
+  r.smem_bytes = useful * e / act_reuse / gather_efficiency +
+                 static_cast<double>(w.s * w.p) * e;
+  r.smem_cycles = r.smem_bytes / config_.smem_bw_bytes_per_cycle;
+
+  r.overhead_cycles = merge_cycles;
+  r.cycles = std::max(
+      {r.compute_cycles + merge_cycles, r.dram_cycles, r.smem_cycles});
+  // The merge network and dual-side index intersection make DSTC's
+  // per-product energy heavier than a plain MAC ("complex dataflow").
+  r.energy_pj = useful * (energy_.mac_pj * 1.5) + rf_energy_pj(useful) +
+                smem_energy_pj(r.smem_bytes) +
+                r.dram_bytes * energy_.dram_pj_per_byte + leakage_pj(r.cycles);
+  return r;
+}
+
+}  // namespace crisp::accel

@@ -1,0 +1,35 @@
+// Dual-side Sparse Tensor Core baseline (Wang et al., ISCA'21) at the
+// shared edge resource budget.
+//
+// DSTC exploits *unstructured* sparsity on both operands: compute shrinks
+// with weight-density x activation-density (the paper reserves 40 %
+// activation sparsity for it). The costs that come with the dual-side
+// outer-product dataflow, and that Fig. 8 shows dominating late layers:
+//  * bitmap metadata for the whole weight matrix plus gather-unfriendly
+//    compressed values — streamed from DRAM at poor burst efficiency, a
+//    cost that scales with S·K and therefore bites exactly where ResNet's
+//    late layers live;
+//  * a partial-sum merge pipeline whose throughput bounds effective MACs;
+//  * activation gathers whose SMEM efficiency drops when the output tile
+//    P is narrow (late layers again).
+#pragma once
+
+#include "accel/model.h"
+
+namespace crisp::accel {
+
+class Dstc final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+
+  SimResult simulate(const GemmWorkload& workload,
+                     const SparsityProfile& profile) const override;
+  std::string name() const override { return "DSTC"; }
+
+  /// Merge-pipeline lanes (psums merged per cycle).
+  static constexpr double kMergeLanes = 128.0;
+  /// DRAM burst efficiency of gather-style unstructured accesses.
+  static constexpr double kDramGatherEfficiency = 0.25;
+};
+
+}  // namespace crisp::accel

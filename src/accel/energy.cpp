@@ -1,0 +1,7 @@
+#include "accel/energy.h"
+
+namespace crisp::accel {
+
+EnergyModel EnergyModel::edge_default() { return EnergyModel{}; }
+
+}  // namespace crisp::accel

@@ -1,0 +1,37 @@
+// Per-access energy table (CACTI-class numbers, as the paper's CACTI-P
+// plugin provides).
+//
+// Values are picojoules at a 45 nm-class edge node, anchored on Horowitz,
+// "Computing's energy problem" (ISSCC'14) and CACTI-P SRAM fits: a 16-bit
+// MAC ≈ 1 pJ, KB-scale register files ≈ 0.1 pJ/B, 100s-of-KB SRAM ≈ 1 pJ/B,
+// off-chip DRAM ≈ 80 pJ/B (two orders above SRAM). Absolute joules are not
+// the reproduction target — the ratios between models are.
+#pragma once
+
+namespace crisp::accel {
+
+struct EnergyModel {
+  double mac_pj = 1.0;              ///< one fp16 multiply-accumulate
+  double rf_pj_per_byte = 0.1;      ///< 1 KB register file access
+  double smem_pj_per_byte = 1.0;    ///< 256 KB shared memory access
+  double dram_pj_per_byte = 80.0;   ///< off-chip access
+  double mux_pj_per_select = 0.05;  ///< N:M activation-select MUX (Fig. 6)
+
+  /// Static (leakage) power, the part CACTI-P exists to model: charged per
+  /// cycle, scaling with array area. Roughly 20 % of a busy edge fabric's
+  /// dynamic power at the default 4x64 / 256 KB point — enough that
+  /// oversized fabrics pay for idle silicon when a layer is
+  /// bandwidth-bound.
+  double leakage_pj_per_cycle_per_mac = 0.05;
+  double leakage_pj_per_cycle_per_smem_kb = 0.2;
+
+  /// CACTI size scaling: per-access energies above are calibrated at these
+  /// reference sizes; effective cost scales with sqrt(size/ref) (bitline /
+  /// broadcast wire length grows with the array's linear dimension).
+  double smem_ref_kbytes = 256.0;
+  double rf_ref_macs_per_core = 64.0;
+
+  static EnergyModel edge_default();
+};
+
+}  // namespace crisp::accel

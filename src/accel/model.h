@@ -1,0 +1,124 @@
+// Accelerator model interface — the reproduction of the paper's
+// Sparseloop + CACTI evaluation (§IV-A "Hardware Setup").
+//
+// Each model is an analytical cycle + energy estimator for one GEMM layer
+// under a sparsity profile, on the shared edge resource budget
+// (AcceleratorConfig). Cycles follow a roofline: the maximum of compute,
+// DRAM streaming, and SMEM streaming, plus model-specific overheads.
+//
+// Shared modelling assumptions (applied consistently to every design):
+//  * Weights and their metadata stream from DRAM once per layer.
+//  * Activations live on-chip when the layer's activation working set fits
+//    SMEM; the excess spills to DRAM (read + write). Sparsity that shrinks
+//    the working set (CRISP's block-skipped input rows, DSTC's compressed
+//    activations) shrinks the spill — exactly the effect the paper credits
+//    block indices for in Fig. 6 ("input activations corresponding to
+//    non-zero blocks are loaded ... into SMEM").
+//  * Register-file traffic is charged per executed MAC (2 operand reads +
+//    1 accumulator write).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "accel/config.h"
+#include "accel/energy.h"
+#include "accel/workload.h"
+
+namespace crisp::accel {
+
+struct SimResult {
+  double cycles = 0.0;
+  double energy_pj = 0.0;
+
+  // Breakdown (diagnostics; cycles = max of the cycle components + extras).
+  double compute_cycles = 0.0;
+  double dram_cycles = 0.0;
+  double smem_cycles = 0.0;
+  double overhead_cycles = 0.0;  ///< dispatch / merge / scan, model-specific
+  double dram_bytes = 0.0;
+  double smem_bytes = 0.0;
+  double executed_macs = 0.0;    ///< MACs actually issued
+  double utilization = 1.0;      ///< fraction of issued MAC slots doing work
+};
+
+class AcceleratorModel {
+ public:
+  AcceleratorModel(const AcceleratorConfig& config, const EnergyModel& energy)
+      : config_(config), energy_(energy) {}
+  virtual ~AcceleratorModel() = default;
+
+  AcceleratorModel(const AcceleratorModel&) = delete;
+  AcceleratorModel& operator=(const AcceleratorModel&) = delete;
+
+  virtual SimResult simulate(const GemmWorkload& workload,
+                             const SparsityProfile& profile) const = 0;
+  virtual std::string name() const = 0;
+
+  const AcceleratorConfig& config() const { return config_; }
+  const EnergyModel& energy() const { return energy_; }
+
+ protected:
+  /// Activation working set of a layer: unique input pixels (the im2col
+  /// matrix re-reads each pixel ~kernel-area times; 4 is the ResNet-50
+  /// average) plus the resident partial-sum tile. Outputs complete per
+  /// position under weight-stationary dataflow, so only a 64-position tile
+  /// of them needs residency — finished outputs become the *next* layer's
+  /// inputs and are charged there.
+  double activation_working_set_bytes(const GemmWorkload& w,
+                                      double input_fraction) const {
+    const double e = static_cast<double>(config_.bytes_per_element);
+    const double unique_in =
+        static_cast<double>(w.k) * static_cast<double>(w.p) * e / 4.0;
+    const double psum_tile =
+        static_cast<double>(w.s) *
+        static_cast<double>(std::min<std::int64_t>(w.p, 64)) * e;
+    return unique_in * input_fraction + psum_tile;
+  }
+
+  /// Bytes spilled to DRAM (read + write) when the working set exceeds SMEM.
+  double activation_spill_bytes(const GemmWorkload& w,
+                                double input_fraction) const {
+    const double smem = static_cast<double>(config_.smem_kbytes) * 1024.0;
+    const double ws = activation_working_set_bytes(w, input_fraction);
+    return ws > smem ? 2.0 * (ws - smem) : 0.0;
+  }
+
+  /// Register-file energy for `macs` executed MACs. Operand broadcast wire
+  /// length grows with the compute array's linear dimension (CACTI
+  /// scaling), so the per-access cost rises as sqrt(array width).
+  double rf_energy_pj(double macs) const {
+    const double e = static_cast<double>(config_.bytes_per_element);
+    const double width_factor =
+        std::sqrt(static_cast<double>(config_.macs_per_core) /
+                  energy_.rf_ref_macs_per_core);
+    return macs * 3.0 * e * energy_.rf_pj_per_byte * width_factor;
+  }
+
+  /// SMEM access energy for `bytes`, with CACTI sqrt-capacity scaling.
+  double smem_energy_pj(double bytes) const {
+    const double size_factor = std::sqrt(
+        static_cast<double>(config_.smem_kbytes) / energy_.smem_ref_kbytes);
+    return bytes * energy_.smem_pj_per_byte * size_factor;
+  }
+
+  /// Static (leakage) energy over a layer's runtime: area x time. Charged
+  /// by every model so slow-but-wide designs pay for their idle silicon.
+  double leakage_pj(double cycles) const {
+    const double rate =
+        static_cast<double>(config_.total_macs()) *
+            energy_.leakage_pj_per_cycle_per_mac +
+        static_cast<double>(config_.smem_kbytes) *
+            energy_.leakage_pj_per_cycle_per_smem_kb;
+    return cycles * rate;
+  }
+
+  AcceleratorConfig config_;
+  EnergyModel energy_;
+};
+
+using AcceleratorModelPtr = std::unique_ptr<AcceleratorModel>;
+
+}  // namespace crisp::accel

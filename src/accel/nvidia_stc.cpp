@@ -1,0 +1,50 @@
+#include "accel/nvidia_stc.h"
+
+#include <algorithm>
+
+namespace crisp::accel {
+
+SimResult NvidiaStc::simulate(const GemmWorkload& w,
+                              const SparsityProfile& profile) const {
+  const double e = static_cast<double>(config_.bytes_per_element);
+  const double macs = static_cast<double>(w.macs());
+  const double nm_density =
+      static_cast<double>(profile.n) / static_cast<double>(profile.m);
+
+  // The 2:4 pipeline issues half the dense slots whenever the pattern is
+  // representable inside 2:4 (n/m <= 1/2); otherwise it runs dense.
+  const bool sparse_path = nm_density <= 0.5;
+  const double issued = sparse_path ? macs * 0.5 : macs;
+  // Of the issued slots, only the true non-zeros do useful work — 1:4 wastes
+  // half of them.
+  const double useful = macs * std::min(nm_density, 1.0);
+
+  SimResult r;
+  r.executed_macs = issued;
+  r.utilization = sparse_path ? useful / issued : 1.0;
+  r.compute_cycles = issued / static_cast<double>(config_.total_macs());
+
+  // Weights: compressed values at the issued density + 2-bit offsets per
+  // kept value. No block skipping: the full activation set stays live.
+  const double kept_fraction = sparse_path ? 0.5 : 1.0;
+  const double weight_dram =
+      static_cast<double>(w.s * w.k) * e * kept_fraction +
+      (sparse_path ? static_cast<double>(w.s * w.k) * 0.5 * 2.0 / 8.0 : 0.0);
+  const double act_spill = activation_spill_bytes(w, /*input_fraction=*/1.0);
+  r.dram_bytes = weight_dram + act_spill;
+  r.dram_cycles = r.dram_bytes / config_.dram_bw_bytes_per_cycle;
+
+  const double act_reuse = static_cast<double>(
+      std::min<std::int64_t>(w.s, config_.macs_per_core));
+  r.smem_bytes = issued * e / act_reuse + static_cast<double>(w.s * w.p) * e;
+  r.smem_cycles = r.smem_bytes / config_.smem_bw_bytes_per_cycle;
+
+  r.cycles = std::max({r.compute_cycles, r.dram_cycles, r.smem_cycles});
+  r.energy_pj = issued * energy_.mac_pj + rf_energy_pj(issued) +
+                issued * energy_.mux_pj_per_select +  // 4:2 selection MUXes
+                smem_energy_pj(r.smem_bytes) +
+                r.dram_bytes * energy_.dram_pj_per_byte + leakage_pj(r.cycles);
+  return r;
+}
+
+}  // namespace crisp::accel

@@ -1,0 +1,24 @@
+// NVIDIA Sparse Tensor Core baseline (Ampere, 2:4 only) at the shared edge
+// resource budget.
+//
+// The fabric skips at most half of the MAC slots: a 2:4 workload maps
+// perfectly (2x); a 1:4 workload still occupies the 2:4 pipeline with one
+// zero per selected pair — the "poor utilization" that caps it at 2x in
+// Fig. 8; 3:4 and dense cannot use the sparse path at all. Block sparsity
+// is invisible to it: all K activation rows stay live.
+#pragma once
+
+#include "accel/model.h"
+
+namespace crisp::accel {
+
+class NvidiaStc final : public AcceleratorModel {
+ public:
+  using AcceleratorModel::AcceleratorModel;
+
+  SimResult simulate(const GemmWorkload& workload,
+                     const SparsityProfile& profile) const override;
+  std::string name() const override { return "NVIDIA-STC"; }
+};
+
+}  // namespace crisp::accel

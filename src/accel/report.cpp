@@ -1,0 +1,105 @@
+#include "accel/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "tensor/check.h"
+
+namespace crisp::accel {
+
+std::vector<LayerComparison> compare_accelerators(
+    const std::vector<GemmWorkload>& workloads,
+    const std::vector<SparsityProfile>& profiles,
+    const AcceleratorConfig& config, const EnergyModel& energy) {
+  CRISP_CHECK(workloads.size() == profiles.size(),
+              "workload/profile count mismatch");
+  const DenseModel dense(config, energy);
+  const NvidiaStc nvidia(config, energy);
+  const Dstc dstc(config, energy);
+  const CrispStc crisp(config, energy);
+
+  std::vector<LayerComparison> rows;
+  rows.reserve(workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    LayerComparison row;
+    row.workload = workloads[i];
+    row.profile = profiles[i];
+    row.dense = dense.simulate(row.workload, SparsityProfile::dense());
+    row.nvidia = nvidia.simulate(row.workload, row.profile);
+    row.dstc = dstc.simulate(row.workload, row.profile);
+    row.crisp = crisp.simulate(row.workload, row.profile);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SparsityProfile> ramp_profiles(std::int64_t layer_count,
+                                           std::int64_t n, std::int64_t m,
+                                           std::int64_t block,
+                                           double kappa_first,
+                                           double kappa_last,
+                                           double activation_density) {
+  CRISP_CHECK(layer_count >= 1, "need at least one layer");
+  std::vector<SparsityProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(layer_count));
+  for (std::int64_t i = 0; i < layer_count; ++i) {
+    const double t = layer_count == 1
+                         ? 0.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(layer_count - 1);
+    const double kappa = kappa_first + (kappa_last - kappa_first) * t;
+    SparsityProfile p;
+    p.n = n;
+    p.m = m;
+    p.block = block;
+    p.activation_density = activation_density;
+    // K'/K from κ = 1 − (K'/K)(N/M), clamped to a representable fraction.
+    p.kept_cols_fraction = std::clamp(
+        (1.0 - kappa) * static_cast<double>(m) / static_cast<double>(n), 0.01,
+        1.0);
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+std::vector<SparsityProfile> ramp_kept_profiles(std::int64_t layer_count,
+                                                std::int64_t n, std::int64_t m,
+                                                std::int64_t block,
+                                                double kept_first,
+                                                double kept_last,
+                                                double activation_density) {
+  CRISP_CHECK(layer_count >= 1, "need at least one layer");
+  std::vector<SparsityProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(layer_count));
+  for (std::int64_t i = 0; i < layer_count; ++i) {
+    const double t = layer_count == 1
+                         ? 0.0
+                         : static_cast<double>(i) /
+                               static_cast<double>(layer_count - 1);
+    SparsityProfile p;
+    p.n = n;
+    p.m = m;
+    p.block = block;
+    p.activation_density = activation_density;
+    p.kept_cols_fraction =
+        std::clamp(kept_first + (kept_last - kept_first) * t, 0.01, 1.0);
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+void print_comparison(const std::vector<LayerComparison>& rows) {
+  std::printf(
+      "%-16s %7s | %9s %9s %9s | %9s %9s %9s\n", "layer", "kappa",
+      "STC spd", "DSTC spd", "CRISP spd", "STC eff", "DSTC eff", "CRISP eff");
+  for (const auto& row : rows) {
+    std::printf(
+        "%-16s %6.2f%% | %8.2fx %8.2fx %8.2fx | %8.2fx %8.2fx %8.2fx\n",
+        row.workload.name.c_str(), 100.0 * row.profile.weight_sparsity(),
+        row.nvidia_speedup(), row.dstc_speedup(), row.crisp_speedup(),
+        row.nvidia_energy_eff(), row.dstc_energy_eff(),
+        row.crisp_energy_eff());
+  }
+}
+
+}  // namespace crisp::accel

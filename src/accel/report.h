@@ -1,0 +1,64 @@
+// Cross-accelerator comparison harness — produces the rows of Fig. 8.
+#pragma once
+
+#include <vector>
+
+#include "accel/crisp_stc.h"
+#include "accel/dense_model.h"
+#include "accel/dstc.h"
+#include "accel/nvidia_stc.h"
+
+namespace crisp::accel {
+
+struct LayerComparison {
+  GemmWorkload workload;
+  SparsityProfile profile;
+  SimResult dense;
+  SimResult nvidia;
+  SimResult dstc;
+  SimResult crisp;
+
+  double crisp_speedup() const { return dense.cycles / crisp.cycles; }
+  double nvidia_speedup() const { return dense.cycles / nvidia.cycles; }
+  double dstc_speedup() const { return dense.cycles / dstc.cycles; }
+  double crisp_energy_eff() const { return dense.energy_pj / crisp.energy_pj; }
+  double nvidia_energy_eff() const {
+    return dense.energy_pj / nvidia.energy_pj;
+  }
+  double dstc_energy_eff() const { return dense.energy_pj / dstc.energy_pj; }
+};
+
+/// Simulates every (workload, profile) pair on all four designs.
+/// `profiles` must align with `workloads`.
+std::vector<LayerComparison> compare_accelerators(
+    const std::vector<GemmWorkload>& workloads,
+    const std::vector<SparsityProfile>& profiles,
+    const AcceleratorConfig& config, const EnergyModel& energy);
+
+/// Per-layer sparsity profiles in the paper's Fig. 8 regime: global
+/// sparsity ramping `kappa_first` → `kappa_last` from the first to the last
+/// layer (later layers prune harder, cf. Fig. 2), at fixed N:M and block.
+std::vector<SparsityProfile> ramp_profiles(std::int64_t layer_count,
+                                           std::int64_t n, std::int64_t m,
+                                           std::int64_t block,
+                                           double kappa_first,
+                                           double kappa_last,
+                                           double activation_density = 0.6);
+
+/// Fig. 8's actual sweep variable: the *block-level* kept-column fraction
+/// K'/K is set by class-aware pruning (ramping down over depth, cf. Fig. 2)
+/// and the N:M ratio varies on top — so tighter N:M genuinely removes MACs
+/// and the three N:M series separate, as in the paper. Global κ follows as
+/// 1 − (K'/K)·(N/M).
+std::vector<SparsityProfile> ramp_kept_profiles(std::int64_t layer_count,
+                                                std::int64_t n, std::int64_t m,
+                                                std::int64_t block,
+                                                double kept_first,
+                                                double kept_last,
+                                                double activation_density = 0.6);
+
+/// Prints a paper-style table: per-layer speedup and energy efficiency of
+/// each design relative to dense.
+void print_comparison(const std::vector<LayerComparison>& rows);
+
+}  // namespace crisp::accel

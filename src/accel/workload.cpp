@@ -1,0 +1,86 @@
+#include "accel/workload.h"
+
+#include <array>
+
+#include "tensor/check.h"
+
+namespace crisp::accel {
+
+namespace {
+
+struct StageSpec {
+  std::int64_t planes;  ///< bottleneck width
+  std::int64_t blocks;
+  std::int64_t in_spatial;  ///< input feature-map side for the stage
+};
+
+void push_conv(std::vector<GemmWorkload>& out, std::string name,
+               std::int64_t out_ch, std::int64_t in_ch, std::int64_t kernel,
+               std::int64_t spatial_out) {
+  out.push_back(GemmWorkload{std::move(name), out_ch, in_ch * kernel * kernel,
+                             spatial_out * spatial_out});
+}
+
+}  // namespace
+
+std::vector<GemmWorkload> resnet50_imagenet_workloads() {
+  std::vector<GemmWorkload> w;
+  // Stem: 7x7/2, 3->64, 224 -> 112; maxpool brings 112 -> 56.
+  push_conv(w, "conv1", 64, 3, 7, 112);
+
+  const std::array<StageSpec, 4> stages{{{64, 3, 56},
+                                         {128, 4, 56},
+                                         {256, 6, 28},
+                                         {512, 3, 14}}};
+  std::int64_t in_ch = 64;
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    const StageSpec& st = stages[si];
+    const bool downsamples = si > 0;  // stage 2..4 halve the spatial size
+    const std::int64_t sp_out = downsamples ? st.in_spatial / 2 : st.in_spatial;
+    for (std::int64_t b = 0; b < st.blocks; ++b) {
+      const std::string prefix =
+          "conv" + std::to_string(si + 2) + "_" + std::to_string(b + 1);
+      const std::int64_t sp_in = (b == 0) ? st.in_spatial : sp_out;
+      const std::int64_t out_ch = st.planes * 4;
+      // v1.5: 1x1 at input spatial, stride on the 3x3.
+      push_conv(w, prefix + ".conv1", st.planes, in_ch, 1, sp_in);
+      push_conv(w, prefix + ".conv2", st.planes, st.planes, 3, sp_out);
+      push_conv(w, prefix + ".conv3", out_ch, st.planes, 1, sp_out);
+      if (b == 0) push_conv(w, prefix + ".proj", out_ch, in_ch, 1, sp_out);
+      in_ch = out_ch;
+    }
+  }
+  // Classifier: 2048 -> 1000, a single output position.
+  w.push_back(GemmWorkload{"fc", 1000, 2048, 1});
+  CRISP_CHECK(w.size() == 54, "expected 53 convs + fc, got " << w.size());
+  return w;
+}
+
+std::vector<GemmWorkload> resnet50_representative_workloads() {
+  const auto all = resnet50_imagenet_workloads();
+  const char* names[] = {
+      "conv2_1.conv2",  // early 3x3, 56x56 — DSTC's favourite shape
+      "conv2_3.conv3",  // early 1x1 expanding
+      "conv3_1.proj",   // stage-2 projection
+      "conv3_2.conv2",  // middle 3x3, 28x28
+      "conv4_3.conv2",  // middle-late 3x3, 14x14
+      "conv4_6.conv1",  // late 1x1 reducing
+      "conv5_1.conv2",  // late 3x3, 7x7 — data-movement stress
+      "conv5_3.conv3",  // last 1x1, widest output
+      "fc",             // classifier GEMV
+  };
+  std::vector<GemmWorkload> out;
+  for (const char* n : names) {
+    bool found = false;
+    for (const auto& wl : all)
+      if (wl.name == n) {
+        out.push_back(wl);
+        found = true;
+        break;
+      }
+    CRISP_CHECK(found, "representative layer " << n << " not in table");
+  }
+  return out;
+}
+
+}  // namespace crisp::accel

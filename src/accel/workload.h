@@ -1,0 +1,56 @@
+// GEMM workloads for the accelerator models.
+//
+// Every convolution lowers (im2col) to C[S,P] = W[S,K] · X[K,P] with
+// S = output channels, K = reduction (R·kh·kw), P = output positions.
+// Hardware results depend only on these shapes plus the sparsity profile,
+// so Fig. 8 runs on the *true* ImageNet-resolution ResNet-50 shapes even
+// though training used width-scaled models (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crisp::accel {
+
+struct GemmWorkload {
+  std::string name;
+  std::int64_t s = 0;  ///< rows of W (output channels)
+  std::int64_t k = 0;  ///< reduction length
+  std::int64_t p = 0;  ///< output positions (columns of X)
+
+  std::int64_t macs() const { return s * k * p; }
+};
+
+/// Per-layer sparsity description handed to the models.
+struct SparsityProfile {
+  std::int64_t n = 2;                ///< N of N:M
+  std::int64_t m = 4;                ///< M of N:M
+  std::int64_t block = 32;           ///< block side B
+  double kept_cols_fraction = 1.0;   ///< K'/K from block pruning
+  double activation_density = 1.0;   ///< for dual-side designs (DSTC)
+
+  /// Non-zero weight fraction: (K'/K)·(N/M).
+  double weight_density() const {
+    return kept_cols_fraction * static_cast<double>(n) /
+           static_cast<double>(m);
+  }
+  /// Overall weight sparsity 1 − density (the paper's κ).
+  double weight_sparsity() const { return 1.0 - weight_density(); }
+
+  static SparsityProfile dense() {
+    SparsityProfile p;
+    p.n = p.m = 1;
+    return p;
+  }
+};
+
+/// All 53 convolutions + the classifier of ImageNet ResNet-50 (224x224,
+/// v1.5 stride placement: the 3x3 carries the stage stride).
+std::vector<GemmWorkload> resnet50_imagenet_workloads();
+
+/// The representative layer subset plotted in Fig. 8: early / middle / late
+/// stage convolutions of each kernel type plus the classifier.
+std::vector<GemmWorkload> resnet50_representative_workloads();
+
+}  // namespace crisp::accel

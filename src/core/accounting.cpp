@@ -1,0 +1,46 @@
+#include "core/accounting.h"
+
+#include <algorithm>
+
+namespace crisp::core {
+
+double ModelCensus::max_layer_sparsity() const {
+  double mx = 0.0;
+  for (const auto& l : layers) mx = std::max(mx, l.sparsity);
+  return mx;
+}
+
+ModelCensus take_census(nn::Sequential& model, std::int64_t block) {
+  ModelCensus census;
+  std::int64_t total = 0, zeros = 0;
+  for (nn::Parameter* p : model.prunable_parameters()) {
+    LayerCensus lc;
+    lc.name = p->name;
+    lc.rows = p->matrix_rows;
+    lc.cols = p->matrix_cols;
+    lc.block = block;
+    total += p->value.numel();
+    if (p->has_mask()) {
+      lc.sparsity = p->mask_sparsity();
+      zeros += p->value.numel() - p->mask.count_nonzero();
+      const sparse::BlockGrid grid{lc.rows, lc.cols, block};
+      const auto counts = sparse::zero_blocks_per_row(
+          as_matrix(p->mask, lc.rows, lc.cols), grid);
+      lc.uniform_rows =
+          std::all_of(counts.begin(), counts.end(),
+                      [&](std::int64_t c) { return c == counts.front(); });
+      lc.pruned_blocks_per_row = counts.empty() ? 0 : counts.front();
+      lc.k_prime =
+          std::max<std::int64_t>(0, lc.cols - lc.pruned_blocks_per_row * block);
+    } else {
+      lc.k_prime = lc.cols;
+    }
+    census.layers.push_back(std::move(lc));
+  }
+  census.global_sparsity =
+      total == 0 ? 0.0
+                 : static_cast<double>(zeros) / static_cast<double>(total);
+  return census;
+}
+
+}  // namespace crisp::core

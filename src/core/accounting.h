@@ -1,0 +1,39 @@
+// Sparsity census: the measured state of a pruned model.
+//
+// Sources for Fig. 2 (layer-wise sparsity distribution), the K' values the
+// metadata formulas need, and the per-layer sparsity the accelerator
+// simulator consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "sparse/block.h"
+
+namespace crisp::core {
+
+struct LayerCensus {
+  std::string name;            ///< parameter name
+  std::int64_t rows = 0;       ///< S
+  std::int64_t cols = 0;       ///< K
+  std::int64_t block = 0;      ///< census block size B
+  double sparsity = 0.0;       ///< element zero-fraction of the mask
+  std::int64_t pruned_blocks_per_row = 0;  ///< uniform across rows
+  std::int64_t k_prime = 0;    ///< surviving columns = K − pruned·B (≥ 0)
+  bool uniform_rows = true;    ///< equal-blocks-per-row invariant holds
+};
+
+struct ModelCensus {
+  std::vector<LayerCensus> layers;
+  double global_sparsity = 0.0;  ///< zero fraction over all prunable weights
+
+  /// Maximum per-layer sparsity — watch for layer collapse (≈ 1.0).
+  double max_layer_sparsity() const;
+};
+
+/// Reads every prunable parameter's mask. Parameters without masks count as
+/// dense. `block` must match the block size the pruner used.
+ModelCensus take_census(nn::Sequential& model, std::int64_t block);
+
+}  // namespace crisp::core

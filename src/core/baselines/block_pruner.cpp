@@ -1,0 +1,17 @@
+#include "core/baselines/block_pruner.h"
+
+namespace crisp::core {
+
+CrispConfig block_pruning_config(std::int64_t block, double target_sparsity,
+                                 std::int64_t iterations,
+                                 std::int64_t finetune_epochs) {
+  CrispConfig cfg;
+  cfg.enable_nm = false;
+  cfg.block = block;
+  cfg.target_sparsity = target_sparsity;
+  cfg.iterations = iterations;
+  cfg.finetune_epochs = finetune_epochs;
+  return cfg;
+}
+
+}  // namespace crisp::core

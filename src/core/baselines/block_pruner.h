@@ -1,0 +1,16 @@
+// Pure coarse-grained block pruning — the baseline CRISP is compared with
+// in Fig. 3. Identical machinery (class-aware scores, uniform rank-column
+// selection, iterative fine-tuning) with the N:M component disabled, so the
+// comparison isolates the value of the hybrid pattern.
+#pragma once
+
+#include "core/pruner.h"
+
+namespace crisp::core {
+
+/// Config for CrispPruner with N:M off and the whole κ carried by blocks.
+CrispConfig block_pruning_config(std::int64_t block, double target_sparsity,
+                                 std::int64_t iterations = 3,
+                                 std::int64_t finetune_epochs = 2);
+
+}  // namespace crisp::core

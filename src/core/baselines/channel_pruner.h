@@ -1,0 +1,52 @@
+// Class-aware channel pruning — the OCAP / CAP'NN / MyML family of
+// baselines in Fig. 7: whole output channels (rows of the reshaped S x K
+// matrix) are removed by class-aware saliency, iteratively with fine-tuning.
+//
+// Substitution note (DESIGN.md §2): the published baselines prune channels
+// on real CIFAR/ImageNet models; we reproduce their *mechanism* on the same
+// substrate as CRISP so the comparison isolates the sparsity pattern.
+// Because removing an output channel also shrinks the next layer's
+// reduction dimension, channel pruning's true FLOPs ratio is roughly the
+// square of its kept-channel fraction — `effective_flops_ratio` applies
+// that correction (our masks only account for the removed rows).
+#pragma once
+
+#include "core/accounting.h"
+#include "core/saliency.h"
+#include "nn/trainer.h"
+
+namespace crisp::core {
+
+struct ChannelPruneConfig {
+  double target_sparsity = 0.5;  ///< fraction of output channels removed
+  std::int64_t iterations = 3;
+  std::int64_t finetune_epochs = 2;
+  nn::SgdConfig finetune_sgd{/*lr=*/0.01f, /*momentum=*/0.9f,
+                             /*weight_decay=*/4e-5f};
+  std::int64_t batch_size = 32;
+  SaliencyConfig saliency;
+  /// Every layer keeps at least this many channels (collapse guard).
+  std::int64_t min_kept_channels = 4;
+  bool verbose = false;
+};
+
+struct ChannelPruneReport {
+  double achieved_channel_sparsity = 0.0;  ///< removed rows / total rows
+  double mask_sparsity = 0.0;              ///< element zero fraction
+  /// Mask sparsity corrected for the downstream reduction-dim savings a
+  /// real channel-pruned deployment gets: (1-s)^2 per layer, aggregated.
+  double effective_flops_ratio = 0.0;
+};
+
+class ChannelPruner {
+ public:
+  ChannelPruner(nn::Sequential& model, const ChannelPruneConfig& cfg);
+
+  ChannelPruneReport run(const data::Dataset& user_data, Rng& rng);
+
+ private:
+  nn::Sequential& model_;
+  ChannelPruneConfig cfg_;
+};
+
+}  // namespace crisp::core

@@ -1,0 +1,180 @@
+#include "core/baselines/layerwise_nm.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/nm_pruning.h"
+#include "sparse/nm.h"
+
+namespace crisp::core {
+
+namespace {
+
+/// Per-layer tightening schedule from the current saliency: sorting each
+/// length-M group descending, step j (N = M-j -> M-j-1) removes the
+/// (M-j)-th largest element of every group that still has one.
+struct LayerSteps {
+  std::vector<double> losses;         ///< saliency lost per step
+  std::vector<std::int64_t> removals; ///< elements zeroed per step
+};
+
+LayerSteps layer_steps(const Tensor& saliency, std::int64_t rows,
+                       std::int64_t cols, std::int64_t m) {
+  LayerSteps out;
+  out.losses.assign(static_cast<std::size_t>(m - 1), 0.0);
+  out.removals.assign(static_cast<std::size_t>(m - 1), 0);
+  std::vector<float> group;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* srow = saliency.data() + r * cols;
+    for (std::int64_t c0 = 0; c0 < cols; c0 += m) {
+      const std::int64_t g = std::min(m, cols - c0);
+      group.assign(srow + c0, srow + c0 + g);
+      std::sort(group.begin(), group.end(), std::greater<float>());
+      for (std::int64_t j = 0; j < m - 1; ++j) {
+        const std::int64_t kept_after = m - j - 1;  // min(n', g) if g allows
+        if (g >= m - j) {  // this group actually loses an element at step j
+          out.losses[static_cast<std::size_t>(j)] +=
+              static_cast<double>(group[static_cast<std::size_t>(kept_after)]);
+          out.removals[static_cast<std::size_t>(j)] += 1;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> allocate_layer_n(
+    const std::vector<std::vector<double>>& step_losses,
+    const std::vector<std::vector<std::int64_t>>& step_removals,
+    std::int64_t total_elements, std::int64_t m, std::int64_t min_n,
+    double target_sparsity) {
+  CRISP_CHECK(step_losses.size() == step_removals.size(),
+              "losses/removals disagree on layer count");
+  CRISP_CHECK(min_n >= 1 && min_n <= m, "min_n out of [1, M]");
+  const std::size_t layers = step_losses.size();
+  const auto target_zeros = static_cast<std::int64_t>(
+      target_sparsity * static_cast<double>(total_elements));
+
+  std::vector<std::size_t> next(layers, 0);  // per-layer next step index
+  const auto max_steps = static_cast<std::size_t>(m - min_n);
+  std::int64_t zeroed = 0;
+  while (zeroed < target_zeros) {
+    std::size_t best = layers;
+    double best_rate = 0.0;
+    for (std::size_t l = 0; l < layers; ++l) {
+      const std::size_t j = next[l];
+      if (j >= max_steps || j >= step_losses[l].size()) continue;
+      if (step_removals[l][j] == 0) continue;  // degenerate (narrow) layer
+      const double rate = step_losses[l][j] /
+                          static_cast<double>(step_removals[l][j]);
+      if (best == layers || rate < best_rate) {
+        best = l;
+        best_rate = rate;
+      }
+    }
+    if (best == layers) break;  // every layer at the collapse guard
+    zeroed += step_removals[best][next[best]];
+    ++next[best];
+  }
+
+  std::vector<std::int64_t> n(layers);
+  for (std::size_t l = 0; l < layers; ++l)
+    n[l] = m - static_cast<std::int64_t>(next[l]);
+  return n;
+}
+
+LayerwiseNmPruner::LayerwiseNmPruner(nn::Sequential& model,
+                                     const LayerwiseNmConfig& cfg)
+    : model_(model), cfg_(cfg) {
+  CRISP_CHECK(cfg_.m >= 2, "layer-wise N:M needs M >= 2");
+  CRISP_CHECK(cfg_.min_n >= 1 && cfg_.min_n <= cfg_.m, "min_n out of range");
+  CRISP_CHECK(cfg_.target_sparsity >= 0.0 && cfg_.target_sparsity < 1.0,
+              "target sparsity out of [0, 1)");
+  CRISP_CHECK(cfg_.iterations >= 1, "need at least one iteration");
+  CRISP_CHECK(!model_.prunable_parameters().empty(),
+              "model has no prunable parameters");
+}
+
+LayerwiseNmReport LayerwiseNmPruner::run(const data::Dataset& user_data,
+                                         Rng& rng) {
+  auto params = model_.prunable_parameters();
+  LayerwiseNmReport report;
+
+  for (std::int64_t p = 1; p <= cfg_.iterations; ++p) {
+    const double step_target = cfg_.target_sparsity *
+                               static_cast<double>(p) /
+                               static_cast<double>(cfg_.iterations);
+
+    const SaliencyMap saliency =
+        estimate_saliency(model_, user_data, cfg_.saliency);
+
+    std::vector<std::vector<double>> losses;
+    std::vector<std::vector<std::int64_t>> removals;
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const nn::Parameter& prm = *params[i];
+      LayerSteps steps = layer_steps(saliency[i], prm.matrix_rows,
+                                     prm.matrix_cols, cfg_.m);
+      losses.push_back(std::move(steps.losses));
+      removals.push_back(std::move(steps.removals));
+      total += prm.value.numel();
+    }
+
+    const std::vector<std::int64_t> chosen = allocate_layer_n(
+        losses, removals, total, cfg_.m, cfg_.min_n, step_target);
+
+    std::vector<Tensor> masks;
+    masks.reserve(params.size());
+    report.choices.clear();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const nn::Parameter& prm = *params[i];
+      Tensor mask = sparse::nm_mask(
+          as_matrix(saliency[i], prm.matrix_rows, prm.matrix_cols),
+          chosen[i], cfg_.m);
+      mask.reshape_inplace(prm.value.shape());
+      masks.push_back(std::move(mask));
+      report.choices.push_back({prm.name, chosen[i], cfg_.m});
+    }
+    install_masks(model_, masks, {});
+
+    nn::TrainConfig tc;
+    tc.epochs = cfg_.finetune_epochs;
+    tc.batch_size = cfg_.batch_size;
+    tc.sgd = cfg_.finetune_sgd;
+    nn::train(model_, user_data, tc, rng);
+
+    if (cfg_.verbose) {
+      std::printf("[layerwise-nm] iter %lld/%lld  target %.3f  N_l:",
+                  static_cast<long long>(p),
+                  static_cast<long long>(cfg_.iterations), step_target);
+      for (const LayerNmChoice& c : report.choices)
+        std::printf(" %lld", static_cast<long long>(c.n));
+      std::printf("\n");
+    }
+  }
+
+  if (cfg_.recovery_epochs > 0) {
+    nn::TrainConfig tc;
+    tc.epochs = cfg_.recovery_epochs;
+    tc.batch_size = cfg_.batch_size;
+    tc.sgd = cfg_.finetune_sgd;
+    tc.lr_decay = 0.92f;
+    nn::train(model_, user_data, tc, rng);
+  }
+
+  std::int64_t zeros = 0, total = 0;
+  for (const nn::Parameter* prm : params) {
+    total += prm->value.numel();
+    zeros += prm->has_mask()
+                 ? prm->value.numel() - prm->mask.count_nonzero()
+                 : 0;
+  }
+  report.achieved_sparsity =
+      total == 0 ? 0.0
+                 : static_cast<double>(zeros) / static_cast<double>(total);
+  return report;
+}
+
+}  // namespace crisp::core

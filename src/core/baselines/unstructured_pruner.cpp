@@ -1,0 +1,90 @@
+#include "core/baselines/unstructured_pruner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crisp::core {
+
+UnstructuredPruner::UnstructuredPruner(nn::Sequential& model,
+                                       const UnstructuredPruneConfig& cfg)
+    : model_(model), cfg_(cfg) {
+  CRISP_CHECK(cfg_.target_sparsity >= 0.0 && cfg_.target_sparsity < 1.0,
+              "target sparsity out of [0, 1)");
+  CRISP_CHECK(cfg_.iterations >= 1, "need at least one iteration");
+  CRISP_CHECK(!model_.prunable_parameters().empty(),
+              "model has no prunable parameters");
+}
+
+UnstructuredPruneReport UnstructuredPruner::run(const data::Dataset& user_data,
+                                                Rng& rng) {
+  auto params = model_.prunable_parameters();
+
+  for (std::int64_t p = 1; p <= cfg_.iterations; ++p) {
+    const double step_target = cfg_.target_sparsity *
+                               static_cast<double>(p) /
+                               static_cast<double>(cfg_.iterations);
+
+    const SaliencyMap saliency =
+        estimate_saliency(model_, user_data, cfg_.saliency);
+
+    // Global threshold: the step_target quantile of all saliency scores.
+    std::vector<float> pool;
+    std::int64_t total = 0;
+    for (const Tensor& s : saliency) total += s.numel();
+    pool.reserve(static_cast<std::size_t>(total));
+    for (const Tensor& s : saliency)
+      pool.insert(pool.end(), s.vec().begin(), s.vec().end());
+    const auto kth = static_cast<std::int64_t>(
+        step_target * static_cast<double>(total));
+    float threshold = -1.0f;  // below any score: prune nothing
+    if (kth > 0) {
+      auto nth = pool.begin() + (kth - 1);
+      std::nth_element(pool.begin(), nth, pool.end());
+      threshold = *nth;
+    }
+
+    // Keep strictly-above-threshold weights (re-selection each iteration —
+    // the same STE revival CRISP gets).
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      nn::Parameter& prm = *params[i];
+      prm.ensure_mask();
+      for (std::int64_t e = 0; e < prm.value.numel(); ++e)
+        prm.mask[e] = saliency[i][e] > threshold ? 1.0f : 0.0f;
+    }
+
+    nn::TrainConfig tc;
+    tc.epochs = cfg_.finetune_epochs;
+    tc.batch_size = cfg_.batch_size;
+    tc.sgd = cfg_.finetune_sgd;
+    nn::train(model_, user_data, tc, rng);
+
+    if (cfg_.verbose)
+      std::printf("[unstructured] iter %lld/%lld  target %.3f\n",
+                  static_cast<long long>(p),
+                  static_cast<long long>(cfg_.iterations), step_target);
+  }
+
+  if (cfg_.recovery_epochs > 0) {
+    nn::TrainConfig tc;
+    tc.epochs = cfg_.recovery_epochs;
+    tc.batch_size = cfg_.batch_size;
+    tc.sgd = cfg_.finetune_sgd;
+    tc.lr_decay = 0.92f;
+    nn::train(model_, user_data, tc, rng);
+  }
+
+  UnstructuredPruneReport report;
+  std::int64_t zeros = 0, total = 0;
+  for (const nn::Parameter* prm : params) {
+    total += prm->value.numel();
+    zeros += prm->has_mask()
+                 ? prm->value.numel() - prm->mask.count_nonzero()
+                 : 0;
+  }
+  report.achieved_sparsity =
+      total == 0 ? 0.0
+                 : static_cast<double>(zeros) / static_cast<double>(total);
+  return report;
+}
+
+}  // namespace crisp::core

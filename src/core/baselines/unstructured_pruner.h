@@ -1,0 +1,48 @@
+// Unstructured class-aware pruning — the "naive approach" of the paper's
+// introduction (§I).
+//
+// Weights are removed individually by global class-aware saliency ranking,
+// with no structural constraint at all. Accuracy at a given sparsity is the
+// best any pattern can do (this baseline upper-bounds CRISP), but the
+// resulting random non-zero placement defeats hardware acceleration: STC
+// fabrics cannot skip it (the paper cites SIGMA [4] — irregular patterns
+// need ~99 % sparsity before they pay). bench/ablation_patterns puts both
+// halves of that statement on one table.
+#pragma once
+
+#include "core/saliency.h"
+#include "nn/trainer.h"
+
+namespace crisp::core {
+
+struct UnstructuredPruneConfig {
+  double target_sparsity = 0.9;  ///< global element zero-fraction
+  std::int64_t iterations = 3;
+  std::int64_t finetune_epochs = 2;
+  std::int64_t recovery_epochs = 8;
+  nn::SgdConfig finetune_sgd{/*lr=*/0.02f, /*momentum=*/0.9f,
+                             /*weight_decay=*/4e-5f};
+  std::int64_t batch_size = 32;
+  SaliencyConfig saliency;
+  bool verbose = false;
+};
+
+struct UnstructuredPruneReport {
+  double achieved_sparsity = 0.0;  ///< element zero-fraction over prunables
+};
+
+/// Iterative global magnitude-of-saliency pruning with STE fine-tuning —
+/// the same loop shape as CrispPruner so comparisons isolate the pattern.
+class UnstructuredPruner {
+ public:
+  UnstructuredPruner(nn::Sequential& model,
+                     const UnstructuredPruneConfig& cfg);
+
+  UnstructuredPruneReport run(const data::Dataset& user_data, Rng& rng);
+
+ private:
+  nn::Sequential& model_;
+  UnstructuredPruneConfig cfg_;
+};
+
+}  // namespace crisp::core

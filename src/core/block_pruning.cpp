@@ -1,0 +1,114 @@
+#include "core/block_pruning.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace crisp::core {
+
+namespace {
+
+struct RankColumn {
+  double score = 0.0;          ///< (normalised) aggregate C_o
+  std::int64_t layer = 0;
+  std::int64_t rank = 0;
+  std::int64_t element_cost = 0;  ///< weight elements the rank removes
+};
+
+/// Ascending per-row sort of the block-score grid → grid of rank columns.
+/// Returns (grid_rows x grid_cols) where column o is each row's o-th
+/// smallest score.
+Tensor sorted_rows(const Tensor& scores) {
+  const std::int64_t gr = scores.size(0), gc = scores.size(1);
+  Tensor out = scores;
+  for (std::int64_t r = 0; r < gr; ++r) {
+    float* row = out.data() + r * gc;
+    std::sort(row, row + gc);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> plan_rank_column_pruning(
+    const std::vector<LayerBlockInfo>& layers, double element_fraction,
+    const BlockPruningConfig& cfg) {
+  CRISP_CHECK(element_fraction >= 0.0 && element_fraction <= 1.0,
+              "element_fraction out of range: " << element_fraction);
+  std::vector<std::int64_t> pruned(layers.size(), 0);
+  if (layers.empty() || element_fraction == 0.0) return pruned;
+
+  std::int64_t total_elements = 0;
+  std::vector<RankColumn> columns;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const LayerBlockInfo& layer = layers[li];
+    const sparse::BlockGrid& g = layer.grid;
+    CRISP_CHECK(layer.scores.dim() == 2 &&
+                    layer.scores.size(0) == g.grid_rows() &&
+                    layer.scores.size(1) == g.grid_cols(),
+                "block-score grid does not match layer geometry");
+    total_elements += g.rows * g.cols;
+
+    const Tensor ranked = sorted_rows(layer.scores);
+    const std::int64_t gr = g.grid_rows(), gc = g.grid_cols();
+    const double layer_total =
+        std::max(static_cast<double>(layer.scores.sum()), 1e-30);
+    for (std::int64_t o = 0; o < gc; ++o) {
+      RankColumn col;
+      col.layer = static_cast<std::int64_t>(li);
+      col.rank = o;
+      double agg = 0.0;
+      for (std::int64_t r = 0; r < gr; ++r) agg += ranked[r * gc + o];
+      // One block leaves every block-row; edge blocks are narrower, so the
+      // exact cost is rows x the average column extent. Using B for the
+      // column extent is exact away from the right edge; we charge the
+      // average to stay consistent with total_elements.
+      col.element_cost = g.rows * g.cols / gc;
+      switch (cfg.norm) {
+        case BlockScoreNorm::kNone:
+          col.score = agg;
+          break;
+        case BlockScoreNorm::kMeanPerElement:
+          col.score = agg / static_cast<double>(std::max<std::int64_t>(
+                                1, gr * g.block * g.block));
+          break;
+        case BlockScoreNorm::kLayerFraction:
+          col.score = agg / layer_total;
+          break;
+      }
+      columns.push_back(col);
+    }
+  }
+
+  std::stable_sort(columns.begin(), columns.end(),
+                   [](const RankColumn& a, const RankColumn& b) {
+                     return std::tie(a.score, a.layer, a.rank) <
+                            std::tie(b.score, b.layer, b.rank);
+                   });
+
+  const auto target = static_cast<double>(total_elements) * element_fraction;
+  double removed = 0.0;
+  for (const RankColumn& col : columns) {
+    if (removed >= target) break;
+    const sparse::BlockGrid& g = layers[static_cast<std::size_t>(col.layer)].grid;
+    const std::int64_t cap = g.grid_cols() - cfg.min_kept_ranks;
+    auto& count = pruned[static_cast<std::size_t>(col.layer)];
+    if (count >= cap) continue;  // layer-collapse guard
+    ++count;
+    removed += static_cast<double>(col.element_cost);
+  }
+  return pruned;
+}
+
+Tensor rank_pruned_block_mask(const LayerBlockInfo& layer,
+                              std::int64_t pruned_ranks) {
+  const sparse::BlockGrid& g = layer.grid;
+  CRISP_CHECK(pruned_ranks >= 0 && pruned_ranks <= g.grid_cols(),
+              "pruned_ranks " << pruned_ranks << " out of range");
+  std::vector<std::int64_t> per_row(static_cast<std::size_t>(g.grid_rows()),
+                                    pruned_ranks);
+  const Tensor block_mask =
+      sparse::uniform_row_block_mask(layer.scores, g, per_row);
+  return sparse::expand_block_mask(block_mask, g);
+}
+
+}  // namespace crisp::core

@@ -1,0 +1,60 @@
+// Uniform coarse-grained block pruning with global rank-column selection
+// (Algorithm 1, lines 4-10).
+//
+// Per layer: block scores are sorted ascending inside each block-row
+// (line 6), turning the grid into *rank columns* — rank o holds every row's
+// o-th least-salient block. Column aggregation (line 7) sums each rank
+// column; because sums of order statistics are non-decreasing in o, the
+// globally-sorted selection (lines 8-9) always takes a per-layer *prefix*
+// of ranks. Pruning rank o therefore removes exactly one block from every
+// block-row — the equal-blocks-per-row invariant hardware needs — while
+// different layers lose different numbers of ranks, which is what produces
+// the non-uniform layer sparsity of Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/block.h"
+#include "tensor/tensor.h"
+
+namespace crisp::core {
+
+struct LayerBlockInfo {
+  Tensor scores;           ///< block-score grid (grid_rows x grid_cols)
+  sparse::BlockGrid grid;  ///< geometry of the layer's weight matrix
+};
+
+/// Cross-layer comparability of rank-column scores. The paper sorts C_o
+/// "globally across the network" without specifying a scale; raw sums let
+/// wide layers dominate and per-element means let high-gradient layers
+/// starve everyone else (both verified in bench/ablation_normalization).
+enum class BlockScoreNorm {
+  kNone,             ///< raw aggregate C_o
+  kMeanPerElement,   ///< C_o / elements in the rank column
+  kLayerFraction,    ///< C_o / Σ layer saliency — fraction of the layer's
+                     ///< information the column holds (default; small layers
+                     ///< self-protect, concentrated layers still reach ~99 %)
+};
+
+struct BlockPruningConfig {
+  BlockScoreNorm norm = BlockScoreNorm::kLayerFraction;
+  /// Layer-collapse guard: every layer keeps at least this many rank
+  /// columns (paper §III-C cites SynFlow's collapse phenomenon).
+  std::int64_t min_kept_ranks = 1;
+};
+
+/// Decides how many rank columns each layer prunes so that the weight
+/// elements removed by block pruning reach `element_fraction` of all
+/// prunable elements. Returns per-layer pruned-rank counts, aligned with
+/// `layers`.
+std::vector<std::int64_t> plan_rank_column_pruning(
+    const std::vector<LayerBlockInfo>& layers, double element_fraction,
+    const BlockPruningConfig& cfg);
+
+/// Expands a layer's pruned-rank count into its element-level block mask:
+/// each block-row zeroes its `pruned_ranks` lowest-scoring blocks.
+Tensor rank_pruned_block_mask(const LayerBlockInfo& layer,
+                              std::int64_t pruned_ranks);
+
+}  // namespace crisp::core

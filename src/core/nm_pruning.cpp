@@ -1,0 +1,52 @@
+#include "core/nm_pruning.h"
+
+#include "sparse/mask.h"
+#include "sparse/nm.h"
+
+namespace crisp::core {
+
+std::vector<Tensor> select_nm_masks(nn::Sequential& model,
+                                    const SaliencyMap& saliency,
+                                    std::int64_t n, std::int64_t m) {
+  auto params = model.prunable_parameters();
+  CRISP_CHECK(saliency.size() == params.size(),
+              "saliency map does not match prunable parameter count");
+  std::vector<Tensor> masks;
+  masks.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const nn::Parameter& p = *params[i];
+    const Tensor& s = saliency[i];
+    CRISP_CHECK(s.same_shape(p.value), "saliency shape mismatch for " << p.name);
+    Tensor mask = sparse::nm_mask(
+        as_matrix(s, p.matrix_rows, p.matrix_cols), n, m);
+    mask.reshape_inplace(p.value.shape());
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+void install_masks(nn::Sequential& model, const std::vector<Tensor>& nm_masks,
+                   const std::vector<Tensor>& block_masks) {
+  auto params = model.prunable_parameters();
+  CRISP_CHECK(nm_masks.empty() || nm_masks.size() == params.size(),
+              "N:M mask count mismatch");
+  CRISP_CHECK(block_masks.empty() || block_masks.size() == params.size(),
+              "block mask count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter& p = *params[i];
+    Tensor mask;
+    if (!nm_masks.empty() && !block_masks.empty()) {
+      mask = sparse::mask_and(nm_masks[i], block_masks[i]);
+    } else if (!nm_masks.empty()) {
+      mask = nm_masks[i];
+    } else if (!block_masks.empty()) {
+      mask = block_masks[i];
+    } else {
+      mask = Tensor::ones(p.value.shape());
+    }
+    CRISP_CHECK(mask.same_shape(p.value), "mask shape mismatch for " << p.name);
+    p.mask = std::move(mask);
+  }
+}
+
+}  // namespace crisp::core

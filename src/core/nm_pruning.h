@@ -1,0 +1,25 @@
+// Fine-grained N:M pruning step (Algorithm 1, line 2).
+//
+// Re-selects the N:M component of every prunable parameter's mask from the
+// current saliency of the *dense* weights — because updates are
+// straight-through, weights pruned in earlier iterations may win their slot
+// back here (the "revival" the paper gets from extending the STE).
+#pragma once
+
+#include "core/saliency.h"
+#include "nn/sequential.h"
+
+namespace crisp::core {
+
+/// Per-parameter N:M masks, aligned with prunable_parameters() order.
+std::vector<Tensor> select_nm_masks(nn::Sequential& model,
+                                    const SaliencyMap& saliency,
+                                    std::int64_t n, std::int64_t m);
+
+/// Combines per-parameter component masks (Hadamard AND) and installs them
+/// on the model's prunable parameters. Either component list may be empty
+/// (treated as all-ones).
+void install_masks(nn::Sequential& model, const std::vector<Tensor>& nm_masks,
+                   const std::vector<Tensor>& block_masks);
+
+}  // namespace crisp::core

@@ -1,0 +1,129 @@
+#include "core/pruner.h"
+
+#include <cstdio>
+
+#include "core/nm_pruning.h"
+
+namespace crisp::core {
+
+CrispPruner::CrispPruner(nn::Sequential& model, const CrispConfig& cfg)
+    : model_(model), cfg_(cfg) {
+  CRISP_CHECK(cfg_.m >= 1 && cfg_.n >= 1 && cfg_.n <= cfg_.m,
+              "invalid N:M = " << cfg_.n << ":" << cfg_.m);
+  CRISP_CHECK(cfg_.block >= 1 && cfg_.block % cfg_.m == 0,
+              "block size must be a positive multiple of M");
+  CRISP_CHECK(cfg_.iterations >= 1, "need at least one iteration");
+  CRISP_CHECK(cfg_.target_sparsity >= 0.0 && cfg_.target_sparsity < 1.0,
+              "target sparsity out of [0, 1)");
+  CRISP_CHECK(!model_.prunable_parameters().empty(),
+              "model has no prunable parameters");
+}
+
+std::vector<Tensor> CrispPruner::select_block_masks(const SaliencyMap& saliency,
+                                                    double element_fraction) {
+  auto params = model_.prunable_parameters();
+  std::vector<LayerBlockInfo> infos;
+  infos.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const nn::Parameter& p = *params[i];
+    LayerBlockInfo info;
+    info.grid = sparse::BlockGrid{p.matrix_rows, p.matrix_cols, cfg_.block};
+    info.scores = sparse::block_scores(
+        as_matrix(saliency[i], p.matrix_rows, p.matrix_cols), info.grid);
+    infos.push_back(std::move(info));
+  }
+
+  const auto pruned_ranks =
+      plan_rank_column_pruning(infos, element_fraction, cfg_.block_pruning);
+
+  std::vector<Tensor> masks;
+  masks.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor mask = rank_pruned_block_mask(
+        infos[i], pruned_ranks[static_cast<std::size_t>(i)]);
+    mask.reshape_inplace(params[i]->value.shape());
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+PruneReport CrispPruner::run(const data::Dataset& user_data, Rng& rng) {
+  PruneReport report;
+  SparsitySchedule schedule{cfg_.target_sparsity, cfg_.iterations, cfg_.n,
+                            cfg_.m};
+  if (!cfg_.enable_nm) {
+    // Pure block pruning has no N:M floor: the whole κ must come from
+    // blocks, so treat the floor as zero by using 1:1 "N:M".
+    schedule.n = schedule.m = 1;
+  }
+
+  for (std::int64_t p = 1; p <= cfg_.iterations; ++p) {
+    // Class-aware saliency of the current dense weights (Alg. 1 lines 4-5).
+    SaliencyMap saliency =
+        estimate_saliency(model_, user_data, cfg_.saliency);
+
+    // Line 2: fine-grained N:M re-selection (revival via STE).
+    std::vector<Tensor> nm_masks;
+    if (cfg_.enable_nm)
+      nm_masks = select_nm_masks(model_, saliency, cfg_.n, cfg_.m);
+
+    // Lines 3-10: schedule κ_p and uniform rank-column block pruning.
+    // Algorithm 1 applies the N:M pruning (line 2) *before* computing the
+    // block scores (lines 4-5), so an element removed by N:M has W = 0 and
+    // contributes nothing to its block's score: blocks are ranked by the
+    // saliency they will actually retain, not by elements already gone.
+    std::vector<Tensor> block_masks;
+    if (cfg_.enable_block) {
+      const double fraction = schedule.block_fraction_at(p);
+      if (fraction > 0.0) {
+        if (nm_masks.empty()) {
+          block_masks = select_block_masks(saliency, fraction);
+        } else {
+          SaliencyMap surviving = saliency;
+          for (std::size_t i = 0; i < surviving.size(); ++i)
+            surviving[i].mul_(nm_masks[i]);
+          block_masks = select_block_masks(surviving, fraction);
+        }
+      }
+    }
+
+    install_masks(model_, nm_masks, block_masks);
+
+    // Line 11: recover accuracy for δ epochs (STE keeps dense weights live).
+    nn::TrainConfig tc;
+    tc.epochs = cfg_.finetune_epochs;
+    tc.batch_size = cfg_.batch_size;
+    tc.sgd = cfg_.finetune_sgd;
+    const auto stats = nn::train(model_, user_data, tc, rng);
+
+    IterationStats is;
+    is.iteration = p;
+    is.kappa_target = schedule.kappa_at(p);
+    is.achieved_sparsity = take_census(model_, cfg_.block).global_sparsity;
+    is.finetune_loss = stats.empty() ? 0.0f : stats.back().loss;
+    if (cfg_.verbose)
+      std::printf("[crisp] iter %lld/%lld  kappa %.3f  achieved %.3f  loss %.4f\n",
+                  static_cast<long long>(p),
+                  static_cast<long long>(cfg_.iterations), is.kappa_target,
+                  is.achieved_sparsity, is.finetune_loss);
+    report.iterations.push_back(is);
+  }
+
+  if (cfg_.recovery_epochs > 0) {
+    nn::TrainConfig tc;
+    tc.epochs = cfg_.recovery_epochs;
+    tc.batch_size = cfg_.batch_size;
+    tc.sgd = cfg_.finetune_sgd;
+    tc.lr_decay = 0.92f;
+    nn::train(model_, user_data, tc, rng);
+  }
+
+  report.census = take_census(model_, cfg_.block);
+  return report;
+}
+
+void CrispPruner::bake() {
+  for (nn::Parameter* p : model_.prunable_parameters()) p->bake_mask();
+}
+
+}  // namespace crisp::core

@@ -1,0 +1,79 @@
+// CRISP iterative pruning framework — Algorithm 1 of the paper.
+//
+// Per iteration p = 1..n:
+//   (2)  re-select N:M masks from class-aware saliency of the dense weights
+//   (3)  raise the sparsity target κ_p along the schedule
+//   (4-10) class-aware block scores → per-row rank sort → global rank-column
+//        selection → uniform block masks
+//   (11) fine-tune δ epochs on the user-class data (masked forward, STE
+//        updates on dense weights)
+// Masks stay installed on the model afterwards; call bake() for deployment.
+#pragma once
+
+#include "core/accounting.h"
+#include "core/block_pruning.h"
+#include "core/saliency.h"
+#include "core/schedule.h"
+#include "nn/trainer.h"
+
+namespace crisp::core {
+
+struct CrispConfig {
+  std::int64_t n = 2;             ///< N of N:M
+  std::int64_t m = 4;             ///< M of N:M
+  std::int64_t block = 16;        ///< block side B (paper: 16..64)
+  double target_sparsity = 0.90;  ///< global κ
+  std::int64_t iterations = 3;    ///< Algorithm 1's n
+  std::int64_t finetune_epochs = 2;  ///< δ per iteration
+  /// Extra fine-tune epochs after the last iteration — the tail of the
+  /// paper's 50-epoch budget that runs at the final sparsity, where the
+  /// accuracy recovery happens.
+  std::int64_t recovery_epochs = 16;
+  nn::SgdConfig finetune_sgd{/*lr=*/0.02f, /*momentum=*/0.9f,
+                             /*weight_decay=*/4e-5f};
+  std::int64_t batch_size = 32;
+  SaliencyConfig saliency;
+  BlockPruningConfig block_pruning;
+  /// Disable the N:M component (pure block pruning — the Fig. 3 baseline).
+  bool enable_nm = true;
+  /// Disable the block component (pure N:M — the Fig. 1 configuration).
+  bool enable_block = true;
+  bool verbose = false;
+};
+
+struct IterationStats {
+  std::int64_t iteration = 0;
+  double kappa_target = 0.0;
+  double achieved_sparsity = 0.0;
+  float finetune_loss = 0.0f;  ///< last fine-tune epoch's training loss
+};
+
+struct PruneReport {
+  std::vector<IterationStats> iterations;
+  ModelCensus census;  ///< final per-layer state
+
+  double achieved_sparsity() const { return census.global_sparsity; }
+};
+
+class CrispPruner {
+ public:
+  CrispPruner(nn::Sequential& model, const CrispConfig& cfg);
+
+  /// Runs the full iterative loop. `user_data` is the fine-tuning/
+  /// calibration split restricted to the user-preferred classes.
+  PruneReport run(const data::Dataset& user_data, Rng& rng);
+
+  /// Permanently zeroes masked weights (deployment artifact).
+  void bake();
+
+  const CrispConfig& config() const { return cfg_; }
+
+ private:
+  std::vector<Tensor> select_block_masks(const SaliencyMap& saliency,
+                                         double element_fraction);
+
+  nn::Sequential& model_;
+  CrispConfig cfg_;
+};
+
+}  // namespace crisp::core

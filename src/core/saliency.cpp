@@ -1,0 +1,66 @@
+#include "core/saliency.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace crisp::core {
+
+const char* saliency_kind_name(SaliencyKind kind) {
+  switch (kind) {
+    case SaliencyKind::kClassAwareGradient: return "cass";
+    case SaliencyKind::kMagnitude: return "magnitude";
+    case SaliencyKind::kRandom: return "random";
+  }
+  return "unknown";
+}
+
+SaliencyMap estimate_saliency(nn::Sequential& model,
+                              const data::Dataset& calibration,
+                              const SaliencyConfig& cfg) {
+  auto params = model.prunable_parameters();
+  SaliencyMap scores;
+  scores.reserve(params.size());
+
+  switch (cfg.kind) {
+    case SaliencyKind::kMagnitude: {
+      for (nn::Parameter* p : params) scores.push_back(p->value.abs());
+      return scores;
+    }
+    case SaliencyKind::kRandom: {
+      Rng rng(cfg.seed);
+      for (nn::Parameter* p : params)
+        scores.push_back(Tensor::rand(p->value.shape(), rng, 1e-3f, 1.0f));
+      return scores;
+    }
+    case SaliencyKind::kClassAwareGradient:
+      break;
+  }
+
+  CRISP_CHECK(calibration.size() > 0,
+              "CASS needs calibration samples of the user classes");
+  model.zero_grad();
+  Rng rng(cfg.seed);
+  std::int64_t batches = 0;
+  for (const auto& batch :
+       data::make_batches(calibration, cfg.batch_size, rng, /*shuffle=*/true)) {
+    if (cfg.max_batches >= 0 && batches >= cfg.max_batches) break;
+    Tensor logits = model.forward(batch.images, /*train=*/true);
+    nn::LossResult loss = nn::cross_entropy(logits, batch.labels);
+    model.backward(loss.grad);  // gradients accumulate across batches
+    ++batches;
+  }
+  CRISP_CHECK(batches > 0, "no calibration batches were processed");
+
+  const float inv = 1.0f / static_cast<float>(batches);
+  for (nn::Parameter* p : params) {
+    Tensor s(p->value.shape());
+    for (std::int64_t i = 0; i < s.numel(); ++i)
+      s[i] = std::fabs(p->grad[i] * inv) * std::fabs(p->value[i]);
+    scores.push_back(std::move(s));
+  }
+  model.zero_grad();  // leave no stale gradients for the next training phase
+  return scores;
+}
+
+}  // namespace crisp::core

@@ -1,0 +1,47 @@
+// Class-Aware Saliency Score — CASS (paper §III-D, Eq. 1).
+//
+//   T_w = | (1/H_uc) Σ ∂L/∂W | ⊙ |W|
+//
+// The gradient is averaged over a calibration set H_uc drawn from the
+// user-preferred classes, then multiplied elementwise by the weight — the
+// first-order Taylor estimate of the loss change from removing each weight,
+// specialised to the classes the user actually sees. Gradients flow through
+// the masked forward but are dense (STE), so previously pruned weights keep
+// meaningful scores and can be revived (§III-C).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace crisp::core {
+
+enum class SaliencyKind {
+  kClassAwareGradient,  ///< CASS — the paper's metric
+  kMagnitude,           ///< |W| (ablation baseline)
+  kRandom,              ///< uniform random (ablation baseline)
+};
+
+const char* saliency_kind_name(SaliencyKind kind);
+
+struct SaliencyConfig {
+  SaliencyKind kind = SaliencyKind::kClassAwareGradient;
+  std::int64_t batch_size = 32;
+  /// Cap on calibration batches per estimation (-1 = use all).
+  std::int64_t max_batches = 8;
+  std::uint64_t seed = 7;  ///< for kRandom and batch order
+};
+
+/// One score tensor per prunable parameter, aligned with
+/// model.prunable_parameters() order. Scores are non-negative.
+using SaliencyMap = std::vector<Tensor>;
+
+/// Estimates saliency for every prunable parameter. For CASS this runs
+/// forward/backward passes over `calibration` (user-class samples) without
+/// optimizer steps; for the ablation kinds no data pass is needed.
+SaliencyMap estimate_saliency(nn::Sequential& model,
+                              const data::Dataset& calibration,
+                              const SaliencyConfig& cfg);
+
+}  // namespace crisp::core

@@ -1,0 +1,25 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace crisp::core {
+
+double SparsitySchedule::kappa_at(std::int64_t p) const {
+  CRISP_CHECK(p >= 1 && p <= iterations, "iteration " << p << " out of range");
+  CRISP_CHECK(target >= 0.0 && target < 1.0, "target sparsity out of [0,1)");
+  const double f = floor();
+  if (target <= f) return target;
+  const double step = static_cast<double>(p) / static_cast<double>(iterations);
+  return f + (target - f) * step;
+}
+
+double SparsitySchedule::block_fraction_at(std::int64_t p) const {
+  const double kappa = kappa_at(p);
+  const double keep_cols = (1.0 - kappa) * static_cast<double>(m) /
+                           static_cast<double>(n);
+  return std::clamp(1.0 - keep_cols, 0.0, 1.0);
+}
+
+}  // namespace crisp::core

@@ -1,0 +1,33 @@
+// Iterative sparsity schedule (Algorithm 1, line 3).
+//
+// κ_p = (1 − N/M) + Δ_p: the N:M ratio sets the sparsity floor and the block
+// component Δ grows over iterations until the global target κ is reached.
+// Gradual growth is the paper's defence against layer collapse (§III-C).
+#pragma once
+
+#include <cstdint>
+
+namespace crisp::core {
+
+struct SparsitySchedule {
+  double target = 0.9;         ///< final global sparsity κ
+  std::int64_t iterations = 3; ///< Algorithm 1's n
+  std::int64_t n = 2;          ///< N of N:M
+  std::int64_t m = 4;          ///< M of N:M
+
+  /// Sparsity floor (1 − N/M) enforced by the N:M component alone.
+  double floor() const {
+    return 1.0 - static_cast<double>(n) / static_cast<double>(m);
+  }
+
+  /// κ_p for iteration p in [1, iterations]: linear ramp of Δ from
+  /// floor → target. When target ≤ floor, every iteration returns target
+  /// (no block pruning needed; N:M alone overshoots it).
+  double kappa_at(std::int64_t p) const;
+
+  /// Fraction of weight elements block pruning must remove at κ_p, i.e.
+  /// 1 − (1−κ_p)·M/N clamped to [0, 1).
+  double block_fraction_at(std::int64_t p) const;
+};
+
+}  // namespace crisp::core

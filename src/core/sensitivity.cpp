@@ -1,0 +1,85 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+
+#include "core/block_pruning.h"
+#include "nn/trainer.h"
+#include "sparse/block.h"
+#include "sparse/mask.h"
+#include "sparse/nm.h"
+
+namespace crisp::core {
+
+double LayerSensitivity::tolerated_sparsity(double budget) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < levels.size(); ++i)
+    if (loss_increase[i] <= budget) best = std::max(best, levels[i]);
+  return best;
+}
+
+std::vector<LayerSensitivity> layer_sensitivity(
+    nn::Sequential& model, const data::Dataset& calibration,
+    const SensitivityConfig& cfg) {
+  CRISP_CHECK(!cfg.levels.empty(), "no sensitivity levels requested");
+  CRISP_CHECK(cfg.block % cfg.m == 0, "block must be a multiple of M");
+  auto params = model.prunable_parameters();
+
+  // Saliency estimation runs train-mode forwards, which advance BatchNorm
+  // running statistics — snapshot and restore so the probes (and the
+  // caller) see the exact pre-call model.
+  const TensorMap snapshot = model.state_dict();
+  const SaliencyMap saliency =
+      estimate_saliency(model, calibration, cfg.saliency);
+  model.load_state_dict(snapshot);
+  const double base =
+      nn::evaluate_loss(model, calibration, cfg.batch_size);
+  const double nm_density =
+      static_cast<double>(cfg.n) / static_cast<double>(cfg.m);
+
+  std::vector<LayerSensitivity> out;
+  out.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter& p = *params[i];
+    LayerSensitivity ls;
+    ls.name = p.name;
+    ls.base_loss = base;
+
+    const Tensor saved_mask = p.mask;  // empty when dense
+    const sparse::BlockGrid grid{p.matrix_rows, p.matrix_cols, cfg.block};
+
+    LayerBlockInfo info;
+    info.grid = grid;
+    info.scores = sparse::block_scores(
+        as_matrix(saliency[i], p.matrix_rows, p.matrix_cols), grid);
+    const Tensor nm = sparse::nm_mask(
+        as_matrix(saliency[i], p.matrix_rows, p.matrix_cols), cfg.n, cfg.m);
+
+    for (const double level : cfg.levels) {
+      // Element sparsity = 1 − (K'/K)·(N/M): solve for the rank count.
+      const double kc =
+          std::clamp((1.0 - level) / nm_density, 0.0, 1.0);
+      const auto pruned = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(
+              std::llround((1.0 - kc) * static_cast<double>(grid.grid_cols()))),
+          0, grid.grid_cols() - 1);
+      Tensor mask =
+          sparse::mask_and(nm, rank_pruned_block_mask(info, pruned));
+
+      p.ensure_mask();
+      const double achieved =
+          sparse::mask_sparsity(as_matrix(mask, p.matrix_rows, p.matrix_cols));
+      for (std::int64_t e = 0; e < mask.numel(); ++e) p.mask[e] = mask[e];
+
+      const double loss =
+          nn::evaluate_loss(model, calibration, cfg.batch_size);
+      ls.levels.push_back(achieved);
+      ls.loss_increase.push_back(loss - base);
+
+      p.mask = saved_mask;  // restore before the next probe
+    }
+    out.push_back(std::move(ls));
+  }
+  return out;
+}
+
+}  // namespace crisp::core

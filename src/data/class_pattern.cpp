@@ -1,0 +1,161 @@
+#include "data/class_pattern.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace crisp::data {
+
+namespace {
+
+struct Grating {
+  float fx = 0, fy = 0, phase = 0;
+  float amp[3] = {0, 0, 0};
+};
+
+struct Blob {
+  float cx = 0, cy = 0, sigma = 1;
+  float amp[3] = {0, 0, 0};
+};
+
+struct Prototype {
+  std::vector<Grating> gratings;
+  Blob blob;
+};
+
+/// Class prototypes must be decorrelated across classes but stable across
+/// calls, so each class derives its own RNG from (seed, class id).
+Prototype make_prototype(const ClassPatternConfig& cfg, std::int64_t class_id) {
+  Rng rng(cfg.seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(class_id) + 1);
+  Prototype p;
+  p.gratings.resize(static_cast<std::size_t>(cfg.gratings_per_class));
+  for (auto& g : p.gratings) {
+    // Integer cycle counts keep gratings periodic under cyclic shifts, so
+    // shift augmentation never changes class identity. Low frequencies keep
+    // the phase jitter induced by pixel shifts learnable.
+    g.fx = static_cast<float>(rng.randint(0, 3));
+    g.fy = static_cast<float>(rng.randint(0, 3));
+    if (g.fx == 0.0f && g.fy == 0.0f) g.fx = 1.0f;
+    g.phase = rng.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+    for (float& a : g.amp) a = rng.uniform(-1.0f, 1.0f);
+  }
+  p.blob.cx = rng.uniform(0.2f, 0.8f);
+  p.blob.cy = rng.uniform(0.2f, 0.8f);
+  p.blob.sigma = rng.uniform(0.10f, 0.25f);
+  for (float& a : p.blob.amp) a = rng.uniform(-1.0f, 1.0f);
+  return p;
+}
+
+/// Renders a prototype with cyclic shift (dx, dy) and per-channel gain.
+void render(const ClassPatternConfig& cfg, const Prototype& p, std::int64_t dx,
+            std::int64_t dy, const float* gain, float* out) {
+  const std::int64_t s = cfg.image_size;
+  const float inv = 1.0f / static_cast<float>(s);
+  constexpr float two_pi = 2.0f * std::numbers::pi_v<float>;
+  for (std::int64_t c = 0; c < cfg.channels; ++c) {
+    float* plane = out + c * s * s;
+    for (std::int64_t y = 0; y < s; ++y) {
+      for (std::int64_t x = 0; x < s; ++x) {
+        // Cyclic shift of the sampling point.
+        const float u = static_cast<float>((x + dx % s + s) % s) * inv;
+        const float v = static_cast<float>((y + dy % s + s) % s) * inv;
+        float val = 0.0f;
+        for (const auto& g : p.gratings)
+          val += g.amp[c] * std::sin(two_pi * (g.fx * u + g.fy * v) + g.phase);
+        const float du = u - p.blob.cx;
+        const float dv = v - p.blob.cy;
+        val += p.blob.amp[c] *
+               std::exp(-(du * du + dv * dv) / (2.0f * p.blob.sigma * p.blob.sigma));
+        plane[y * s + x] = gain[c] * val;
+      }
+    }
+  }
+}
+
+Dataset make_split(const ClassPatternConfig& cfg,
+                   const std::vector<Prototype>& prototypes,
+                   std::int64_t per_class, Rng rng) {
+  const std::int64_t n = cfg.num_classes * per_class;
+  const std::int64_t s = cfg.image_size;
+  const std::int64_t chw = cfg.channels * s * s;
+  Dataset d;
+  d.images = Tensor({n, cfg.channels, s, s});
+  d.labels.resize(static_cast<std::size_t>(n));
+  d.num_classes = cfg.num_classes;
+
+  std::int64_t i = 0;
+  for (std::int64_t c = 0; c < cfg.num_classes; ++c) {
+    for (std::int64_t k = 0; k < per_class; ++k, ++i) {
+      const std::int64_t dx = rng.randint(-cfg.max_shift, cfg.max_shift);
+      const std::int64_t dy = rng.randint(-cfg.max_shift, cfg.max_shift);
+      float gain[3];
+      for (std::int64_t ch = 0; ch < 3; ++ch)
+        gain[ch] = 1.0f + rng.normal(0.0f, cfg.gain_jitter);
+      float* out = d.images.data() + i * chw;
+      render(cfg, prototypes[static_cast<std::size_t>(c)], dx, dy, gain, out);
+      for (std::int64_t e = 0; e < chw; ++e)
+        out[e] += rng.normal(0.0f, cfg.noise_std);
+      d.labels[static_cast<std::size_t>(i)] = c;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+ClassPatternConfig ClassPatternConfig::cifar100_like() {
+  ClassPatternConfig cfg;
+  cfg.num_classes = 100;
+  // Calibrated so a width-scaled ResNet-50 lands in the high 80s after the
+  // bench pretrain budget — mirroring CIFAR-100, where capacity genuinely
+  // limits accuracy — rather than saturating near 100 %.
+  cfg.noise_std = 0.35f;
+  cfg.max_shift = 3;
+  cfg.gratings_per_class = 3;
+  cfg.gain_jitter = 0.20f;
+  cfg.seed = 0xC1FA;
+  return cfg;
+}
+
+ClassPatternConfig ClassPatternConfig::imagenet_like() {
+  ClassPatternConfig cfg;
+  cfg.num_classes = 100;
+  // Harder still (the ImageNet regime): strong noise, large cyclic shifts
+  // (position invariance demands capacity) and busier prototypes —
+  // calibrated so a pruned-then-fine-tuned user model can still recover
+  // (noise 0.55/shift 6 pushed the whole κ sweep to chance level).
+  cfg.noise_std = 0.45f;
+  cfg.max_shift = 4;
+  cfg.gratings_per_class = 5;
+  cfg.gain_jitter = 0.30f;
+  cfg.seed = 0x1A9E;
+  return cfg;
+}
+
+TrainTest make_class_pattern_dataset(const ClassPatternConfig& cfg) {
+  CRISP_CHECK(cfg.num_classes >= 1, "need at least one class");
+  CRISP_CHECK(cfg.channels == 3, "generator renders 3-channel images");
+  std::vector<Prototype> prototypes;
+  prototypes.reserve(static_cast<std::size_t>(cfg.num_classes));
+  for (std::int64_t c = 0; c < cfg.num_classes; ++c)
+    prototypes.push_back(make_prototype(cfg, c));
+
+  Rng base(cfg.seed);
+  Rng train_rng = base.fork();
+  Rng test_rng = base.fork();
+  TrainTest tt;
+  tt.train = make_split(cfg, prototypes, cfg.train_per_class, train_rng);
+  tt.test = make_split(cfg, prototypes, cfg.test_per_class, test_rng);
+  return tt;
+}
+
+Tensor class_prototype(const ClassPatternConfig& cfg, std::int64_t class_id) {
+  CRISP_CHECK(class_id >= 0 && class_id < cfg.num_classes,
+              "class id out of range");
+  const Prototype p = make_prototype(cfg, class_id);
+  Tensor out({1, cfg.channels, cfg.image_size, cfg.image_size});
+  const float gain[3] = {1.0f, 1.0f, 1.0f};
+  render(cfg, p, 0, 0, gain, out.data());
+  return out;
+}
+
+}  // namespace crisp::data

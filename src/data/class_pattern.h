@@ -1,0 +1,53 @@
+// Synthetic class-pattern image generator — the stand-in for CIFAR-100 /
+// ImageNet (see DESIGN.md §2 for the substitution rationale).
+//
+// Every class owns a deterministic procedural prototype: a sum of oriented
+// sinusoidal gratings plus a class-positioned colored blob, all derived from
+// (dataset seed, class id). A sample is the prototype under a random cyclic
+// shift, per-channel gain jitter, and additive Gaussian noise. This yields a
+// distribution that (a) small CNNs learn quickly, (b) has genuine
+// class-conditional structure, so restricting to a class subset really does
+// need less model capacity — the property class-aware pruning exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace crisp::data {
+
+struct ClassPatternConfig {
+  std::int64_t num_classes = 100;
+  std::int64_t image_size = 16;   ///< square images, image_size x image_size
+  std::int64_t channels = 3;
+  std::int64_t train_per_class = 32;
+  std::int64_t test_per_class = 10;
+  std::int64_t gratings_per_class = 3;
+  float noise_std = 0.20f;        ///< additive Gaussian noise on samples
+  float gain_jitter = 0.15f;      ///< per-channel multiplicative jitter
+  std::int64_t max_shift = 3;     ///< cyclic shift range in pixels
+  std::uint64_t seed = 0x5eed;
+
+  /// CIFAR-100 stand-in: 100 classes, moderate noise.
+  static ClassPatternConfig cifar100_like();
+  /// ImageNet stand-in: same class count, harder samples (more noise,
+  /// larger shifts, more gratings) so models separate less easily.
+  static ClassPatternConfig imagenet_like();
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Generates train+test splits. Deterministic in cfg.seed; the test split
+/// uses an independent RNG stream so changing train_per_class does not
+/// perturb test samples.
+TrainTest make_class_pattern_dataset(const ClassPatternConfig& cfg);
+
+/// The noiseless prototype image of `class_id` as (1, C, S, S) — exposed for
+/// tests (nearest-prototype separability) and for visual inspection.
+Tensor class_prototype(const ClassPatternConfig& cfg, std::int64_t class_id);
+
+}  // namespace crisp::data

@@ -1,0 +1,91 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace crisp::data {
+
+Tensor Dataset::sample(std::int64_t i) const {
+  CRISP_CHECK(i >= 0 && i < size(), "sample index " << i << " out of range");
+  const std::int64_t chw = channels() * height() * width();
+  Tensor out({1, channels(), height(), width()});
+  std::memcpy(out.data(), images.data() + i * chw,
+              static_cast<std::size_t>(chw) * sizeof(float));
+  return out;
+}
+
+Dataset filter_classes(const Dataset& d,
+                       const std::vector<std::int64_t>& classes) {
+  std::vector<bool> keep(static_cast<std::size_t>(d.num_classes), false);
+  for (std::int64_t c : classes) {
+    CRISP_CHECK(c >= 0 && c < d.num_classes, "class id " << c << " out of range");
+    keep[static_cast<std::size_t>(c)] = true;
+  }
+  std::vector<std::int64_t> indices;
+  for (std::int64_t i = 0; i < d.size(); ++i)
+    if (keep[static_cast<std::size_t>(d.labels[static_cast<std::size_t>(i)])])
+      indices.push_back(i);
+
+  Batch b = gather(d, indices);
+  return Dataset{std::move(b.images), std::move(b.labels), d.num_classes};
+}
+
+Dataset take_per_class(const Dataset& d, std::int64_t per_class) {
+  std::map<std::int64_t, std::int64_t> seen;
+  std::vector<std::int64_t> indices;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const std::int64_t label = d.labels[static_cast<std::size_t>(i)];
+    if (seen[label] < per_class) {
+      ++seen[label];
+      indices.push_back(i);
+    }
+  }
+  Batch b = gather(d, indices);
+  return Dataset{std::move(b.images), std::move(b.labels), d.num_classes};
+}
+
+std::vector<std::int64_t> sample_user_classes(std::int64_t num_classes,
+                                              std::int64_t k, Rng& rng) {
+  CRISP_CHECK(k >= 1 && k <= num_classes,
+              "cannot sample " << k << " classes from " << num_classes);
+  auto classes = rng.sample_without_replacement(num_classes, k);
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
+std::vector<Batch> make_batches(const Dataset& d, std::int64_t batch_size,
+                                Rng& rng, bool shuffle) {
+  CRISP_CHECK(batch_size >= 1, "batch_size must be positive");
+  std::vector<std::int64_t> order(static_cast<std::size_t>(d.size()));
+  for (std::int64_t i = 0; i < d.size(); ++i)
+    order[static_cast<std::size_t>(i)] = i;
+  if (shuffle) rng.shuffle(order);
+
+  std::vector<Batch> batches;
+  for (std::int64_t start = 0; start < d.size(); start += batch_size) {
+    const std::int64_t end = std::min(d.size(), start + batch_size);
+    std::vector<std::int64_t> idx(order.begin() + start, order.begin() + end);
+    batches.push_back(gather(d, idx));
+  }
+  return batches;
+}
+
+Batch gather(const Dataset& d, const std::vector<std::int64_t>& indices) {
+  const std::int64_t n = static_cast<std::int64_t>(indices.size());
+  const std::int64_t chw = d.channels() * d.height() * d.width();
+  Batch b;
+  b.images = Tensor({n, d.channels(), d.height(), d.width()});
+  b.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t src = indices[static_cast<std::size_t>(i)];
+    CRISP_CHECK(src >= 0 && src < d.size(), "gather index out of range");
+    std::memcpy(b.images.data() + i * chw, d.images.data() + src * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+    b.labels[static_cast<std::size_t>(i)] =
+        d.labels[static_cast<std::size_t>(src)];
+  }
+  return b;
+}
+
+}  // namespace crisp::data

@@ -1,0 +1,57 @@
+// Labelled image dataset containers and batching.
+//
+// A Dataset owns a contiguous (N, C, H, W) image tensor plus integer labels
+// over [0, num_classes). Class-aware personalization (the paper's setting)
+// works on *subsets* of the label space: `filter_classes` carves out the
+// samples of the user-preferred classes while keeping the original label
+// ids, because the personalized model still has the universal output head.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace crisp::data {
+
+struct Dataset {
+  Tensor images;                     ///< (N, C, H, W)
+  std::vector<std::int64_t> labels;  ///< size N, values in [0, num_classes)
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+  std::int64_t channels() const { return images.size(1); }
+  std::int64_t height() const { return images.size(2); }
+  std::int64_t width() const { return images.size(3); }
+
+  /// Copies sample `i` into a (1, C, H, W) tensor.
+  Tensor sample(std::int64_t i) const;
+};
+
+struct Batch {
+  Tensor images;                     ///< (B, C, H, W)
+  std::vector<std::int64_t> labels;  ///< size B
+
+  std::int64_t size() const { return static_cast<std::int64_t>(labels.size()); }
+};
+
+/// Keep only samples whose label is in `classes` (original labels retained).
+Dataset filter_classes(const Dataset& d, const std::vector<std::int64_t>& classes);
+
+/// Keep at most `per_class` samples of every class (in dataset order).
+Dataset take_per_class(const Dataset& d, std::int64_t per_class);
+
+/// Draw `k` distinct class ids from [0, num_classes) — the user preference uc.
+std::vector<std::int64_t> sample_user_classes(std::int64_t num_classes,
+                                              std::int64_t k, Rng& rng);
+
+/// Splits d into batches of `batch_size` (last may be smaller); when
+/// `shuffle`, sample order is permuted with `rng` first.
+std::vector<Batch> make_batches(const Dataset& d, std::int64_t batch_size,
+                                Rng& rng, bool shuffle = true);
+
+/// Gathers an explicit list of sample indices into one batch.
+Batch gather(const Dataset& d, const std::vector<std::int64_t>& indices);
+
+}  // namespace crisp::data

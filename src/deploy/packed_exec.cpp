@@ -1,0 +1,49 @@
+#include "deploy/packed_exec.h"
+
+namespace crisp::deploy {
+
+namespace {
+
+void walk(nn::Layer* layer, std::vector<nn::Layer*>& out) {
+  out.push_back(layer);
+  for (nn::Layer* child : layer->children()) walk(child, out);
+}
+
+}  // namespace
+
+std::vector<std::string> attach_packed(nn::Sequential& model,
+                                       const PackedModel& packed) {
+  std::vector<nn::Layer*> layers;
+  walk(&model, layers);
+
+  std::vector<std::string> attached;
+  for (nn::Layer* layer : layers) {
+    for (nn::Parameter* p : layer->parameters()) {
+      if (!p->prunable) continue;
+      const PackedEntry* entry = packed.find(p->name);
+      if (entry == nullptr) continue;
+      CRISP_CHECK(entry->matrix.rows() == p->matrix_rows &&
+                      entry->matrix.cols() == p->matrix_cols,
+                  "attach_packed: " << p->name << " expects "
+                                    << p->matrix_rows << "x" << p->matrix_cols
+                                    << ", artifact holds "
+                                    << entry->matrix.rows() << "x"
+                                    << entry->matrix.cols());
+      const sparse::CrispMatrix* matrix = &entry->matrix;
+      if (layer->set_gemm_hook([matrix](ConstMatrixView x, MatrixView y) {
+            matrix->spmm(x, y);
+          })) {
+        attached.push_back(p->name);
+      }
+    }
+  }
+  return attached;
+}
+
+void detach_packed(nn::Sequential& model) {
+  std::vector<nn::Layer*> layers;
+  walk(&model, layers);
+  for (nn::Layer* layer : layers) layer->set_gemm_hook(nullptr);
+}
+
+}  // namespace crisp::deploy

@@ -1,0 +1,30 @@
+// Packed sparse execution — inference straight from the CRISP format.
+//
+// attach_packed() pairs every GEMM layer whose prunable weight has an entry
+// in a PackedModel with that entry's CrispMatrix, installing an eval-mode
+// GEMM hook (nn::GemmHook). Subsequent predict() calls then multiply with
+// the compressed representation — block-column gather + offset-MUX
+// activation selection, the software analogue of the CRISP-STC datapath
+// (paper Fig. 6) — instead of the dense weights. Training forwards are
+// unaffected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deploy/packed_model.h"
+#include "nn/sequential.h"
+
+namespace crisp::deploy {
+
+/// Installs hooks on every layer whose prunable parameter name appears in
+/// `packed`. Returns the names attached. `packed` must outlive every
+/// eval-mode forward of `model` until detach_packed (the hooks hold
+/// pointers into it). Layers that refuse hooks (grouped convs) are skipped.
+std::vector<std::string> attach_packed(nn::Sequential& model,
+                                       const PackedModel& packed);
+
+/// Removes every packed-execution hook from the model.
+void detach_packed(nn::Sequential& model);
+
+}  // namespace crisp::deploy

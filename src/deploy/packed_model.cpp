@@ -1,0 +1,189 @@
+#include "deploy/packed_model.h"
+
+#include <fstream>
+#include <utility>
+
+namespace crisp::deploy {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4352535050414B44ull;  // "CRSPPAKD"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CRISP_CHECK(is.good(), "PackedModel::load: truncated file");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto len = read_pod<std::uint64_t>(is);
+  CRISP_CHECK(len < (1u << 20), "PackedModel::load: implausible string length");
+  std::string s(static_cast<std::size_t>(len), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  CRISP_CHECK(is.good(), "PackedModel::load: truncated string");
+  return s;
+}
+
+void write_shape(std::ostream& os, const Shape& shape) {
+  write_pod(os, static_cast<std::uint64_t>(shape.size()));
+  for (const std::int64_t d : shape) write_pod(os, d);
+}
+
+Shape read_shape(std::istream& is) {
+  const auto rank = read_pod<std::uint64_t>(is);
+  CRISP_CHECK(rank <= 8, "PackedModel::load: implausible tensor rank");
+  Shape shape(static_cast<std::size_t>(rank));
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(is);
+    CRISP_CHECK(d >= 0, "PackedModel::load: negative dimension");
+  }
+  return shape;
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_shape(os, t.shape());
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel()) *
+               static_cast<std::streamsize>(sizeof(float)));
+}
+
+Tensor read_tensor(std::istream& is) {
+  Tensor t(read_shape(is));
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel()) *
+              static_cast<std::streamsize>(sizeof(float)));
+  CRISP_CHECK(is.good(), "PackedModel::load: truncated tensor payload");
+  return t;
+}
+
+}  // namespace
+
+PackedModel PackedModel::pack(nn::Sequential& model, std::int64_t block,
+                              std::int64_t n, std::int64_t m) {
+  PackedModel out;
+  out.n_ = n;
+  out.m_ = m;
+  out.block_ = block;
+  TensorMap state = model.state_dict();
+  for (nn::Parameter* p : model.prunable_parameters()) {
+    if (!p->has_mask()) continue;  // never pruned — carried dense
+    const Tensor eff = p->effective_value();
+    PackedEntry entry;
+    entry.name = p->name;
+    entry.shape = p->value.shape();
+    entry.matrix = sparse::CrispMatrix::encode(
+        as_matrix(eff, p->matrix_rows, p->matrix_cols), block, n, m);
+    state.erase(p->name);
+    out.entries_.push_back(std::move(entry));
+  }
+  out.dense_ = std::move(state);
+  return out;
+}
+
+void PackedModel::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  CRISP_CHECK(os.is_open(), "PackedModel::save: cannot open " << path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, n_);
+  write_pod(os, m_);
+  write_pod(os, block_);
+  write_pod(os, static_cast<std::uint64_t>(entries_.size()));
+  for (const PackedEntry& e : entries_) {
+    write_string(os, e.name);
+    write_shape(os, e.shape);
+    e.matrix.write(os);
+  }
+  write_pod(os, static_cast<std::uint64_t>(dense_.size()));
+  for (const auto& [name, tensor] : dense_) {
+    write_string(os, name);
+    write_tensor(os, tensor);
+  }
+  CRISP_CHECK(os.good(), "PackedModel::save: write failed for " << path);
+}
+
+PackedModel PackedModel::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CRISP_CHECK(is.is_open(), "PackedModel::load: cannot open " << path);
+  CRISP_CHECK(read_pod<std::uint64_t>(is) == kMagic,
+              path << " is not a packed CRISP model");
+  CRISP_CHECK(read_pod<std::uint32_t>(is) == kVersion,
+              "unsupported packed-model version in " << path);
+  PackedModel out;
+  out.n_ = read_pod<std::int64_t>(is);
+  out.m_ = read_pod<std::int64_t>(is);
+  out.block_ = read_pod<std::int64_t>(is);
+  const auto entry_count = read_pod<std::uint64_t>(is);
+  out.entries_.reserve(static_cast<std::size_t>(entry_count));
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    PackedEntry e;
+    e.name = read_string(is);
+    e.shape = read_shape(is);
+    e.matrix = sparse::CrispMatrix::read(is);
+    CRISP_CHECK(shape_numel(e.shape) ==
+                    e.matrix.rows() * e.matrix.cols(),
+                "PackedModel::load: entry " << e.name
+                                            << " shape/matrix mismatch");
+    out.entries_.push_back(std::move(e));
+  }
+  const auto dense_count = read_pod<std::uint64_t>(is);
+  for (std::uint64_t i = 0; i < dense_count; ++i) {
+    std::string name = read_string(is);
+    out.dense_.emplace(std::move(name), read_tensor(is));
+  }
+  return out;
+}
+
+void PackedModel::unpack_into(nn::Sequential& model) const {
+  TensorMap full = dense_;
+  for (const PackedEntry& e : entries_)
+    full.emplace(e.name, e.matrix.decode().reshaped(e.shape));
+  model.load_state_dict(full);
+
+  // Re-install masks so MAC accounting and any later fine-tuning see the
+  // sparsity. A weight that trained to exactly 0.0 is indistinguishable
+  // from a pruned one here — functionally identical in forward, and it
+  // merely stays frozen under STE updates.
+  for (nn::Parameter* p : model.prunable_parameters()) {
+    const PackedEntry* e = find(p->name);
+    if (e == nullptr) continue;
+    p->ensure_mask();
+    for (std::int64_t i = 0; i < p->value.numel(); ++i)
+      p->mask[i] = p->value[i] != 0.0f ? 1.0f : 0.0f;
+  }
+}
+
+const PackedEntry* PackedModel::find(const std::string& name) const {
+  for (const PackedEntry& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+PackedStats PackedModel::stats() const {
+  PackedStats s;
+  for (const PackedEntry& e : entries_) {
+    s.model_dense_bits += shape_numel(e.shape) * 32;
+    s.packed_payload_bits += e.matrix.payload_bits();
+    s.packed_metadata_bits += e.matrix.metadata_bits();
+  }
+  for (const auto& [name, tensor] : dense_) {
+    s.model_dense_bits += tensor.numel() * 32;
+    s.carried_dense_bits += tensor.numel() * 32;
+  }
+  return s;
+}
+
+}  // namespace crisp::deploy

@@ -1,0 +1,84 @@
+// Packed deployment artifact — Fig. 5 step 5 applied to a whole model.
+//
+// After CRISP pruning, every prunable weight matrix satisfies the hybrid
+// pattern and compresses into the CRISP storage format (block-column
+// indices + N:M offset metadata, sparse/formats/crisp_format.h). A
+// PackedModel bundles those compressed matrices with the model's remaining
+// dense state (biases, BatchNorm parameters and running statistics,
+// non-prunable weights) into a single artifact that can be saved, shipped
+// to the edge device, and either decoded back into a model or executed
+// directly through the packed GEMM kernels (deploy/packed_exec.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "sparse/formats/crisp_format.h"
+
+namespace crisp::deploy {
+
+struct PackedEntry {
+  std::string name;                 ///< parameter name ("stage3.conv2.weight")
+  std::vector<std::int64_t> shape;  ///< original tensor shape (S,R,kh,kw)
+  sparse::CrispMatrix matrix;       ///< hybrid-encoded effective weight
+};
+
+/// Storage breakdown in bits. "dense" sizes assume 32-bit floats.
+struct PackedStats {
+  std::int64_t model_dense_bits = 0;    ///< every parameter + buffer, dense
+  std::int64_t packed_payload_bits = 0; ///< surviving value slots
+  std::int64_t packed_metadata_bits = 0;///< block indices + intra-M offsets
+  std::int64_t carried_dense_bits = 0;  ///< state that stays dense
+  std::int64_t total_bits() const {
+    return packed_payload_bits + packed_metadata_bits + carried_dense_bits;
+  }
+  /// total packed size / dense size — the shipping-size reduction.
+  double compression() const {
+    return model_dense_bits == 0
+               ? 1.0
+               : static_cast<double>(total_bits()) /
+                     static_cast<double>(model_dense_bits);
+  }
+};
+
+class PackedModel {
+ public:
+  /// Compresses `model`. Every prunable parameter that carries a mask is
+  /// encoded as a CrispMatrix over its effective (masked) values; `block`,
+  /// `n`, `m` must match the pruner configuration or encoding throws
+  /// (pattern violation). Unmasked parameters and all buffers are carried
+  /// dense.
+  static PackedModel pack(nn::Sequential& model, std::int64_t block,
+                          std::int64_t n, std::int64_t m);
+
+  /// Binary round-trip. `load` throws on missing file, bad magic/version,
+  /// or truncation.
+  void save(const std::string& path) const;
+  static PackedModel load(const std::string& path);
+
+  /// Decodes the artifact back into `model`: packed entries become masked
+  /// weights (mask = surviving pattern, so sparse MAC accounting and
+  /// further fine-tuning keep working), dense state restores verbatim.
+  /// Throws if `model`'s architecture does not match the artifact.
+  void unpack_into(nn::Sequential& model) const;
+
+  const std::vector<PackedEntry>& entries() const { return entries_; }
+  const TensorMap& dense_state() const { return dense_; }
+  /// nullptr when `name` is not packed.
+  const PackedEntry* find(const std::string& name) const;
+
+  PackedStats stats() const;
+
+  std::int64_t n() const { return n_; }
+  std::int64_t m() const { return m_; }
+  std::int64_t block() const { return block_; }
+
+ private:
+  std::int64_t n_ = 0, m_ = 0, block_ = 0;
+  std::vector<PackedEntry> entries_;
+  TensorMap dense_;
+};
+
+}  // namespace crisp::deploy

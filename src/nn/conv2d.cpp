@@ -1,0 +1,168 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/matmul.h"
+
+namespace crisp::nn {
+
+Conv2d::Conv2d(std::string name, const Conv2dSpec& spec, Rng& rng)
+    : Layer(std::move(name)), spec_(spec) {
+  CRISP_CHECK(spec_.in_channels % spec_.groups == 0,
+              "in_channels " << spec_.in_channels << " not divisible by groups "
+                             << spec_.groups);
+  CRISP_CHECK(spec_.out_channels % spec_.groups == 0,
+              "out_channels not divisible by groups");
+  const std::int64_t rg = spec_.in_channels / spec_.groups;
+  const std::int64_t fan_in = rg * spec_.kernel * spec_.kernel;
+  // He initialisation — appropriate for the ReLU networks we build.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  weight_.name = this->name() + ".weight";
+  weight_.value = Tensor::randn(
+      {spec_.out_channels, rg, spec_.kernel, spec_.kernel}, rng, 0.0f, stddev);
+  weight_.grad = Tensor::zeros(weight_.value.shape());
+  weight_.prunable = spec_.prunable;
+  weight_.matrix_rows = spec_.out_channels;
+  weight_.matrix_cols = fan_in;
+  if (spec_.bias) {
+    bias_.name = this->name() + ".bias";
+    bias_.value = Tensor::zeros({spec_.out_channels});
+    bias_.grad = Tensor::zeros({spec_.out_channels});
+  }
+}
+
+ConvGeometry Conv2d::group_geometry(std::int64_t in_h, std::int64_t in_w) const {
+  ConvGeometry g;
+  g.in_channels = spec_.in_channels / spec_.groups;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.kernel_h = spec_.kernel;
+  g.kernel_w = spec_.kernel;
+  g.stride = spec_.stride;
+  g.padding = spec_.padding;
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  CRISP_CHECK(x.dim() == 4, "Conv2d expects (B,C,H,W), got "
+                                << shape_to_string(x.shape()));
+  CRISP_CHECK(x.size(1) == spec_.in_channels,
+              name() << ": input channels " << x.size(1) << " != "
+                     << spec_.in_channels);
+  const std::int64_t batch = x.size(0), in_h = x.size(2), in_w = x.size(3);
+  const ConvGeometry g = group_geometry(in_h, in_w);
+  const std::int64_t k = g.col_rows(), p = g.col_cols();
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t sg = spec_.out_channels / spec_.groups;  // out ch / group
+
+  const bool use_hook = gemm_hook_ && !train;
+  const Tensor w_eff = use_hook ? Tensor() : weight_.effective_value();
+  Tensor y({batch, spec_.out_channels, oh, ow});
+  Tensor cols({k, p});
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
+      const float* x_grp =
+          x.data() + (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
+      im2col(x_grp, g, cols.data());
+      MatrixView ymat(y.data() + (b * spec_.out_channels + grp * sg) * p, sg, p);
+      if (use_hook) {
+        gemm_hook_(ConstMatrixView(cols.data(), k, p), ymat);
+      } else {
+        ConstMatrixView wmat(w_eff.data() + grp * sg * k, sg, k);
+        matmul(wmat, ConstMatrixView(cols.data(), k, p), ymat);
+      }
+    }
+  }
+
+  if (spec_.bias) {
+    for (std::int64_t b = 0; b < batch; ++b)
+      for (std::int64_t c = 0; c < spec_.out_channels; ++c) {
+        float* plane = y.data() + (b * spec_.out_channels + c) * p;
+        const float bv = bias_.value[c];
+        for (std::int64_t i = 0; i < p; ++i) plane[i] += bv;
+      }
+  }
+
+  // Per output position each group contributes its nnz weights, so the total
+  // per-sample MACs equal p * nnz(weight) regardless of the group count.
+  const std::int64_t dense_macs = batch * spec_.out_channels * k * p;
+  const std::int64_t nnz =
+      weight_.has_mask() ? weight_.mask.count_nonzero() : weight_.value.numel();
+  record_macs(dense_macs, batch * p * nnz);
+
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_input_.empty(),
+              name() << ": backward called without cached forward");
+  const Tensor& x = cached_input_;
+  const std::int64_t batch = x.size(0), in_h = x.size(2), in_w = x.size(3);
+  const ConvGeometry g = group_geometry(in_h, in_w);
+  const std::int64_t k = g.col_rows(), p = g.col_cols();
+  const std::int64_t sg = spec_.out_channels / spec_.groups;
+  CRISP_CHECK(grad_out.size(0) == batch &&
+                  grad_out.size(1) == spec_.out_channels &&
+                  grad_out.size(2) == g.out_h() && grad_out.size(3) == g.out_w(),
+              name() << ": grad_out shape mismatch");
+
+  const Tensor w_eff = weight_.effective_value();
+  Tensor grad_in({batch, spec_.in_channels, in_h, in_w});
+  Tensor cols({k, p});
+  Tensor dcols({k, p});
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
+      const float* x_grp =
+          x.data() + (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
+      im2col(x_grp, g, cols.data());  // recomputed: cheaper than caching all
+
+      ConstMatrixView dy(grad_out.data() + (b * spec_.out_channels + grp * sg) * p,
+                         sg, p);
+      // dW += dY · colsᵀ  — gradient w.r.t. the *effective* weight, stored on
+      // the dense weight (straight-through estimator).
+      MatrixView dw(weight_.grad.data() + grp * sg * k, sg, k);
+      Tensor dw_local({sg, k});
+      matmul_nt(dy, ConstMatrixView(cols.data(), k, p),
+                as_matrix(dw_local, sg, k));
+      for (std::int64_t i = 0; i < sg * k; ++i)
+        dw.data[i] += dw_local[i];
+
+      // dcols = W_effᵀ · dY, then scatter back to the input image.
+      ConstMatrixView wmat(w_eff.data() + grp * sg * k, sg, k);
+      matmul_tn(wmat, dy, as_matrix(dcols, k, p));
+      float* gin =
+          grad_in.data() +
+          (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
+      col2im(dcols.data(), g, gin);
+    }
+  }
+
+  if (spec_.bias) {
+    for (std::int64_t b = 0; b < batch; ++b)
+      for (std::int64_t c = 0; c < spec_.out_channels; ++c) {
+        const float* plane = grad_out.data() + (b * spec_.out_channels + c) * p;
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < p; ++i) acc += plane[i];
+        bias_.grad[c] += static_cast<float>(acc);
+      }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  std::vector<Parameter*> ps{&weight_};
+  if (spec_.bias) ps.push_back(&bias_);
+  return ps;
+}
+
+bool Conv2d::set_gemm_hook(GemmHook hook) {
+  if (spec_.groups != 1) return false;
+  gemm_hook_ = std::move(hook);
+  return true;
+}
+
+}  // namespace crisp::nn

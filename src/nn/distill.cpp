@@ -1,0 +1,133 @@
+#include "nn/distill.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/loss.h"
+
+namespace crisp::nn {
+
+namespace {
+
+/// Row-wise log-softmax of logits/T, numerically stable.
+void log_softmax_scaled(const Tensor& logits, float temperature,
+                        std::vector<double>& out) {
+  const std::int64_t batch = logits.size(0), classes = logits.size(1);
+  out.resize(static_cast<std::size_t>(batch * classes));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    double max_v = -1e300;
+    for (std::int64_t c = 0; c < classes; ++c)
+      max_v = std::max(max_v, static_cast<double>(row[c]) / temperature);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c)
+      sum += std::exp(static_cast<double>(row[c]) / temperature - max_v);
+    const double lse = max_v + std::log(sum);
+    for (std::int64_t c = 0; c < classes; ++c)
+      out[static_cast<std::size_t>(b * classes + c)] =
+          static_cast<double>(row[c]) / temperature - lse;
+  }
+}
+
+}  // namespace
+
+DistillLossResult distill_loss(const Tensor& student_logits,
+                               const Tensor& teacher_logits,
+                               const std::vector<std::int64_t>& labels,
+                               float temperature, float alpha) {
+  CRISP_CHECK(student_logits.same_shape(teacher_logits),
+              "student/teacher logit shapes differ");
+  CRISP_CHECK(temperature > 0.0f, "temperature must be positive");
+  CRISP_CHECK(alpha >= 0.0f && alpha <= 1.0f, "alpha out of [0, 1]");
+  const std::int64_t batch = student_logits.size(0);
+  const std::int64_t classes = student_logits.size(1);
+
+  // Hard-label component on the unsoftened logits.
+  const LossResult ce = cross_entropy(student_logits, labels);
+
+  // Softened distributions.
+  std::vector<double> log_ps, log_pt;
+  log_softmax_scaled(student_logits, temperature, log_ps);
+  log_softmax_scaled(teacher_logits, temperature, log_pt);
+
+  DistillLossResult out;
+  out.grad = Tensor({batch, classes});
+  const double t = static_cast<double>(temperature);
+  double kl_sum = 0.0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const auto i = static_cast<std::size_t>(b * classes + c);
+      const double pt = std::exp(log_pt[i]);
+      const double ps = std::exp(log_ps[i]);
+      kl_sum += pt * (log_pt[i] - log_ps[i]);
+      // d(T² · KL)/d(z_s) = T · (p_s − p_t), averaged over the batch.
+      const double kd_grad =
+          t * (ps - pt) / static_cast<double>(batch);
+      out.grad[b * classes + c] =
+          (1.0f - alpha) * ce.grad[b * classes + c] +
+          alpha * static_cast<float>(kd_grad);
+    }
+  }
+  out.ce = ce.value;
+  out.kd = static_cast<float>(t * t * kl_sum / static_cast<double>(batch));
+  out.value = (1.0f - alpha) * out.ce + alpha * out.kd;
+  return out;
+}
+
+std::vector<DistillEpochStats> distill_train(Sequential& student,
+                                             Sequential& teacher,
+                                             const data::Dataset& dataset,
+                                             const DistillConfig& cfg,
+                                             Rng& rng) {
+  CRISP_CHECK(dataset.size() > 0, "distilling on an empty dataset");
+  Sgd opt(student.parameters(), cfg.base.sgd);
+  std::vector<DistillEpochStats> stats;
+  float lr = cfg.base.sgd.lr;
+
+  for (std::int64_t epoch = 0; epoch < cfg.base.epochs; ++epoch) {
+    opt.set_lr(lr);
+    double loss_sum = 0.0, ce_sum = 0.0, kd_sum = 0.0;
+    std::int64_t correct = 0, seen = 0;
+    for (const auto& batch :
+         data::make_batches(dataset, cfg.base.batch_size, rng)) {
+      opt.zero_grad();
+      const Tensor teacher_logits = teacher.forward(batch.images, false);
+      Tensor logits = student.forward(batch.images, /*train=*/true);
+      const DistillLossResult loss = distill_loss(
+          logits, teacher_logits, batch.labels, cfg.temperature, cfg.alpha);
+      student.backward(loss.grad);
+      opt.step();
+
+      const auto bs = static_cast<double>(batch.size());
+      loss_sum += static_cast<double>(loss.value) * bs;
+      ce_sum += static_cast<double>(loss.ce) * bs;
+      kd_sum += static_cast<double>(loss.kd) * bs;
+      const std::int64_t classes = logits.size(1);
+      for (std::int64_t b = 0; b < batch.size(); ++b) {
+        const float* row = logits.data() + b * classes;
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < classes; ++c)
+          if (row[c] > row[best]) best = c;
+        correct += (best == batch.labels[static_cast<std::size_t>(b)]);
+      }
+      seen += batch.size();
+    }
+    DistillEpochStats es;
+    const auto n = static_cast<double>(seen);
+    es.loss = static_cast<float>(loss_sum / n);
+    es.ce_loss = static_cast<float>(ce_sum / n);
+    es.kd_loss = static_cast<float>(kd_sum / n);
+    es.accuracy = static_cast<float>(correct) / static_cast<float>(seen);
+    stats.push_back(es);
+    if (cfg.base.verbose)
+      std::printf("  distill %2lld/%lld  loss %.4f (ce %.4f, kd %.4f)  "
+                  "train-acc %.3f\n",
+                  static_cast<long long>(epoch + 1),
+                  static_cast<long long>(cfg.base.epochs), es.loss, es.ce_loss,
+                  es.kd_loss, es.accuracy);
+    lr *= cfg.base.lr_decay;
+  }
+  return stats;
+}
+
+}  // namespace crisp::nn

@@ -1,0 +1,59 @@
+// Knowledge-distillation fine-tuning — the user-driven recipe of the MyML
+// family of class-aware baselines ([5] in the paper), offered here as an
+// optional recovery mode for any pruner.
+//
+// The dense universal model (the "teacher") is kept on the cloud side
+// anyway; during fine-tuning the pruned student matches a temperature-
+// softened teacher distribution in addition to the hard labels:
+//
+//   L = (1-α)·CE(student, y) + α·T²·KL(p_teacher^T ‖ p_student^T)
+//
+// The T² factor keeps gradient magnitudes comparable across temperatures
+// (Hinton et al.). With only a handful of samples per user class, the
+// teacher's dark knowledge regularises the student — bench users can A/B
+// this against plain CE fine-tuning via CrispConfig-style recovery swaps.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+
+namespace crisp::nn {
+
+struct DistillConfig {
+  TrainConfig base;          ///< epochs / batch / SGD / lr-decay
+  float temperature = 2.0f;  ///< softening T (1 = plain distributions)
+  float alpha = 0.5f;        ///< KD weight; 0 = plain CE, 1 = pure KD
+};
+
+struct DistillEpochStats {
+  float loss = 0.0f;      ///< combined objective
+  float ce_loss = 0.0f;   ///< hard-label component
+  float kd_loss = 0.0f;   ///< T²·KL component
+  float accuracy = 0.0f;  ///< training accuracy
+};
+
+/// Combined KD + CE loss for one batch of logits. `teacher_logits` must
+/// have the same shape. Returns the loss value(s) and d(loss)/d(logits).
+struct DistillLossResult {
+  float value = 0.0f;
+  float ce = 0.0f;
+  float kd = 0.0f;
+  Tensor grad;
+};
+DistillLossResult distill_loss(const Tensor& student_logits,
+                               const Tensor& teacher_logits,
+                               const std::vector<std::int64_t>& labels,
+                               float temperature, float alpha);
+
+/// Fine-tunes `student` in place against the frozen `teacher` (evaluated in
+/// inference mode; never updated). Deterministic given rng. The student's
+/// masks, if any, behave exactly as in nn::train (masked forward, STE
+/// updates on dense weights).
+std::vector<DistillEpochStats> distill_train(Sequential& student,
+                                             Sequential& teacher,
+                                             const data::Dataset& dataset,
+                                             const DistillConfig& cfg,
+                                             Rng& rng);
+
+}  // namespace crisp::nn

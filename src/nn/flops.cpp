@@ -1,0 +1,61 @@
+#include "nn/flops.h"
+
+namespace crisp::nn {
+
+namespace {
+
+void collect_leaves(Layer& layer, std::vector<Layer*>& out) {
+  auto kids = layer.children();
+  if (kids.empty()) {
+    out.push_back(&layer);
+    return;
+  }
+  for (Layer* k : kids) collect_leaves(*k, out);
+}
+
+}  // namespace
+
+std::vector<Layer*> leaf_layers(Layer& root) {
+  std::vector<Layer*> out;
+  collect_leaves(root, out);
+  return out;
+}
+
+std::vector<Layer*> prunable_layers(Layer& root) {
+  std::vector<Layer*> out;
+  for (Layer* l : leaf_layers(root)) {
+    for (Parameter* p : l->parameters()) {
+      if (p->prunable) {
+        out.push_back(l);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+FlopsReport count_flops(Sequential& model, const Shape& input_shape) {
+  Tensor dummy(input_shape);
+  (void)model.forward(dummy, /*train=*/false);
+
+  FlopsReport report;
+  for (Layer* l : leaf_layers(model)) {
+    if (l->last_dense_macs() == 0) continue;  // non-GEMM layer
+    LayerFlops lf;
+    lf.name = l->name();
+    lf.dense_macs = l->last_dense_macs();
+    lf.sparse_macs = l->last_sparse_macs();
+    for (Parameter* p : l->parameters()) {
+      if (p->prunable && p->has_mask()) {
+        lf.weight_sparsity = p->mask_sparsity();
+        break;
+      }
+    }
+    report.dense_total += lf.dense_macs;
+    report.sparse_total += lf.sparse_macs;
+    report.layers.push_back(std::move(lf));
+  }
+  return report;
+}
+
+}  // namespace crisp::nn

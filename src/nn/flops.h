@@ -1,0 +1,47 @@
+// FLOPs accounting — the paper reports the "normalized FLOPs ratio w.r.t.
+// the original dense model" as its compression measure (Fig. 7 bottom rows).
+//
+// Counting runs one instrumented forward pass: every GEMM layer records its
+// dense MACs and its mask-aware sparse MACs, which we then gather by walking
+// the layer tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace crisp::nn {
+
+struct LayerFlops {
+  std::string name;
+  std::int64_t dense_macs = 0;
+  std::int64_t sparse_macs = 0;
+  double weight_sparsity = 0.0;  ///< zero fraction of the layer's mask
+};
+
+struct FlopsReport {
+  std::vector<LayerFlops> layers;  ///< GEMM leaves only, forward order
+  std::int64_t dense_total = 0;
+  std::int64_t sparse_total = 0;
+
+  /// Normalized FLOPs ratio (1 = dense, smaller is better).
+  double ratio() const {
+    return dense_total == 0
+               ? 1.0
+               : static_cast<double>(sparse_total) /
+                     static_cast<double>(dense_total);
+  }
+};
+
+/// Runs one eval-mode forward with a dummy batch of the given input shape
+/// (e.g. {1, 3, 16, 16}) and collects per-layer MACs.
+FlopsReport count_flops(Sequential& model, const Shape& input_shape);
+
+/// All leaf layers in forward order (depth-first through children()).
+std::vector<Layer*> leaf_layers(Layer& root);
+
+/// Leaf layers owning at least one prunable parameter.
+std::vector<Layer*> prunable_layers(Layer& root);
+
+}  // namespace crisp::nn

@@ -1,0 +1,130 @@
+// Layer interface with explicit (manual) backpropagation.
+//
+// The pruning framework needs exactly three things from the NN substrate:
+// forward activations, per-weight gradients, and masked execution with
+// straight-through-estimator (STE) updates. Layers therefore implement
+// forward/backward by hand (verified by finite-difference tests) instead of
+// a general autograd.
+//
+// Masking contract (paper §III-C): every prunable Parameter may carry a
+// binary mask of its own shape. Forward always computes with value ⊙ mask;
+// backward produces the gradient of the loss w.r.t. the *effective* weight
+// and stores it as the gradient of the dense weight — that is precisely the
+// straight-through estimator, so pruned weights keep receiving gradient and
+// can be revived when masks are re-selected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crisp::nn {
+
+/// Replacement GEMM for deployment: computes y = W_eff · x where x is the
+/// layer's lowered (K x P) input and y its (S x P) output. Installed by the
+/// deploy library so eval-mode inference runs straight from a packed sparse
+/// representation; the hook owner guarantees it encodes this layer's current
+/// effective weight.
+using GemmHook = std::function<void(ConstMatrixView x, MatrixView y)>;
+
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  Tensor mask;  ///< empty ⇒ dense; otherwise 0/1, same shape as value
+
+  /// Weights eligible for CRISP pruning (conv/linear kernels, not biases).
+  bool prunable = false;
+  /// Matrix interpretation of `value` for pruning: the paper's reshaped
+  /// S x K weight matrix (rows = output channels, cols = reduction).
+  std::int64_t matrix_rows = 0;
+  std::int64_t matrix_cols = 0;
+
+  bool has_mask() const { return !mask.empty(); }
+
+  /// Creates an all-ones mask if none exists.
+  void ensure_mask();
+
+  /// value ⊙ mask when masked, otherwise a copy of value.
+  Tensor effective_value() const;
+
+  /// Permanently zeroes masked-out entries of the dense value (deployment).
+  void bake_mask();
+
+  /// Fraction of zeros in the mask (0 when dense).
+  double mask_sparsity() const;
+
+  MatrixView value_matrix();
+  ConstMatrixView value_matrix() const;
+  MatrixView mask_matrix();
+  MatrixView grad_matrix();
+};
+
+/// Named non-trainable state (BatchNorm running statistics).
+struct NamedBuffer {
+  std::string name;
+  Tensor* tensor = nullptr;
+};
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// `train` toggles BatchNorm statistics and activation caching.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Consumes d(loss)/d(output), accumulates parameter gradients, and
+  /// returns d(loss)/d(input). Must be called after a forward with
+  /// train=true on the same input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Parameter*> parameters() { return {}; }
+  virtual std::vector<NamedBuffer> buffers() { return {}; }
+
+  /// Direct sub-layers (containers/blocks); leaves return {}. Enables
+  /// whole-model walks (per-layer FLOPs, sparsity census) without RTTI.
+  virtual std::vector<Layer*> children() { return {}; }
+
+  /// Installs (or, with nullptr, removes) a packed-execution GEMM hook.
+  /// Only layers that lower to a single GEMM accept one — Conv2d with
+  /// groups == 1 and Linear override this; the default refuses. Training
+  /// forwards always ignore the hook (STE needs the dense weights).
+  virtual bool set_gemm_hook(GemmHook hook) {
+    (void)hook;
+    return false;
+  }
+
+  const std::string& name() const { return name_; }
+
+  void zero_grad();
+
+  /// MAC counts recorded by the most recent forward (GEMM layers only).
+  /// dense = as if no mask; sparse = counting only unmasked weights.
+  /// Containers and blocks override these to sum their children.
+  virtual std::int64_t last_dense_macs() const { return last_dense_macs_; }
+  virtual std::int64_t last_sparse_macs() const { return last_sparse_macs_; }
+
+ protected:
+  void record_macs(std::int64_t dense, std::int64_t sparse) {
+    last_dense_macs_ = dense;
+    last_sparse_macs_ = sparse;
+  }
+
+ private:
+  std::string name_;
+  std::int64_t last_dense_macs_ = 0;
+  std::int64_t last_sparse_macs_ = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace crisp::nn

@@ -1,0 +1,105 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace crisp::nn {
+
+LayerNorm::LayerNorm(std::string name, std::int64_t features, float eps)
+    : Layer(std::move(name)), features_(features), eps_(eps) {
+  gamma_.name = this->name() + ".gamma";
+  gamma_.value = Tensor::ones({features});
+  gamma_.grad = Tensor::zeros({features});
+  beta_.name = this->name() + ".beta";
+  beta_.value = Tensor::zeros({features});
+  beta_.grad = Tensor::zeros({features});
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool train) {
+  CRISP_CHECK(x.dim() >= 1 && x.size(-1) == features_,
+              name() << ": last dimension must be " << features_ << ", got "
+                     << shape_to_string(x.shape()));
+  const std::int64_t rows = x.numel() / features_;
+  Tensor y(x.shape());
+  if (train) {
+    cached_xhat_ = Tensor(x.shape());
+    cached_inv_std_ = Tensor({rows});
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = x.data() + r * features_;
+    float* out = y.data() + r * features_;
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t i = 0; i < features_; ++i) {
+      sum += in[i];
+      sq += static_cast<double>(in[i]) * in[i];
+    }
+    const float mean = static_cast<float>(sum / static_cast<double>(features_));
+    const float var =
+        static_cast<float>(sq / static_cast<double>(features_)) - mean * mean;
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    for (std::int64_t i = 0; i < features_; ++i) {
+      const float xhat = (in[i] - mean) * inv_std;
+      out[i] = gamma_.value[i] * xhat + beta_.value[i];
+      if (train) cached_xhat_[r * features_ + i] = xhat;
+    }
+    if (train) cached_inv_std_[r] = inv_std;
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_xhat_.empty(), name() << ": backward without forward");
+  CRISP_CHECK(grad_out.same_shape(cached_xhat_), name() << ": shape mismatch");
+  const std::int64_t rows = grad_out.numel() / features_;
+  Tensor grad_in(grad_out.shape());
+  const float inv_d = 1.0f / static_cast<float>(features_);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* dy = grad_out.data() + r * features_;
+    const float* xh = cached_xhat_.data() + r * features_;
+    float* dx = grad_in.data() + r * features_;
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::int64_t i = 0; i < features_; ++i) {
+      const float dxhat = dy[i] * gamma_.value[i];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += static_cast<double>(dxhat) * xh[i];
+      gamma_.grad[i] += dy[i] * xh[i];
+      beta_.grad[i] += dy[i];
+    }
+    const float inv_std = cached_inv_std_[r];
+    const float mean_dxhat = static_cast<float>(sum_dxhat) * inv_d;
+    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat) * inv_d;
+    for (std::int64_t i = 0; i < features_; ++i) {
+      const float dxhat = dy[i] * gamma_.value[i];
+      dx[i] = inv_std * (dxhat - mean_dxhat - xh[i] * mean_dxhat_xhat);
+    }
+  }
+  return grad_in;
+}
+
+Tensor Gelu::forward(const Tensor& x, bool train) {
+  Tensor y(x.shape());
+  constexpr float c = 0.7978845608f;  // sqrt(2/pi)
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float v = x[i];
+    y[i] = 0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Gelu::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_input_.empty(), name() << ": backward without forward");
+  Tensor grad_in(grad_out.shape());
+  constexpr float c = 0.7978845608f;
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    const float v = cached_input_[i];
+    const float u = c * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float du = c * (1.0f + 3.0f * 0.044715f * v * v);
+    const float deriv = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    grad_in[i] = grad_out[i] * deriv;
+  }
+  return grad_in;
+}
+
+}  // namespace crisp::nn

@@ -1,0 +1,112 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/matmul.h"
+
+namespace crisp::nn {
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, Rng& rng, bool bias, bool prunable)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_.name = this->name() + ".weight";
+  weight_.value = Tensor::randn({out_features, in_features}, rng, 0.0f, stddev);
+  weight_.grad = Tensor::zeros(weight_.value.shape());
+  weight_.prunable = prunable;
+  weight_.matrix_rows = out_features;
+  weight_.matrix_cols = in_features;
+  if (has_bias_) {
+    bias_.name = this->name() + ".bias";
+    bias_.value = Tensor::zeros({out_features});
+    bias_.grad = Tensor::zeros({out_features});
+  }
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  CRISP_CHECK(x.dim() == 2 && x.size(1) == in_features_,
+              name() << ": expected (B," << in_features_ << "), got "
+                     << shape_to_string(x.shape()));
+  const std::int64_t batch = x.size(0);
+
+  Tensor y({batch, out_features_});
+  if (gemm_hook_ && !train) {
+    // Hook contract is column-major activations: y' = W · x' with
+    // x' = (in x B). Transpose in, run the packed GEMM, transpose out.
+    Tensor xt({in_features_, batch});
+    for (std::int64_t b = 0; b < batch; ++b)
+      for (std::int64_t i = 0; i < in_features_; ++i)
+        xt[i * batch + b] = x[b * in_features_ + i];
+    Tensor yt({out_features_, batch});
+    gemm_hook_(ConstMatrixView(xt.data(), in_features_, batch),
+               MatrixView(yt.data(), out_features_, batch));
+    for (std::int64_t b = 0; b < batch; ++b)
+      for (std::int64_t o = 0; o < out_features_; ++o)
+        y[b * out_features_ + o] = yt[o * batch + b];
+  } else {
+    const Tensor w_eff = weight_.effective_value();
+    // y[b,o] = Σ_i x[b,i] · W[o,i]
+    matmul_nt(as_matrix(x, batch, in_features_),
+              as_matrix(w_eff, out_features_, in_features_),
+              as_matrix(y, batch, out_features_));
+  }
+  if (has_bias_) {
+    for (std::int64_t b = 0; b < batch; ++b)
+      for (std::int64_t o = 0; o < out_features_; ++o)
+        y[b * out_features_ + o] += bias_.value[o];
+  }
+
+  const std::int64_t nnz =
+      weight_.has_mask() ? weight_.mask.count_nonzero() : weight_.value.numel();
+  record_macs(batch * out_features_ * in_features_, batch * nnz);
+
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_input_.empty(),
+              name() << ": backward called without cached forward");
+  const Tensor& x = cached_input_;
+  const std::int64_t batch = x.size(0);
+  CRISP_CHECK(grad_out.dim() == 2 && grad_out.size(0) == batch &&
+                  grad_out.size(1) == out_features_,
+              name() << ": grad_out shape mismatch");
+
+  // dW[o,i] += Σ_b dY[b,o] · x[b,i]   (STE: stored on the dense weight)
+  Tensor dw({out_features_, in_features_});
+  matmul_tn(as_matrix(grad_out, batch, out_features_),
+            as_matrix(x, batch, in_features_),
+            as_matrix(dw, out_features_, in_features_));
+  weight_.grad.add_(dw);
+
+  if (has_bias_) {
+    for (std::int64_t b = 0; b < batch; ++b)
+      for (std::int64_t o = 0; o < out_features_; ++o)
+        bias_.grad[o] += grad_out[b * out_features_ + o];
+  }
+
+  // dx = dY · W_eff
+  const Tensor w_eff = weight_.effective_value();
+  Tensor grad_in({batch, in_features_});
+  matmul(as_matrix(grad_out, batch, out_features_),
+         as_matrix(w_eff, out_features_, in_features_),
+         as_matrix(grad_in, batch, in_features_));
+  return grad_in;
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  std::vector<Parameter*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+bool Linear::set_gemm_hook(GemmHook hook) {
+  gemm_hook_ = std::move(hook);
+  return true;
+}
+
+}  // namespace crisp::nn

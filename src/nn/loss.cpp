@@ -1,0 +1,53 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace crisp::nn {
+
+Tensor softmax(const Tensor& logits) {
+  CRISP_CHECK(logits.dim() == 2, "softmax expects (B, C)");
+  const std::int64_t batch = logits.size(0), classes = logits.size(1);
+  Tensor probs(logits.shape());
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    float* out = probs.data() + b * classes;
+    float mx = row[0];
+    for (std::int64_t c = 1; c < classes; ++c) mx = std::max(mx, row[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - mx);
+      denom += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < classes; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+LossResult cross_entropy(const Tensor& logits,
+                         const std::vector<std::int64_t>& labels) {
+  CRISP_CHECK(logits.dim() == 2, "cross_entropy expects (B, C) logits");
+  const std::int64_t batch = logits.size(0), classes = logits.size(1);
+  CRISP_CHECK(static_cast<std::int64_t>(labels.size()) == batch,
+              "labels size " << labels.size() << " vs batch " << batch);
+
+  LossResult res;
+  res.grad = softmax(logits);
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const std::int64_t y = labels[static_cast<std::size_t>(b)];
+    CRISP_CHECK(y >= 0 && y < classes, "label " << y << " out of range");
+    const float p = res.grad[b * classes + y];
+    loss -= std::log(std::max(p, 1e-12f));
+    // d(mean CE)/d(logits) = (softmax - onehot) / B
+    res.grad[b * classes + y] -= 1.0f;
+  }
+  res.grad.scale_(inv_batch);
+  res.value = static_cast<float>(loss / static_cast<double>(batch));
+  return res;
+}
+
+}  // namespace crisp::nn

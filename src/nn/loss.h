@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss over integer labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crisp::nn {
+
+struct LossResult {
+  float value = 0.0f;  ///< mean cross-entropy over the batch
+  Tensor grad;         ///< d(loss)/d(logits), shape (B, C)
+};
+
+/// Numerically stable softmax cross-entropy; labels are class indices.
+LossResult cross_entropy(const Tensor& logits,
+                         const std::vector<std::int64_t>& labels);
+
+/// Row-wise softmax probabilities (B, C) — exposed for tests/examples.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace crisp::nn

@@ -1,0 +1,48 @@
+// Shared model-builder configuration.
+//
+// The paper trains ResNet-50 / VGG-16 / MobileNetV2 at ImageNet scale; this
+// reproduction builds the same *architectures* (bottleneck residuals, plain
+// conv stacks, inverted residuals with depthwise convolutions) width-scaled
+// for small synthetic images so they train on one CPU core (DESIGN.md §2).
+// `width_mult = 1` recovers the standard channel counts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "nn/sequential.h"
+
+namespace crisp::nn {
+
+struct ModelConfig {
+  std::int64_t num_classes = 100;
+  std::int64_t input_size = 16;  ///< square input, (3, S, S)
+  float width_mult = 0.25f;
+  std::uint64_t seed = 42;       ///< weight-init seed
+
+  /// Exclude the stem conv from pruning (NVIDIA ASP convention). The first
+  /// layer sees raw pixels and is tiny; pruning it hurts disproportionately.
+  bool prune_stem = false;
+};
+
+/// Channels scaled by width_mult, rounded to a multiple of 4 (so reduction
+/// lengths divide the M of N:M sparsity) and at least 8.
+inline std::int64_t scaled_channels(std::int64_t base, float width_mult) {
+  const auto scaled = static_cast<std::int64_t>(
+      static_cast<float>(base) * width_mult + 0.5f);
+  const std::int64_t rounded = std::max<std::int64_t>(8, (scaled + 3) / 4 * 4);
+  return rounded;
+}
+
+enum class ModelKind { kResNet50, kVgg16, kMobileNetV2 };
+
+const char* model_kind_name(ModelKind kind);
+
+std::unique_ptr<Sequential> make_resnet50(const ModelConfig& cfg);
+std::unique_ptr<Sequential> make_vgg16(const ModelConfig& cfg);
+std::unique_ptr<Sequential> make_mobilenet_v2(const ModelConfig& cfg);
+
+std::unique_ptr<Sequential> make_model(ModelKind kind, const ModelConfig& cfg);
+
+}  // namespace crisp::nn

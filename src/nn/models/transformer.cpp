@@ -1,0 +1,189 @@
+#include "nn/models/transformer.h"
+
+#include "nn/conv2d.h"
+
+namespace crisp::nn {
+
+Tensor ToTokens::forward(const Tensor& x, bool train) {
+  CRISP_CHECK(x.dim() == 4, name() << " expects (B, D, H, W)");
+  const std::int64_t batch = x.size(0), dim = x.size(1),
+                     tokens = x.size(2) * x.size(3);
+  Tensor y({batch, tokens, dim});
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t d = 0; d < dim; ++d) {
+      const float* plane = x.data() + (b * dim + d) * tokens;
+      for (std::int64_t t = 0; t < tokens; ++t)
+        y[(b * tokens + t) * dim + d] = plane[t];
+    }
+  if (train) cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor ToTokens::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_in_shape_.empty(), name() << ": backward without forward");
+  const std::int64_t batch = cached_in_shape_[0], dim = cached_in_shape_[1],
+                     tokens = cached_in_shape_[2] * cached_in_shape_[3];
+  Tensor dx(cached_in_shape_);
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t d = 0; d < dim; ++d) {
+      float* plane = dx.data() + (b * dim + d) * tokens;
+      for (std::int64_t t = 0; t < tokens; ++t)
+        plane[t] = grad_out[(b * tokens + t) * dim + d];
+    }
+  return dx;
+}
+
+PositionalEmbedding::PositionalEmbedding(std::string name, std::int64_t tokens,
+                                         std::int64_t dim, Rng& rng)
+    : Layer(std::move(name)), tokens_(tokens), dim_(dim) {
+  table_.name = this->name() + ".table";
+  table_.value = Tensor::randn({tokens, dim}, rng, 0.0f, 0.02f);
+  table_.grad = Tensor::zeros({tokens, dim});
+}
+
+Tensor PositionalEmbedding::forward(const Tensor& x, bool /*train*/) {
+  CRISP_CHECK(x.dim() == 3 && x.size(1) == tokens_ && x.size(2) == dim_,
+              name() << ": expected (B, " << tokens_ << ", " << dim_ << ")");
+  Tensor y = x;
+  const std::int64_t batch = x.size(0);
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t i = 0; i < tokens_ * dim_; ++i)
+      y[b * tokens_ * dim_ + i] += table_.value[i];
+  return y;
+}
+
+Tensor PositionalEmbedding::backward(const Tensor& grad_out) {
+  const std::int64_t batch = grad_out.size(0);
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t i = 0; i < tokens_ * dim_; ++i)
+      table_.grad[i] += grad_out[b * tokens_ * dim_ + i];
+  return grad_out;
+}
+
+Tensor TokenMeanPool::forward(const Tensor& x, bool train) {
+  CRISP_CHECK(x.dim() == 3, name() << " expects (B, T, D)");
+  const std::int64_t batch = x.size(0), tokens = x.size(1), dim = x.size(2);
+  Tensor y({batch, dim});
+  const float inv = 1.0f / static_cast<float>(tokens);
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t t = 0; t < tokens; ++t)
+      for (std::int64_t d = 0; d < dim; ++d)
+        y[b * dim + d] += x[(b * tokens + t) * dim + d] * inv;
+  if (train) cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor TokenMeanPool::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_in_shape_.empty(), name() << ": backward without forward");
+  const std::int64_t batch = cached_in_shape_[0], tokens = cached_in_shape_[1],
+                     dim = cached_in_shape_[2];
+  Tensor dx(cached_in_shape_);
+  const float inv = 1.0f / static_cast<float>(tokens);
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t t = 0; t < tokens; ++t)
+      for (std::int64_t d = 0; d < dim; ++d)
+        dx[(b * tokens + t) * dim + d] = grad_out[b * dim + d] * inv;
+  return dx;
+}
+
+TransformerBlock::TransformerBlock(std::string name, std::int64_t dim,
+                                   std::int64_t heads, std::int64_t mlp_ratio,
+                                   Rng& rng)
+    : Layer(std::move(name)),
+      ln1_(this->name() + ".ln1", dim),
+      attn_(this->name() + ".attn", dim, heads, rng),
+      ln2_(this->name() + ".ln2", dim),
+      mlp_(this->name() + ".mlp") {
+  mlp_.emplace<Linear>(this->name() + ".mlp.fc1", dim, dim * mlp_ratio, rng);
+  mlp_.emplace<Gelu>(this->name() + ".mlp.gelu");
+  mlp_.emplace<Linear>(this->name() + ".mlp.fc2", dim * mlp_ratio, dim, rng);
+}
+
+Tensor TransformerBlock::forward(const Tensor& x, bool train) {
+  // y = x + attn(ln1(x))
+  Tensor y = attn_.forward(ln1_.forward(x, train), train);
+  y.add_(x);
+  // z = y + mlp(ln2(y)); the MLP operates on (B*T, D) rows.
+  const std::int64_t batch = y.size(0), tokens = y.size(1), dim = y.size(2);
+  if (train) cached_token_shape_ = y.shape();
+  Tensor h = ln2_.forward(y, train);
+  h.reshape_inplace({batch * tokens, dim});
+  Tensor z = mlp_.forward(h, train);
+  z.reshape_inplace({batch, tokens, dim});
+  z.add_(y);
+  return z;
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_token_shape_.empty(),
+              name() << ": backward without forward");
+  const std::int64_t batch = cached_token_shape_[0],
+                     tokens = cached_token_shape_[1],
+                     dim = cached_token_shape_[2];
+  // dz -> mlp path + residual.
+  Tensor dmlp = grad_out.reshaped({batch * tokens, dim});
+  Tensor dh = mlp_.backward(dmlp);
+  dh.reshape_inplace({batch, tokens, dim});
+  Tensor dy = ln2_.backward(dh);
+  dy.add_(grad_out);
+  // dy -> attention path + residual.
+  Tensor dattn = attn_.backward(dy);
+  Tensor dx = ln1_.backward(dattn);
+  dx.add_(dy);
+  return dx;
+}
+
+std::vector<Parameter*> TransformerBlock::parameters() {
+  std::vector<Parameter*> ps = ln1_.parameters();
+  auto ap = attn_.parameters();
+  ps.insert(ps.end(), ap.begin(), ap.end());
+  auto lp = ln2_.parameters();
+  ps.insert(ps.end(), lp.begin(), lp.end());
+  auto mp = mlp_.parameters();
+  ps.insert(ps.end(), mp.begin(), mp.end());
+  return ps;
+}
+
+std::vector<Layer*> TransformerBlock::children() {
+  return {&ln1_, &attn_, &ln2_, &mlp_};
+}
+
+std::int64_t TransformerBlock::last_dense_macs() const {
+  return mlp_.last_dense_macs();
+}
+
+std::int64_t TransformerBlock::last_sparse_macs() const {
+  return mlp_.last_sparse_macs();
+}
+
+std::unique_ptr<Sequential> make_vit(const VitConfig& cfg) {
+  CRISP_CHECK(cfg.input_size % cfg.patch == 0,
+              "input size must be a multiple of the patch size");
+  Rng rng(cfg.seed);
+  auto model = std::make_unique<Sequential>("vit");
+
+  Conv2dSpec embed;
+  embed.in_channels = 3;
+  embed.out_channels = cfg.dim;
+  embed.kernel = cfg.patch;
+  embed.stride = cfg.patch;
+  embed.padding = 0;
+  embed.bias = true;
+  embed.prunable = false;  // stem-equivalent: excluded like conv stems
+  model->emplace<Conv2d>("patch_embed", embed, rng);
+  model->emplace<ToTokens>("to_tokens");
+
+  const std::int64_t side = cfg.input_size / cfg.patch;
+  model->emplace<PositionalEmbedding>("pos_embed", side * side, cfg.dim, rng);
+
+  for (std::int64_t i = 0; i < cfg.depth; ++i)
+    model->emplace<TransformerBlock>("block" + std::to_string(i), cfg.dim,
+                                     cfg.heads, cfg.mlp_ratio, rng);
+
+  model->emplace<LayerNorm>("final_ln", cfg.dim);
+  model->emplace<TokenMeanPool>("pool");
+  model->emplace<Linear>("head", cfg.dim, cfg.num_classes, rng);
+  return model;
+}
+
+}  // namespace crisp::nn

@@ -1,0 +1,54 @@
+// VGG-16-style network (Simonyan & Zisserman, ICLR'15): 13 conv layers with
+// BatchNorm, max-pools between stages, global-average head — the standard
+// small-input adaptation of VGG (pools are skipped once the spatial size
+// reaches 1, which only happens for inputs below 32 px).
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/models/common.h"
+#include "nn/pooling.h"
+
+namespace crisp::nn {
+
+std::unique_ptr<Sequential> make_vgg16(const ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto model = std::make_unique<Sequential>("vgg16");
+
+  // -1 marks a max-pool in the classic VGG-16 configuration "D".
+  const std::int64_t plan[] = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+                               512, 512, 512, -1, 512, 512, 512, -1};
+
+  std::int64_t in_ch = 3;
+  std::int64_t spatial = cfg.input_size;
+  std::int64_t conv_idx = 0;
+  for (std::int64_t entry : plan) {
+    if (entry < 0) {
+      if (spatial >= 2) {
+        model->emplace<MaxPool2d>("pool" + std::to_string(conv_idx));
+        spatial /= 2;
+      }
+      continue;
+    }
+    const std::int64_t out_ch = scaled_channels(entry, cfg.width_mult);
+    Conv2dSpec spec;
+    spec.in_channels = in_ch;
+    spec.out_channels = out_ch;
+    spec.kernel = 3;
+    spec.padding = 1;
+    spec.prunable = (conv_idx == 0) ? cfg.prune_stem : true;
+    const std::string id = std::to_string(conv_idx);
+    model->emplace<Conv2d>("conv" + id, spec, rng);
+    model->emplace<BatchNorm2d>("bn" + id, out_ch);
+    model->emplace<ReLU>("relu" + id);
+    in_ch = out_ch;
+    ++conv_idx;
+  }
+
+  model->emplace<GlobalAvgPool>("gap");
+  model->emplace<Linear>("fc", in_ch, cfg.num_classes, rng, /*bias=*/true,
+                         /*prunable=*/true);
+  return model;
+}
+
+}  // namespace crisp::nn

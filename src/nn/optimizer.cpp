@@ -1,0 +1,32 @@
+#include "nn/optimizer.h"
+
+namespace crisp::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, const SgdConfig& cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    CRISP_CHECK(p != nullptr, "null parameter handed to Sgd");
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+    if (p->grad.empty()) p->grad = Tensor::zeros(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float lr = cfg_.lr, mu = cfg_.momentum, wd = cfg_.weight_decay;
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      v[j] = mu * v[j] - lr * g;
+      p.value[j] += v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero();
+}
+
+}  // namespace crisp::nn

@@ -1,0 +1,38 @@
+// SGD with momentum and weight decay (the paper's training setup, §IV-A).
+//
+// Straight-through-estimator contract: updates are applied to the *dense*
+// weights — gradients already are d(loss)/d(effective weight) (see
+// nn/layer.h) — so masked-out weights continue to evolve and can be revived
+// when the pruner re-selects masks.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace crisp::nn {
+
+struct SgdConfig {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 4e-5f;  // paper §IV-A
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, const SgdConfig& cfg);
+
+  /// One update from the currently accumulated gradients.
+  void step();
+  void zero_grad();
+
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig cfg_;
+};
+
+}  // namespace crisp::nn

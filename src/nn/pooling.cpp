@@ -1,0 +1,96 @@
+#include "nn/pooling.h"
+
+namespace crisp::nn {
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  CRISP_CHECK(x.dim() == 4, name() << " expects (B,C,H,W)");
+  const std::int64_t batch = x.size(0), ch = x.size(1), h = x.size(2),
+                     w = x.size(3);
+  CRISP_CHECK(h >= kernel_ && w >= kernel_,
+              name() << ": input " << h << "x" << w << " smaller than kernel "
+                     << kernel_);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  Tensor y({batch, ch, oh, ow});
+  cached_argmax_.assign(static_cast<std::size_t>(batch * ch * oh * ow), 0);
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* plane = x.data() + (b * ch + c) * h * w;
+      float* out = y.data() + (b * ch + c) * oh * ow;
+      std::int64_t* amax =
+          cached_argmax_.data() + (b * ch + c) * oh * ow;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t iy = oy * stride_ + ky;
+              const std::int64_t ix = ox * stride_ + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = iy * w + ix;
+              }
+            }
+          }
+          out[oy * ow + ox] = best;
+          amax[oy * ow + ox] = best_idx;
+        }
+      }
+    }
+  }
+  if (train) cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_in_shape_.empty(), name() << ": backward without forward");
+  const std::int64_t batch = cached_in_shape_[0], ch = cached_in_shape_[1],
+                     h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const std::int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  Tensor grad_in(cached_in_shape_);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* dy = grad_out.data() + (b * ch + c) * oh * ow;
+      float* dx = grad_in.data() + (b * ch + c) * h * w;
+      const std::int64_t* amax = cached_argmax_.data() + (b * ch + c) * oh * ow;
+      for (std::int64_t i = 0; i < oh * ow; ++i) dx[amax[i]] += dy[i];
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  CRISP_CHECK(x.dim() == 4, name() << " expects (B,C,H,W)");
+  const std::int64_t batch = x.size(0), ch = x.size(1), hw = x.size(2) * x.size(3);
+  Tensor y({batch, ch});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* plane = x.data() + (b * ch + c) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      y[b * ch + c] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  if (train) cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  CRISP_CHECK(!cached_in_shape_.empty(), name() << ": backward without forward");
+  const std::int64_t batch = cached_in_shape_[0], ch = cached_in_shape_[1],
+                     hw = cached_in_shape_[2] * cached_in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  Tensor grad_in(cached_in_shape_);
+  for (std::int64_t b = 0; b < batch; ++b)
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float g = grad_out[b * ch + c] * inv;
+      float* dx = grad_in.data() + (b * ch + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) dx[i] = g;
+    }
+  return grad_in;
+}
+
+}  // namespace crisp::nn

@@ -1,0 +1,87 @@
+#include "nn/zoo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+namespace crisp::nn {
+
+const char* dataset_kind_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kCifar100Like: return "cifar100like";
+    case DatasetKind::kImageNetLike: return "imagenetlike";
+  }
+  return "unknown";
+}
+
+ModelConfig ZooSpec::model_config() const {
+  ModelConfig cfg;
+  cfg.input_size = input_size;
+  cfg.width_mult = width_mult;
+  cfg.seed = seed;
+  cfg.num_classes = data_config().num_classes;
+  return cfg;
+}
+
+data::ClassPatternConfig ZooSpec::data_config() const {
+  data::ClassPatternConfig cfg = dataset == DatasetKind::kCifar100Like
+                                     ? data::ClassPatternConfig::cifar100_like()
+                                     : data::ClassPatternConfig::imagenet_like();
+  cfg.image_size = input_size;
+  cfg.train_per_class = train_per_class;
+  cfg.test_per_class = test_per_class;
+  return cfg;
+}
+
+std::string ZooSpec::cache_key() const {
+  std::ostringstream os;
+  os << model_kind_name(model) << '_' << dataset_kind_name(dataset) << "_w"
+     << static_cast<int>(width_mult * 1000) << "_s" << input_size << "_e"
+     << pretrain_epochs << "_n" << train_per_class << "_seed" << seed;
+  return os.str();
+}
+
+std::string zoo_cache_dir() {
+  if (const char* env = std::getenv("CRISP_CACHE_DIR")) return env;
+  return ".crisp_cache";
+}
+
+PretrainedModel zoo_pretrained(const ZooSpec& spec, bool verbose) {
+  PretrainedModel out;
+  out.data = data::make_class_pattern_dataset(spec.data_config());
+  out.model = make_model(spec.model, spec.model_config());
+
+  const std::filesystem::path cache_path =
+      std::filesystem::path(zoo_cache_dir()) / (spec.cache_key() + ".bin");
+
+  if (std::filesystem::exists(cache_path)) {
+    out.model->load_state_dict(load_tensors(cache_path.string()));
+    out.from_cache = true;
+  } else {
+    if (verbose)
+      std::printf("[zoo] training %s (cache miss: %s)\n",
+                  spec.cache_key().c_str(), cache_path.string().c_str());
+    TrainConfig tc;
+    tc.epochs = spec.pretrain_epochs;
+    tc.batch_size = 32;
+    tc.sgd.lr = 0.05f;
+    tc.sgd.momentum = 0.9f;
+    tc.sgd.weight_decay = 4e-5f;
+    tc.lr_decay = 0.85f;
+    tc.verbose = verbose;
+    Rng rng(spec.seed + 1);
+    train(*out.model, out.data.train, tc, rng);
+    std::filesystem::create_directories(cache_path.parent_path());
+    save_tensors(out.model->state_dict(), cache_path.string());
+  }
+
+  out.test_accuracy = evaluate(*out.model, out.data.test);
+  if (verbose)
+    std::printf("[zoo] %s: dense test accuracy %.3f%s\n",
+                spec.cache_key().c_str(), out.test_accuracy,
+                out.from_cache ? " (cached)" : "");
+  return out;
+}
+
+}  // namespace crisp::nn

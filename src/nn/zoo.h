@@ -1,0 +1,52 @@
+// Model zoo: pre-trained universal models with an on-disk cache.
+//
+// The paper's pipeline starts from a model pre-trained on the full class
+// distribution (§III-B). Several benches need the same pre-trained network,
+// so the zoo trains it once and caches the state_dict under
+// $CRISP_CACHE_DIR (default ".crisp_cache"). Cache keys encode every field
+// that affects the weights, so changing a knob retrains rather than reusing
+// stale weights.
+#pragma once
+
+#include <string>
+
+#include "data/class_pattern.h"
+#include "nn/models/common.h"
+#include "nn/trainer.h"
+
+namespace crisp::nn {
+
+enum class DatasetKind { kCifar100Like, kImageNetLike };
+
+const char* dataset_kind_name(DatasetKind kind);
+
+struct ZooSpec {
+  ModelKind model = ModelKind::kResNet50;
+  DatasetKind dataset = DatasetKind::kCifar100Like;
+  float width_mult = 0.25f;
+  std::int64_t input_size = 16;
+  std::int64_t pretrain_epochs = 10;
+  std::int64_t train_per_class = 32;
+  std::int64_t test_per_class = 10;
+  std::uint64_t seed = 42;
+
+  ModelConfig model_config() const;
+  data::ClassPatternConfig data_config() const;
+  std::string cache_key() const;
+};
+
+struct PretrainedModel {
+  std::unique_ptr<Sequential> model;
+  data::TrainTest data;
+  bool from_cache = false;
+  float test_accuracy = 0.0f;  ///< dense accuracy over all classes
+};
+
+/// Returns the pre-trained universal model plus its dataset, training it on
+/// a cache miss. Deterministic in the spec.
+PretrainedModel zoo_pretrained(const ZooSpec& spec, bool verbose = false);
+
+/// Cache directory currently in effect ($CRISP_CACHE_DIR or ".crisp_cache").
+std::string zoo_cache_dir();
+
+}  // namespace crisp::nn

@@ -1,0 +1,96 @@
+#include "sparse/block.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crisp::sparse {
+
+Tensor block_scores(ConstMatrixView scores, const BlockGrid& grid) {
+  CRISP_CHECK(grid.rows == scores.rows && grid.cols == scores.cols,
+              "block grid does not match score matrix");
+  CRISP_CHECK(grid.block >= 1, "block size must be positive");
+  Tensor out({grid.grid_rows(), grid.grid_cols()});
+  for (std::int64_t br = 0; br < grid.grid_rows(); ++br) {
+    for (std::int64_t bc = 0; bc < grid.grid_cols(); ++bc) {
+      double acc = 0.0;
+      for (std::int64_t r = br * grid.block;
+           r < br * grid.block + grid.row_extent(br); ++r)
+        for (std::int64_t c = bc * grid.block;
+             c < bc * grid.block + grid.col_extent(bc); ++c)
+          acc += std::fabs(scores(r, c));
+      out[br * grid.grid_cols() + bc] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor uniform_row_block_mask(const Tensor& scores, const BlockGrid& grid,
+                              const std::vector<std::int64_t>& prune_per_row) {
+  const std::int64_t gr = grid.grid_rows(), gc = grid.grid_cols();
+  CRISP_CHECK(scores.dim() == 2 && scores.size(0) == gr && scores.size(1) == gc,
+              "block score shape mismatch");
+  CRISP_CHECK(static_cast<std::int64_t>(prune_per_row.size()) == gr,
+              "prune_per_row size mismatch");
+  Tensor mask = Tensor::ones({gr, gc});
+  std::vector<std::int64_t> order(static_cast<std::size_t>(gc));
+  for (std::int64_t br = 0; br < gr; ++br) {
+    const std::int64_t prune = prune_per_row[static_cast<std::size_t>(br)];
+    CRISP_CHECK(prune >= 0 && prune <= gc,
+                "cannot prune " << prune << " of " << gc << " blocks");
+    for (std::int64_t i = 0; i < gc; ++i) order[static_cast<std::size_t>(i)] = i;
+    const float* srow = scores.data() + br * gc;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int64_t a, std::int64_t b) {
+                       return srow[a] < srow[b];
+                     });
+    for (std::int64_t i = 0; i < prune; ++i)
+      mask[br * gc + order[static_cast<std::size_t>(i)]] = 0.0f;
+  }
+  return mask;
+}
+
+Tensor expand_block_mask(const Tensor& block_mask, const BlockGrid& grid) {
+  const std::int64_t gr = grid.grid_rows(), gc = grid.grid_cols();
+  CRISP_CHECK(block_mask.dim() == 2 && block_mask.size(0) == gr &&
+                  block_mask.size(1) == gc,
+              "block mask shape mismatch");
+  Tensor mask({grid.rows, grid.cols});
+  for (std::int64_t r = 0; r < grid.rows; ++r) {
+    const std::int64_t br = r / grid.block;
+    float* mrow = mask.data() + r * grid.cols;
+    for (std::int64_t c = 0; c < grid.cols; ++c)
+      mrow[c] = block_mask[br * gc + c / grid.block];
+  }
+  return mask;
+}
+
+std::vector<std::int64_t> zero_blocks_per_row(ConstMatrixView mask,
+                                              const BlockGrid& grid) {
+  CRISP_CHECK(grid.rows == mask.rows && grid.cols == mask.cols,
+              "block grid does not match mask");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(grid.grid_rows()), 0);
+  for (std::int64_t br = 0; br < grid.grid_rows(); ++br) {
+    for (std::int64_t bc = 0; bc < grid.grid_cols(); ++bc) {
+      bool all_zero = true;
+      for (std::int64_t r = br * grid.block;
+           all_zero && r < br * grid.block + grid.row_extent(br); ++r)
+        for (std::int64_t c = bc * grid.block;
+             c < bc * grid.block + grid.col_extent(bc); ++c)
+          if (mask(r, c) != 0.0f) {
+            all_zero = false;
+            break;
+          }
+      counts[static_cast<std::size_t>(br)] += all_zero;
+    }
+  }
+  return counts;
+}
+
+bool uniform_blocks_per_row(ConstMatrixView mask, const BlockGrid& grid) {
+  const auto counts = zero_blocks_per_row(mask, grid);
+  for (const auto c : counts)
+    if (c != counts.front()) return false;
+  return true;
+}
+
+}  // namespace crisp::sparse

@@ -1,0 +1,107 @@
+#include "sparse/formats/blocked_ell.h"
+
+#include <cstring>
+
+#include "sparse/metadata.h"
+
+namespace crisp::sparse {
+
+BlockedEllMatrix BlockedEllMatrix::encode(ConstMatrixView dense,
+                                          std::int64_t block) {
+  CRISP_CHECK(block >= 1, "block size must be positive");
+  BlockedEllMatrix m;
+  m.grid_ = BlockGrid{dense.rows, dense.cols, block};
+  const std::int64_t gr = m.grid_.grid_rows(), gc = m.grid_.grid_cols();
+
+  std::vector<std::vector<std::int32_t>> survivors(
+      static_cast<std::size_t>(gr));
+  for (std::int64_t br = 0; br < gr; ++br) {
+    for (std::int64_t bc = 0; bc < gc; ++bc) {
+      bool any = false;
+      for (std::int64_t r = br * block; !any && r < br * block + m.grid_.row_extent(br); ++r)
+        for (std::int64_t c = bc * block; c < bc * block + m.grid_.col_extent(bc); ++c)
+          if (dense(r, c) != 0.0f) {
+            any = true;
+            break;
+          }
+      if (any)
+        survivors[static_cast<std::size_t>(br)].push_back(
+            static_cast<std::int32_t>(bc));
+    }
+  }
+
+  m.blocks_per_row_ = static_cast<std::int64_t>(survivors.front().size());
+  for (const auto& s : survivors)
+    CRISP_CHECK(static_cast<std::int64_t>(s.size()) == m.blocks_per_row_,
+                "Blocked-ELL requires a uniform survivor count per block-row"
+                " (CRISP invariant violated: " << s.size() << " vs "
+                << m.blocks_per_row_ << ")");
+
+  m.block_cols_.reserve(static_cast<std::size_t>(gr * m.blocks_per_row_));
+  m.values_.assign(
+      static_cast<std::size_t>(gr * m.blocks_per_row_ * block * block), 0.0f);
+  std::int64_t blk = 0;
+  for (std::int64_t br = 0; br < gr; ++br) {
+    for (const std::int32_t bc : survivors[static_cast<std::size_t>(br)]) {
+      m.block_cols_.push_back(bc);
+      float* payload = m.values_.data() + blk * block * block;
+      for (std::int64_t r = 0; r < m.grid_.row_extent(br); ++r)
+        for (std::int64_t c = 0; c < m.grid_.col_extent(bc); ++c)
+          payload[r * block + c] = dense(br * block + r, bc * block + c);
+      ++blk;
+    }
+  }
+  return m;
+}
+
+Tensor BlockedEllMatrix::decode() const {
+  Tensor dense({grid_.rows, grid_.cols});
+  const std::int64_t block = grid_.block;
+  std::int64_t blk = 0;
+  for (std::int64_t br = 0; br < grid_.grid_rows(); ++br) {
+    for (std::int64_t i = 0; i < blocks_per_row_; ++i, ++blk) {
+      const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+      const float* payload = values_.data() + blk * block * block;
+      for (std::int64_t r = 0; r < grid_.row_extent(br); ++r)
+        for (std::int64_t c = 0; c < grid_.col_extent(bc); ++c)
+          dense[(br * block + r) * grid_.cols + bc * block + c] =
+              payload[r * block + c];
+    }
+  }
+  return dense;
+}
+
+void BlockedEllMatrix::spmm(ConstMatrixView x, MatrixView y) const {
+  CRISP_CHECK(x.rows == grid_.cols, "Blocked-ELL spmm: inner dim mismatch");
+  CRISP_CHECK(y.rows == grid_.rows && y.cols == x.cols,
+              "Blocked-ELL spmm: output shape");
+  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
+  const std::int64_t block = grid_.block, p = x.cols;
+  std::int64_t blk = 0;
+  for (std::int64_t br = 0; br < grid_.grid_rows(); ++br) {
+    for (std::int64_t i = 0; i < blocks_per_row_; ++i, ++blk) {
+      const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+      const float* payload = values_.data() + blk * block * block;
+      for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
+        float* yrow = y.data + (br * block + r) * p;
+        for (std::int64_t c = 0; c < grid_.col_extent(bc); ++c) {
+          const float v = payload[r * block + c];
+          if (v == 0.0f) continue;
+          const float* xrow = x.data + (bc * block + c) * p;
+          for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+        }
+      }
+    }
+  }
+}
+
+std::int64_t BlockedEllMatrix::metadata_bits() const {
+  return grid_.grid_rows() * blocks_per_row_ *
+         bits_for_index(grid_.grid_cols());
+}
+
+std::int64_t BlockedEllMatrix::payload_bits() const {
+  return static_cast<std::int64_t>(values_.size()) * 32;
+}
+
+}  // namespace crisp::sparse

@@ -1,0 +1,44 @@
+// Blocked-ELLPACK format (Liu et al., ICS'13) — the layout the paper adopts
+// for its block-sparsity metadata: a uniform number of non-zero blocks per
+// block-row, identified by their block-column indices in row-major order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/block.h"
+#include "tensor/tensor.h"
+
+namespace crisp::sparse {
+
+class BlockedEllMatrix {
+ public:
+  /// Encodes `dense` under a BxB block grid. A block survives when it holds
+  /// any non-zero. Requires a *uniform* survivor count per block-row (the
+  /// CRISP invariant); throws otherwise.
+  static BlockedEllMatrix encode(ConstMatrixView dense, std::int64_t block);
+
+  Tensor decode() const;
+  void spmm(ConstMatrixView x, MatrixView y) const;
+
+  /// Block-column indices (ceil-log2 of the grid width each).
+  std::int64_t metadata_bits() const;
+  /// Dense payload of the surviving blocks (32-bit floats).
+  std::int64_t payload_bits() const;
+
+  const BlockGrid& grid() const { return grid_; }
+  std::int64_t blocks_per_row() const { return blocks_per_row_; }
+  std::int64_t rows() const { return grid_.rows; }
+  std::int64_t cols() const { return grid_.cols; }
+
+ private:
+  BlockGrid grid_;
+  std::int64_t blocks_per_row_ = 0;
+  /// (grid_rows x blocks_per_row) surviving block-column ids, row-major.
+  std::vector<std::int32_t> block_cols_;
+  /// Payload: per surviving block, B*B values row-major (trailing blocks
+  /// zero-padded to the full block extent to keep addressing uniform).
+  std::vector<float> values_;
+};
+
+}  // namespace crisp::sparse

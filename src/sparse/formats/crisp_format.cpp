@@ -1,0 +1,226 @@
+#include "sparse/formats/crisp_format.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "sparse/metadata.h"
+
+namespace crisp::sparse {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CRISP_CHECK(is.good(), "CrispMatrix::read: truncated stream");
+  return v;
+}
+
+template <typename T>
+void write_array(std::ostream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& is) {
+  const auto count = read_pod<std::uint64_t>(is);
+  std::vector<T> v(static_cast<std::size_t>(count));
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  CRISP_CHECK(is.good(), "CrispMatrix::read: truncated array");
+  return v;
+}
+
+}  // namespace
+
+CrispMatrix CrispMatrix::encode(ConstMatrixView dense, std::int64_t block,
+                                std::int64_t n, std::int64_t m) {
+  CRISP_CHECK(block >= 1 && m >= 1 && n >= 1 && n <= m, "bad block/N:M");
+  CRISP_CHECK(block % m == 0, "block side " << block
+                                            << " must be a multiple of M = " << m);
+  CrispMatrix out;
+  out.grid_ = BlockGrid{dense.rows, dense.cols, block};
+  out.n_ = n;
+  out.m_ = m;
+  const std::int64_t gr = out.grid_.grid_rows(), gc = out.grid_.grid_cols();
+
+  std::vector<std::vector<std::int32_t>> survivors(static_cast<std::size_t>(gr));
+  for (std::int64_t br = 0; br < gr; ++br)
+    for (std::int64_t bc = 0; bc < gc; ++bc) {
+      bool any = false;
+      for (std::int64_t r = br * block;
+           !any && r < br * block + out.grid_.row_extent(br); ++r)
+        for (std::int64_t c = bc * block;
+             c < bc * block + out.grid_.col_extent(bc); ++c)
+          if (dense(r, c) != 0.0f) {
+            any = true;
+            break;
+          }
+      if (any)
+        survivors[static_cast<std::size_t>(br)].push_back(
+            static_cast<std::int32_t>(bc));
+    }
+
+  out.blocks_per_row_ = static_cast<std::int64_t>(survivors.front().size());
+  for (const auto& s : survivors)
+    CRISP_CHECK(static_cast<std::int64_t>(s.size()) == out.blocks_per_row_,
+                "CRISP format requires uniform surviving blocks per row, got "
+                    << s.size() << " vs " << out.blocks_per_row_);
+
+  const std::int64_t groups = block / m;
+  const std::int64_t slots_per_block = block * groups * n;
+  const std::int64_t total_blocks = gr * out.blocks_per_row_;
+  out.values_.assign(static_cast<std::size_t>(total_blocks * slots_per_block),
+                     0.0f);
+  out.offsets_.assign(static_cast<std::size_t>(total_blocks * slots_per_block),
+                      0);
+  out.block_cols_.reserve(static_cast<std::size_t>(total_blocks));
+
+  std::int64_t blk = 0;
+  for (std::int64_t br = 0; br < gr; ++br) {
+    for (const std::int32_t bc : survivors[static_cast<std::size_t>(br)]) {
+      out.block_cols_.push_back(bc);
+      for (std::int64_t r = 0; r < out.grid_.row_extent(br); ++r) {
+        for (std::int64_t g = 0; g < groups; ++g) {
+          const std::int64_t base =
+              ((blk * block + r) * groups + g) * n;  // first slot of the group
+          const std::int64_t col0 = bc * block + g * m;
+          std::int64_t slot = 0;
+          for (std::int64_t o = 0; o < m && col0 + o < dense.cols; ++o) {
+            const float v = dense(br * block + r, col0 + o);
+            if (v == 0.0f) continue;
+            CRISP_CHECK(slot < n, "group at row " << br * block + r << ", col "
+                                                  << col0 << " violates " << n
+                                                  << ":" << m << " sparsity");
+            out.values_[static_cast<std::size_t>(base + slot)] = v;
+            out.offsets_[static_cast<std::size_t>(base + slot)] =
+                static_cast<std::uint8_t>(o);
+            ++slot;
+          }
+        }
+      }
+      ++blk;
+    }
+  }
+  return out;
+}
+
+Tensor CrispMatrix::decode() const {
+  Tensor dense({grid_.rows, grid_.cols});
+  const std::int64_t block = grid_.block, groups = block / m_;
+  std::int64_t blk = 0;
+  for (std::int64_t br = 0; br < grid_.grid_rows(); ++br) {
+    for (std::int64_t i = 0; i < blocks_per_row_; ++i, ++blk) {
+      const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+      for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
+        for (std::int64_t g = 0; g < groups; ++g) {
+          const std::int64_t base = ((blk * block + r) * groups + g) * n_;
+          const std::int64_t col0 = bc * block + g * m_;
+          for (std::int64_t s = 0; s < n_; ++s) {
+            const float v = values_[static_cast<std::size_t>(base + s)];
+            if (v == 0.0f) continue;  // padded slot
+            const std::int64_t col =
+                col0 + offsets_[static_cast<std::size_t>(base + s)];
+            dense[(br * block + r) * grid_.cols + col] = v;
+          }
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+void CrispMatrix::spmm(ConstMatrixView x, MatrixView y) const {
+  CRISP_CHECK(x.rows == grid_.cols, "CRISP spmm: inner dimension mismatch");
+  CRISP_CHECK(y.rows == grid_.rows && y.cols == x.cols,
+              "CRISP spmm: output shape");
+  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
+  const std::int64_t block = grid_.block, groups = block / m_, p = x.cols;
+  std::int64_t blk = 0;
+  for (std::int64_t br = 0; br < grid_.grid_rows(); ++br) {
+    for (std::int64_t i = 0; i < blocks_per_row_; ++i, ++blk) {
+      const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+      for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
+        float* yrow = y.data + (br * block + r) * p;
+        for (std::int64_t g = 0; g < groups; ++g) {
+          const std::int64_t base = ((blk * block + r) * groups + g) * n_;
+          const std::int64_t col0 = bc * block + g * m_;
+          for (std::int64_t s = 0; s < n_; ++s) {
+            const float v = values_[static_cast<std::size_t>(base + s)];
+            if (v == 0.0f) continue;
+            // The MUX step of Fig. 6: the offset selects the activation row.
+            const float* xrow =
+                x.data +
+                (col0 + offsets_[static_cast<std::size_t>(base + s)]) * p;
+            for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+std::int64_t CrispMatrix::metadata_bits() const {
+  const std::int64_t block_bits =
+      grid_.grid_rows() * blocks_per_row_ * bits_for_index(grid_.grid_cols());
+  const std::int64_t offset_bits = slot_count() * bits_for_index(m_);
+  return block_bits + offset_bits;
+}
+
+std::int64_t CrispMatrix::payload_bits() const { return slot_count() * 32; }
+
+void CrispMatrix::write(std::ostream& os) const {
+  write_pod(os, grid_.rows);
+  write_pod(os, grid_.cols);
+  write_pod(os, grid_.block);
+  write_pod(os, n_);
+  write_pod(os, m_);
+  write_pod(os, blocks_per_row_);
+  write_array(os, block_cols_);
+  write_array(os, values_);
+  write_array(os, offsets_);
+}
+
+CrispMatrix CrispMatrix::read(std::istream& is) {
+  CrispMatrix out;
+  out.grid_.rows = read_pod<std::int64_t>(is);
+  out.grid_.cols = read_pod<std::int64_t>(is);
+  out.grid_.block = read_pod<std::int64_t>(is);
+  out.n_ = read_pod<std::int64_t>(is);
+  out.m_ = read_pod<std::int64_t>(is);
+  out.blocks_per_row_ = read_pod<std::int64_t>(is);
+  CRISP_CHECK(out.grid_.rows > 0 && out.grid_.cols > 0 && out.grid_.block > 0 &&
+                  out.n_ >= 1 && out.n_ <= out.m_ &&
+                  out.grid_.block % out.m_ == 0 && out.blocks_per_row_ >= 0 &&
+                  out.blocks_per_row_ <= out.grid_.grid_cols(),
+              "CrispMatrix::read: inconsistent header");
+  out.block_cols_ = read_array<std::int32_t>(is);
+  out.values_ = read_array<float>(is);
+  out.offsets_ = read_array<std::uint8_t>(is);
+
+  const std::int64_t total_blocks = out.grid_.grid_rows() * out.blocks_per_row_;
+  const std::int64_t slots =
+      total_blocks * out.grid_.block * (out.grid_.block / out.m_) * out.n_;
+  CRISP_CHECK(static_cast<std::int64_t>(out.block_cols_.size()) == total_blocks,
+              "CrispMatrix::read: block index count mismatch");
+  CRISP_CHECK(static_cast<std::int64_t>(out.values_.size()) == slots &&
+                  static_cast<std::int64_t>(out.offsets_.size()) == slots,
+              "CrispMatrix::read: slot count mismatch");
+  for (const std::int32_t bc : out.block_cols_)
+    CRISP_CHECK(bc >= 0 && bc < out.grid_.grid_cols(),
+                "CrispMatrix::read: block column out of range");
+  for (const std::uint8_t o : out.offsets_)
+    CRISP_CHECK(o < out.m_, "CrispMatrix::read: offset out of range");
+  return out;
+}
+
+}  // namespace crisp::sparse

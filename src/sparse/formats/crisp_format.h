@@ -1,0 +1,66 @@
+// CRISP hybrid storage format (paper Fig. 5 step 5 and Fig. 6).
+//
+// Two metadata structures compose:
+//   * block level — Blocked-ELL style block-column indices, one uniform set
+//     of surviving blocks per block-row;
+//   * element level — inside every surviving block, each group of M
+//     consecutive columns stores at most N values, each tagged with its
+//     ceil(log2 M)-bit offset inside the group (2 bits for M = 4).
+// Slot counts are fixed (N per group), so the accelerator's MUX-based
+// activation selection (Fig. 6) needs no per-row bookkeeping — this is the
+// load-balance property the paper trades against CSR/ELLPACK.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sparse/block.h"
+#include "tensor/tensor.h"
+
+namespace crisp::sparse {
+
+class CrispMatrix {
+ public:
+  /// Encodes a matrix already pruned to hybrid sparsity. Throws when a
+  /// length-M group holds more than N non-zeros (input was not N:M sparse)
+  /// or when surviving-block counts differ across block-rows (input was not
+  /// uniformly block-pruned). Requires block % m == 0.
+  static CrispMatrix encode(ConstMatrixView dense, std::int64_t block,
+                            std::int64_t n, std::int64_t m);
+
+  Tensor decode() const;
+  void spmm(ConstMatrixView x, MatrixView y) const;
+
+  /// Block-column indices + per-slot intra-group offsets.
+  std::int64_t metadata_bits() const;
+  /// Value slots (32-bit floats, padded slots included).
+  std::int64_t payload_bits() const;
+
+  /// Binary persistence (host-endian, like tensor/serialize). `read` throws
+  /// on truncation or an internally inconsistent header.
+  void write(std::ostream& os) const;
+  static CrispMatrix read(std::istream& is);
+
+  const BlockGrid& grid() const { return grid_; }
+  std::int64_t rows() const { return grid_.rows; }
+  std::int64_t cols() const { return grid_.cols; }
+  std::int64_t blocks_per_row() const { return blocks_per_row_; }
+  std::int64_t n() const { return n_; }
+  std::int64_t m() const { return m_; }
+  std::int64_t slot_count() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+ private:
+  BlockGrid grid_;
+  std::int64_t n_ = 0;
+  std::int64_t m_ = 0;
+  std::int64_t blocks_per_row_ = 0;
+  std::vector<std::int32_t> block_cols_;  ///< grid_rows x blocks_per_row
+  /// Per surviving block: block-side rows x (block/m groups) x n slots.
+  std::vector<float> values_;
+  std::vector<std::uint8_t> offsets_;     ///< offset in [0, m) per slot
+};
+
+}  // namespace crisp::sparse

@@ -1,0 +1,61 @@
+#include "sparse/formats/csr.h"
+
+#include <cstring>
+
+#include "sparse/metadata.h"
+
+namespace crisp::sparse {
+
+CsrMatrix CsrMatrix::encode(ConstMatrixView dense) {
+  CsrMatrix m;
+  m.rows_ = dense.rows;
+  m.cols_ = dense.cols;
+  m.row_ptr_.resize(static_cast<std::size_t>(dense.rows) + 1, 0);
+  for (std::int64_t r = 0; r < dense.rows; ++r) {
+    for (std::int64_t c = 0; c < dense.cols; ++c) {
+      const float v = dense(r, c);
+      if (v != 0.0f) {
+        m.col_idx_.push_back(static_cast<std::int32_t>(c));
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(m.values_.size());
+  }
+  return m;
+}
+
+Tensor CsrMatrix::decode() const {
+  Tensor dense({rows_, cols_});
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
+         i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i)
+      dense[r * cols_ + col_idx_[static_cast<std::size_t>(i)]] =
+          values_[static_cast<std::size_t>(i)];
+  return dense;
+}
+
+void CsrMatrix::spmm(ConstMatrixView x, MatrixView y) const {
+  CRISP_CHECK(x.rows == cols_, "CSR spmm: inner dimension mismatch");
+  CRISP_CHECK(y.rows == rows_ && y.cols == x.cols, "CSR spmm: output shape");
+  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
+  const std::int64_t p = x.cols;
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    float* yrow = y.data + r * p;
+    for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
+         i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i) {
+      const float v = values_[static_cast<std::size_t>(i)];
+      const float* xrow = x.data + col_idx_[static_cast<std::size_t>(i)] * p;
+      for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+std::int64_t CsrMatrix::metadata_bits() const {
+  return nnz() * bits_for_index(cols_) +
+         static_cast<std::int64_t>(row_ptr_.size()) * 32;
+}
+
+std::int64_t CsrMatrix::payload_bits() const { return nnz() * 32; }
+
+}  // namespace crisp::sparse

@@ -1,0 +1,39 @@
+// Compressed Sparse Row format (Saad) — an unstructured-sparsity baseline
+// for the metadata comparison in Fig. 4 (right) and for the kernel bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crisp::sparse {
+
+class CsrMatrix {
+ public:
+  /// Encodes every non-zero of `dense`.
+  static CsrMatrix encode(ConstMatrixView dense);
+
+  Tensor decode() const;
+
+  /// y[rows, P] = this · x[cols, P]; y is overwritten.
+  void spmm(ConstMatrixView x, MatrixView y) const;
+
+  /// Column indices (ceil-log2 width) + 32-bit row pointers.
+  std::int64_t metadata_bits() const;
+  /// Stored value payload (32-bit floats).
+  std::int64_t payload_bits() const;
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<std::int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace crisp::sparse

@@ -1,0 +1,81 @@
+#include "sparse/formats/ellpack.h"
+
+#include <cstring>
+
+#include "sparse/metadata.h"
+
+namespace crisp::sparse {
+
+EllpackMatrix EllpackMatrix::encode(ConstMatrixView dense) {
+  EllpackMatrix m;
+  m.rows_ = dense.rows;
+  m.cols_ = dense.cols;
+
+  std::vector<std::vector<std::int32_t>> row_cols(
+      static_cast<std::size_t>(dense.rows));
+  for (std::int64_t r = 0; r < dense.rows; ++r)
+    for (std::int64_t c = 0; c < dense.cols; ++c)
+      if (dense(r, c) != 0.0f)
+        row_cols[static_cast<std::size_t>(r)].push_back(
+            static_cast<std::int32_t>(c));
+
+  m.width_ = 0;
+  for (const auto& rc : row_cols)
+    m.width_ = std::max(m.width_, static_cast<std::int64_t>(rc.size()));
+
+  m.col_idx_.assign(static_cast<std::size_t>(m.rows_ * m.width_), -1);
+  m.values_.assign(static_cast<std::size_t>(m.rows_ * m.width_), 0.0f);
+  for (std::int64_t r = 0; r < dense.rows; ++r) {
+    const auto& rc = row_cols[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < rc.size(); ++i) {
+      m.col_idx_[static_cast<std::size_t>(r * m.width_) + i] = rc[i];
+      m.values_[static_cast<std::size_t>(r * m.width_) + i] =
+          dense(r, rc[i]);
+      ++m.nnz_;
+    }
+  }
+  return m;
+}
+
+Tensor EllpackMatrix::decode() const {
+  Tensor dense({rows_, cols_});
+  for (std::int64_t r = 0; r < rows_; ++r)
+    for (std::int64_t s = 0; s < width_; ++s) {
+      const std::int32_t c = col_idx_[static_cast<std::size_t>(r * width_ + s)];
+      if (c >= 0)
+        dense[r * cols_ + c] = values_[static_cast<std::size_t>(r * width_ + s)];
+    }
+  return dense;
+}
+
+void EllpackMatrix::spmm(ConstMatrixView x, MatrixView y) const {
+  CRISP_CHECK(x.rows == cols_, "ELLPACK spmm: inner dimension mismatch");
+  CRISP_CHECK(y.rows == rows_ && y.cols == x.cols, "ELLPACK spmm: output shape");
+  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
+  const std::int64_t p = x.cols;
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    float* yrow = y.data + r * p;
+    for (std::int64_t s = 0; s < width_; ++s) {
+      const std::int32_t c = col_idx_[static_cast<std::size_t>(r * width_ + s)];
+      if (c < 0) continue;
+      const float v = values_[static_cast<std::size_t>(r * width_ + s)];
+      const float* xrow = x.data + static_cast<std::int64_t>(c) * p;
+      for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+std::int64_t EllpackMatrix::metadata_bits() const {
+  // Every slot stores a column index, padding included — ELLPACK's overhead.
+  return rows_ * width_ * bits_for_index(cols_);
+}
+
+std::int64_t EllpackMatrix::payload_bits() const { return rows_ * width_ * 32; }
+
+double EllpackMatrix::padding_fraction() const {
+  const std::int64_t slots = rows_ * width_;
+  if (slots == 0) return 0.0;
+  return static_cast<double>(slots - nnz_) / static_cast<double>(slots);
+}
+
+}  // namespace crisp::sparse

@@ -1,0 +1,41 @@
+// ELLPACK format (Kincaid's ITPACK): every row padded to the maximum row
+// non-zero count. The paper cites its padding cost as a motivation for the
+// CRISP layout — rows with few non-zeros still pay `width` slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace crisp::sparse {
+
+class EllpackMatrix {
+ public:
+  static EllpackMatrix encode(ConstMatrixView dense);
+
+  Tensor decode() const;
+  void spmm(ConstMatrixView x, MatrixView y) const;
+
+  /// Column indices for every slot, padded slots included.
+  std::int64_t metadata_bits() const;
+  /// Padded value payload (32-bit floats).
+  std::int64_t payload_bits() const;
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t width() const { return width_; }
+  /// Padding slots / total slots — the waste the paper calls out.
+  double padding_fraction() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t width_ = 0;   ///< max non-zeros in any row
+  std::int64_t nnz_ = 0;
+  // Row-major (rows_ x width_); padded slots have col index -1, value 0.
+  std::vector<std::int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace crisp::sparse

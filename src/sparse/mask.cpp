@@ -1,0 +1,40 @@
+#include "sparse/mask.h"
+
+namespace crisp::sparse {
+
+Tensor mask_and(const Tensor& a, const Tensor& b) {
+  CRISP_CHECK(a.same_shape(b), "mask_and: shape mismatch");
+  Tensor out = a;
+  out.mul_(b);
+  return out;
+}
+
+double mask_sparsity(ConstMatrixView mask) {
+  const std::int64_t total = mask.numel();
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(mask_nnz(mask)) / static_cast<double>(total);
+}
+
+std::int64_t mask_nnz(ConstMatrixView mask) {
+  std::int64_t nnz = 0;
+  for (std::int64_t i = 0; i < mask.numel(); ++i)
+    nnz += (mask.data[i] != 0.0f);
+  return nnz;
+}
+
+bool is_binary(ConstMatrixView mask) {
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    const float v = mask.data[i];
+    if (v != 0.0f && v != 1.0f) return false;
+  }
+  return true;
+}
+
+void apply_mask(MatrixView value, ConstMatrixView mask) {
+  CRISP_CHECK(value.rows == mask.rows && value.cols == mask.cols,
+              "apply_mask: view shape mismatch");
+  for (std::int64_t i = 0; i < value.numel(); ++i)
+    value.data[i] *= mask.data[i];
+}
+
+}  // namespace crisp::sparse

@@ -1,0 +1,29 @@
+// Binary mask utilities over the paper's reshaped S x K weight matrices.
+//
+// Masks are ordinary float tensors holding exactly 0.0 or 1.0 so they
+// compose with weights by Hadamard product; helpers here create, combine,
+// and validate them.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace crisp::sparse {
+
+/// Elementwise AND of two masks (both 0/1), shapes must match.
+Tensor mask_and(const Tensor& a, const Tensor& b);
+
+/// Fraction of zeros in a mask view.
+double mask_sparsity(ConstMatrixView mask);
+
+/// Number of ones.
+std::int64_t mask_nnz(ConstMatrixView mask);
+
+/// True when every element is exactly 0.0f or 1.0f.
+bool is_binary(ConstMatrixView mask);
+
+/// Writes `value ⊙ mask` in place over `value`.
+void apply_mask(MatrixView value, ConstMatrixView mask);
+
+}  // namespace crisp::sparse

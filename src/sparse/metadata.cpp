@@ -1,0 +1,55 @@
+#include "sparse/metadata.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace crisp::sparse {
+
+std::int64_t bits_for_index(std::int64_t n) {
+  CRISP_CHECK(n >= 1, "bits_for_index of non-positive count");
+  std::int64_t bits = 1;
+  while ((std::int64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+std::int64_t paper_block_metadata_bits(std::int64_t s, std::int64_t k_prime,
+                                       std::int64_t b) {
+  CRISP_CHECK(s >= 1 && k_prime >= 0 && b >= 1, "bad block metadata inputs");
+  if (k_prime == 0) return 0;
+  const auto idx_bits = static_cast<std::int64_t>(
+      std::floor(std::log2(std::max<std::int64_t>(2, k_prime / b))));
+  return s * k_prime * idx_bits / (b * b);
+}
+
+std::int64_t paper_nm_metadata_bits(std::int64_t s, std::int64_t k_prime,
+                                    std::int64_t n, std::int64_t m) {
+  CRISP_CHECK(m >= 1 && n >= 1 && n <= m, "bad N:M");
+  const auto m_bits =
+      static_cast<std::int64_t>(std::floor(std::log2(static_cast<double>(m))));
+  return s * k_prime * n * m_bits / m;
+}
+
+double paper_average_sparsity(std::int64_t k, std::int64_t k_prime,
+                              std::int64_t n, std::int64_t m) {
+  CRISP_CHECK(k >= 1 && k_prime >= 0 && k_prime <= k, "bad K'/K");
+  return 1.0 - (static_cast<double>(k_prime) / static_cast<double>(k)) *
+                   (static_cast<double>(n) / static_cast<double>(m));
+}
+
+std::int64_t k_prime_for_sparsity(std::int64_t k, std::int64_t b,
+                                  std::int64_t n, std::int64_t m,
+                                  double kappa) {
+  CRISP_CHECK(kappa >= 0.0 && kappa < 1.0, "kappa out of [0,1)");
+  // 1 − (K'/K)(N/M) ≥ κ  ⇔  K' ≤ (1−κ)·K·M/N
+  const double limit = (1.0 - kappa) * static_cast<double>(k) *
+                       static_cast<double>(m) / static_cast<double>(n);
+  std::int64_t k_prime =
+      std::min<std::int64_t>(k, static_cast<std::int64_t>(limit));
+  // Round down to whole block columns; always keep at least one block.
+  k_prime = std::max<std::int64_t>(b, k_prime / b * b);
+  return std::min(k_prime, k);
+}
+
+}  // namespace crisp::sparse

@@ -1,0 +1,35 @@
+// Metadata-overhead accounting (paper §III-A and Fig. 4 right).
+//
+// Two flavours are provided: the closed-form expressions exactly as printed
+// in the paper, and the measured bit counts reported by the concrete
+// encoders in sparse/formats (which use ceil-log2 index widths). The fig4
+// bench prints both so the comparison is transparent.
+#pragma once
+
+#include <cstdint>
+
+namespace crisp::sparse {
+
+/// ceil(log2(n)) with a floor of 1 bit (an index into n >= 1 positions).
+std::int64_t bits_for_index(std::int64_t n);
+
+/// Paper formula: block-sparsity metadata = (S · K' · floor(log2(K'/B))) / B².
+/// S = rows, k_prime = surviving columns, b = block side.
+std::int64_t paper_block_metadata_bits(std::int64_t s, std::int64_t k_prime,
+                                       std::int64_t b);
+
+/// Paper formula: N:M metadata = S · K' · (N/M) · floor(log2(M)).
+std::int64_t paper_nm_metadata_bits(std::int64_t s, std::int64_t k_prime,
+                                    std::int64_t n, std::int64_t m);
+
+/// Paper formula: overall average sparsity = 1 − (K'/K)·(N/M).
+double paper_average_sparsity(std::int64_t k, std::int64_t k_prime,
+                              std::int64_t n, std::int64_t m);
+
+/// Surviving K-columns for a global sparsity target κ at fixed N:M, rounded
+/// down to a whole number of B-wide block columns: the largest K' with
+/// 1 − (K'/K)(N/M) ≥ κ.
+std::int64_t k_prime_for_sparsity(std::int64_t k, std::int64_t b,
+                                  std::int64_t n, std::int64_t m, double kappa);
+
+}  // namespace crisp::sparse

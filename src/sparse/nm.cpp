@@ -1,0 +1,53 @@
+#include "sparse/nm.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace crisp::sparse {
+
+Tensor nm_mask(ConstMatrixView scores, std::int64_t n, std::int64_t m) {
+  CRISP_CHECK(m >= 1 && n >= 1 && n <= m,
+              "invalid N:M = " << n << ":" << m);
+  Tensor mask({scores.rows, scores.cols});
+  std::vector<std::int64_t> order;
+  for (std::int64_t r = 0; r < scores.rows; ++r) {
+    for (std::int64_t g0 = 0; g0 < scores.cols; g0 += m) {
+      const std::int64_t g = std::min(m, scores.cols - g0);
+      const std::int64_t keep = std::min(n, g);
+      order.resize(static_cast<std::size_t>(g));
+      for (std::int64_t i = 0; i < g; ++i) order[static_cast<std::size_t>(i)] = i;
+      // stable sort by descending score → ties keep the lower index.
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::int64_t a, std::int64_t b) {
+                         return scores(r, g0 + a) > scores(r, g0 + b);
+                       });
+      float* mrow = mask.data() + r * scores.cols + g0;
+      for (std::int64_t i = 0; i < keep; ++i)
+        mrow[order[static_cast<std::size_t>(i)]] = 1.0f;
+    }
+  }
+  return mask;
+}
+
+bool satisfies_nm(ConstMatrixView mask, std::int64_t n, std::int64_t m) {
+  for (std::int64_t r = 0; r < mask.rows; ++r) {
+    for (std::int64_t g0 = 0; g0 < mask.cols; g0 += m) {
+      const std::int64_t g = std::min(m, mask.cols - g0);
+      std::int64_t nnz = 0;
+      for (std::int64_t i = 0; i < g; ++i) nnz += (mask(r, g0 + i) != 0.0f);
+      if (nnz > n) return false;
+    }
+  }
+  return true;
+}
+
+double nm_target_sparsity(std::int64_t cols, std::int64_t n, std::int64_t m) {
+  CRISP_CHECK(cols >= 1, "empty row");
+  std::int64_t kept = 0;
+  for (std::int64_t g0 = 0; g0 < cols; g0 += m)
+    kept += std::min(n, std::min(m, cols - g0));
+  return 1.0 - static_cast<double>(kept) / static_cast<double>(cols);
+}
+
+}  // namespace crisp::sparse

@@ -1,0 +1,27 @@
+// Fine-grained N:M structured sparsity (paper §III-A, Fig. 4 left).
+//
+// Within every M consecutive elements along a matrix row (the reduction
+// dimension — the direction NVIDIA Sparse Tensor Cores skip), at most N
+// survive. Selection keeps the N highest-scoring elements per group.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace crisp::sparse {
+
+/// Builds the N:M mask that keeps, in every group of `m` consecutive columns
+/// of each row, the `n` entries with the highest `scores`. A trailing
+/// partial group of size g keeps min(n, g) entries. Ties break toward the
+/// lower column index (deterministic).
+Tensor nm_mask(ConstMatrixView scores, std::int64_t n, std::int64_t m);
+
+/// True when every length-m group of every row has at most n non-zeros.
+bool satisfies_nm(ConstMatrixView mask, std::int64_t n, std::int64_t m);
+
+/// Sparsity induced by exact N:M on a matrix with `cols` columns: accounts
+/// for the trailing partial group.
+double nm_target_sparsity(std::int64_t cols, std::int64_t n, std::int64_t m);
+
+}  // namespace crisp::sparse

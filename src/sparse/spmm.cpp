@@ -1,0 +1,9 @@
+#include "sparse/spmm.h"
+
+#include "tensor/matmul.h"
+
+namespace crisp::sparse {
+
+Tensor dense_matmul(const Tensor& w, const Tensor& x) { return matmul(w, x); }
+
+}  // namespace crisp::sparse

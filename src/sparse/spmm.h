@@ -1,0 +1,23 @@
+// Convenience wrappers: run any sparse format against a dense right-hand
+// side and compare with the dense reference — used by tests, the kernels
+// bench, and the format_inspector example.
+#pragma once
+
+#include "sparse/formats/blocked_ell.h"
+#include "sparse/formats/crisp_format.h"
+#include "sparse/formats/csr.h"
+#include "sparse/formats/ellpack.h"
+
+namespace crisp::sparse {
+
+/// Dense reference: y = w · x (allocating).
+Tensor dense_matmul(const Tensor& w, const Tensor& x);
+
+template <typename Format>
+Tensor spmm(const Format& w, const Tensor& x) {
+  Tensor y({w.rows(), x.size(1)});
+  w.spmm(as_matrix(x, x.size(0), x.size(1)), as_matrix(y, y.size(0), y.size(1)));
+  return y;
+}
+
+}  // namespace crisp::sparse

@@ -1,0 +1,30 @@
+// Error-checking macro used across the library.
+//
+// CRISP_CHECK(cond, msg) throws std::runtime_error with file/line context
+// when `cond` is false. We use exceptions (not abort) so library users can
+// recover, and so tests can assert on failure paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace crisp {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << message;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace crisp
+
+#define CRISP_CHECK(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream crisp_check_os_;                            \
+      crisp_check_os_ << #cond << " — " << msg; /* NOLINT */         \
+      ::crisp::check_failed(__FILE__, __LINE__, crisp_check_os_.str()); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,55 @@
+#include "tensor/im2col.h"
+
+namespace crisp {
+
+void im2col(const float* image, const ConvGeometry& g, float* cols) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t p_total = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out_row = cols + row * p_total;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride - g.padding + kh;
+          if (iy < 0 || iy >= g.in_h) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) out_row[oy * ow + ox] = 0.0f;
+            continue;
+          }
+          const float* irow = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride - g.padding + kw;
+            out_row[oy * ow + ox] =
+                (ix >= 0 && ix < g.in_w) ? irow[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeometry& g, float* image) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t p_total = oh * ow;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in_row = cols + row * p_total;
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          const std::int64_t iy = oy * g.stride - g.padding + kh;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* irow = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t ix = ox * g.stride - g.padding + kw;
+            if (ix >= 0 && ix < g.in_w) irow[ix] += in_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace crisp

@@ -1,0 +1,45 @@
+// im2col / col2im transforms.
+//
+// Convolutions in this library are lowered to GEMM exactly as the paper's
+// Fig. 5 step (1) describes: the weight tensor (S,R,H,W) flattens row-major
+// into the S x K matrix (K = R*H*W) and the input image unfolds into a
+// K x P column matrix (P = Hout*Wout). col2im is the adjoint, needed for the
+// convolution backward pass.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace crisp {
+
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+
+  std::int64_t out_h() const {
+    return (in_h + 2 * padding - kernel_h) / stride + 1;
+  }
+  std::int64_t out_w() const {
+    return (in_w + 2 * padding - kernel_w) / stride + 1;
+  }
+  /// Rows of the column matrix: reduction length K = C*kh*kw.
+  std::int64_t col_rows() const { return in_channels * kernel_h * kernel_w; }
+  /// Columns of the column matrix: output positions P.
+  std::int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// `image` is one sample, contiguous (C, H, W); writes the (K, P) matrix into
+/// `cols` which must already have col_rows()*col_cols() elements.
+void im2col(const float* image, const ConvGeometry& g, float* cols);
+
+/// Adjoint of im2col: scatters (K, P) columns back into a (C, H, W) image
+/// buffer, *accumulating* into it (caller zeroes it first).
+void col2im(const float* cols, const ConvGeometry& g, float* image);
+
+}  // namespace crisp

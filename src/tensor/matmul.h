@@ -1,0 +1,28 @@
+// Dense GEMM kernels used by the NN substrate and as the reference for the
+// sparse kernels. Single-threaded, cache-friendly ikj ordering: adequate for
+// the width-scaled models this reproduction trains, and bit-exactly
+// deterministic, which the tests rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace crisp {
+
+/// C[M,N] = A[M,K] * B[K,N]; C is overwritten.
+void matmul(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// C[M,N] += A[M,K] * B[K,N].
+void matmul_accumulate(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// C[M,N] = A^T[K,M]^T * B[K,N]   (i.e. A stored K x M, result M x N).
+void matmul_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// C[M,N] = A[M,K] * B^T where B is stored N x K.
+void matmul_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// Convenience wrappers allocating the output.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace crisp

@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (weight init, data synthesis,
+// batch shuffling, class sampling) flows through `Rng` so experiments are
+// exactly reproducible from a single seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace crisp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    std::normal_distribution<float> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Sample `k` distinct values from [0, n) in random order.
+  std::vector<std::int64_t> sample_without_replacement(std::int64_t n,
+                                                       std::int64_t k) {
+    std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    shuffle(all);
+    all.resize(static_cast<std::size_t>(std::min(n, k)));
+    return all;
+  }
+
+  /// Derive an independent child generator (for per-worker determinism).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace crisp

@@ -1,0 +1,80 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace crisp {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43525350;  // "CRSP"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CRISP_CHECK(is.good(), "truncated tensor file");
+  return v;
+}
+
+}  // namespace
+
+void save_tensors(const TensorMap& tensors, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  CRISP_CHECK(os.good(), "cannot open for writing: " << path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_pod(os, static_cast<std::uint64_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint64_t>(tensor.dim()));
+    for (std::int64_t a = 0; a < tensor.dim(); ++a)
+      write_pod(os, static_cast<std::int64_t>(tensor.size(a)));
+    os.write(reinterpret_cast<const char*>(tensor.data()),
+             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  CRISP_CHECK(os.good(), "write failure on " << path);
+}
+
+TensorMap load_tensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CRISP_CHECK(is.good(), "cannot open for reading: " << path);
+  CRISP_CHECK(read_pod<std::uint32_t>(is) == kMagic,
+              "bad magic in tensor file " << path);
+  const auto version = read_pod<std::uint32_t>(is);
+  CRISP_CHECK(version == kVersion, "unsupported tensor-file version " << version);
+  const auto count = read_pod<std::uint64_t>(is);
+  TensorMap out;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    const auto name_len = read_pod<std::uint64_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    CRISP_CHECK(is.good(), "truncated name in tensor file");
+    const auto rank = read_pod<std::uint64_t>(is);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    Tensor t(shape);
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    CRISP_CHECK(is.good(), "truncated payload for tensor " << name);
+    out.emplace(std::move(name), std::move(t));
+  }
+  return out;
+}
+
+bool is_tensor_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return is.good() && magic == kMagic;
+}
+
+}  // namespace crisp

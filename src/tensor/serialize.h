@@ -1,0 +1,28 @@
+// Minimal binary serialization for named tensor collections.
+//
+// Purpose: the model zoo caches pre-trained weights on disk so each bench
+// binary does not re-train the universal model. Format: magic, version,
+// entry count, then per entry {name, rank, dims..., float payload}. All
+// little-endian (we target a single host; the magic guards mismatches).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace crisp {
+
+using TensorMap = std::map<std::string, Tensor>;
+
+/// Writes the collection to `path`, overwriting. Throws on I/O failure.
+void save_tensors(const TensorMap& tensors, const std::string& path);
+
+/// Reads a collection previously written by save_tensors. Throws on missing
+/// file, bad magic, or truncation.
+TensorMap load_tensors(const std::string& path);
+
+/// True when `path` exists and carries the tensor-file magic.
+bool is_tensor_file(const std::string& path);
+
+}  // namespace crisp

@@ -1,0 +1,270 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace crisp {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    CRISP_CHECK(d >= 0, "negative dimension in shape " << shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  CRISP_CHECK(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_),
+              "data size " << data_.size() << " does not match shape "
+                           << shape_to_string(shape_));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  std::iota(t.data_.begin(), t.data_.end(), 0.0f);
+  return t;
+}
+
+std::int64_t Tensor::size(std::int64_t axis) const {
+  if (axis < 0) axis += dim();
+  CRISP_CHECK(axis >= 0 && axis < dim(),
+              "axis " << axis << " out of range for shape "
+                      << shape_to_string(shape_));
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape_inplace(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape_inplace(Shape new_shape) {
+  std::int64_t inferred_axis = -1;
+  std::int64_t known = 1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      CRISP_CHECK(inferred_axis == -1, "more than one -1 in reshape target");
+      inferred_axis = static_cast<std::int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (inferred_axis >= 0) {
+    CRISP_CHECK(known > 0 && numel() % known == 0,
+                "cannot infer axis: numel " << numel() << " vs " << known);
+    new_shape[static_cast<std::size_t>(inferred_axis)] = numel() / known;
+  }
+  CRISP_CHECK(shape_numel(new_shape) == numel(),
+              "reshape " << shape_to_string(shape_) << " -> "
+                         << shape_to_string(new_shape) << " changes numel");
+  shape_ = std::move(new_shape);
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  CRISP_CHECK(static_cast<std::int64_t>(idx.size()) == dim(),
+              "index rank " << idx.size() << " vs tensor rank " << dim());
+  std::int64_t flat = 0;
+  std::size_t axis = 0;
+  for (std::int64_t i : idx) {
+    const std::int64_t extent = shape_[axis];
+    CRISP_CHECK(i >= 0 && i < extent,
+                "index " << i << " out of range [0," << extent << ") at axis "
+                         << axis);
+    flat = flat * extent + i;
+    ++axis;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::add_(const Tensor& other) {
+  CRISP_CHECK(same_shape(other), "add_: shape mismatch "
+                                     << shape_to_string(shape_) << " vs "
+                                     << shape_to_string(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::sub_(const Tensor& other) {
+  CRISP_CHECK(same_shape(other), "sub_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::mul_(const Tensor& other) {
+  CRISP_CHECK(same_shape(other), "mul_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Tensor::scale_(float s) {
+  for (float& v : data_) v *= s;
+}
+
+void Tensor::axpy_(float alpha, const Tensor& x) {
+  CRISP_CHECK(same_shape(x), "axpy_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+}
+
+void Tensor::clamp_min_(float lo) {
+  for (float& v : data_) v = std::max(v, lo);
+}
+
+Tensor Tensor::add(const Tensor& other) const {
+  Tensor t = *this;
+  t.add_(other);
+  return t;
+}
+
+Tensor Tensor::sub(const Tensor& other) const {
+  Tensor t = *this;
+  t.sub_(other);
+  return t;
+}
+
+Tensor Tensor::mul(const Tensor& other) const {
+  Tensor t = *this;
+  t.mul_(other);
+  return t;
+}
+
+Tensor Tensor::scaled(float s) const {
+  Tensor t = *this;
+  t.scale_(s);
+  return t;
+}
+
+Tensor Tensor::abs() const {
+  Tensor t = *this;
+  for (float& v : t.data_) v = std::fabs(v);
+  return t;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;  // double accumulator: keeps reductions stable
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  CRISP_CHECK(!data_.empty(), "mean of empty tensor");
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  CRISP_CHECK(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  CRISP_CHECK(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::int64_t Tensor::argmax() const {
+  CRISP_CHECK(!data_.empty(), "argmax of empty tensor");
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double Tensor::zero_fraction() const {
+  if (data_.empty()) return 0.0;
+  return static_cast<double>(numel() - count_nonzero()) /
+         static_cast<double>(numel());
+}
+
+std::int64_t Tensor::count_nonzero() const {
+  return static_cast<std::int64_t>(
+      std::count_if(data_.begin(), data_.end(),
+                    [](float v) { return v != 0.0f; }));
+}
+
+MatrixView as_matrix(Tensor& t, std::int64_t rows, std::int64_t cols) {
+  CRISP_CHECK(rows * cols == t.numel(),
+              "matrix view " << rows << "x" << cols << " over tensor of numel "
+                             << t.numel());
+  return MatrixView{t.data(), rows, cols};
+}
+
+ConstMatrixView as_matrix(const Tensor& t, std::int64_t rows,
+                          std::int64_t cols) {
+  CRISP_CHECK(rows * cols == t.numel(),
+              "matrix view " << rows << "x" << cols << " over tensor of numel "
+                             << t.numel());
+  return ConstMatrixView{t.data(), rows, cols};
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  CRISP_CHECK(a.same_shape(b), "max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.same_shape(b)) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const float tol = atol + rtol * std::fabs(b[i]);
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace crisp

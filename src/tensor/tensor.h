@@ -1,0 +1,157 @@
+// Dense row-major float tensor.
+//
+// The whole reproduction runs on this one concrete value type: contiguous
+// float32 storage plus a shape. Views into weight matrices (for pruning and
+// sparse encoding) are expressed with the non-owning MatrixView /
+// ConstMatrixView types below rather than stride tricks, which keeps the
+// Tensor itself trivially copyable/movable value semantics.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace crisp {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements described by a shape (empty shape -> 0-d scalar = 1).
+std::int64_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" — for error messages and debugging.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates zero-initialised storage of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Wraps explicit data; data.size() must equal shape_numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // -- factories ------------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// i.i.d. N(mean, stddev^2).
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// i.i.d. U[lo, hi).
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  /// 0, 1, 2, ... numel-1 (useful in tests).
+  static Tensor arange(std::int64_t n);
+
+  // -- shape ----------------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t size(std::int64_t axis) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  /// Reinterprets the flat buffer with a new shape (same numel). One axis may
+  /// be -1 to be inferred.
+  Tensor reshaped(Shape new_shape) const;
+  void reshape_inplace(Shape new_shape);
+
+  // -- element access -------------------------------------------------------
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  // -- mutating ops ---------------------------------------------------------
+  void fill(float value);
+  void zero() { fill(0.0f); }
+  void add_(const Tensor& other);                 ///< this += other
+  void sub_(const Tensor& other);                 ///< this -= other
+  void mul_(const Tensor& other);                 ///< this *= other (Hadamard)
+  void scale_(float s);                           ///< this *= s
+  void axpy_(float alpha, const Tensor& x);       ///< this += alpha * x
+  void clamp_min_(float lo);
+
+  // -- non-mutating ops -----------------------------------------------------
+  Tensor add(const Tensor& other) const;
+  Tensor sub(const Tensor& other) const;
+  Tensor mul(const Tensor& other) const;          ///< Hadamard product
+  Tensor scaled(float s) const;
+  Tensor abs() const;
+
+  // -- reductions -----------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  std::int64_t argmax() const;
+  /// Fraction of exactly-zero entries.
+  double zero_fraction() const;
+  std::int64_t count_nonzero() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Non-owning mutable 2-D view over contiguous row-major memory. Used to
+/// treat a conv weight (S,R,H,W) as the paper's reshaped S x K matrix
+/// (K = H*W*R) without copying.
+struct MatrixView {
+  float* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  float& operator()(std::int64_t r, std::int64_t c) {
+    return data[r * cols + c];
+  }
+  float operator()(std::int64_t r, std::int64_t c) const {
+    return data[r * cols + c];
+  }
+  std::int64_t numel() const { return rows * cols; }
+};
+
+struct ConstMatrixView {
+  const float* data = nullptr;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const float* d, std::int64_t r, std::int64_t c)
+      : data(d), rows(r), cols(c) {}
+  ConstMatrixView(const MatrixView& m)  // NOLINT implicit by design
+      : data(m.data), rows(m.rows), cols(m.cols) {}
+
+  float operator()(std::int64_t r, std::int64_t c) const {
+    return data[r * cols + c];
+  }
+  std::int64_t numel() const { return rows * cols; }
+};
+
+/// View a 2-D-interpretable tensor as a matrix of the given dimensions.
+MatrixView as_matrix(Tensor& t, std::int64_t rows, std::int64_t cols);
+ConstMatrixView as_matrix(const Tensor& t, std::int64_t rows,
+                          std::int64_t cols);
+
+/// Max |a-b| over all elements; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True when all elements differ by at most atol + rtol*|b|.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace crisp

@@ -1,0 +1,162 @@
+// CASS tests: the class-aware saliency score against hand-computed
+// gradients, plus the ablation saliency kinds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/saliency.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+
+namespace crisp::core {
+namespace {
+
+/// One-linear-layer model and a single calibration sample, small enough to
+/// compute T_w = |dL/dW| * |W| by hand: for softmax cross-entropy,
+/// dL/dW[o,i] = (p_o - 1{o=y}) * x_i.
+TEST(Saliency, CassMatchesAnalyticGradient) {
+  Rng rng(1);
+  nn::Sequential model("m");
+  model.emplace<nn::Flatten>("flat");
+  auto& lin = model.emplace<nn::Linear>("l", 3, 2, rng, /*bias=*/false);
+  const Tensor w = lin.weight().value;
+
+  data::Dataset d;
+  d.images = Tensor({1, 3, 1, 1}, {0.5f, -1.0f, 2.0f});
+  d.labels = {1};
+  d.num_classes = 2;
+
+  SaliencyConfig cfg;
+  cfg.kind = SaliencyKind::kClassAwareGradient;
+  cfg.batch_size = 1;
+  const SaliencyMap scores = estimate_saliency(model, d, cfg);
+  ASSERT_EQ(scores.size(), 1u);
+
+  // Analytic gradient.
+  Tensor logits({1, 2});
+  for (std::int64_t o = 0; o < 2; ++o) {
+    float acc = 0.0f;
+    for (std::int64_t i = 0; i < 3; ++i)
+      acc += w.at({o, i}) * d.images[i];
+    logits.at({0, o}) = acc;
+  }
+  const Tensor p = nn::softmax(logits);
+  for (std::int64_t o = 0; o < 2; ++o) {
+    const float dlogit = p[o] - (o == 1 ? 1.0f : 0.0f);
+    for (std::int64_t i = 0; i < 3; ++i) {
+      const float expected =
+          std::fabs(dlogit * d.images[i]) * std::fabs(w.at({o, i}));
+      EXPECT_NEAR(scores[0].at({o, i}), expected, 1e-4f)
+          << "element (" << o << "," << i << ")";
+    }
+  }
+}
+
+TEST(Saliency, CassAveragesOverBatches) {
+  Rng rng(2);
+  nn::Sequential model("m");
+  model.emplace<nn::Flatten>("flat");
+  model.emplace<nn::Linear>("l", 4, 3, rng, /*bias=*/false);
+
+  // Two identical samples split into two batches must give the same score
+  // as a single batch of one (averaging, not summing).
+  data::Dataset one;
+  one.images = Tensor({1, 4, 1, 1}, {1, 2, 3, 4});
+  one.labels = {0};
+  one.num_classes = 3;
+
+  data::Dataset two;
+  two.images = Tensor({2, 4, 1, 1}, {1, 2, 3, 4, 1, 2, 3, 4});
+  two.labels = {0, 0};
+  two.num_classes = 3;
+
+  SaliencyConfig c1;
+  c1.batch_size = 1;
+  const auto s_one = estimate_saliency(model, one, c1);
+  const auto s_two = estimate_saliency(model, two, c1);  // 2 batches of 1
+  EXPECT_TRUE(allclose(s_one[0], s_two[0], 1e-4f, 1e-5f));
+}
+
+TEST(Saliency, CassLeavesNoStaleGradients) {
+  Rng rng(3);
+  nn::Sequential model("m");
+  model.emplace<nn::Flatten>("flat");
+  model.emplace<nn::Linear>("l", 4, 2, rng);
+  data::Dataset d;
+  d.images = Tensor({2, 4, 1, 1});
+  d.labels = {0, 1};
+  d.num_classes = 2;
+  (void)estimate_saliency(model, d, SaliencyConfig{});
+  for (nn::Parameter* p : model.parameters())
+    EXPECT_FLOAT_EQ(p->grad.abs_max(), 0.0f) << p->name;
+}
+
+TEST(Saliency, MagnitudeKindIsAbsWeight) {
+  Rng rng(4);
+  nn::Sequential model("m");
+  auto& lin = model.emplace<nn::Linear>("l", 4, 4, rng, /*bias=*/false);
+  data::Dataset empty;  // magnitude needs no data
+  SaliencyConfig cfg;
+  cfg.kind = SaliencyKind::kMagnitude;
+  const auto scores = estimate_saliency(model, empty, cfg);
+  EXPECT_TRUE(allclose(scores[0], lin.weight().value.abs(), 0.0f, 0.0f));
+}
+
+TEST(Saliency, RandomKindDeterministicPositive) {
+  Rng rng(5);
+  nn::Sequential model("m");
+  model.emplace<nn::Linear>("l", 8, 4, rng, /*bias=*/false);
+  data::Dataset empty;
+  SaliencyConfig cfg;
+  cfg.kind = SaliencyKind::kRandom;
+  cfg.seed = 21;
+  const auto a = estimate_saliency(model, empty, cfg);
+  const auto b = estimate_saliency(model, empty, cfg);
+  EXPECT_TRUE(allclose(a[0], b[0], 0.0f, 0.0f));
+  EXPECT_GT(a[0].min(), 0.0f);
+
+  cfg.seed = 22;
+  const auto c = estimate_saliency(model, empty, cfg);
+  EXPECT_FALSE(allclose(a[0], c[0], 1e-3f, 1e-3f));
+}
+
+TEST(Saliency, CassRequiresCalibrationData) {
+  Rng rng(6);
+  nn::Sequential model("m");
+  model.emplace<nn::Linear>("l", 4, 2, rng);
+  data::Dataset empty;
+  empty.num_classes = 2;
+  SaliencyConfig cfg;
+  cfg.kind = SaliencyKind::kClassAwareGradient;
+  EXPECT_THROW(estimate_saliency(model, empty, cfg), std::runtime_error);
+}
+
+TEST(Saliency, MaxBatchesCapsWork) {
+  Rng rng(7);
+  nn::Sequential model("m");
+  model.emplace<nn::Flatten>("flat");
+  model.emplace<nn::Linear>("l", 4, 2, rng, /*bias=*/false);
+  Rng drng(8);
+  data::Dataset d;
+  d.images = Tensor::randn({64, 4, 1, 1}, drng);
+  d.labels.assign(64, 0);
+  d.num_classes = 2;
+  SaliencyConfig cfg;
+  cfg.batch_size = 8;
+  cfg.max_batches = 2;
+  // Must run without touching more than 2 batches — just verify it works
+  // and produces non-negative finite scores.
+  const auto scores = estimate_saliency(model, d, cfg);
+  EXPECT_GE(scores[0].min(), 0.0f);
+  EXPECT_TRUE(std::isfinite(scores[0].max()));
+}
+
+TEST(Saliency, KindNames) {
+  EXPECT_STREQ(saliency_kind_name(SaliencyKind::kClassAwareGradient), "cass");
+  EXPECT_STREQ(saliency_kind_name(SaliencyKind::kMagnitude), "magnitude");
+  EXPECT_STREQ(saliency_kind_name(SaliencyKind::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace crisp::core

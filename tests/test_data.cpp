@@ -1,0 +1,214 @@
+// Data substrate tests: synthetic class-pattern generation, determinism,
+// class separability, dataset utilities and batching.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/class_pattern.h"
+#include "data/dataset.h"
+
+namespace crisp::data {
+namespace {
+
+ClassPatternConfig tiny_config() {
+  ClassPatternConfig cfg = ClassPatternConfig::cifar100_like();
+  cfg.num_classes = 6;
+  cfg.image_size = 12;
+  cfg.train_per_class = 8;
+  cfg.test_per_class = 4;
+  return cfg;
+}
+
+TEST(ClassPattern, ShapesAndLabels) {
+  const auto cfg = tiny_config();
+  const TrainTest tt = make_class_pattern_dataset(cfg);
+  EXPECT_EQ(tt.train.size(), cfg.num_classes * cfg.train_per_class);
+  EXPECT_EQ(tt.test.size(), cfg.num_classes * cfg.test_per_class);
+  EXPECT_EQ(tt.train.images.shape(),
+            (Shape{tt.train.size(), 3, cfg.image_size, cfg.image_size}));
+  EXPECT_EQ(tt.train.num_classes, cfg.num_classes);
+
+  std::map<std::int64_t, std::int64_t> counts;
+  for (auto l : tt.train.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, cfg.num_classes);
+    ++counts[l];
+  }
+  for (std::int64_t c = 0; c < cfg.num_classes; ++c)
+    EXPECT_EQ(counts[c], cfg.train_per_class);
+}
+
+TEST(ClassPattern, DeterministicInSeed) {
+  const auto cfg = tiny_config();
+  const TrainTest a = make_class_pattern_dataset(cfg);
+  const TrainTest b = make_class_pattern_dataset(cfg);
+  EXPECT_TRUE(allclose(a.train.images, b.train.images, 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(a.test.images, b.test.images, 0.0f, 0.0f));
+
+  ClassPatternConfig other = cfg;
+  other.seed += 1;
+  const TrainTest c = make_class_pattern_dataset(other);
+  EXPECT_FALSE(allclose(a.train.images, c.train.images, 1e-3f, 1e-3f));
+}
+
+TEST(ClassPattern, TestSplitIndependentOfTrainSize) {
+  auto cfg = tiny_config();
+  const TrainTest a = make_class_pattern_dataset(cfg);
+  cfg.train_per_class *= 2;
+  const TrainTest b = make_class_pattern_dataset(cfg);
+  EXPECT_TRUE(allclose(a.test.images, b.test.images, 0.0f, 0.0f));
+}
+
+TEST(ClassPattern, PrototypesDiffer) {
+  const auto cfg = tiny_config();
+  const Tensor p0 = class_prototype(cfg, 0);
+  const Tensor p1 = class_prototype(cfg, 1);
+  EXPECT_EQ(p0.shape(), (Shape{1, 3, cfg.image_size, cfg.image_size}));
+  EXPECT_GT(max_abs_diff(p0, p1), 0.1f);
+  EXPECT_THROW(class_prototype(cfg, cfg.num_classes), std::runtime_error);
+}
+
+TEST(ClassPattern, NearestPrototypeSeparability) {
+  // The generator must produce a genuinely learnable distribution: a
+  // nearest-prototype classifier that accounts for the generator's cyclic
+  // shift augmentation (distance = min over candidate shifts) should do
+  // well. The shift search is exactly the invariance a conv net learns.
+  const auto cfg = tiny_config();
+  const TrainTest tt = make_class_pattern_dataset(cfg);
+  std::vector<Tensor> prototypes;
+  for (std::int64_t c = 0; c < cfg.num_classes; ++c)
+    prototypes.push_back(class_prototype(cfg, c));
+
+  const std::int64_t s = cfg.image_size;
+  const std::int64_t chw = 3 * s * s;
+  auto shifted_dist = [&](const float* img, const float* proto,
+                          std::int64_t dy, std::int64_t dx) {
+    double dist = 0.0;
+    for (std::int64_t c = 0; c < 3; ++c)
+      for (std::int64_t y = 0; y < s; ++y)
+        for (std::int64_t x = 0; x < s; ++x) {
+          const std::int64_t sy = (y + dy % s + s) % s;
+          const std::int64_t sx = (x + dx % s + s) % s;
+          const double d = static_cast<double>(img[(c * s + y) * s + x]) -
+                           proto[(c * s + sy) * s + sx];
+          dist += d * d;
+        }
+    return dist;
+  };
+
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < tt.test.size(); ++i) {
+    const float* img = tt.test.images.data() + i * chw;
+    std::int64_t best = -1;
+    double best_dist = 0.0;
+    for (std::int64_t c = 0; c < cfg.num_classes; ++c) {
+      const float* proto = prototypes[static_cast<std::size_t>(c)].data();
+      for (std::int64_t dy = -cfg.max_shift; dy <= cfg.max_shift; ++dy)
+        for (std::int64_t dx = -cfg.max_shift; dx <= cfg.max_shift; ++dx) {
+          const double dist = shifted_dist(img, proto, dy, dx);
+          if (best < 0 || dist < best_dist) {
+            best = c;
+            best_dist = dist;
+          }
+        }
+    }
+    correct += (best == tt.test.labels[static_cast<std::size_t>(i)]);
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(tt.test.size());
+  EXPECT_GE(accuracy, 0.75) << "generator classes are not separable enough";
+}
+
+TEST(ClassPattern, PresetsDiffer) {
+  const auto easy = ClassPatternConfig::cifar100_like();
+  const auto hard = ClassPatternConfig::imagenet_like();
+  EXPECT_GT(hard.noise_std, easy.noise_std);
+  EXPECT_GE(hard.max_shift, easy.max_shift);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset utilities.
+
+Dataset small_dataset() {
+  const auto cfg = tiny_config();
+  return make_class_pattern_dataset(cfg).train;
+}
+
+TEST(Dataset, FilterClasses) {
+  const Dataset d = small_dataset();
+  const std::vector<std::int64_t> keep{1, 4};
+  const Dataset f = filter_classes(d, keep);
+  EXPECT_EQ(f.size(), 2 * 8);
+  EXPECT_EQ(f.num_classes, d.num_classes);  // label space unchanged
+  for (auto l : f.labels) EXPECT_TRUE(l == 1 || l == 4);
+  EXPECT_THROW(filter_classes(d, {99}), std::runtime_error);
+}
+
+TEST(Dataset, FilterPreservesImages) {
+  const Dataset d = small_dataset();
+  const Dataset f = filter_classes(d, {0});
+  // First sample of class 0 is also the first dataset sample.
+  const Tensor a = d.sample(0);
+  const Tensor b = f.sample(0);
+  EXPECT_TRUE(allclose(a, b, 0.0f, 0.0f));
+}
+
+TEST(Dataset, TakePerClass) {
+  const Dataset d = small_dataset();
+  const Dataset t = take_per_class(d, 3);
+  EXPECT_EQ(t.size(), d.num_classes * 3);
+  std::map<std::int64_t, std::int64_t> counts;
+  for (auto l : t.labels) ++counts[l];
+  for (auto& [cls, n] : counts) EXPECT_EQ(n, 3) << "class " << cls;
+}
+
+TEST(Dataset, SampleUserClasses) {
+  Rng rng(3);
+  const auto classes = sample_user_classes(20, 5, rng);
+  EXPECT_EQ(classes.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(classes.begin(), classes.end()));
+  std::set<std::int64_t> unique(classes.begin(), classes.end());
+  EXPECT_EQ(unique.size(), 5u);
+  EXPECT_THROW(sample_user_classes(4, 5, rng), std::runtime_error);
+  EXPECT_THROW(sample_user_classes(4, 0, rng), std::runtime_error);
+}
+
+TEST(Dataset, MakeBatchesCoversAllSamplesOnce) {
+  const Dataset d = small_dataset();
+  Rng rng(1);
+  const auto batches = make_batches(d, 7, rng, /*shuffle=*/true);
+  std::int64_t total = 0;
+  std::map<std::int64_t, std::int64_t> label_counts;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 7);
+    total += b.size();
+    for (auto l : b.labels) ++label_counts[l];
+  }
+  EXPECT_EQ(total, d.size());
+  for (std::int64_t c = 0; c < d.num_classes; ++c)
+    EXPECT_EQ(label_counts[c], 8);
+}
+
+TEST(Dataset, UnshuffledBatchesPreserveOrder) {
+  const Dataset d = small_dataset();
+  Rng rng(1);
+  const auto batches = make_batches(d, 5, rng, /*shuffle=*/false);
+  EXPECT_EQ(batches.front().labels[0], d.labels[0]);
+  const Tensor first = d.sample(0);
+  Tensor from_batch({1, 3, d.height(), d.width()});
+  std::copy(batches.front().images.data(),
+            batches.front().images.data() + first.numel(), from_batch.data());
+  EXPECT_TRUE(allclose(first, from_batch, 0.0f, 0.0f));
+}
+
+TEST(Dataset, GatherBounds) {
+  const Dataset d = small_dataset();
+  EXPECT_THROW(gather(d, {d.size()}), std::runtime_error);
+  const Batch b = gather(d, {0, 0, 1});
+  EXPECT_EQ(b.size(), 3);
+  EXPECT_EQ(b.labels[0], b.labels[1]);
+}
+
+}  // namespace
+}  // namespace crisp::data

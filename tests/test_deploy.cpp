@@ -1,0 +1,386 @@
+// Deployment-artifact tests: PackedModel pack/save/load/unpack and packed
+// execution (GEMM hooks) against the dense masked reference.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/block_pruning.h"
+#include "core/pruner.h"
+#include "data/class_pattern.h"
+#include "deploy/packed_exec.h"
+#include "deploy/packed_model.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/models/common.h"
+#include "nn/pooling.h"
+#include "nn/trainer.h"
+#include "sparse/mask.h"
+#include "sparse/nm.h"
+
+namespace crisp::deploy {
+namespace {
+
+/// Temp-file path helper; files are tiny and removed by each test.
+std::string temp_path(const char* stem) {
+  return std::string(::testing::TempDir()) + stem;
+}
+
+/// Builds a hybrid-pattern mask (N:M ∧ uniform-row block pruning) from
+/// random scores — the exact invariant the CRISP pruner guarantees.
+Tensor hybrid_mask(Rng& rng, std::int64_t rows, std::int64_t cols,
+                   std::int64_t block, std::int64_t n, std::int64_t m,
+                   std::int64_t pruned_ranks) {
+  Tensor scores = Tensor::rand({rows, cols}, rng, 0.1f, 1.0f);
+  const Tensor nm = sparse::nm_mask(as_matrix(scores, rows, cols), n, m);
+  core::LayerBlockInfo info;
+  info.grid = sparse::BlockGrid{rows, cols, block};
+  info.scores = sparse::block_scores(as_matrix(scores, rows, cols), info.grid);
+  const Tensor bmask = core::rank_pruned_block_mask(info, pruned_ranks);
+  return sparse::mask_and(nm, bmask);
+}
+
+/// Installs a hybrid mask on every prunable parameter of `model`.
+void install_hybrid_masks(nn::Sequential& model, std::int64_t block,
+                          std::int64_t n, std::int64_t m,
+                          std::int64_t pruned_ranks, std::uint64_t seed = 3) {
+  Rng rng(seed);
+  for (nn::Parameter* p : model.prunable_parameters()) {
+    const Tensor mask = hybrid_mask(rng, p->matrix_rows, p->matrix_cols, block,
+                                    n, m, pruned_ranks);
+    p->ensure_mask();
+    for (std::int64_t i = 0; i < mask.numel(); ++i) p->mask[i] = mask[i];
+  }
+}
+
+/// Small conv net with one grouped conv (hook-refusing) and a classifier.
+std::unique_ptr<nn::Sequential> make_convnet(bool grouped_prunable = false) {
+  Rng rng(7);
+  auto model = std::make_unique<nn::Sequential>("testnet");
+  nn::Conv2dSpec c1;
+  c1.in_channels = 3;
+  c1.out_channels = 16;
+  c1.kernel = 3;
+  c1.padding = 1;
+  model->emplace<nn::Conv2d>("conv1", c1, rng);
+  model->emplace<nn::ReLU>("relu1");
+  nn::Conv2dSpec c2;
+  c2.in_channels = 16;
+  c2.out_channels = 16;
+  c2.kernel = 3;
+  c2.padding = 1;
+  c2.groups = grouped_prunable ? 2 : 1;
+  model->emplace<nn::Conv2d>("conv2", c2, rng);
+  model->emplace<nn::ReLU>("relu2");
+  model->emplace<nn::GlobalAvgPool>("gap");
+  model->emplace<nn::Flatten>("flatten");
+  model->emplace<nn::Linear>("fc", 16, 8, rng);
+  return model;
+}
+
+TEST(PackedModel, PackEncodesEveryMaskedPrunable) {
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+
+  std::int64_t masked = 0;
+  for (nn::Parameter* p : model->prunable_parameters())
+    if (p->has_mask()) ++masked;
+  EXPECT_EQ(static_cast<std::int64_t>(packed.entries().size()), masked);
+  EXPECT_GT(masked, 0);
+
+  // Everything else is carried dense — biases plus any unmasked parameter.
+  for (const auto& [name, tensor] : packed.dense_state())
+    EXPECT_EQ(packed.find(name), nullptr) << name << " both packed and dense";
+}
+
+TEST(PackedModel, PackedEntriesDecodeToEffectiveWeights) {
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  for (nn::Parameter* p : model->prunable_parameters()) {
+    const PackedEntry* e = packed.find(p->name);
+    ASSERT_NE(e, nullptr);
+    const Tensor decoded = e->matrix.decode();
+    const Tensor eff = p->effective_value();
+    EXPECT_FLOAT_EQ(max_abs_diff(decoded, eff.reshaped(decoded.shape())), 0.0f)
+        << p->name;
+  }
+}
+
+TEST(PackedModel, PackRejectsNonHybridMasks) {
+  auto model = make_convnet();
+  // Dense masks (all ones) violate nothing... so corrupt one group: three
+  // survivors in a 2:4 group must be rejected by the encoder.
+  for (nn::Parameter* p : model->prunable_parameters()) {
+    p->ensure_mask();
+    break;
+  }
+  EXPECT_THROW(PackedModel::pack(*model, 8, 2, 4), std::runtime_error);
+}
+
+TEST(PackedModel, StatsAccounting) {
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const PackedStats s = packed.stats();
+
+  std::int64_t dense_bits = 0;
+  for (const auto& [name, t] : model->state_dict()) {
+    (void)name;
+    dense_bits += t.numel() * 32;
+  }
+  EXPECT_EQ(s.model_dense_bits, dense_bits);
+  EXPECT_GT(s.packed_metadata_bits, 0);
+  EXPECT_GT(s.packed_payload_bits, 0);
+  EXPECT_LT(s.compression(), 1.0);  // hybrid sparsity must shrink the model
+
+  std::int64_t payload = 0;
+  for (const PackedEntry& e : packed.entries())
+    payload += e.matrix.payload_bits();
+  EXPECT_EQ(s.packed_payload_bits, payload);
+}
+
+TEST(PackedModel, SaveLoadRoundTrip) {
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const std::string path = temp_path("packed_roundtrip.bin");
+  packed.save(path);
+  const PackedModel loaded = PackedModel::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.n(), 2);
+  EXPECT_EQ(loaded.m(), 4);
+  EXPECT_EQ(loaded.block(), 8);
+  ASSERT_EQ(loaded.entries().size(), packed.entries().size());
+  for (std::size_t i = 0; i < packed.entries().size(); ++i) {
+    const PackedEntry& a = packed.entries()[i];
+    const PackedEntry& b = loaded.entries()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.shape, b.shape);
+    EXPECT_FLOAT_EQ(max_abs_diff(a.matrix.decode(), b.matrix.decode()), 0.0f);
+    EXPECT_EQ(a.matrix.metadata_bits(), b.matrix.metadata_bits());
+  }
+  ASSERT_EQ(loaded.dense_state().size(), packed.dense_state().size());
+  for (const auto& [name, tensor] : packed.dense_state()) {
+    const auto it = loaded.dense_state().find(name);
+    ASSERT_NE(it, loaded.dense_state().end()) << name;
+    EXPECT_FLOAT_EQ(max_abs_diff(tensor, it->second), 0.0f) << name;
+  }
+}
+
+TEST(PackedModel, LoadRejectsGarbageAndTruncation) {
+  const std::string garbage = temp_path("packed_garbage.bin");
+  {
+    std::ofstream os(garbage, std::ios::binary);
+    os << "definitely not a packed model";
+  }
+  EXPECT_THROW(PackedModel::load(garbage), std::runtime_error);
+  std::remove(garbage.c_str());
+
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  const std::string path = temp_path("packed_trunc.bin");
+  PackedModel::pack(*model, 8, 2, 4).save(path);
+  std::ifstream is(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  is.close();
+  const std::string cut = temp_path("packed_cut.bin");
+  {
+    std::ofstream os(cut, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(PackedModel::load(cut), std::runtime_error);
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+  EXPECT_THROW(PackedModel::load(temp_path("no_such_file.bin")),
+               std::runtime_error);
+}
+
+TEST(PackedModel, UnpackRestoresEffectiveWeightsAndMasks) {
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  const Tensor want = nn::predict(*model, x);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+
+  auto fresh = make_convnet();  // same architecture, different weights
+  packed.unpack_into(*fresh);
+  const Tensor got = nn::predict(*fresh, x);
+  EXPECT_LE(max_abs_diff(want, got), 1e-6f);
+
+  for (nn::Parameter* p : fresh->prunable_parameters()) {
+    ASSERT_TRUE(p->has_mask()) << p->name;
+    EXPECT_GT(p->mask_sparsity(), 0.3) << p->name;
+  }
+}
+
+TEST(PackedExec, PackedForwardMatchesMaskedDense) {
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({3, 3, 8, 8}, xrng);
+  const Tensor dense_out = nn::predict(*model, x);
+
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const auto attached = attach_packed(*model, packed);
+  EXPECT_EQ(attached.size(), packed.entries().size());
+  const Tensor packed_out = nn::predict(*model, x);
+  // Same multiplications in a different accumulation order.
+  EXPECT_LE(max_abs_diff(dense_out, packed_out), 1e-4f);
+
+  detach_packed(*model);
+  const Tensor detached_out = nn::predict(*model, x);
+  EXPECT_FLOAT_EQ(max_abs_diff(dense_out, detached_out), 0.0f);
+}
+
+TEST(PackedExec, AttachSkipsGroupedConvs) {
+  auto model = make_convnet(/*grouped_prunable=*/true);
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const auto attached = attach_packed(*model, packed);
+  // conv2 (groups=2) refuses the hook; conv1 and fc accept.
+  EXPECT_EQ(attached.size(), packed.entries().size() - 1);
+  for (const std::string& name : attached) EXPECT_NE(name, "conv2.weight");
+
+  // Mixed execution still matches the dense reference.
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  const Tensor packed_out = nn::predict(*model, x);
+  detach_packed(*model);
+  const Tensor dense_out = nn::predict(*model, x);
+  EXPECT_LE(max_abs_diff(dense_out, packed_out), 1e-4f);
+}
+
+TEST(PackedExec, TrainingForwardIgnoresHook) {
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  attach_packed(*model, packed);
+
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  // Train-mode forward must run the dense path (and cache activations for
+  // backward) even with hooks installed — STE updates need dense weights.
+  const Tensor train_out = model->forward(x, /*train=*/true);
+  Tensor grad(train_out.shape());
+  grad.fill(1.0f);
+  EXPECT_NO_THROW(model->backward(grad));
+  detach_packed(*model);
+  const Tensor eval_out = nn::predict(*model, x);
+  EXPECT_LE(max_abs_diff(train_out, eval_out), 1e-4f);
+}
+
+TEST(PackedExec, LinearOnlyModelRoundTrips) {
+  Rng rng(9);
+  auto model = std::make_unique<nn::Sequential>("mlp");
+  model->emplace<nn::Linear>("fc1", 32, 24, rng);
+  model->emplace<nn::ReLU>("relu");
+  model->emplace<nn::Linear>("fc2", 24, 8, rng);
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({4, 32}, xrng);
+  const Tensor dense_out = nn::predict(*model, x);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const auto attached = attach_packed(*model, packed);
+  EXPECT_EQ(attached.size(), 2u);
+  const Tensor packed_out = nn::predict(*model, x);
+  EXPECT_LE(max_abs_diff(dense_out, packed_out), 1e-4f);
+}
+
+TEST(PackedModel, UnmaskedModelPacksAsAllDense) {
+  auto model = make_convnet();  // no masks installed anywhere
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  EXPECT_TRUE(packed.entries().empty());
+  const PackedStats s = packed.stats();
+  EXPECT_EQ(s.carried_dense_bits, s.model_dense_bits);
+  EXPECT_DOUBLE_EQ(s.compression(), 1.0);
+
+  // Round-trips like any artifact: everything rides in the dense state.
+  const std::string path = temp_path("packed_dense.bin");
+  packed.save(path);
+  const PackedModel loaded = PackedModel::load(path);
+  std::remove(path.c_str());
+  auto fresh = make_convnet();
+  loaded.unpack_into(*fresh);
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  EXPECT_LE(max_abs_diff(nn::predict(*model, x), nn::predict(*fresh, x)),
+            1e-6f);
+}
+
+TEST(PackedExec, HooksSurviveOwnerMove) {
+  // Moving a PackedModel moves its entries' heap buffers wholesale, so
+  // hooks installed from the moved-to object stay valid. (Hooks must be
+  // installed AFTER the move — the documented owner-outlives-inference
+  // contract.)
+  auto model = make_convnet();
+  install_hybrid_masks(*model, 8, 2, 4, 1);
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  const Tensor want = nn::predict(*model, x);
+
+  PackedModel staging = PackedModel::pack(*model, 8, 2, 4);
+  const PackedModel packed = std::move(staging);
+  attach_packed(*model, packed);
+  const Tensor got = nn::predict(*model, x);
+  detach_packed(*model);
+  EXPECT_LE(max_abs_diff(want, got), 1e-4f);
+}
+
+// The full pipeline: CRISP-prune a real (tiny) model, pack, ship, reload,
+// execute packed — accuracy must survive the journey unchanged.
+TEST(PackedPipeline, PruneShipReloadServe) {
+  data::ClassPatternConfig dcfg = data::ClassPatternConfig::cifar100_like();
+  dcfg.num_classes = 6;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 8;
+  dcfg.test_per_class = 4;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = 6;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.125f;
+  auto model = nn::make_vgg16(mcfg);
+
+  nn::TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05f;
+  Rng rng(1);
+  nn::train(*model, split.train, tc, rng);
+
+  core::CrispConfig pcfg;
+  pcfg.n = 2;
+  pcfg.m = 4;
+  pcfg.block = 8;
+  pcfg.target_sparsity = 0.75;
+  pcfg.iterations = 2;
+  pcfg.finetune_epochs = 1;
+  pcfg.recovery_epochs = 2;
+  core::CrispPruner pruner(*model, pcfg);
+  pruner.run(split.train, rng);
+
+  const float acc_pruned = nn::evaluate(*model, split.test);
+
+  const std::string path = temp_path("pipeline_packed.bin");
+  PackedModel::pack(*model, pcfg.block, pcfg.n, pcfg.m).save(path);
+
+  const PackedModel shipped = PackedModel::load(path);
+  std::remove(path.c_str());
+  auto device_model = nn::make_vgg16(mcfg);  // fresh weights on the device
+  shipped.unpack_into(*device_model);
+  const auto attached = attach_packed(*device_model, shipped);
+  EXPECT_FALSE(attached.empty());
+  const float acc_served = nn::evaluate(*device_model, split.test);
+  EXPECT_NEAR(acc_served, acc_pruned, 1e-6f);
+}
+
+}  // namespace
+}  // namespace crisp::deploy

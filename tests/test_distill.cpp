@@ -1,0 +1,227 @@
+// Knowledge-distillation fine-tuning tests: loss-gradient correctness
+// (finite differences), limit behaviours (alpha endpoints, T = 1,
+// teacher == student), and the end-to-end recovery path on a pruned model.
+#include <gtest/gtest.h>
+
+#include "core/pruner.h"
+#include "data/class_pattern.h"
+#include "nn/activations.h"
+#include "nn/distill.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models/common.h"
+
+namespace crisp::nn {
+namespace {
+
+Tensor random_logits(std::int64_t b, std::int64_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({b, c}, rng, 0.0f, 2.0f);
+}
+
+std::vector<std::int64_t> labels_mod(std::int64_t b, std::int64_t c) {
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(b));
+  for (std::int64_t i = 0; i < b; ++i) labels[static_cast<std::size_t>(i)] = i % c;
+  return labels;
+}
+
+TEST(DistillLoss, AlphaZeroIsPlainCrossEntropy) {
+  const Tensor zs = random_logits(4, 6, 1), zt = random_logits(4, 6, 2);
+  const auto labels = labels_mod(4, 6);
+  const DistillLossResult d = distill_loss(zs, zt, labels, 3.0f, 0.0f);
+  const LossResult ce = cross_entropy(zs, labels);
+  EXPECT_FLOAT_EQ(d.value, ce.value);
+  EXPECT_LE(max_abs_diff(d.grad, ce.grad), 1e-7f);
+}
+
+TEST(DistillLoss, TeacherEqualsStudentZeroesKdTerm) {
+  const Tensor z = random_logits(5, 4, 3);
+  const auto labels = labels_mod(5, 4);
+  const DistillLossResult d = distill_loss(z, z, labels, 2.0f, 1.0f);
+  EXPECT_NEAR(d.kd, 0.0f, 1e-6f);
+  EXPECT_NEAR(d.value, 0.0f, 1e-6f);
+  EXPECT_LE(d.grad.abs_max(), 1e-6f);
+}
+
+TEST(DistillLoss, KdIsNonNegativeAndPullsTowardTeacher) {
+  const Tensor zs = random_logits(4, 8, 4), zt = random_logits(4, 8, 5);
+  const auto labels = labels_mod(4, 8);
+  const DistillLossResult d = distill_loss(zs, zt, labels, 2.0f, 1.0f);
+  EXPECT_GT(d.kd, 0.0f);  // KL divergence of distinct distributions
+
+  // One gradient step on the logits must reduce the KD objective.
+  Tensor stepped = zs;
+  stepped.axpy_(-0.5f, d.grad);
+  const DistillLossResult after =
+      distill_loss(stepped, zt, labels, 2.0f, 1.0f);
+  EXPECT_LT(after.kd, d.kd);
+}
+
+TEST(DistillLoss, GradientMatchesFiniteDifferences) {
+  const std::int64_t b = 3, c = 5;
+  Tensor zs = random_logits(b, c, 6);
+  const Tensor zt = random_logits(b, c, 7);
+  const auto labels = labels_mod(b, c);
+  const float temperature = 2.5f, alpha = 0.7f;
+
+  const DistillLossResult base =
+      distill_loss(zs, zt, labels, temperature, alpha);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < zs.numel(); i += 2) {
+    const float saved = zs[i];
+    zs[i] = saved + eps;
+    const float up = distill_loss(zs, zt, labels, temperature, alpha).value;
+    zs[i] = saved - eps;
+    const float down = distill_loss(zs, zt, labels, temperature, alpha).value;
+    zs[i] = saved;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(base.grad[i], numeric, 5e-3f) << "logit " << i;
+  }
+}
+
+TEST(DistillLoss, RejectsBadArguments) {
+  const Tensor zs = random_logits(2, 4, 8);
+  const Tensor zt = random_logits(2, 5, 9);  // class-count mismatch
+  const auto labels = labels_mod(2, 4);
+  EXPECT_THROW(distill_loss(zs, zt, labels, 2.0f, 0.5f), std::runtime_error);
+  const Tensor zt_ok = random_logits(2, 4, 9);
+  EXPECT_THROW(distill_loss(zs, zt_ok, labels, 0.0f, 0.5f),
+               std::runtime_error);
+  EXPECT_THROW(distill_loss(zs, zt_ok, labels, 2.0f, 1.5f),
+               std::runtime_error);
+}
+
+TEST(DistillTrain, StudentApproachesTeacherWithoutLabels) {
+  // Pure KD (alpha = 1): a linear student distils a fixed linear teacher's
+  // function from unlabeled-ish data (labels present but unweighted).
+  Rng rng(10);
+  auto make_mlp = [&](std::uint64_t seed) {
+    Rng r(seed);
+    auto m = std::make_unique<Sequential>("mlp");
+    m->emplace<Flatten>("flat");
+    m->emplace<Linear>("fc", 27, 4, r);
+    return m;
+  };
+  auto teacher = make_mlp(1);
+  auto student = make_mlp(2);
+
+  data::ClassPatternConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.image_size = 3;
+  dcfg.train_per_class = 16;
+  dcfg.test_per_class = 4;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  // KD matches *distributions*: logits may keep per-sample offsets, so the
+  // distance that must shrink is between softmax outputs.
+  const Tensor probe = split.test.images;
+  const Tensor teacher_probs = softmax(predict(*teacher, probe));
+  const float before =
+      max_abs_diff(softmax(predict(*student, probe)), teacher_probs);
+
+  DistillConfig cfg;
+  cfg.base.epochs = 30;
+  cfg.base.batch_size = 16;
+  cfg.base.sgd.lr = 0.05f;
+  cfg.alpha = 1.0f;
+  cfg.temperature = 1.0f;
+  distill_train(*student, *teacher, split.train, cfg, rng);
+
+  const float after =
+      max_abs_diff(softmax(predict(*student, probe)), teacher_probs);
+  EXPECT_LT(after, before * 0.5f) << "student did not move toward teacher";
+}
+
+TEST(DistillTrain, RecoversPrunedModelAndKeepsMasks) {
+  data::ClassPatternConfig dcfg = data::ClassPatternConfig::cifar100_like();
+  dcfg.num_classes = 6;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 8;
+  dcfg.test_per_class = 4;
+  dcfg.noise_std = 0.15f;
+  dcfg.max_shift = 1;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = 6;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.125f;
+  auto model = nn::make_vgg16(mcfg);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05f;
+  Rng rng(1);
+  train(*model, split.train, tc, rng);
+  const float teacher_acc = evaluate(*model, split.test);
+
+  // Keep the dense model as the teacher, prune a copy as the student.
+  auto student = nn::make_vgg16(mcfg);
+  student->load_state_dict(model->state_dict());
+
+  core::CrispConfig pcfg;
+  pcfg.block = 8;
+  pcfg.target_sparsity = 0.7;
+  pcfg.iterations = 1;
+  pcfg.finetune_epochs = 0;
+  pcfg.recovery_epochs = 0;
+  core::CrispPruner pruner(*student, pcfg);
+  pruner.run(split.train, rng);
+  const float pruned_acc = evaluate(*student, split.test);
+
+  DistillConfig dcfg2;
+  dcfg2.base.epochs = 10;
+  dcfg2.base.batch_size = 16;
+  dcfg2.base.sgd.lr = 0.03f;
+  dcfg2.alpha = 0.5f;
+  distill_train(*student, *model, split.train, dcfg2, rng);
+  const float distilled_acc = evaluate(*student, split.test);
+
+  EXPECT_GE(distilled_acc, pruned_acc)
+      << "KD recovery made the pruned model worse (teacher " << teacher_acc
+      << ")";
+  EXPECT_GT(distilled_acc, 1.0f / 6.0f + 0.1f) << "still at chance after KD";
+  // STE contract: masks survive distillation; per-layer sparsity is
+  // non-uniform by design, but never below the 2:4 floor, and the global
+  // census still reports the target.
+  for (nn::Parameter* p : student->prunable_parameters()) {
+    ASSERT_TRUE(p->has_mask());
+    EXPECT_GE(p->mask_sparsity(), 0.49);
+  }
+  EXPECT_NEAR(core::take_census(*student, pcfg.block).global_sparsity, 0.7,
+              0.05);
+}
+
+TEST(DistillTrain, EpochStatsAreCoherent) {
+  Rng rng(11);
+  auto make_mlp = [&](std::uint64_t seed) {
+    Rng r(seed);
+    auto m = std::make_unique<Sequential>("mlp");
+    m->emplace<Flatten>("flat");
+    m->emplace<Linear>("fc", 12, 3, r);
+    return m;
+  };
+  auto teacher = make_mlp(1);
+  auto student = make_mlp(2);
+  data::ClassPatternConfig dcfg;
+  dcfg.num_classes = 3;
+  dcfg.image_size = 2;
+  dcfg.train_per_class = 8;
+  dcfg.test_per_class = 2;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  DistillConfig cfg;
+  cfg.base.epochs = 4;
+  cfg.alpha = 0.3f;
+  const auto stats = distill_train(*student, *teacher, split.train, cfg, rng);
+  ASSERT_EQ(stats.size(), 4u);
+  for (const auto& es : stats) {
+    EXPECT_NEAR(es.loss, 0.7f * es.ce_loss + 0.3f * es.kd_loss, 1e-3f);
+    EXPECT_GE(es.kd_loss, -1e-6f);
+    EXPECT_GE(es.accuracy, 0.0f);
+    EXPECT_LE(es.accuracy, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace crisp::nn

@@ -1,0 +1,193 @@
+// Parameterized property sweeps across the hybrid-pattern space: mask
+// construction, CRISP-format encode/decode/spmm, stream persistence, and
+// the paper's metadata formulas — all over a grid of shapes, N:M ratios,
+// block sizes and block-pruning depths (including non-multiple trailing
+// extents).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "core/block_pruning.h"
+#include "sparse/mask.h"
+#include "sparse/metadata.h"
+#include "sparse/nm.h"
+#include "sparse/spmm.h"
+
+namespace crisp::sparse {
+namespace {
+
+// rows, cols, block, n, m, pruned ranks per row
+using HybridCase =
+    std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+               std::int64_t, std::int64_t>;
+
+class HybridPatternProperty : public ::testing::TestWithParam<HybridCase> {
+ protected:
+  void SetUp() override {
+    std::tie(rows_, cols_, block_, n_, m_, pruned_) = GetParam();
+    grid_ = BlockGrid{rows_, cols_, block_};
+    if (pruned_ >= grid_.grid_cols()) pruned_ = grid_.grid_cols() - 1;
+
+    Rng rng(static_cast<std::uint64_t>(rows_ * 31 + cols_ * 7 + block_));
+    scores_ = Tensor::rand({rows_, cols_}, rng, 0.05f, 1.0f);
+    weights_ = Tensor::randn({rows_, cols_}, rng, 0.0f, 1.0f);
+    // Avoid exact zeros in kept positions so nnz accounting is exact.
+    for (std::int64_t i = 0; i < weights_.numel(); ++i)
+      if (weights_[i] == 0.0f) weights_[i] = 0.5f;
+
+    const Tensor nm = nm_mask(as_matrix(scores_, rows_, cols_), n_, m_);
+    core::LayerBlockInfo info;
+    info.grid = grid_;
+    info.scores = block_scores(as_matrix(scores_, rows_, cols_), grid_);
+    const Tensor bmask = core::rank_pruned_block_mask(info, pruned_);
+    mask_ = mask_and(nm, bmask);
+    masked_ = weights_.mul(mask_);
+  }
+
+  std::int64_t rows_, cols_, block_, n_, m_, pruned_;
+  BlockGrid grid_;
+  Tensor scores_, weights_, mask_, masked_;
+};
+
+TEST_P(HybridPatternProperty, MaskSatisfiesBothComponents) {
+  EXPECT_TRUE(is_binary(as_matrix(mask_, rows_, cols_)));
+  EXPECT_TRUE(satisfies_nm(as_matrix(mask_, rows_, cols_), n_, m_));
+
+  // Equal pruned blocks per block-row (the load-balance invariant).
+  const auto per_row = zero_blocks_per_row(as_matrix(masked_, rows_, cols_),
+                                           grid_);
+  for (std::size_t r = 1; r < per_row.size(); ++r)
+    EXPECT_GE(per_row[r], pruned_) << "block-row " << r;
+}
+
+TEST_P(HybridPatternProperty, EncodeDecodeIsLossless) {
+  const CrispMatrix enc =
+      CrispMatrix::encode(as_matrix(masked_, rows_, cols_), block_, n_, m_);
+  EXPECT_FLOAT_EQ(max_abs_diff(enc.decode(), masked_), 0.0f);
+  EXPECT_EQ(enc.rows(), rows_);
+  EXPECT_EQ(enc.cols(), cols_);
+}
+
+TEST_P(HybridPatternProperty, SpmmMatchesDenseReference) {
+  const CrispMatrix enc =
+      CrispMatrix::encode(as_matrix(masked_, rows_, cols_), block_, n_, m_);
+  Rng rng(99);
+  const Tensor x = Tensor::randn({cols_, 5}, rng);
+  const Tensor want = dense_matmul(masked_, x);
+  const Tensor got = spmm(enc, x);
+  EXPECT_LE(max_abs_diff(want, got), 2e-4f * static_cast<float>(cols_));
+}
+
+TEST_P(HybridPatternProperty, StreamRoundTripPreservesEverything) {
+  const CrispMatrix enc =
+      CrispMatrix::encode(as_matrix(masked_, rows_, cols_), block_, n_, m_);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  enc.write(ss);
+  const CrispMatrix back = CrispMatrix::read(ss);
+  EXPECT_FLOAT_EQ(max_abs_diff(back.decode(), masked_), 0.0f);
+  EXPECT_EQ(back.metadata_bits(), enc.metadata_bits());
+  EXPECT_EQ(back.payload_bits(), enc.payload_bits());
+  EXPECT_EQ(back.blocks_per_row(), enc.blocks_per_row());
+  EXPECT_EQ(back.n(), enc.n());
+  EXPECT_EQ(back.m(), enc.m());
+}
+
+TEST_P(HybridPatternProperty, TruncatedStreamThrows) {
+  const CrispMatrix enc =
+      CrispMatrix::encode(as_matrix(masked_, rows_, cols_), block_, n_, m_);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  enc.write(full);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() * 2 / 3),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(CrispMatrix::read(cut), std::runtime_error);
+}
+
+TEST_P(HybridPatternProperty, SparsityMatchesPaperIdentity) {
+  // 1 − (K'/K)(N/M) is the average sparsity the paper reports (§III-A).
+  // Our measured zero-fraction can only exceed it (extra zeros come from
+  // weights whose group had fewer than N survivors at the matrix edge).
+  const auto per_row = zero_blocks_per_row(as_matrix(masked_, rows_, cols_),
+                                           grid_);
+  const double pruned_blocks = static_cast<double>(per_row.front());
+  const double kc = 1.0 - pruned_blocks / static_cast<double>(grid_.grid_cols());
+  const double predicted =
+      1.0 - kc * static_cast<double>(n_) / static_cast<double>(m_);
+  const double measured = mask_sparsity(as_matrix(mask_, rows_, cols_));
+  // A trailing partial block-column makes the block-count fraction differ
+  // from the true column fraction by up to block/K; partial groups add a
+  // little more in either direction.
+  const double quantization = static_cast<double>(block_) /
+                              static_cast<double>(cols_) *
+                              static_cast<double>(n_) /
+                              static_cast<double>(m_);
+  EXPECT_GE(measured + quantization + 0.02, predicted);
+  EXPECT_LE(measured, predicted + quantization + 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HybridPatternProperty,
+    ::testing::Values(
+        // Aligned everything.
+        HybridCase{32, 32, 8, 2, 4, 1}, HybridCase{64, 64, 16, 2, 4, 2},
+        HybridCase{16, 64, 16, 1, 4, 1}, HybridCase{64, 32, 8, 3, 4, 2},
+        // Trailing partial blocks in rows, cols, or both.
+        HybridCase{36, 32, 8, 2, 4, 1}, HybridCase{32, 44, 8, 2, 4, 3},
+        HybridCase{25, 50, 8, 1, 4, 2},
+        // M = 2 and wider M = 8 groups.
+        HybridCase{32, 32, 8, 1, 2, 1}, HybridCase{32, 64, 16, 3, 8, 1},
+        // Single block-column row (pruned clamps to 0), tall-thin, flat-wide.
+        HybridCase{32, 8, 8, 2, 4, 3}, HybridCase{128, 16, 8, 2, 4, 1},
+        HybridCase{8, 128, 8, 2, 4, 9},
+        // Block == matrix (degenerate grid).
+        HybridCase{16, 16, 16, 2, 4, 0}));
+
+// ---------------------------------------------------------------------------
+// Paper metadata formulas vs the concrete encoder, across shapes.
+
+using MetadataCase = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class MetadataConsistency : public ::testing::TestWithParam<MetadataCase> {};
+
+TEST_P(MetadataConsistency, EncoderTracksPaperFormulas) {
+  const auto [s, k, block] = GetParam();
+  Rng rng(7);
+  Tensor scores = Tensor::rand({s, k}, rng, 0.05f, 1.0f);
+  Tensor w = Tensor::randn({s, k}, rng);
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    if (w[i] == 0.0f) w[i] = 0.5f;
+
+  const Tensor nm = nm_mask(as_matrix(scores, s, k), 2, 4);
+  core::LayerBlockInfo info;
+  info.grid = BlockGrid{s, k, block};
+  info.scores = block_scores(as_matrix(scores, s, k), info.grid);
+  const std::int64_t pruned = info.grid.grid_cols() / 2;
+  const Tensor bmask = core::rank_pruned_block_mask(info, pruned);
+  Tensor masked = w.mul(mask_and(nm, bmask));
+
+  const CrispMatrix enc = CrispMatrix::encode(as_matrix(masked, s, k),
+                                              block, 2, 4);
+  const std::int64_t k_prime = enc.blocks_per_row() * block;
+
+  // The paper's §III-A expressions, computed on the same K'.
+  const std::int64_t formula_bits =
+      paper_block_metadata_bits(s, k_prime, block) +
+      paper_nm_metadata_bits(s, k_prime, 2, 4);
+  // The encoder stores the same information with per-row indices; both
+  // sides must agree within the formula's floor-vs-ceil slack.
+  const double ratio = static_cast<double>(enc.metadata_bits()) /
+                       static_cast<double>(formula_bits);
+  EXPECT_GT(ratio, 0.5) << "s=" << s << " k=" << k << " b=" << block;
+  EXPECT_LT(ratio, 2.0) << "s=" << s << " k=" << k << " b=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MetadataConsistency,
+                         ::testing::Values(MetadataCase{64, 64, 8},
+                                           MetadataCase{64, 128, 16},
+                                           MetadataCase{128, 64, 16},
+                                           MetadataCase{256, 256, 32},
+                                           MetadataCase{48, 96, 8}));
+
+}  // namespace
+}  // namespace crisp::sparse

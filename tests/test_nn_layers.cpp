@@ -1,0 +1,541 @@
+// Layer tests: forward correctness against naive references and
+// finite-difference gradient checks for every layer and composite block.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/models/mobilenet.h"
+#include "nn/models/resnet.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace crisp::nn {
+namespace {
+
+/// Scalar probe loss: L = Σ w ⊙ layer(x), with fixed random w. Its gradient
+/// w.r.t. the layer output is simply w, so backward() can be driven exactly.
+float probe_loss(Layer& layer, const Tensor& x, const Tensor& w) {
+  Tensor y = layer.forward(x, /*train=*/true);
+  EXPECT_EQ(y.numel(), w.numel());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    acc += static_cast<double>(y[i]) * w[i];
+  return static_cast<float>(acc);
+}
+
+/// Moves values away from ReLU/pool kinks so finite differences stay valid.
+void nudge_from_kinks(Tensor& t, float margin = 0.05f) {
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    if (std::fabs(t[i]) < margin) t[i] = t[i] < 0 ? -margin : margin;
+}
+
+struct GradCheckOptions {
+  float eps = 5e-3f;
+  float rel_tol = 0.08f;
+  float abs_tol = 0.02f;
+  std::int64_t max_probes = 24;
+};
+
+/// Central-difference check of input and parameter gradients.
+void check_gradients(Layer& layer, Tensor x, std::uint64_t seed,
+                     const GradCheckOptions& opt = {}) {
+  Rng rng(seed);
+  nudge_from_kinks(x);
+  Tensor y = layer.forward(x, /*train=*/true);
+  Tensor w = Tensor::randn(y.shape(), rng);
+
+  layer.zero_grad();
+  (void)probe_loss(layer, x, w);
+  Tensor grad_in = layer.backward(w);
+  ASSERT_TRUE(grad_in.same_shape(x));
+
+  auto probe_indices = [&](std::int64_t n) {
+    std::vector<std::int64_t> idx;
+    const std::int64_t count = std::min(n, opt.max_probes);
+    for (std::int64_t i = 0; i < count; ++i)
+      idx.push_back(rng.randint(0, n - 1));
+    return idx;
+  };
+
+  // Input gradient.
+  for (std::int64_t i : probe_indices(x.numel())) {
+    const float saved = x[i];
+    x[i] = saved + opt.eps;
+    const float lp = probe_loss(layer, x, w);
+    x[i] = saved - opt.eps;
+    const float lm = probe_loss(layer, x, w);
+    x[i] = saved;
+    const float numeric = (lp - lm) / (2.0f * opt.eps);
+    const float analytic = grad_in[i];
+    EXPECT_NEAR(analytic, numeric,
+                opt.abs_tol + opt.rel_tol * std::fabs(numeric))
+        << layer.name() << " input grad at " << i;
+  }
+
+  // Parameter gradients.
+  for (Parameter* p : layer.parameters()) {
+    for (std::int64_t i : probe_indices(p->value.numel())) {
+      const float saved = p->value[i];
+      p->value[i] = saved + opt.eps;
+      const float lp = probe_loss(layer, x, w);
+      p->value[i] = saved - opt.eps;
+      const float lm = probe_loss(layer, x, w);
+      p->value[i] = saved;
+      const float numeric = (lp - lm) / (2.0f * opt.eps);
+      const float analytic = p->grad[i];
+      EXPECT_NEAR(analytic, numeric,
+                  opt.abs_tol + opt.rel_tol * std::fabs(numeric))
+          << layer.name() << " param " << p->name << " grad at " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d.
+
+TEST(Conv2d, ForwardMatchesNaiveReference) {
+  Rng rng(1);
+  Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 4;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  Conv2d conv("conv", spec, rng);
+
+  Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{2, 4, 6, 6}));
+
+  // Direct convolution reference.
+  const Tensor& wt = conv.weight().value;
+  for (std::int64_t b = 0; b < 2; ++b)
+    for (std::int64_t s = 0; s < 4; ++s)
+      for (std::int64_t oy = 0; oy < 6; ++oy)
+        for (std::int64_t ox = 0; ox < 6; ++ox) {
+          double acc = 0.0;
+          for (std::int64_t c = 0; c < 3; ++c)
+            for (std::int64_t kh = 0; kh < 3; ++kh)
+              for (std::int64_t kw = 0; kw < 3; ++kw) {
+                const std::int64_t iy = oy - 1 + kh, ix = ox - 1 + kw;
+                if (iy < 0 || iy >= 6 || ix < 0 || ix >= 6) continue;
+                acc += static_cast<double>(
+                           wt.at({s, c, kh, kw})) *
+                       x.at({b, c, iy, ix});
+              }
+          EXPECT_NEAR(y.at({b, s, oy, ox}), acc, 1e-4)
+              << b << "," << s << "," << oy << "," << ox;
+        }
+}
+
+TEST(Conv2d, DepthwiseForwardMatchesPerChannelConv) {
+  Rng rng(2);
+  Conv2dSpec spec;
+  spec.in_channels = 4;
+  spec.out_channels = 4;
+  spec.kernel = 3;
+  spec.padding = 1;
+  spec.groups = 4;
+  Conv2d conv("dw", spec, rng);
+  Tensor x = Tensor::randn({1, 4, 5, 5}, rng);
+  Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 4, 5, 5}));
+
+  const Tensor& wt = conv.weight().value;  // (4, 1, 3, 3)
+  for (std::int64_t c = 0; c < 4; ++c)
+    for (std::int64_t oy = 0; oy < 5; ++oy)
+      for (std::int64_t ox = 0; ox < 5; ++ox) {
+        double acc = 0.0;
+        for (std::int64_t kh = 0; kh < 3; ++kh)
+          for (std::int64_t kw = 0; kw < 3; ++kw) {
+            const std::int64_t iy = oy - 1 + kh, ix = ox - 1 + kw;
+            if (iy < 0 || iy >= 5 || ix < 0 || ix >= 5) continue;
+            acc += static_cast<double>(wt.at({c, 0, kh, kw})) *
+                   x.at({0, c, iy, ix});
+          }
+        EXPECT_NEAR(y.at({0, c, oy, ox}), acc, 1e-4);
+      }
+}
+
+struct ConvGradCase {
+  std::int64_t in_ch, out_ch, kernel, stride, padding, groups;
+  bool bias;
+};
+
+class Conv2dGradTest : public ::testing::TestWithParam<ConvGradCase> {};
+
+TEST_P(Conv2dGradTest, GradientsMatchFiniteDifferences) {
+  const auto c = GetParam();
+  Rng rng(33);
+  Conv2dSpec spec;
+  spec.in_channels = c.in_ch;
+  spec.out_channels = c.out_ch;
+  spec.kernel = c.kernel;
+  spec.stride = c.stride;
+  spec.padding = c.padding;
+  spec.groups = c.groups;
+  spec.bias = c.bias;
+  Conv2d conv("conv_grad", spec, rng);
+  Tensor x = Tensor::randn({2, c.in_ch, 6, 6}, rng);
+  check_gradients(conv, std::move(x), 100 + c.kernel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, Conv2dGradTest,
+    ::testing::Values(ConvGradCase{3, 4, 3, 1, 1, 1, false},
+                      ConvGradCase{4, 2, 1, 1, 0, 1, true},
+                      ConvGradCase{2, 6, 3, 2, 1, 1, false},
+                      ConvGradCase{4, 4, 3, 1, 1, 4, false},   // depthwise
+                      ConvGradCase{4, 8, 3, 1, 1, 2, true}));  // grouped
+
+TEST(Conv2d, MaskedForwardZeroesContributions) {
+  Rng rng(4);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 2;
+  spec.kernel = 1;
+  spec.padding = 0;
+  Conv2d conv("mask", spec, rng);
+  Tensor x = Tensor::ones({1, 2, 2, 2});
+
+  conv.weight().ensure_mask();
+  conv.weight().mask.zero();  // everything pruned
+  Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.abs_max(), 0.0f);
+
+  // MAC accounting reflects the mask.
+  EXPECT_EQ(conv.last_sparse_macs(), 0);
+  EXPECT_GT(conv.last_dense_macs(), 0);
+}
+
+TEST(Conv2d, SteGradientIsDenseUnderMask) {
+  Rng rng(5);
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 2;
+  spec.kernel = 3;
+  spec.padding = 1;
+  Conv2d conv("ste", spec, rng);
+  conv.weight().ensure_mask();
+  // Prune half the weights.
+  for (std::int64_t i = 0; i < conv.weight().mask.numel(); i += 2)
+    conv.weight().mask[i] = 0.0f;
+
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  conv.zero_grad();
+  Tensor y = conv.forward(x, true);
+  conv.backward(Tensor::ones(y.shape()));
+  // Straight-through: even masked-out weights receive gradient.
+  std::int64_t nonzero_grads_at_masked = 0;
+  for (std::int64_t i = 0; i < conv.weight().mask.numel(); i += 2)
+    nonzero_grads_at_masked += (conv.weight().grad[i] != 0.0f);
+  EXPECT_GT(nonzero_grads_at_masked, 0);
+}
+
+TEST(Conv2d, RejectsBadInputs) {
+  Rng rng(6);
+  Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 4;
+  Conv2d conv("bad", spec, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 2, 4, 4}), false), std::runtime_error);
+  EXPECT_THROW(conv.forward(Tensor({3, 4, 4}), false), std::runtime_error);
+  EXPECT_THROW(conv.backward(Tensor({1, 4, 4, 4})), std::runtime_error);
+
+  Conv2dSpec bad_groups;
+  bad_groups.in_channels = 3;
+  bad_groups.out_channels = 4;
+  bad_groups.groups = 2;
+  EXPECT_THROW(Conv2d("g", bad_groups, rng), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Linear.
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(7);
+  Linear lin("fc", 3, 2, rng, /*bias=*/true);
+  Tensor x({2, 3}, {1, 2, 3, 4, 5, 6});
+  lin.weight().value = Tensor({2, 3}, {1, 0, 0, 0, 1, 0});
+  Tensor y = lin.forward(x, false);
+  // y = x · Wᵀ: row0 = (1, 2), row1 = (4, 5)
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1}), 2.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 1}), 5.0f);
+}
+
+TEST(Linear, GradientsMatchFiniteDifferences) {
+  Rng rng(8);
+  Linear lin("fc_grad", 5, 4, rng, /*bias=*/true);
+  Tensor x = Tensor::randn({3, 5}, rng);
+  check_gradients(lin, std::move(x), 42);
+}
+
+TEST(Linear, MatrixInterpretation) {
+  Rng rng(9);
+  Linear lin("fc_m", 6, 4, rng);
+  EXPECT_EQ(lin.weight().matrix_rows, 4);
+  EXPECT_EQ(lin.weight().matrix_cols, 6);
+  EXPECT_TRUE(lin.weight().prunable);
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2d.
+
+TEST(BatchNorm2d, NormalizesBatchStatistics) {
+  Rng rng(10);
+  BatchNorm2d bn("bn", 3);
+  Tensor x = Tensor::randn({4, 3, 5, 5}, rng, 2.0f, 3.0f);
+  Tensor y = bn.forward(x, true);
+
+  // Per channel, output should be ~zero-mean unit-variance.
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    std::int64_t count = 0;
+    for (std::int64_t b = 0; b < 4; ++b)
+      for (std::int64_t i = 0; i < 25; ++i) {
+        const float v = y.at({b, c, i / 5, i % 5});
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        ++count;
+      }
+    const double mean = sum / count;
+    const double var = sq / count - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  Rng rng(11);
+  BatchNorm2d bn("bn_eval", 2);
+  Tensor x = Tensor::randn({8, 2, 4, 4}, rng, 1.0f, 2.0f);
+  // Accumulate running statistics until they converge to the batch stats
+  // (momentum 0.1 ⇒ residual 0.9^60 ≈ 0.002 of the initial gap).
+  for (int i = 0; i < 60; ++i) bn.forward(x, true);
+  Tensor y_eval = bn.forward(x, false);
+  Tensor y_train = bn.forward(x, true);
+  // With converged running stats the two modes agree closely.
+  EXPECT_LT(max_abs_diff(y_eval, y_train), 0.15f);
+}
+
+TEST(BatchNorm2d, GradientsMatchFiniteDifferences) {
+  Rng rng(12);
+  BatchNorm2d bn("bn_grad", 3);
+  Tensor x = Tensor::randn({3, 3, 4, 4}, rng);
+  check_gradients(bn, std::move(x), 77);
+}
+
+// ---------------------------------------------------------------------------
+// Activations / Flatten.
+
+TEST(ReLU, ForwardAndBackward) {
+  ReLU relu("relu");
+  Tensor x({4}, {-1.0f, 0.5f, -0.2f, 2.0f});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  Tensor g = relu.backward(Tensor::ones({4}));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+  EXPECT_FLOAT_EQ(g[3], 1.0f);
+}
+
+TEST(ReLU6, CapsAndGates) {
+  ReLU relu6("relu6", 6.0f);
+  Tensor x({3}, {-1.0f, 3.0f, 9.0f});
+  Tensor y = relu6.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  EXPECT_FLOAT_EQ(y[2], 6.0f);
+  Tensor g = relu6.backward(Tensor::ones({3}));
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);  // saturated region passes no gradient
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat("flat");
+  Rng rng(13);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 48}));
+  Tensor g = flat.backward(y);
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_TRUE(allclose(g, x, 0.0f, 0.0f));
+}
+
+// ---------------------------------------------------------------------------
+// Pooling.
+
+TEST(MaxPool2d, ForwardKnownValues) {
+  MaxPool2d pool("pool");
+  Tensor x({1, 1, 4, 4},
+           {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 8.0f);
+  EXPECT_FLOAT_EQ(y[2], 14.0f);
+  EXPECT_FLOAT_EQ(y[3], 16.0f);
+
+  Tensor g = pool.backward(Tensor::ones({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(g.at({0, 0, 1, 1}), 1.0f);   // argmax positions get grad
+  EXPECT_FLOAT_EQ(g.at({0, 0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(g.sum(), 4.0f);
+}
+
+TEST(MaxPool2d, GradientsMatchFiniteDifferences) {
+  Rng rng(14);
+  MaxPool2d pool("pool_grad");
+  Tensor x = Tensor::randn({2, 2, 6, 6}, rng);
+  check_gradients(pool, std::move(x), 55);
+}
+
+TEST(GlobalAvgPool, ForwardAndBackward) {
+  GlobalAvgPool gap("gap");
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 25.0f);
+  Tensor g = gap.backward(Tensor({1, 2}, {4.0f, 8.0f}));
+  EXPECT_FLOAT_EQ(g.at({0, 0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(g.at({0, 1, 1, 1}), 2.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Sequential and composite blocks.
+
+TEST(Sequential, ChainsAndAggregates) {
+  Rng rng(15);
+  Sequential seq("seq");
+  seq.emplace<Linear>("l1", 4, 8, rng);
+  seq.emplace<ReLU>("r1");
+  seq.emplace<Linear>("l2", 8, 2, rng);
+  EXPECT_EQ(seq.layer_count(), 3);
+  EXPECT_EQ(seq.parameters().size(), 4u);         // 2 weights + 2 biases
+  EXPECT_EQ(seq.prunable_parameters().size(), 2u);
+  EXPECT_EQ(seq.children().size(), 3u);
+
+  Tensor x = Tensor::randn({3, 4}, rng);
+  Tensor y = seq.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  Tensor g = seq.backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Sequential, GradientsMatchFiniteDifferences) {
+  Rng rng(16);
+  Sequential seq("seq_grad");
+  seq.emplace<Linear>("l1", 4, 6, rng);
+  seq.emplace<ReLU>("r1");
+  seq.emplace<Linear>("l2", 6, 3, rng);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  check_gradients(seq, std::move(x), 88);
+}
+
+TEST(Sequential, StateDictRoundTrip) {
+  Rng rng_a(17), rng_b(99);
+  auto build = [](Rng& rng) {
+    auto seq = std::make_unique<Sequential>("m");
+    seq->emplace<Conv2d>("c", Conv2dSpec{2, 4, 3, 1, 1, 1, false, true}, rng);
+    seq->emplace<BatchNorm2d>("b", 4);
+    seq->emplace<GlobalAvgPool>("g");
+    seq->emplace<Linear>("f", 4, 3, rng);
+    return seq;
+  };
+  auto a = build(rng_a);
+  auto b = build(rng_b);
+
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng_a);
+  (void)a->forward(x, true);  // populate BN running stats
+  const Tensor ya = a->forward(x, false);
+
+  b->load_state_dict(a->state_dict());
+  const Tensor yb = b->forward(x, false);
+  EXPECT_TRUE(allclose(ya, yb, 1e-6f, 1e-6f));
+
+  TensorMap incomplete;
+  EXPECT_THROW(b->load_state_dict(incomplete), std::runtime_error);
+}
+
+TEST(Sequential, StateDictIncludesMasks) {
+  Rng rng(18);
+  Sequential seq("mm");
+  auto& lin = seq.emplace<Linear>("l", 4, 4, rng, /*bias=*/false);
+  lin.weight().ensure_mask();
+  lin.weight().mask[3] = 0.0f;
+  const TensorMap state = seq.state_dict();
+  ASSERT_TRUE(state.count("l.weight#mask"));
+
+  Rng rng2(19);
+  Sequential other("mm2");
+  other.emplace<Linear>("l", 4, 4, rng2, /*bias=*/false);
+  other.load_state_dict(state);
+  auto* p = other.prunable_parameters()[0];
+  ASSERT_TRUE(p->has_mask());
+  EXPECT_FLOAT_EQ(p->mask[3], 0.0f);
+}
+
+TEST(Bottleneck, ShapesAndResidualPath) {
+  Rng rng(20);
+  Bottleneck block("blk", 16, 4, 1, rng);  // identity shortcut (16 == 4*4)
+  Tensor x = Tensor::randn({2, 16, 6, 6}, rng);
+  Tensor y = block.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{2, 16, 6, 6}));
+
+  Bottleneck down("blk_down", 16, 8, 2, rng);  // projection shortcut
+  Tensor y2 = down.forward(x, false);
+  EXPECT_EQ(y2.shape(), (Shape{2, 32, 3, 3}));
+  EXPECT_GT(down.parameters().size(), block.parameters().size());
+}
+
+TEST(Bottleneck, GradientsMatchFiniteDifferences) {
+  Rng rng(21);
+  Bottleneck block("blk_grad", 8, 2, 1, rng);
+  Tensor x = Tensor::randn({2, 8, 4, 4}, rng);
+  check_gradients(block, std::move(x), 66, {5e-3f, 0.12f, 0.03f, 16});
+}
+
+TEST(InvertedResidual, ShapesAndResidual) {
+  Rng rng(22);
+  InvertedResidual ir("ir", 8, 8, 1, 6, rng);
+  Tensor x = Tensor::randn({2, 8, 6, 6}, rng);
+  Tensor y = ir.forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+
+  InvertedResidual strided("ir_s", 8, 16, 2, 6, rng);
+  Tensor y2 = strided.forward(x, false);
+  EXPECT_EQ(y2.shape(), (Shape{2, 16, 3, 3}));
+}
+
+TEST(InvertedResidual, GradientsMatchFiniteDifferences) {
+  Rng rng(23);
+  InvertedResidual ir("ir_grad", 4, 4, 1, 2, rng);
+  Tensor x = Tensor::randn({2, 4, 4, 4}, rng);
+  check_gradients(ir, std::move(x), 44, {5e-3f, 0.12f, 0.03f, 16});
+}
+
+TEST(InvertedResidual, DepthwiseExcludedFromPruning) {
+  Rng rng(24);
+  InvertedResidual ir("ir_p", 8, 8, 1, 6, rng);
+  // expand + project are prunable, depthwise is not.
+  std::int64_t prunable = 0, total_convs = 0;
+  for (Parameter* p : ir.parameters()) {
+    if (p->name.find("weight") == std::string::npos) continue;
+    ++total_convs;
+    prunable += p->prunable;
+  }
+  EXPECT_EQ(total_convs, 3);
+  EXPECT_EQ(prunable, 2);
+}
+
+}  // namespace
+}  // namespace crisp::nn

@@ -1,0 +1,367 @@
+// Training-stack tests: loss, optimizer, trainer, model builders, FLOPs
+// accounting, and the model zoo cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include "nn/activations.h"
+#include "nn/flops.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models/common.h"
+#include "nn/models/resnet.h"
+#include "nn/trainer.h"
+#include "nn/zoo.h"
+
+namespace crisp::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 3}, {1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f});
+  Tensor p = softmax(logits);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < 3; ++c) sum += p.at({b, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p.at({0, 2}), p.at({0, 0}));
+}
+
+TEST(Softmax, NumericallyStableAtLargeLogits) {
+  Tensor logits({1, 2}, {1000.0f, 998.0f});
+  Tensor p = softmax(logits);
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+  EXPECT_GT(p[0], p[1]);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits = Tensor::zeros({4, 10});
+  const LossResult r = cross_entropy(logits, {0, 3, 5, 9});
+  EXPECT_NEAR(r.value, std::log(10.0f), 1e-4f);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(1);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const LossResult r = cross_entropy(logits, {1, 0, 4});
+  for (std::int64_t b = 0; b < 3; ++b) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < 5; ++c) sum += r.grad.at({b, c});
+    EXPECT_NEAR(sum, 0.0f, 1e-5f);
+  }
+  // Gradient at the true class is negative (pushes the logit up).
+  EXPECT_LT(r.grad.at({0, 1}), 0.0f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(2);
+  Tensor logits = Tensor::randn({2, 4}, rng);
+  const std::vector<std::int64_t> labels{2, 0};
+  const LossResult r = cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float numeric =
+        (cross_entropy(lp, labels).value - cross_entropy(lm, labels).value) /
+        (2.0f * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 5e-3f);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  Tensor logits = Tensor::zeros({2, 3});
+  EXPECT_THROW(cross_entropy(logits, {0}), std::runtime_error);
+  EXPECT_THROW(cross_entropy(logits, {0, 3}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// SGD.
+
+TEST(Sgd, HandComputedUpdate) {
+  Parameter p;
+  p.name = "w";
+  p.value = Tensor({1}, {1.0f});
+  p.grad = Tensor({1}, {0.5f});
+
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.9f;
+  cfg.weight_decay = 0.0f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  // v = -lr*g = -0.05; w = 1 - 0.05
+  EXPECT_NEAR(p.value[0], 0.95f, 1e-6f);
+  opt.step();
+  // v = 0.9*(-0.05) - 0.05 = -0.095; w = 0.95 - 0.095
+  EXPECT_NEAR(p.value[0], 0.855f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Parameter p;
+  p.name = "w";
+  p.value = Tensor({1}, {2.0f});
+  p.grad = Tensor({1}, {0.0f});
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.5f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 2.0f - 0.1f * 0.5f * 2.0f, 1e-6f);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Parameter p;
+  p.name = "w";
+  p.value = Tensor({2}, {1.0f, 1.0f});
+  p.grad = Tensor({2}, {3.0f, 4.0f});
+  Sgd opt({&p}, SgdConfig{});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.abs_max(), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer on a separable toy problem.
+
+data::Dataset toy_blobs(std::int64_t per_class, std::uint64_t seed) {
+  // Two classes of 2x2x... images: class 0 bright top, class 1 bright bottom.
+  Rng rng(seed);
+  const std::int64_t n = per_class * 2;
+  data::Dataset d;
+  d.images = Tensor({n, 3, 4, 4});
+  d.labels.resize(static_cast<std::size_t>(n));
+  d.num_classes = 2;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t cls = i % 2;
+    d.labels[static_cast<std::size_t>(i)] = cls;
+    for (std::int64_t c = 0; c < 3; ++c)
+      for (std::int64_t y = 0; y < 4; ++y)
+        for (std::int64_t x = 0; x < 4; ++x) {
+          const bool lit = (cls == 0) ? (y < 2) : (y >= 2);
+          d.images.at({i, c, y, x}) =
+              (lit ? 1.0f : -1.0f) + rng.normal(0.0f, 0.1f);
+        }
+  }
+  return d;
+}
+
+std::unique_ptr<Sequential> toy_model(std::uint64_t seed) {
+  Rng rng(seed);
+  auto m = std::make_unique<Sequential>("toy");
+  m->emplace<Flatten>("flat");
+  m->emplace<Linear>("l1", 48, 16, rng);
+  m->emplace<ReLU>("r");
+  m->emplace<Linear>("l2", 16, 2, rng);
+  return m;
+}
+
+TEST(Trainer, LearnsSeparableToyProblem) {
+  const data::Dataset train_set = toy_blobs(32, 1);
+  const data::Dataset test = toy_blobs(16, 2);
+  auto model = toy_model(3);
+
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05f;
+  Rng rng(4);
+  const auto stats = train(*model, train_set, tc, rng);
+  ASSERT_EQ(stats.size(), 8u);
+  EXPECT_LT(stats.back().loss, stats.front().loss);
+  EXPECT_GE(evaluate(*model, test), 0.95f);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  const data::Dataset train_set = toy_blobs(16, 5);
+  auto m1 = toy_model(7);
+  auto m2 = toy_model(7);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  Rng r1(9), r2(9);
+  const auto s1 = train(*m1, train_set, tc, r1);
+  const auto s2 = train(*m2, train_set, tc, r2);
+  EXPECT_FLOAT_EQ(s1.back().loss, s2.back().loss);
+}
+
+TEST(Trainer, RestrictedEvaluation) {
+  // Craft a model-free check through evaluate(): restrict to a class set
+  // that excludes the argmax class.
+  auto model = toy_model(11);
+  const data::Dataset test = toy_blobs(8, 12);
+  const float full = evaluate(*model, test);
+  const float restricted = evaluate(*model, test, 64, {0, 1});
+  // With all classes allowed the two calls agree (2-class problem).
+  EXPECT_FLOAT_EQ(full, restricted);
+}
+
+TEST(Trainer, EvaluateLossMatchesCrossEntropyScale) {
+  auto model = toy_model(13);
+  const data::Dataset test = toy_blobs(8, 14);
+  const float loss = evaluate_loss(*model, test);
+  EXPECT_GT(loss, 0.0f);
+  EXPECT_LT(loss, 10.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Model builders.
+
+ModelConfig tiny_model_config() {
+  ModelConfig cfg;
+  cfg.num_classes = 7;
+  cfg.input_size = 8;
+  cfg.width_mult = 0.125f;
+  return cfg;
+}
+
+class ModelBuilderTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelBuilderTest, BuildsForwardsAndBackwards) {
+  const ModelConfig cfg = tiny_model_config();
+  auto model = make_model(GetParam(), cfg);
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, cfg.input_size, cfg.input_size}, rng);
+  Tensor y = model->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, cfg.num_classes}));
+  Tensor g = model->backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_FALSE(model->prunable_parameters().empty());
+}
+
+TEST_P(ModelBuilderTest, PrunableParametersHaveMatrixViews) {
+  auto model = make_model(GetParam(), tiny_model_config());
+  for (Parameter* p : model->prunable_parameters()) {
+    EXPECT_GT(p->matrix_rows, 0) << p->name;
+    EXPECT_GT(p->matrix_cols, 0) << p->name;
+    EXPECT_EQ(p->matrix_rows * p->matrix_cols, p->value.numel()) << p->name;
+  }
+}
+
+TEST_P(ModelBuilderTest, StemExcludedFromPruningByDefault) {
+  auto model = make_model(GetParam(), tiny_model_config());
+  for (Parameter* p : model->prunable_parameters())
+    EXPECT_EQ(p->name.find("stem"), std::string::npos) << p->name;
+}
+
+TEST_P(ModelBuilderTest, DeterministicInSeed) {
+  auto a = make_model(GetParam(), tiny_model_config());
+  auto b = make_model(GetParam(), tiny_model_config());
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  EXPECT_TRUE(allclose(a->forward(x, false), b->forward(x, false), 0.0f, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ModelBuilderTest,
+                         ::testing::Values(ModelKind::kResNet50,
+                                           ModelKind::kVgg16,
+                                           ModelKind::kMobileNetV2));
+
+TEST(ModelBuilders, ResNet50HasSixteenBottlenecks) {
+  auto model = make_resnet50(tiny_model_config());
+  std::int64_t bottlenecks = 0;
+  for (Layer* l : model->children())
+    if (dynamic_cast<Bottleneck*>(l) != nullptr) ++bottlenecks;
+  EXPECT_EQ(bottlenecks, 16);  // [3, 4, 6, 3]
+}
+
+TEST(ModelBuilders, ScaledChannelsAlignToFour) {
+  EXPECT_EQ(scaled_channels(64, 0.25f), 16);
+  EXPECT_EQ(scaled_channels(64, 1.0f), 64);
+  EXPECT_EQ(scaled_channels(24, 0.25f), 8);   // floor of 8
+  EXPECT_EQ(scaled_channels(10, 1.0f), 12);   // rounded up to multiple of 4
+  EXPECT_EQ(scaled_channels(64, 0.125f) % 4, 0);
+}
+
+TEST(ModelBuilders, KindNames) {
+  EXPECT_STREQ(model_kind_name(ModelKind::kResNet50), "resnet50");
+  EXPECT_STREQ(model_kind_name(ModelKind::kVgg16), "vgg16");
+  EXPECT_STREQ(model_kind_name(ModelKind::kMobileNetV2), "mobilenetv2");
+}
+
+// ---------------------------------------------------------------------------
+// FLOPs accounting.
+
+TEST(Flops, DenseModelRatioIsOne) {
+  auto model = make_vgg16(tiny_model_config());
+  const FlopsReport report = count_flops(*model, {1, 3, 8, 8});
+  EXPECT_GT(report.dense_total, 0);
+  EXPECT_EQ(report.dense_total, report.sparse_total);
+  EXPECT_DOUBLE_EQ(report.ratio(), 1.0);
+  EXPECT_FALSE(report.layers.empty());
+}
+
+TEST(Flops, MaskingHalvesLayerMacs) {
+  Rng rng(3);
+  Sequential model("m");
+  auto& lin = model.emplace<Linear>("l", 8, 4, rng, /*bias=*/false);
+  lin.weight().ensure_mask();
+  for (std::int64_t i = 0; i < lin.weight().mask.numel(); i += 2)
+    lin.weight().mask[i] = 0.0f;
+
+  const FlopsReport report = count_flops(model, {1, 8});
+  ASSERT_EQ(report.layers.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(report.layers[0].weight_sparsity, 0.5);
+}
+
+TEST(Flops, LeafLayerWalkSeesBlockInternals) {
+  auto model = make_resnet50(tiny_model_config());
+  const auto leaves = leaf_layers(*model);
+  // Far more leaves than top-level entries (blocks expand).
+  EXPECT_GT(leaves.size(), 60u);
+  const auto prunable = prunable_layers(*model);
+  EXPECT_GT(prunable.size(), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Model zoo.
+
+TEST(Zoo, CachesAndReloads) {
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "crisp_zoo_test_cache";
+  std::filesystem::remove_all(tmp);
+  setenv("CRISP_CACHE_DIR", tmp.c_str(), 1);
+
+  ZooSpec spec;
+  spec.model = ModelKind::kVgg16;
+  spec.dataset = DatasetKind::kCifar100Like;
+  spec.width_mult = 0.125f;
+  spec.input_size = 8;
+  spec.pretrain_epochs = 1;
+  spec.train_per_class = 2;
+  spec.test_per_class = 1;
+
+  const PretrainedModel first = zoo_pretrained(spec);
+  EXPECT_FALSE(first.from_cache);
+  const PretrainedModel second = zoo_pretrained(spec);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_FLOAT_EQ(first.test_accuracy, second.test_accuracy);
+
+  // Weights identical bit-for-bit.
+  auto pa = first.model->parameters();
+  auto pb = second.model->parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    EXPECT_TRUE(allclose(pa[i]->value, pb[i]->value, 0.0f, 0.0f));
+
+  unsetenv("CRISP_CACHE_DIR");
+  std::filesystem::remove_all(tmp);
+}
+
+TEST(Zoo, CacheKeyEncodesSpec) {
+  ZooSpec a, b;
+  b.width_mult = 0.5f;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  ZooSpec c;
+  c.dataset = DatasetKind::kImageNetLike;
+  EXPECT_NE(a.cache_key(), c.cache_key());
+  EXPECT_EQ(a.cache_key(), ZooSpec{}.cache_key());
+}
+
+}  // namespace
+}  // namespace crisp::nn

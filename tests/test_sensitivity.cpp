@@ -1,0 +1,156 @@
+// Per-layer sensitivity analysis tests: state restoration, probe
+// correctness, and the Fig. 2 expectation that sensitivity is non-uniform
+// across layers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sensitivity.h"
+#include "data/class_pattern.h"
+#include "nn/models/common.h"
+#include "nn/trainer.h"
+
+namespace crisp::core {
+namespace {
+
+struct SensitivityFixture {
+  data::TrainTest split;
+  std::unique_ptr<nn::Sequential> model;
+
+  SensitivityFixture() {
+    data::ClassPatternConfig dcfg = data::ClassPatternConfig::cifar100_like();
+    dcfg.num_classes = 6;
+    dcfg.image_size = 8;
+    dcfg.train_per_class = 8;
+    dcfg.test_per_class = 4;
+    dcfg.noise_std = 0.15f;
+    dcfg.max_shift = 1;
+    split = data::make_class_pattern_dataset(dcfg);
+
+    nn::ModelConfig mcfg;
+    mcfg.num_classes = 6;
+    mcfg.input_size = 8;
+    mcfg.width_mult = 0.125f;
+    model = nn::make_vgg16(mcfg);
+
+    nn::TrainConfig tc;
+    // Small batches + enough epochs that the BatchNorm running statistics
+    // settle — eval-mode losses are meaningless on an unsettled model.
+    tc.epochs = 10;
+    tc.batch_size = 8;
+    tc.sgd.lr = 0.02f;
+    Rng rng(1);
+    nn::train(*model, split.train, tc, rng);
+  }
+};
+
+TEST(Sensitivity, ProbesEveryLayerAtEveryLevel) {
+  SensitivityFixture f;
+  SensitivityConfig cfg;
+  cfg.levels = {0.5, 0.9};
+  const auto profile = layer_sensitivity(*f.model, f.split.train, cfg);
+  ASSERT_EQ(profile.size(), f.model->prunable_parameters().size());
+  for (const LayerSensitivity& ls : profile) {
+    ASSERT_EQ(ls.levels.size(), 2u) << ls.name;
+    ASSERT_EQ(ls.loss_increase.size(), 2u) << ls.name;
+    EXPECT_GT(ls.base_loss, 0.0);
+    // Achieved sparsity tracks the request (block quantization allowed).
+    EXPECT_NEAR(ls.levels[0], 0.5, 0.15) << ls.name;
+    EXPECT_NEAR(ls.levels[1], 0.9, 0.15) << ls.name;
+  }
+}
+
+TEST(Sensitivity, LeavesModelStateUntouched) {
+  SensitivityFixture f;
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  const Tensor before = nn::predict(*f.model, x);
+  const TensorMap state_before = f.model->state_dict();
+
+  SensitivityConfig cfg;
+  cfg.levels = {0.75, 0.99};
+  layer_sensitivity(*f.model, f.split.train, cfg);
+
+  const Tensor after = nn::predict(*f.model, x);
+  EXPECT_FLOAT_EQ(max_abs_diff(before, after), 0.0f);
+  for (nn::Parameter* p : f.model->prunable_parameters())
+    EXPECT_FALSE(p->has_mask()) << p->name << " kept a probe mask";
+  const TensorMap state_after = f.model->state_dict();
+  EXPECT_EQ(state_before.size(), state_after.size());
+}
+
+TEST(Sensitivity, RestoresExistingMasks) {
+  SensitivityFixture f;
+  // Install a recognisable mask on the first prunable layer.
+  nn::Parameter* first = f.model->prunable_parameters().front();
+  first->ensure_mask();
+  for (std::int64_t i = 0; i < first->mask.numel(); i += 2)
+    first->mask[i] = 0.0f;
+  const Tensor saved = first->mask;
+
+  SensitivityConfig cfg;
+  cfg.levels = {0.9};
+  layer_sensitivity(*f.model, f.split.train, cfg);
+  ASSERT_TRUE(first->has_mask());
+  EXPECT_FLOAT_EQ(max_abs_diff(first->mask, saved), 0.0f);
+}
+
+TEST(Sensitivity, AggressiveProbesHurtSomewhere) {
+  // Monotonicity in the probe level is NOT a theorem (zeroing a layer
+  // shifts BatchNorm inputs in ways that can go either direction on an
+  // under-trained model), but the aggregate picture must be sane: probes
+  // are finite, and at the most aggressive level at least one layer shows
+  // a clearly positive loss increase — otherwise pruning would be free.
+  SensitivityFixture f;
+  SensitivityConfig cfg;
+  cfg.levels = {0.5, 0.99};
+  const auto profile = layer_sensitivity(*f.model, f.split.train, cfg);
+  double worst_at_99 = -1e300;
+  for (const LayerSensitivity& ls : profile) {
+    for (const double d : ls.loss_increase) {
+      EXPECT_TRUE(std::isfinite(d)) << ls.name;
+    }
+    worst_at_99 = std::max(worst_at_99, ls.loss_increase.back());
+  }
+  EXPECT_GT(worst_at_99, 0.05) << "no layer minds losing 99% of itself?";
+}
+
+TEST(Sensitivity, SensitivityIsNonUniformAcrossLayers) {
+  // The Fig. 2 premise: at an aggressive level, some layers hurt the loss
+  // far more than others.
+  SensitivityFixture f;
+  SensitivityConfig cfg;
+  cfg.levels = {0.99};
+  const auto profile = layer_sensitivity(*f.model, f.split.train, cfg);
+  double lo = 1e300, hi = -1e300;
+  for (const LayerSensitivity& ls : profile) {
+    lo = std::min(lo, ls.loss_increase[0]);
+    hi = std::max(hi, ls.loss_increase[0]);
+  }
+  EXPECT_GT(hi, lo * 2.0 + 0.05)
+      << "all layers equally sensitive — Fig. 2 premise would not hold";
+}
+
+TEST(Sensitivity, ToleratedSparsityHelper) {
+  LayerSensitivity ls;
+  ls.levels = {0.5, 0.75, 0.9};
+  ls.loss_increase = {0.01, 0.04, 0.50};
+  EXPECT_DOUBLE_EQ(ls.tolerated_sparsity(0.05), 0.75);
+  EXPECT_DOUBLE_EQ(ls.tolerated_sparsity(1.00), 0.9);
+  EXPECT_DOUBLE_EQ(ls.tolerated_sparsity(0.001), 0.0);
+}
+
+TEST(Sensitivity, RejectsBadConfig) {
+  SensitivityFixture f;
+  SensitivityConfig cfg;
+  cfg.levels = {};
+  EXPECT_THROW(layer_sensitivity(*f.model, f.split.train, cfg),
+               std::runtime_error);
+  cfg.levels = {0.5};
+  cfg.block = 6;  // not a multiple of M = 4
+  EXPECT_THROW(layer_sensitivity(*f.model, f.split.train, cfg),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace crisp::core

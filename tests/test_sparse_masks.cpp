@@ -1,0 +1,210 @@
+// Sparsity-pattern tests: N:M masks (property sweeps), block grids,
+// uniform-per-row block masks, and mask utilities.
+#include <gtest/gtest.h>
+
+#include "sparse/block.h"
+#include "sparse/mask.h"
+#include "sparse/nm.h"
+
+namespace crisp::sparse {
+namespace {
+
+// ---------------------------------------------------------------------------
+// N:M masks.
+
+TEST(NmMask, KeepsTopScoresInEachGroup) {
+  // One row, two groups of 4; distinct scores make selection unambiguous.
+  Tensor scores({1, 8}, {0.1f, 0.9f, 0.5f, 0.2f, 0.3f, 0.8f, 0.7f, 0.1f});
+  Tensor mask = nm_mask(as_matrix(scores, 1, 8), 2, 4);
+  // Group 0 keeps cols 1, 2; group 1 keeps cols 5, 6.
+  const float expect[8] = {0, 1, 1, 0, 0, 1, 1, 0};
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(mask[i], expect[i]) << i;
+}
+
+TEST(NmMask, TieBreaksTowardLowerIndex) {
+  Tensor scores = Tensor::ones({1, 4});
+  Tensor mask = nm_mask(as_matrix(scores, 1, 4), 1, 4);
+  EXPECT_FLOAT_EQ(mask[0], 1.0f);
+  EXPECT_FLOAT_EQ(mask[1] + mask[2] + mask[3], 0.0f);
+}
+
+TEST(NmMask, RejectsInvalidRatios) {
+  Tensor scores = Tensor::ones({2, 8});
+  EXPECT_THROW(nm_mask(as_matrix(scores, 2, 8), 5, 4), std::runtime_error);
+  EXPECT_THROW(nm_mask(as_matrix(scores, 2, 8), 0, 4), std::runtime_error);
+}
+
+struct NmCase {
+  std::int64_t n, m, rows, cols;
+};
+
+class NmMaskProperty : public ::testing::TestWithParam<NmCase> {};
+
+TEST_P(NmMaskProperty, ExactGroupCountsAndValidation) {
+  const auto [n, m, rows, cols] = GetParam();
+  Rng rng(n * 100 + m * 10 + cols);
+  Tensor scores = Tensor::rand({rows, cols}, rng, 0.01f, 1.0f);
+  Tensor mask = nm_mask(as_matrix(scores, rows, cols), n, m);
+
+  EXPECT_TRUE(is_binary(as_matrix(mask, rows, cols)));
+  EXPECT_TRUE(satisfies_nm(as_matrix(mask, rows, cols), n, m));
+
+  // With distinct positive scores every group keeps exactly min(n, g).
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t g0 = 0; g0 < cols; g0 += m) {
+      const std::int64_t g = std::min(m, cols - g0);
+      std::int64_t kept = 0;
+      for (std::int64_t i = 0; i < g; ++i) kept += (mask[r * cols + g0 + i] != 0.0f);
+      EXPECT_EQ(kept, std::min(n, g)) << "row " << r << " group " << g0;
+    }
+  }
+
+  // Sparsity agrees with the analytic target.
+  EXPECT_NEAR(mask_sparsity(as_matrix(mask, rows, cols)),
+              nm_target_sparsity(cols, n, m), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, NmMaskProperty,
+    ::testing::Values(NmCase{1, 4, 3, 16}, NmCase{2, 4, 4, 16},
+                      NmCase{3, 4, 2, 16}, NmCase{1, 2, 5, 10},
+                      NmCase{2, 8, 3, 24}, NmCase{4, 4, 2, 12},
+                      NmCase{2, 4, 3, 18},    // trailing partial group of 2
+                      NmCase{3, 4, 1, 9},     // partial group of 1
+                      NmCase{1, 4, 7, 3}));   // cols < m
+
+TEST(NmMask, SatisfiesNmDetectsViolations) {
+  Tensor mask({1, 8}, {1, 1, 1, 0, 0, 0, 0, 0});
+  EXPECT_FALSE(satisfies_nm(as_matrix(mask, 1, 8), 2, 4));
+  EXPECT_TRUE(satisfies_nm(as_matrix(mask, 1, 8), 3, 4));
+}
+
+TEST(NmMask, TargetSparsityExamples) {
+  EXPECT_DOUBLE_EQ(nm_target_sparsity(16, 2, 4), 0.5);
+  EXPECT_DOUBLE_EQ(nm_target_sparsity(16, 1, 4), 0.75);
+  EXPECT_DOUBLE_EQ(nm_target_sparsity(16, 4, 4), 0.0);
+  // 18 cols = 4 full groups (keep 8) + partial of 2 (keep 2) -> 10/18 kept.
+  EXPECT_NEAR(nm_target_sparsity(18, 2, 4), 1.0 - 10.0 / 18.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Block grids and masks.
+
+TEST(BlockGrid, GeometryWithRemainders) {
+  BlockGrid g{10, 18, 8};
+  EXPECT_EQ(g.grid_rows(), 2);
+  EXPECT_EQ(g.grid_cols(), 3);
+  EXPECT_EQ(g.row_extent(0), 8);
+  EXPECT_EQ(g.row_extent(1), 2);
+  EXPECT_EQ(g.col_extent(2), 2);
+}
+
+TEST(BlockScores, SumsAbsoluteValuesPerBlock) {
+  Tensor scores({4, 4}, {1, 1, -2, 2,    //
+                         1, 1, 2, -2,    //
+                         3, 3, 4, 4,     //
+                         3, 3, 4, 4});
+  BlockGrid g{4, 4, 2};
+  Tensor bs = block_scores(as_matrix(scores, 4, 4), g);
+  ASSERT_EQ(bs.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(bs[0], 4.0f);
+  EXPECT_FLOAT_EQ(bs[1], 8.0f);
+  EXPECT_FLOAT_EQ(bs[2], 12.0f);
+  EXPECT_FLOAT_EQ(bs[3], 16.0f);
+}
+
+TEST(UniformRowBlockMask, PrunesLowestPerRow) {
+  Tensor scores({2, 3}, {5, 1, 3,   //
+                         2, 9, 4});
+  BlockGrid g{4, 6, 2};
+  Tensor mask = uniform_row_block_mask(scores, g, {1, 1});
+  // Row 0 prunes block col 1 (score 1); row 1 prunes block col 0 (score 2).
+  EXPECT_FLOAT_EQ(mask[0], 1.0f);
+  EXPECT_FLOAT_EQ(mask[1], 0.0f);
+  EXPECT_FLOAT_EQ(mask[2], 1.0f);
+  EXPECT_FLOAT_EQ(mask[3], 0.0f);
+  EXPECT_FLOAT_EQ(mask[4], 1.0f);
+  EXPECT_FLOAT_EQ(mask[5], 1.0f);
+}
+
+TEST(UniformRowBlockMask, RejectsBadCounts) {
+  Tensor scores = Tensor::ones({2, 3});
+  BlockGrid g{4, 6, 2};
+  EXPECT_THROW(uniform_row_block_mask(scores, g, {4, 0}), std::runtime_error);
+  EXPECT_THROW(uniform_row_block_mask(scores, g, {1}), std::runtime_error);
+}
+
+TEST(ExpandBlockMask, CoversElementExtents) {
+  // 3x5 matrix under 2x2 blocks -> 2x3 block grid with remainder extents.
+  Tensor block_mask({2, 3}, {1, 0, 0,   //
+                             0, 1, 0});
+  BlockGrid g{3, 5, 2};
+  Tensor mask = expand_block_mask(block_mask, g);
+  ASSERT_EQ(mask.shape(), (Shape{3, 5}));
+  // Block (0,0) live: rows 0-1, cols 0-1. Block (1,1) live: row 2, cols 2-3.
+  EXPECT_FLOAT_EQ(mask.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at({1, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at({0, 2}), 0.0f);
+  EXPECT_FLOAT_EQ(mask.at({2, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(mask.at({2, 2}), 1.0f);
+  EXPECT_FLOAT_EQ(mask.at({2, 4}), 0.0f);  // block col 2 (remainder) pruned
+
+  Tensor wrong({2, 2}, {1, 0, 0, 1});
+  EXPECT_THROW(expand_block_mask(wrong, g), std::runtime_error);
+}
+
+TEST(ZeroBlocksPerRow, CountsAndUniformity) {
+  BlockGrid g{4, 8, 2};
+  Tensor mask = Tensor::ones({4, 8});
+  // Zero out block (0, 1) only -> non-uniform.
+  for (std::int64_t r = 0; r < 2; ++r)
+    for (std::int64_t c = 2; c < 4; ++c) mask.at({r, c}) = 0.0f;
+  const auto counts = zero_blocks_per_row(as_matrix(mask, 4, 8), g);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_FALSE(uniform_blocks_per_row(as_matrix(mask, 4, 8), g));
+
+  // Also zero block (1, 3) -> uniform again.
+  for (std::int64_t r = 2; r < 4; ++r)
+    for (std::int64_t c = 6; c < 8; ++c) mask.at({r, c}) = 0.0f;
+  EXPECT_TRUE(uniform_blocks_per_row(as_matrix(mask, 4, 8), g));
+}
+
+TEST(ZeroBlocksPerRow, PartiallyZeroBlockDoesNotCount) {
+  BlockGrid g{2, 4, 2};
+  Tensor mask = Tensor::ones({2, 4});
+  mask.at({0, 0}) = 0.0f;  // one element of block (0,0)
+  const auto counts = zero_blocks_per_row(as_matrix(mask, 2, 4), g);
+  EXPECT_EQ(counts[0], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Mask utilities.
+
+TEST(MaskUtils, AndSparsityNnz) {
+  Tensor a({2, 2}, {1, 1, 0, 1});
+  Tensor b({2, 2}, {1, 0, 0, 1});
+  Tensor c = mask_and(a, b);
+  EXPECT_FLOAT_EQ(c[0], 1.0f);
+  EXPECT_FLOAT_EQ(c[1], 0.0f);
+  EXPECT_EQ(mask_nnz(as_matrix(c, 2, 2)), 2);
+  EXPECT_DOUBLE_EQ(mask_sparsity(as_matrix(c, 2, 2)), 0.5);
+  EXPECT_TRUE(is_binary(as_matrix(c, 2, 2)));
+
+  Tensor bad({2, 2}, {0.5f, 1, 0, 1});
+  EXPECT_FALSE(is_binary(as_matrix(bad, 2, 2)));
+}
+
+TEST(MaskUtils, ApplyMask) {
+  Tensor v({1, 4}, {1, 2, 3, 4});
+  Tensor m({1, 4}, {1, 0, 1, 0});
+  apply_mask(as_matrix(v, 1, 4), as_matrix(m, 1, 4));
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+  EXPECT_FLOAT_EQ(v[1], 0.0f);
+  EXPECT_FLOAT_EQ(v[2], 3.0f);
+  EXPECT_FLOAT_EQ(v[3], 0.0f);
+}
+
+}  // namespace
+}  // namespace crisp::sparse

@@ -1,0 +1,378 @@
+// Tensor substrate tests: shapes, ops, GEMM kernels, im2col/col2im,
+// serialization, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "tensor/im2col.h"
+#include "tensor/matmul.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+
+namespace crisp {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({5, 0, 2}), 0);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_THROW(shape_numel({2, -1}), std::runtime_error);
+}
+
+TEST(Tensor, ConstructionAndFactories) {
+  Tensor z({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.dim(), 2);
+  EXPECT_FLOAT_EQ(z.sum(), 0.0f);
+
+  Tensor o = Tensor::ones({4});
+  EXPECT_FLOAT_EQ(o.sum(), 4.0f);
+
+  Tensor f = Tensor::full({2, 2}, 2.5f);
+  EXPECT_FLOAT_EQ(f.mean(), 2.5f);
+
+  Tensor a = Tensor::arange(5);
+  EXPECT_FLOAT_EQ(a[3], 3.0f);
+
+  EXPECT_THROW(Tensor({2}, {1.0f, 2.0f, 3.0f}), std::runtime_error);
+}
+
+TEST(Tensor, RandomFactoriesDeterministic) {
+  Rng r1(42), r2(42);
+  Tensor a = Tensor::randn({32}, r1);
+  Tensor b = Tensor::randn({32}, r2);
+  EXPECT_TRUE(allclose(a, b));
+  Tensor u = Tensor::rand({64}, r1, -1.0f, 1.0f);
+  EXPECT_GE(u.min(), -1.0f);
+  EXPECT_LT(u.max(), 1.0f);
+}
+
+TEST(Tensor, ElementAccess) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 7.0f);
+  EXPECT_FLOAT_EQ(t[5], 7.0f);  // row-major flat index
+  EXPECT_THROW(t.at({2, 0}), std::runtime_error);
+  EXPECT_THROW(t.at({0}), std::runtime_error);
+}
+
+TEST(Tensor, ArithmeticOps) {
+  Tensor a({3}, {1.0f, -2.0f, 3.0f});
+  Tensor b({3}, {0.5f, 0.5f, 0.5f});
+  Tensor c = a.add(b);
+  EXPECT_FLOAT_EQ(c[0], 1.5f);
+  c = a.sub(b);
+  EXPECT_FLOAT_EQ(c[1], -2.5f);
+  c = a.mul(b);
+  EXPECT_FLOAT_EQ(c[2], 1.5f);
+  c = a.scaled(2.0f);
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+  c = a.abs();
+  EXPECT_FLOAT_EQ(c[1], 2.0f);
+
+  Tensor d = a;
+  d.axpy_(2.0f, b);
+  EXPECT_FLOAT_EQ(d[0], 2.0f);
+  d.clamp_min_(0.0f);
+  EXPECT_FLOAT_EQ(d[1], 0.0f);
+
+  Tensor wrong({2});
+  EXPECT_THROW(a.add(wrong), std::runtime_error);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1.0f, -5.0f, 3.0f, 0.0f});
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.25f);
+  EXPECT_FLOAT_EQ(t.min(), -5.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 5.0f);
+  EXPECT_EQ(t.argmax(), 2);
+  EXPECT_EQ(t.count_nonzero(), 3);
+  EXPECT_DOUBLE_EQ(t.zero_fraction(), 0.25);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t = Tensor::arange(12);
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.size(0), 3);
+  EXPECT_FLOAT_EQ(r.at({2, 3}), 11.0f);
+
+  Tensor inferred = t.reshaped({2, -1});
+  EXPECT_EQ(inferred.size(1), 6);
+
+  EXPECT_THROW(t.reshaped({5, 2}), std::runtime_error);
+  EXPECT_THROW(t.reshaped({-1, -1}), std::runtime_error);
+}
+
+TEST(Tensor, MatrixViews) {
+  Tensor t = Tensor::arange(6);
+  MatrixView m = as_matrix(t, 2, 3);
+  EXPECT_FLOAT_EQ(m(1, 2), 5.0f);
+  m(0, 0) = 9.0f;
+  EXPECT_FLOAT_EQ(t[0], 9.0f);
+  EXPECT_THROW(as_matrix(t, 4, 2), std::runtime_error);
+}
+
+TEST(Tensor, AllcloseAndMaxAbsDiff) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f, 2.00001f});
+  EXPECT_TRUE(allclose(a, b, 1e-4f, 1e-4f));
+  EXPECT_FALSE(allclose(a, b, 0.0f, 1e-7f));
+  EXPECT_NEAR(max_abs_diff(a, b), 1e-5f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM kernels vs a naive reference.
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+struct GemmCase {
+  std::int64_t m, k, n;
+};
+
+class MatmulTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(MatmulTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 10 + n);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  EXPECT_TRUE(allclose(matmul(a, b), naive_matmul(a, b), 1e-4f, 1e-4f));
+}
+
+TEST_P(MatmulTest, TransposedVariants) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor expect = naive_matmul(a, b);
+
+  // matmul_tn: A stored transposed (k x m).
+  Tensor at({k, m});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t p = 0; p < k; ++p) at[p * m + i] = a[i * k + p];
+  Tensor c1({m, n});
+  matmul_tn(as_matrix(at, k, m), as_matrix(b, k, n), as_matrix(c1, m, n));
+  EXPECT_TRUE(allclose(c1, expect, 1e-4f, 1e-4f));
+
+  // matmul_nt: B stored transposed (n x k).
+  Tensor bt({n, k});
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+  Tensor c2({m, n});
+  matmul_nt(as_matrix(a, m, k), as_matrix(bt, n, k), as_matrix(c2, m, n));
+  EXPECT_TRUE(allclose(c2, expect, 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulTest,
+                         ::testing::Values(GemmCase{1, 1, 1}, GemmCase{2, 3, 4},
+                                           GemmCase{7, 5, 3},
+                                           GemmCase{16, 16, 16},
+                                           GemmCase{1, 32, 8},
+                                           GemmCase{13, 1, 17},
+                                           GemmCase{24, 48, 12}));
+
+TEST(Matmul, AccumulateAddsOnto) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({4, 5}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  Tensor c = Tensor::ones({4, 6});
+  matmul_accumulate(as_matrix(a, 4, 5), as_matrix(b, 5, 6), as_matrix(c, 4, 6));
+  Tensor expect = naive_matmul(a, b);
+  for (std::int64_t i = 0; i < expect.numel(); ++i)
+    EXPECT_NEAR(c[i], expect[i] + 1.0f, 1e-4f);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Tensor a({2, 3}), b({4, 5}), c({2, 5});
+  EXPECT_THROW(
+      matmul(as_matrix(a, 2, 3), as_matrix(b, 4, 5), as_matrix(c, 2, 5)),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// im2col / col2im.
+
+/// Direct convolution reference for one sample.
+Tensor naive_conv(const Tensor& image, const Tensor& weight,
+                  const ConvGeometry& g, std::int64_t out_channels) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor out({out_channels, oh, ow});
+  for (std::int64_t s = 0; s < out_channels; ++s)
+    for (std::int64_t oy = 0; oy < oh; ++oy)
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (std::int64_t c = 0; c < g.in_channels; ++c)
+          for (std::int64_t kh = 0; kh < g.kernel_h; ++kh)
+            for (std::int64_t kw = 0; kw < g.kernel_w; ++kw) {
+              const std::int64_t iy = oy * g.stride - g.padding + kh;
+              const std::int64_t ix = ox * g.stride - g.padding + kw;
+              if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) continue;
+              acc += static_cast<double>(
+                         weight[((s * g.in_channels + c) * g.kernel_h + kh) *
+                                    g.kernel_w +
+                                kw]) *
+                     image[(c * g.in_h + iy) * g.in_w + ix];
+            }
+        out[(s * oh + oy) * ow + ox] = static_cast<float>(acc);
+      }
+  return out;
+}
+
+struct ConvCase {
+  std::int64_t channels, size, kernel, stride, padding;
+};
+
+class Im2colTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Im2colTest, ConvViaGemmMatchesDirect) {
+  const auto [channels, size, kernel, stride, padding] = GetParam();
+  ConvGeometry g{channels, size, size, kernel, kernel, stride, padding};
+  Rng rng(size * 10 + kernel);
+  Tensor image = Tensor::randn({channels, size, size}, rng);
+  const std::int64_t out_ch = 3;
+  Tensor weight = Tensor::randn({out_ch, channels, kernel, kernel}, rng);
+
+  Tensor cols({g.col_rows(), g.col_cols()});
+  im2col(image.data(), g, cols.data());
+  Tensor y({out_ch, g.col_cols()});
+  matmul(as_matrix(weight, out_ch, g.col_rows()),
+         as_matrix(cols, g.col_rows(), g.col_cols()),
+         as_matrix(y, out_ch, g.col_cols()));
+
+  Tensor expect = naive_conv(image, weight, g, out_ch);
+  expect.reshape_inplace({out_ch, g.col_cols()});
+  EXPECT_TRUE(allclose(y, expect, 1e-4f, 1e-4f));
+}
+
+TEST_P(Im2colTest, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> characterises the adjoint exactly.
+  const auto [channels, size, kernel, stride, padding] = GetParam();
+  ConvGeometry g{channels, size, size, kernel, kernel, stride, padding};
+  Rng rng(7);
+  Tensor x = Tensor::randn({channels, size, size}, rng);
+  Tensor y = Tensor::randn({g.col_rows(), g.col_cols()}, rng);
+
+  Tensor cols({g.col_rows(), g.col_cols()});
+  im2col(x.data(), g, cols.data());
+  double lhs = 0.0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols[i]) * y[i];
+
+  Tensor back({channels, size, size});
+  col2im(y.data(), g, back.data());
+  double rhs = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x[i]) * back[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (std::abs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colTest,
+    ::testing::Values(ConvCase{1, 5, 3, 1, 1}, ConvCase{3, 8, 3, 1, 1},
+                      ConvCase{2, 8, 3, 2, 1}, ConvCase{4, 6, 1, 1, 0},
+                      ConvCase{2, 7, 5, 1, 2}, ConvCase{3, 9, 3, 3, 0}));
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+TEST(Serialize, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "crisp_test_tensors.bin")
+          .string();
+  Rng rng(11);
+  TensorMap original;
+  original.emplace("alpha", Tensor::randn({3, 4}, rng));
+  original.emplace("beta.gamma", Tensor::arange(7));
+  original.emplace("empty", Tensor({0}));
+  save_tensors(original, path);
+  EXPECT_TRUE(is_tensor_file(path));
+
+  TensorMap loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (const auto& [name, tensor] : original) {
+    ASSERT_TRUE(loaded.count(name)) << name;
+    EXPECT_TRUE(allclose(loaded.at(name), tensor, 0.0f, 0.0f)) << name;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "crisp_test_garbage.bin")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a tensor file", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(is_tensor_file(path));
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  EXPECT_THROW(load_tensors("/nonexistent/nope.bin"), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// RNG.
+
+TEST(Rng, DeterministicAndDistinctStreams) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.randint(0, 1000), b.randint(0, 1000));
+
+  Rng c(5);
+  Rng fork1 = c.fork();
+  Rng fork2 = c.fork();
+  // Forked streams should not mirror each other.
+  int same = 0;
+  for (int i = 0; i < 32; ++i)
+    same += (fork1.randint(0, 1 << 20) == fork2.randint(0, 1 << 20));
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(9);
+  auto sample = rng.sample_without_replacement(50, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<std::int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (auto v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+  // Asking for more than available returns everything.
+  auto all = rng.sample_without_replacement(5, 99);
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(Rng, UniformAndBernoulliRanges) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const float u = rng.uniform(2.0f, 3.0f);
+    EXPECT_GE(u, 2.0f);
+    EXPECT_LT(u, 3.0f);
+  }
+  int heads = 0;
+  for (int i = 0; i < 1000; ++i) heads += rng.bernoulli(0.8);
+  EXPECT_GT(heads, 700);
+  EXPECT_LT(heads, 900);
+}
+
+}  // namespace
+}  // namespace crisp

@@ -1,0 +1,356 @@
+// Transformer-extension tests: LayerNorm, GELU, multi-head self-attention
+// (finite-difference checked), the ViT builder, and CRISP pruning applied
+// to attention/MLP weights — the paper's stated future-work direction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pruner.h"
+#include "data/class_pattern.h"
+#include "nn/models/transformer.h"
+#include "nn/trainer.h"
+#include "sparse/nm.h"
+
+namespace crisp::nn {
+namespace {
+
+// Shared finite-difference checker (same scheme as test_nn_layers).
+float probe_loss(Layer& layer, const Tensor& x, const Tensor& w) {
+  Tensor y = layer.forward(x, true);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    acc += static_cast<double>(y[i]) * w[i];
+  return static_cast<float>(acc);
+}
+
+void check_gradients(Layer& layer, Tensor x, std::uint64_t seed,
+                     float rel_tol = 0.08f, float abs_tol = 0.02f) {
+  Rng rng(seed);
+  const float eps = 5e-3f;
+  Tensor y = layer.forward(x, true);
+  Tensor w = Tensor::randn(y.shape(), rng);
+  layer.zero_grad();
+  (void)probe_loss(layer, x, w);
+  Tensor grad_in = layer.backward(w);
+
+  auto probe = [&](std::int64_t n) {
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(n, 20); ++i)
+      idx.push_back(rng.randint(0, n - 1));
+    return idx;
+  };
+
+  for (std::int64_t i : probe(x.numel())) {
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const float lp = probe_loss(layer, x, w);
+    x[i] = saved - eps;
+    const float lm = probe_loss(layer, x, w);
+    x[i] = saved;
+    const float numeric = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(grad_in[i], numeric, abs_tol + rel_tol * std::fabs(numeric))
+        << layer.name() << " input grad at " << i;
+  }
+  for (Parameter* p : layer.parameters()) {
+    for (std::int64_t i : probe(p->value.numel())) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float lp = probe_loss(layer, x, w);
+      p->value[i] = saved - eps;
+      const float lm = probe_loss(layer, x, w);
+      p->value[i] = saved;
+      const float numeric = (lp - lm) / (2.0f * eps);
+      EXPECT_NEAR(p->grad[i], numeric, abs_tol + rel_tol * std::fabs(numeric))
+          << p->name << " grad at " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm / GELU.
+
+TEST(LayerNorm, NormalizesLastDimension) {
+  Rng rng(1);
+  LayerNorm ln("ln", 8);
+  Tensor x = Tensor::randn({3, 4, 8}, rng, 2.0f, 3.0f);
+  Tensor y = ln.forward(x, false);
+  for (std::int64_t r = 0; r < 12; ++r) {
+    double sum = 0.0, sq = 0.0;
+    for (std::int64_t i = 0; i < 8; ++i) {
+      const float v = y[r * 8 + i];
+      sum += v;
+      sq += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(sum / 8.0, 0.0, 1e-3);
+    EXPECT_NEAR(sq / 8.0, 1.0, 2e-2);
+  }
+}
+
+TEST(LayerNorm, AffineParametersApply) {
+  LayerNorm ln("ln_affine", 4);
+  ln.parameters()[0]->value.fill(2.0f);  // gamma
+  ln.parameters()[1]->value.fill(1.0f);  // beta
+  Tensor x({1, 4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor y = ln.forward(x, false);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < 4; ++i) mean += y[i];
+  EXPECT_NEAR(mean / 4.0, 1.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(LayerNorm, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  LayerNorm ln("ln_grad", 6);
+  Tensor x = Tensor::randn({2, 3, 6}, rng);
+  check_gradients(ln, std::move(x), 11);
+}
+
+TEST(LayerNorm, RejectsWrongWidth) {
+  LayerNorm ln("ln_bad", 8);
+  EXPECT_THROW(ln.forward(Tensor({2, 4}), false), std::runtime_error);
+}
+
+TEST(Gelu, KnownValuesAndMonotonicity) {
+  Gelu gelu("gelu");
+  Tensor x({3}, {-3.0f, 0.0f, 3.0f});
+  Tensor y = gelu.forward(x, false);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 2.9964f, 1e-3f);   // ~x for large positive x
+  EXPECT_NEAR(y[0], -0.0036f, 1e-3f);  // ~0 for large negative x
+}
+
+TEST(Gelu, GradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  Gelu gelu("gelu_grad");
+  Tensor x = Tensor::randn({4, 8}, rng);
+  check_gradients(gelu, std::move(x), 13);
+}
+
+// ---------------------------------------------------------------------------
+// Attention.
+
+TEST(Attention, ShapesAndSoftmaxRows) {
+  Rng rng(4);
+  MultiHeadSelfAttention attn("attn", 8, 2, rng);
+  Tensor x = Tensor::randn({2, 5, 8}, rng);
+  Tensor y = attn.forward(x, false);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_EQ(attn.parameters().size(), 8u);  // 4 weights + 4 biases
+}
+
+TEST(Attention, SingleHeadSingleTokenIsProjectionChain) {
+  // With one token, softmax over one score is exactly 1, so the layer
+  // reduces to Wo·(Wv·x + bv) + bo — checkable by hand.
+  Rng rng(5);
+  MultiHeadSelfAttention attn("attn1", 4, 1, rng);
+  Tensor x = Tensor::randn({1, 1, 4}, rng);
+
+  auto params = attn.parameters();
+  const Tensor& wv = params[2]->value;
+  const Tensor& wo = params[3]->value;
+  const Tensor& bv = params[6]->value;
+  const Tensor& bo = params[7]->value;
+
+  Tensor v({4});
+  for (std::int64_t o = 0; o < 4; ++o) {
+    float acc = bv[o];
+    for (std::int64_t i = 0; i < 4; ++i) acc += wv[o * 4 + i] * x[i];
+    v[o] = acc;
+  }
+  Tensor expect({4});
+  for (std::int64_t o = 0; o < 4; ++o) {
+    float acc = bo[o];
+    for (std::int64_t i = 0; i < 4; ++i) acc += wo[o * 4 + i] * v[i];
+    expect[o] = acc;
+  }
+
+  Tensor y = attn.forward(x, false);
+  for (std::int64_t o = 0; o < 4; ++o) EXPECT_NEAR(y[o], expect[o], 1e-4f);
+}
+
+TEST(Attention, PermutationEquivariance) {
+  // Self-attention without positions is permutation-equivariant: permuting
+  // input tokens permutes output tokens identically.
+  Rng rng(6);
+  MultiHeadSelfAttention attn("attn_perm", 8, 2, rng);
+  Tensor x = Tensor::randn({1, 4, 8}, rng);
+  Tensor y = attn.forward(x, false);
+
+  // Swap tokens 1 and 3.
+  Tensor xp = x;
+  for (std::int64_t d = 0; d < 8; ++d)
+    std::swap(xp[1 * 8 + d], xp[3 * 8 + d]);
+  Tensor yp = attn.forward(xp, false);
+  for (std::int64_t d = 0; d < 8; ++d) {
+    EXPECT_NEAR(yp[1 * 8 + d], y[3 * 8 + d], 1e-4f);
+    EXPECT_NEAR(yp[3 * 8 + d], y[1 * 8 + d], 1e-4f);
+    EXPECT_NEAR(yp[0 * 8 + d], y[0 * 8 + d], 1e-4f);
+  }
+}
+
+TEST(Attention, GradientsMatchFiniteDifferences) {
+  Rng rng(7);
+  MultiHeadSelfAttention attn("attn_grad", 8, 2, rng);
+  Tensor x = Tensor::randn({2, 3, 8}, rng);
+  check_gradients(attn, std::move(x), 17, 0.1f, 0.03f);
+}
+
+TEST(Attention, ProjectionsArePrunable) {
+  Rng rng(8);
+  MultiHeadSelfAttention attn("attn_p", 8, 2, rng);
+  std::int64_t prunable = 0;
+  for (Parameter* p : attn.parameters())
+    if (p->prunable) {
+      ++prunable;
+      EXPECT_EQ(p->matrix_rows, 8);
+      EXPECT_EQ(p->matrix_cols, 8);
+    }
+  EXPECT_EQ(prunable, 4);
+}
+
+TEST(Attention, RejectsBadConfig) {
+  Rng rng(9);
+  EXPECT_THROW(MultiHeadSelfAttention("bad", 10, 4, rng), std::runtime_error);
+  MultiHeadSelfAttention attn("attn_b", 8, 2, rng);
+  EXPECT_THROW(attn.forward(Tensor({2, 3, 4}), false), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Token utilities.
+
+TEST(ToTokens, TransposeRoundTrip) {
+  Rng rng(10);
+  ToTokens tt("tt");
+  Tensor x = Tensor::randn({2, 3, 2, 2}, rng);
+  Tensor y = tt.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 3}));
+  EXPECT_FLOAT_EQ(y.at({0, 1, 2}), x.at({0, 2, 0, 1}));  // token 1 = (h0,w1)
+  Tensor back = tt.backward(y);
+  EXPECT_TRUE(allclose(back, x, 0.0f, 0.0f));
+}
+
+TEST(PositionalEmbedding, AddsTablePerSample) {
+  Rng rng(11);
+  PositionalEmbedding pe("pe", 4, 3, rng);
+  Tensor x = Tensor::zeros({2, 4, 3});
+  Tensor y = pe.forward(x, true);
+  const Tensor& table = pe.parameters()[0]->value;
+  for (std::int64_t b = 0; b < 2; ++b)
+    for (std::int64_t i = 0; i < 12; ++i)
+      EXPECT_FLOAT_EQ(y[b * 12 + i], table[i]);
+  // Backward accumulates over the batch.
+  pe.zero_grad();
+  pe.backward(Tensor::ones({2, 4, 3}));
+  EXPECT_FLOAT_EQ(pe.parameters()[0]->grad[0], 2.0f);
+}
+
+TEST(TokenMeanPool, AveragesAndSpreads) {
+  TokenMeanPool pool("pool");
+  Tensor x({1, 2, 3}, {1, 2, 3, 5, 6, 7});
+  Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[2], 5.0f);
+  Tensor g = pool.backward(Tensor({1, 3}, {2.0f, 2.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+}
+
+TEST(TransformerBlock, GradientsMatchFiniteDifferences) {
+  Rng rng(12);
+  TransformerBlock block("blk", 8, 2, 2, rng);
+  Tensor x = Tensor::randn({1, 3, 8}, rng);
+  check_gradients(block, std::move(x), 19, 0.12f, 0.03f);
+}
+
+// ---------------------------------------------------------------------------
+// ViT end-to-end.
+
+VitConfig tiny_vit_config() {
+  VitConfig cfg;
+  cfg.num_classes = 5;
+  cfg.input_size = 8;
+  cfg.patch = 4;
+  cfg.dim = 16;
+  cfg.heads = 2;
+  cfg.depth = 2;
+  cfg.mlp_ratio = 2;
+  return cfg;
+}
+
+TEST(Vit, BuildsForwardsBackwards) {
+  auto model = make_vit(tiny_vit_config());
+  Rng rng(13);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor y = model->forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 5}));
+  Tensor g = model->backward(Tensor::ones(y.shape()));
+  EXPECT_EQ(g.shape(), x.shape());
+
+  // Prunable: 4 attention projections + 2 MLP per block, + head.
+  EXPECT_EQ(model->prunable_parameters().size(), 2u * 6u + 1u);
+}
+
+TEST(Vit, LearnsToyProblem) {
+  auto cfg = tiny_vit_config();
+  cfg.num_classes = 2;
+  auto model = make_vit(cfg);
+
+  // Class 0: bright left half; class 1: bright right half.
+  Rng rng(14);
+  data::Dataset d;
+  const std::int64_t n = 64;
+  d.images = Tensor({n, 3, 8, 8});
+  d.labels.resize(static_cast<std::size_t>(n));
+  d.num_classes = 2;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t cls = i % 2;
+    d.labels[static_cast<std::size_t>(i)] = cls;
+    for (std::int64_t c = 0; c < 3; ++c)
+      for (std::int64_t y = 0; y < 8; ++y)
+        for (std::int64_t x = 0; x < 8; ++x)
+          d.images.at({i, c, y, x}) =
+              ((cls == 0) == (x < 4) ? 1.0f : -1.0f) +
+              rng.normal(0.0f, 0.1f);
+  }
+
+  TrainConfig tc;
+  tc.epochs = 15;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.01f;  // transformers want a gentler rate than the CNNs
+  Rng trng(15);
+  train(*model, d, tc, trng);
+  EXPECT_GE(evaluate(*model, d), 0.9f);
+}
+
+TEST(Vit, CrispPruningHoldsInvariants) {
+  auto model = make_vit(tiny_vit_config());
+  data::ClassPatternConfig dcfg = data::ClassPatternConfig::cifar100_like();
+  dcfg.num_classes = 5;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 6;
+  dcfg.test_per_class = 2;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  core::CrispConfig pcfg;
+  pcfg.n = 2;
+  pcfg.m = 4;
+  pcfg.block = 8;
+  pcfg.target_sparsity = 0.75;
+  pcfg.iterations = 2;
+  pcfg.finetune_epochs = 1;
+  pcfg.recovery_epochs = 2;
+  core::CrispPruner pruner(*model, pcfg);
+  Rng rng(16);
+  const core::PruneReport report = pruner.run(split.train, rng);
+
+  EXPECT_NEAR(report.achieved_sparsity(), 0.75, 0.05);
+  for (Parameter* p : model->prunable_parameters()) {
+    ASSERT_TRUE(p->has_mask()) << p->name;
+    const auto mask = as_matrix(p->mask, p->matrix_rows, p->matrix_cols);
+    EXPECT_TRUE(sparse::satisfies_nm(mask, pcfg.n, pcfg.m)) << p->name;
+    const sparse::BlockGrid grid{p->matrix_rows, p->matrix_cols, pcfg.block};
+    EXPECT_TRUE(sparse::uniform_blocks_per_row(mask, grid)) << p->name;
+  }
+}
+
+}  // namespace
+}  // namespace crisp::nn

@@ -1,0 +1,363 @@
+// crisp_cli — command-line front end for the library.
+//
+//   crisp_cli prune    --model resnet50 --classes 10 --sparsity 0.9
+//                      [--nm 2:4] [--block 16] [--dataset cifar100|imagenet]
+//                      [--out pruned.bin]
+//   crisp_cli pack     (prune flags) [--out packed.crisp]
+//   crisp_cli info     --in pruned.bin
+//   crisp_cli packinfo --in packed.crisp
+//   crisp_cli simulate [--nm 2:4] [--block 64] [--sparsity 0.9]
+//   crisp_cli dse      [--nm 2:4] [--block 64]
+//
+// `prune` runs the full pipeline (zoo pre-train -> user classes -> CRISP ->
+// bake -> save); `pack` does the same but ships the CRISP packed artifact
+// (hybrid format + carried dense state) and verifies it serves identically;
+// `info`/`packinfo` inspect saved artifacts; `simulate` estimates CRISP-STC
+// latency/energy on the true ResNet-50 shapes; `dse` sweeps the fabric
+// knobs and prints the Pareto-efficient configurations. No command needs
+// external data — everything runs on the synthetic substrate.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "accel/dse.h"
+#include "accel/report.h"
+#include "core/pruner.h"
+#include "core/sensitivity.h"
+#include "deploy/packed_exec.h"
+#include "deploy/packed_model.h"
+#include "nn/flops.h"
+#include "nn/zoo.h"
+#include "sparse/block.h"
+
+using namespace crisp;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stoll(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    CRISP_CHECK(key.size() > 2 && key[0] == '-' && key[1] == '-',
+                "expected --flag value pairs, got '" << key << "'");
+    args.kv[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+void parse_nm(const std::string& s, std::int64_t& n, std::int64_t& m) {
+  const auto colon = s.find(':');
+  CRISP_CHECK(colon != std::string::npos, "--nm expects the form N:M");
+  n = std::stoll(s.substr(0, colon));
+  m = std::stoll(s.substr(colon + 1));
+}
+
+nn::ModelKind parse_model(const std::string& s) {
+  if (s == "resnet50") return nn::ModelKind::kResNet50;
+  if (s == "vgg16") return nn::ModelKind::kVgg16;
+  if (s == "mobilenetv2") return nn::ModelKind::kMobileNetV2;
+  CRISP_CHECK(false, "unknown model '" << s
+                                       << "' (resnet50|vgg16|mobilenetv2)");
+  return nn::ModelKind::kResNet50;
+}
+
+/// Shared prune pipeline for the `prune` and `pack` commands.
+struct PruneOutcome {
+  nn::ZooSpec spec;
+  nn::PretrainedModel pm;
+  std::vector<std::int64_t> classes;
+  data::Dataset user_test;
+  core::CrispConfig cfg;
+  core::CrispPruner pruner;
+  float accuracy = 0.0f;
+};
+
+PruneOutcome run_prune_pipeline(const Args& args) {
+  nn::ZooSpec spec;
+  spec.model = parse_model(args.get("model", "resnet50"));
+  spec.dataset = args.get("dataset", "cifar100") == "imagenet"
+                     ? nn::DatasetKind::kImageNetLike
+                     : nn::DatasetKind::kCifar100Like;
+  spec.width_mult = static_cast<float>(args.get_double("width", 0.125));
+  spec.input_size = args.get_int("input", 16);
+  spec.pretrain_epochs = args.get_int("pretrain-epochs", 12);
+  spec.train_per_class = args.get_int("train-per-class", 16);
+  nn::PretrainedModel pm = nn::zoo_pretrained(spec, /*verbose=*/true);
+
+  Rng rng(args.get_int("seed", 2024));
+  const auto classes = data::sample_user_classes(
+      pm.data.train.num_classes, args.get_int("classes", 10), rng);
+  const data::Dataset user_train = data::filter_classes(pm.data.train, classes);
+  data::Dataset user_test = data::filter_classes(pm.data.test, classes);
+
+  core::CrispConfig cfg;
+  parse_nm(args.get("nm", "2:4"), cfg.n, cfg.m);
+  cfg.block = args.get_int("block", 16);
+  cfg.target_sparsity = args.get_double("sparsity", 0.9);
+  cfg.iterations = args.get_int("iterations", 3);
+  cfg.finetune_epochs = args.get_int("finetune-epochs", 2);
+  cfg.recovery_epochs = args.get_int("recovery-epochs", 12);
+  cfg.verbose = true;
+
+  // The Sequential lives on the heap: moving the unique_ptr into the
+  // outcome does not move the network, so the pruner's reference stays
+  // valid as long as it is bound before the move.
+  nn::Sequential& model = *pm.model;
+  PruneOutcome out{std::move(spec),      std::move(pm),
+                   classes,              std::move(user_test),
+                   cfg,                  core::CrispPruner(model, cfg)};
+  const core::PruneReport report = out.pruner.run(user_train, rng);
+  out.accuracy = nn::evaluate(*out.pm.model, out.user_test, 64, classes);
+  const double flops =
+      nn::count_flops(*out.pm.model,
+                      {1, 3, out.spec.input_size, out.spec.input_size})
+          .ratio();
+  std::printf("\npruned: %.1f%% sparsity, user-class accuracy %.1f%%, "
+              "FLOPs ratio %.3f\n",
+              100 * report.achieved_sparsity(), 100 * out.accuracy, flops);
+  return out;
+}
+
+int cmd_prune(const Args& args) {
+  PruneOutcome out = run_prune_pipeline(args);
+  out.pruner.bake();
+  const std::string path = args.get("out", "crisp_pruned.bin");
+  save_tensors(out.pm.model->state_dict(), path);
+  std::printf("saved state_dict (with masks) to %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_pack(const Args& args) {
+  PruneOutcome out = run_prune_pipeline(args);
+  const deploy::PackedModel packed = deploy::PackedModel::pack(
+      *out.pm.model, out.cfg.block, out.cfg.n, out.cfg.m);
+  const deploy::PackedStats stats = packed.stats();
+  std::printf("packed: payload %.1f KiB + metadata %.1f KiB + dense %.1f KiB "
+              "= %.2fx of the %.1f KiB dense model\n",
+              static_cast<double>(stats.packed_payload_bits) / 8192.0,
+              static_cast<double>(stats.packed_metadata_bits) / 8192.0,
+              static_cast<double>(stats.carried_dense_bits) / 8192.0,
+              stats.compression(),
+              static_cast<double>(stats.model_dense_bits) / 8192.0);
+
+  const std::string path = args.get("out", "crisp_packed.crisp");
+  packed.save(path);
+
+  // Round-trip check: reload, rebuild the architecture, serve packed.
+  const deploy::PackedModel shipped = deploy::PackedModel::load(path);
+  auto device = nn::make_model(out.spec.model, out.spec.model_config());
+  shipped.unpack_into(*device);
+  deploy::attach_packed(*device, shipped);
+  const float served =
+      nn::evaluate(*device, out.user_test, 64, out.classes);
+  std::printf("saved %s; served accuracy from packed artifact: %.1f%% "
+              "(cloud-side %.1f%%)\n",
+              path.c_str(), 100 * served, 100 * out.accuracy);
+  return served == out.accuracy ? 0 : 1;
+}
+
+int cmd_packinfo(const Args& args) {
+  const std::string path = args.get("in", "crisp_packed.crisp");
+  const deploy::PackedModel packed = deploy::PackedModel::load(path);
+  std::printf("%s: %lld:%lld sparsity, block %lldx%lld\n", path.c_str(),
+              static_cast<long long>(packed.n()),
+              static_cast<long long>(packed.m()),
+              static_cast<long long>(packed.block()),
+              static_cast<long long>(packed.block()));
+  std::printf("\n%-34s %-16s %10s %12s\n", "packed entry", "matrix", "KiB",
+              "metadata b");
+  for (const auto& e : packed.entries()) {
+    std::printf("%-34s %6lld x %-7lld %10.1f %12lld\n", e.name.c_str(),
+                static_cast<long long>(e.matrix.rows()),
+                static_cast<long long>(e.matrix.cols()),
+                static_cast<double>(e.matrix.payload_bits()) / 8192.0,
+                static_cast<long long>(e.matrix.metadata_bits()));
+  }
+  const deploy::PackedStats stats = packed.stats();
+  std::printf("\n%zu dense tensors carried (%.1f KiB); total %.2fx of dense\n",
+              packed.dense_state().size(),
+              static_cast<double>(stats.carried_dense_bits) / 8192.0,
+              stats.compression());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const std::string path = args.get("in", "crisp_pruned.bin");
+  const TensorMap state = load_tensors(path);
+  std::printf("%s: %zu tensors\n\n", path.c_str(), state.size());
+  std::printf("%-34s %-14s %10s %10s\n", "name", "shape", "KiB", "zeros");
+  double total_kib = 0;
+  std::int64_t total = 0, zeros = 0;
+  for (const auto& [name, t] : state) {
+    const double kib = static_cast<double>(t.numel()) * 4.0 / 1024.0;
+    total_kib += kib;
+    if (name.find("#mask") == std::string::npos) {
+      total += t.numel();
+      zeros += t.numel() - t.count_nonzero();
+    }
+    std::printf("%-34s %-14s %10.1f %9.1f%%\n", name.c_str(),
+                shape_to_string(t.shape()).c_str(), kib,
+                100.0 * t.zero_fraction());
+  }
+  std::printf("\ntotal %.1f KiB; weight zero fraction %.1f%%\n", total_kib,
+              100.0 * static_cast<double>(zeros) / static_cast<double>(total));
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  std::int64_t n = 2, m = 4;
+  parse_nm(args.get("nm", "2:4"), n, m);
+  const std::int64_t block = args.get_int("block", 64);
+  const double kappa = args.get_double("sparsity", 0.9);
+
+  const auto net = accel::resnet50_imagenet_workloads();
+  const auto profiles = accel::ramp_profiles(
+      static_cast<std::int64_t>(net.size()), n, m, block, kappa - 0.03,
+      kappa + 0.03);
+  const auto rows = accel::compare_accelerators(
+      net, profiles, accel::AcceleratorConfig::edge_default(),
+      accel::EnergyModel::edge_default());
+
+  double dense_cy = 0, crisp_cy = 0, dense_e = 0, crisp_e = 0, nv_cy = 0,
+         ds_cy = 0;
+  for (const auto& row : rows) {
+    dense_cy += row.dense.cycles;
+    crisp_cy += row.crisp.cycles;
+    dense_e += row.dense.energy_pj;
+    crisp_e += row.crisp.energy_pj;
+    nv_cy += row.nvidia.cycles;
+    ds_cy += row.dstc.cycles;
+  }
+  std::printf("ResNet-50 @224, %lld:%lld, B=%lld, kappa=%.1f%%\n",
+              static_cast<long long>(n), static_cast<long long>(m),
+              static_cast<long long>(block), 100 * kappa);
+  std::printf("  CRISP-STC:  %.2fx speedup, %.2fx energy efficiency\n",
+              dense_cy / crisp_cy, dense_e / crisp_e);
+  std::printf("  NVIDIA-STC: %.2fx speedup\n", dense_cy / nv_cy);
+  std::printf("  DSTC:       %.2fx speedup\n", dense_cy / ds_cy);
+  return 0;
+}
+
+int cmd_sensitivity(const Args& args) {
+  nn::ZooSpec spec;
+  spec.model = parse_model(args.get("model", "resnet50"));
+  spec.dataset = args.get("dataset", "cifar100") == "imagenet"
+                     ? nn::DatasetKind::kImageNetLike
+                     : nn::DatasetKind::kCifar100Like;
+  spec.width_mult = static_cast<float>(args.get_double("width", 0.125));
+  spec.input_size = args.get_int("input", 16);
+  spec.pretrain_epochs = args.get_int("pretrain-epochs", 12);
+  spec.train_per_class = args.get_int("train-per-class", 16);
+  nn::PretrainedModel pm = nn::zoo_pretrained(spec, /*verbose=*/true);
+
+  Rng rng(args.get_int("seed", 2024));
+  const auto classes = data::sample_user_classes(
+      pm.data.train.num_classes, args.get_int("classes", 10), rng);
+  const data::Dataset user_train = data::filter_classes(pm.data.train, classes);
+
+  core::SensitivityConfig cfg;
+  parse_nm(args.get("nm", "2:4"), cfg.n, cfg.m);
+  cfg.block = args.get_int("block", 8);
+  const auto profile = core::layer_sensitivity(*pm.model, user_train, cfg);
+  const double budget = args.get_double("budget", 0.1);
+
+  std::printf("\nper-layer sparsity sensitivity (class-aware, %zu classes); "
+              "loss budget %.2f\n",
+              classes.size(), budget);
+  std::printf("%-30s %9s %9s %9s %9s | %10s\n", "layer", "d@50%", "d@75%",
+              "d@90%", "d@99%", "tolerated");
+  for (const core::LayerSensitivity& ls : profile) {
+    std::printf("%-30s", ls.name.c_str());
+    for (const double d : ls.loss_increase) std::printf(" %+9.3f", d);
+    std::printf(" | %9.0f%%\n", 100.0 * ls.tolerated_sparsity(budget));
+  }
+  std::printf("\n(the Fig. 2 premise: tolerated sparsity varies widely "
+              "across layers)\n");
+  return 0;
+}
+
+int cmd_dse(const Args& args) {
+  std::int64_t n = 2, m = 4;
+  parse_nm(args.get("nm", "2:4"), n, m);
+  const std::int64_t block = args.get_int("block", 64);
+
+  const auto net = accel::resnet50_imagenet_workloads();
+  const auto profiles = accel::ramp_kept_profiles(
+      static_cast<std::int64_t>(net.size()), n, m, block, 0.5, 0.16);
+  accel::DseKnobs knobs;
+  knobs.tensor_cores = {2, 4, 8};
+  knobs.macs_per_core = {32, 64, 128};
+  knobs.smem_kbytes = {128, 256, 512};
+  knobs.smem_bw_bytes_per_cycle = {32.0, 64.0, 128.0};
+  const auto points = accel::sweep_configs(
+      accel::AcceleratorConfig::edge_default(),
+      accel::EnergyModel::edge_default(), knobs, net, profiles);
+  const auto front = accel::pareto_front(points);
+
+  std::printf("ResNet-50 @224, %lld:%lld B=%lld — %zu configs swept, "
+              "%zu Pareto-efficient:\n\n",
+              static_cast<long long>(n), static_cast<long long>(m),
+              static_cast<long long>(block), points.size(), front.size());
+  std::printf("%-46s %12s %12s\n", "config", "Mcycles", "energy uJ");
+  for (const std::size_t i : front)
+    std::printf("%-46s %12.2f %12.1f\n", points[i].label().c_str(),
+                points[i].cycles / 1e6, points[i].energy_pj / 1e6);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage:\n"
+      "  crisp_cli prune    --model resnet50 --classes 10 --sparsity 0.9\n"
+      "                     [--nm 2:4] [--block 16] [--dataset cifar100]\n"
+      "                     [--out pruned.bin] [--seed 2024]\n"
+      "  crisp_cli pack     (prune flags) [--out packed.crisp]\n"
+      "  crisp_cli info     --in pruned.bin\n"
+      "  crisp_cli packinfo --in packed.crisp\n"
+      "  crisp_cli simulate [--nm 2:4] [--block 64] [--sparsity 0.9]\n"
+      "  crisp_cli dse      [--nm 2:4] [--block 64]\n"
+      "  crisp_cli sensitivity --model resnet50 --classes 10 [--budget 0.1]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "prune") return cmd_prune(args);
+    if (cmd == "pack") return cmd_pack(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "packinfo") return cmd_packinfo(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "dse") return cmd_dse(args);
+    if (cmd == "sensitivity") return cmd_sensitivity(args);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
