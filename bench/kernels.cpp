@@ -1,9 +1,16 @@
-// Kernel microbenchmarks (google-benchmark): CPU SpMM throughput of every
-// storage format on a hybrid-pruned ResNet-50-shaped layer. Not a paper
-// figure — supporting evidence that the CRISP layout is also kernel-
-// friendly on CPUs (dense work scales with kept blocks x N/M).
+// Kernel microbenchmarks (google-benchmark): CPU GEMM/SpMM throughput of
+// every storage format on a hybrid-pruned ResNet-50-shaped layer, swept
+// over the kernel-layer thread count (the Arg is kernels::set_num_threads).
+// Not a paper figure — supporting evidence that the CRISP layout is also
+// kernel-friendly on CPUs (dense work scales with kept blocks x N/M), and
+// the measurement behind the "threading helps, it isn't asserted" claim.
+//
+// Record a baseline with:
+//   ./bench_kernels --benchmark_out=BENCH_kernels.json \
+//                   --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
+#include "kernels/parallel_for.h"
 #include "sparse/metadata.h"
 #include "sparse/nm.h"
 #include "sparse/spmm.h"
@@ -17,6 +24,16 @@ constexpr std::int64_t kRows = 256;   // output channels S
 constexpr std::int64_t kCols = 576;   // reduction K (64 input ch x 3x3)
 constexpr std::int64_t kBatch = 64;   // output positions P
 constexpr std::int64_t kBlock = 16;
+
+// Thread counts every kernel bench sweeps; results must be identical, only
+// the time may move (see tests/test_kernels.cpp for the identity half).
+// Wall-clock timing: CPU time only counts the calling thread, which would
+// make pool workers look like free throughput.
+void thread_sweep(benchmark::internal::Benchmark* b) {
+  b->ArgName("threads");
+  b->UseRealTime();
+  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+}
 
 Tensor hybrid_weights(std::int64_t n, std::int64_t m, double kappa) {
   Rng rng(7);
@@ -44,6 +61,7 @@ Tensor activations() {
 }
 
 void BM_DenseGemm(benchmark::State& state) {
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
   Rng rng(7);
   const Tensor w = Tensor::randn({kRows, kCols}, rng);
   const Tensor x = activations();
@@ -54,11 +72,13 @@ void BM_DenseGemm(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch);
+  kernels::set_num_threads(0);
 }
-BENCHMARK(BM_DenseGemm);
+BENCHMARK(BM_DenseGemm)->Apply(thread_sweep);
 
 void BM_MaskedDenseGemm(benchmark::State& state) {
   // The dense kernel on pruned weights: zero-skip branch gets the wins.
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
   const Tensor w = hybrid_weights(2, 4, 0.875);
   const Tensor x = activations();
   Tensor y({kRows, kBatch});
@@ -68,62 +88,54 @@ void BM_MaskedDenseGemm(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch);
+  kernels::set_num_threads(0);
 }
-BENCHMARK(BM_MaskedDenseGemm);
+BENCHMARK(BM_MaskedDenseGemm)->Apply(thread_sweep);
+
+/// Shared loop for every SpmmKernel implementation: the format only changes
+/// the encode step, the measured call is the polymorphic interface.
+void run_spmm(benchmark::State& state, const kernels::SpmmKernel& kernel,
+              std::int64_t items_per_iter) {
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
+  const Tensor x = activations();
+  Tensor y({kRows, kBatch});
+  for (auto _ : state) {
+    kernel.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * items_per_iter);
+  kernels::set_num_threads(0);
+}
 
 void BM_CsrSpmm(benchmark::State& state) {
   const Tensor w = hybrid_weights(2, 4, 0.875);
   const auto csr = sparse::CsrMatrix::encode(as_matrix(w, kRows, kCols));
-  const Tensor x = activations();
-  Tensor y({kRows, kBatch});
-  for (auto _ : state) {
-    csr.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * csr.nnz() * kBatch);
+  run_spmm(state, csr, csr.nnz() * kBatch);
 }
-BENCHMARK(BM_CsrSpmm);
+BENCHMARK(BM_CsrSpmm)->Apply(thread_sweep);
 
 void BM_EllpackSpmm(benchmark::State& state) {
   const Tensor w = hybrid_weights(2, 4, 0.875);
   const auto ell = sparse::EllpackMatrix::encode(as_matrix(w, kRows, kCols));
-  const Tensor x = activations();
-  Tensor y({kRows, kBatch});
-  for (auto _ : state) {
-    ell.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * kRows * ell.width() * kBatch);
+  run_spmm(state, ell, kRows * ell.width() * kBatch);
 }
-BENCHMARK(BM_EllpackSpmm);
+BENCHMARK(BM_EllpackSpmm)->Apply(thread_sweep);
 
 void BM_BlockedEllSpmm(benchmark::State& state) {
   const Tensor w = hybrid_weights(4, 4, 0.5);  // block-only pattern
   const auto bell =
       sparse::BlockedEllMatrix::encode(as_matrix(w, kRows, kCols), kBlock);
-  const Tensor x = activations();
-  Tensor y({kRows, kBatch});
-  for (auto _ : state) {
-    bell.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch / 2);
+  run_spmm(state, bell, kRows * kCols * kBatch / 2);
 }
-BENCHMARK(BM_BlockedEllSpmm);
+BENCHMARK(BM_BlockedEllSpmm)->Apply(thread_sweep);
 
 void BM_CrispSpmm(benchmark::State& state) {
   const Tensor w = hybrid_weights(2, 4, 0.875);
   const auto cm =
       sparse::CrispMatrix::encode(as_matrix(w, kRows, kCols), kBlock, 2, 4);
-  const Tensor x = activations();
-  Tensor y({kRows, kBatch});
-  for (auto _ : state) {
-    cm.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetItemsProcessed(state.iterations() * cm.slot_count() * kBatch);
+  run_spmm(state, cm, cm.slot_count() * kBatch);
 }
-BENCHMARK(BM_CrispSpmm);
+BENCHMARK(BM_CrispSpmm)->Apply(thread_sweep);
 
 }  // namespace
 

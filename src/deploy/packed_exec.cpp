@@ -1,5 +1,7 @@
 #include "deploy/packed_exec.h"
 
+#include "kernels/spmm_kernel.h"
+
 namespace crisp::deploy {
 
 namespace {
@@ -29,9 +31,13 @@ std::vector<std::string> attach_packed(nn::Sequential& model,
                                     << ", artifact holds "
                                     << entry->matrix.rows() << "x"
                                     << entry->matrix.cols());
-      const sparse::CrispMatrix* matrix = &entry->matrix;
-      if (layer->set_gemm_hook([matrix](ConstMatrixView x, MatrixView y) {
-            matrix->spmm(x, y);
+      // Hooked through the SpmmKernel interface: packed inference runs the
+      // same threaded, block-row-partitioned CRISP kernel as everything
+      // else, and the hook stays format-agnostic if the artifact ever
+      // carries other encodings.
+      const kernels::SpmmKernel* kernel = &entry->matrix;
+      if (layer->set_gemm_hook([kernel](ConstMatrixView x, MatrixView y) {
+            kernel->spmm(x, y);
           })) {
         attached.push_back(p->name);
       }

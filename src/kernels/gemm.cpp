@@ -1,0 +1,77 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/parallel_for.h"
+
+namespace crisp::kernels {
+
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c,
+          bool accumulate) {
+  const std::int64_t m = a.rows, k = a.cols, n = b.cols;
+  const std::int64_t grain = rows_grain(k * n);
+  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
+    if (!accumulate)
+      std::memset(c.data + i0 * n, 0,
+                  static_cast<std::size_t>((i1 - i0) * n) * sizeof(float));
+    // Panel over k: rows [kk, kend) of B stay hot while the row tile of A
+    // streams. Per output element the additions still happen in ascending
+    // k order, so the result matches the unblocked serial loop bit-exactly.
+    for (std::int64_t kk = 0; kk < k; kk += kKc) {
+      const std::int64_t kend = std::min(k, kk + kKc);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* arow = a.data + i * k;
+        float* crow = c.data + i * n;
+        for (std::int64_t p = kk; p < kend; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;  // free win on masked weights
+          const float* brow = b.data + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }, grain);
+}
+
+void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  // A stored K x M; logical op: C[i,j] = sum_p A[p,i] * B[p,j].
+  const std::int64_t k = a.rows, m = a.cols, n = b.cols;
+  const std::int64_t grain = rows_grain(k * n);
+  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
+    std::memset(c.data + i0 * n, 0,
+                static_cast<std::size_t>((i1 - i0) * n) * sizeof(float));
+    for (std::int64_t kk = 0; kk < k; kk += kKc) {
+      const std::int64_t kend = std::min(k, kk + kKc);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* crow = c.data + i * n;
+        for (std::int64_t p = kk; p < kend; ++p) {
+          const float av = a.data[p * m + i];
+          if (av == 0.0f) continue;
+          const float* brow = b.data + p * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }, grain);
+}
+
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  // B stored N x K; logical op: C[i,j] = sum_p A[i,p] * B[j,p].
+  const std::int64_t m = a.rows, k = a.cols, n = b.rows;
+  const std::int64_t grain = rows_grain(k * n);
+  parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = a.data + i * k;
+      float* crow = c.data + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b.data + j * k;
+        float acc = 0.0f;  // float + -ffast-math → vectorized reduction
+        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
+    }
+  }, grain);
+}
+
+}  // namespace crisp::kernels

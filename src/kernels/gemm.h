@@ -1,0 +1,35 @@
+// Cache-blocked, multi-threaded dense GEMM microkernels.
+//
+// These are the execution engines behind tensor/matmul.h (which owns the
+// shape checking). All three variants partition the M output rows across
+// the parallel_for pool; every output row is produced start-to-finish by a
+// single thread with a fixed k-ascending accumulation order, so results are
+// bit-identical at any thread count and to the serial reference.
+//
+// The reduction dimension is processed in panels of kKc columns so the
+// active slice of B stays cache-resident while a row tile of A streams
+// through it. The zero-skip on A entries is kept from the naive kernels:
+// pruned weight rows get their "free win" before any sparse format is
+// involved.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace crisp::kernels {
+
+/// Reduction-panel width shared by the blocked kernels (exposed so the
+/// tests can pick shapes that straddle a panel boundary).
+constexpr std::int64_t kKc = 256;
+
+/// C[M,N] = A[M,K] · B[K,N], overwriting C; accumulates when `accumulate`.
+void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c, bool accumulate);
+
+/// C[M,N] = Aᵀ · B with A stored K x M (transposed-A GEMM); C overwritten.
+void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+/// C[M,N] = A · Bᵀ with B stored N x K (transposed-B GEMM); C overwritten.
+void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
+}  // namespace crisp::kernels

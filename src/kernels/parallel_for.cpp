@@ -1,0 +1,171 @@
+#include "kernels/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crisp::kernels {
+
+namespace {
+
+// Chunk count is capped at a fixed constant so boundaries stay a pure
+// function of (total, grain): more chunks than threads gives dynamic load
+// balance, while the cap bounds per-chunk dispatch overhead.
+constexpr std::int64_t kMaxChunks = 64;
+constexpr int kMaxThreads = 256;
+
+thread_local bool tl_in_parallel = false;
+
+int resolve_default_threads() {
+  if (const char* env = std::getenv("CRISP_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(std::min<long>(v, kMaxThreads));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxThreads));
+}
+
+std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
+
+struct Pool {
+  // Serializes top-level parallel_for submissions; nested calls never reach
+  // the pool (they run inline), so this cannot self-deadlock.
+  std::mutex submit;
+
+  std::mutex m;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::vector<std::thread> workers;  // detached; pool is never destroyed
+
+  // Shared state of the in-flight loop, guarded by m (except `next`).
+  std::uint64_t generation = 0;
+  int active_target = 0;  // workers [0, active_target) join this generation
+  int remaining = 0;      // participating workers not yet finished
+  const RangeFn* fn = nullptr;
+  std::int64_t total = 0;
+  std::int64_t chunk = 1;
+  std::int64_t nchunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::exception_ptr error;
+};
+
+Pool& pool() {
+  // Leaky singleton: workers block on cv_start forever and die with the
+  // process, which sidesteps static-destruction-order hazards.
+  static Pool* p = new Pool;
+  return *p;
+}
+
+void run_chunks(Pool& p) {
+  const bool was_in_parallel = tl_in_parallel;
+  tl_in_parallel = true;
+  for (std::int64_t c = p.next.fetch_add(1, std::memory_order_relaxed);
+       c < p.nchunks; c = p.next.fetch_add(1, std::memory_order_relaxed)) {
+    const std::int64_t begin = c * p.chunk;
+    const std::int64_t end = std::min(p.total, begin + p.chunk);
+    try {
+      (*p.fn)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(p.m);
+      if (!p.error) p.error = std::current_exception();
+    }
+  }
+  tl_in_parallel = was_in_parallel;
+}
+
+void worker_main(int index) {
+  Pool& p = pool();
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(p.m);
+      p.cv_start.wait(lk, [&] {
+        return p.generation != seen && index < p.active_target;
+      });
+      seen = p.generation;
+    }
+    run_chunks(p);
+    {
+      std::lock_guard<std::mutex> lk(p.m);
+      if (--p.remaining == 0) p.cv_done.notify_all();
+    }
+  }
+}
+
+void ensure_workers(Pool& p, int count) {
+  while (static_cast<int>(p.workers.size()) < count) {
+    p.workers.emplace_back(worker_main, static_cast<int>(p.workers.size()));
+    p.workers.back().detach();
+  }
+}
+
+}  // namespace
+
+int num_threads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = resolve_default_threads();
+    g_num_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void set_num_threads(int n) {
+  g_num_threads.store(n >= 1 ? std::min(n, kMaxThreads)
+                             : resolve_default_threads(),
+                      std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return tl_in_parallel; }
+
+void parallel_for(std::int64_t total, const RangeFn& fn, std::int64_t grain) {
+  if (total <= 0) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t chunk =
+      std::max(grain, (total + kMaxChunks - 1) / kMaxChunks);
+  const std::int64_t nchunks = (total + chunk - 1) / chunk;
+  const int threads = num_threads();
+  if (threads == 1 || nchunks == 1 || tl_in_parallel) {
+    // Serial fallback. Deliberately does not set tl_in_parallel when run
+    // from the top level, so a coarse loop that degenerates to one chunk
+    // (e.g. batch == 1) still lets finer-grained kernels below it thread.
+    fn(0, total);
+    return;
+  }
+
+  Pool& p = pool();
+  std::lock_guard<std::mutex> submit_lk(p.submit);
+  const int participants = static_cast<int>(
+      std::min<std::int64_t>(threads - 1, nchunks - 1));
+  ensure_workers(p, participants);
+  {
+    std::lock_guard<std::mutex> lk(p.m);
+    p.fn = &fn;
+    p.total = total;
+    p.chunk = chunk;
+    p.nchunks = nchunks;
+    p.next.store(0, std::memory_order_relaxed);
+    p.error = nullptr;
+    p.active_target = participants;
+    p.remaining = participants;
+    ++p.generation;
+  }
+  p.cv_start.notify_all();
+  run_chunks(p);  // the caller works too
+  std::unique_lock<std::mutex> lk(p.m);
+  p.cv_done.wait(lk, [&] { return p.remaining == 0; });
+  p.fn = nullptr;
+  p.active_target = 0;
+  if (p.error) {
+    std::exception_ptr err = p.error;
+    p.error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace crisp::kernels

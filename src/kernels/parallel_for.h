@@ -1,0 +1,59 @@
+// Persistent worker pool behind every parallel kernel in crisp::kernels.
+//
+// parallel_for partitions [0, total) into contiguous chunks and hands each
+// chunk to exactly one thread. Chunk boundaries depend only on `total` and
+// `grain` — never on the thread count — and every output element is written
+// by the thread that owns its chunk, so kernels built on this primitive
+// produce bit-identical results at any thread count (the property
+// tests/test_kernels.cpp locks in).
+//
+// Thread count resolution order:
+//   1. set_num_threads(n) with n >= 1 — programmatic override;
+//   2. the CRISP_NUM_THREADS environment variable, read once at first use;
+//   3. std::thread::hardware_concurrency().
+// A count of 1 (or a nested call from inside a parallel region) runs the
+// body inline on the calling thread — the safe serial fallback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace crisp::kernels {
+
+/// Body of a parallel loop: processes the half-open index range [begin, end).
+using RangeFn = std::function<void(std::int64_t begin, std::int64_t end)>;
+
+/// Threads the next parallel_for will use (>= 1, after env resolution).
+int num_threads();
+
+/// Overrides the thread count. n >= 1 pins it; n == 0 resets to the
+/// CRISP_NUM_THREADS / hardware default. Growing the pool is lazy; shrinking
+/// only idles workers (they are reused if the count grows again).
+void set_num_threads(int n);
+
+/// True while the calling thread is executing inside a parallel_for body.
+/// Nested parallel_for calls detect this and degrade to serial execution.
+bool in_parallel_region();
+
+/// Runs fn over disjoint chunks covering [0, total). Chunks are at least
+/// `grain` indices wide; ranges arrive in unspecified temporal order but
+/// their boundaries are a pure function of (total, grain), independent of
+/// the thread count. Exceptions thrown by fn are rethrown on the caller
+/// after all chunks finish. total <= 0 is a no-op.
+void parallel_for(std::int64_t total, const RangeFn& fn, std::int64_t grain = 1);
+
+/// Minimum per-chunk work (in MACs or comparable scalar ops) that amortizes
+/// one pool dispatch. Kernels size their grain with rows_grain so tiny
+/// operations — bench-scale layers, single-sample inference — collapse to a
+/// single chunk and run inline instead of waking the pool.
+constexpr std::int64_t kMinChunkWork = 32768;
+
+/// Rows per chunk such that a chunk carries at least kMinChunkWork given
+/// the (approximate) cost of one row. Results never depend on this — every
+/// row is self-contained — only dispatch overhead does.
+inline std::int64_t rows_grain(std::int64_t work_per_row) {
+  if (work_per_row < 1) work_per_row = 1;
+  return (kMinChunkWork + work_per_row - 1) / work_per_row;
+}
+
+}  // namespace crisp::kernels

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "kernels/parallel_for.h"
 #include "tensor/matmul.h"
 
 namespace crisp::nn {
@@ -59,21 +60,39 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const bool use_hook = gemm_hook_ && !train;
   const Tensor w_eff = use_hook ? Tensor() : weight_.effective_value();
   Tensor y({batch, spec_.out_channels, oh, ow});
-  Tensor cols({k, p});
 
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
-      const float* x_grp =
-          x.data() + (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
-      im2col(x_grp, g, cols.data());
-      MatrixView ymat(y.data() + (b * spec_.out_channels + grp * sg) * p, sg, p);
-      if (use_hook) {
-        gemm_hook_(ConstMatrixView(cols.data(), k, p), ymat);
-      } else {
-        ConstMatrixView wmat(w_eff.data() + grp * sg * k, sg, k);
-        matmul(wmat, ConstMatrixView(cols.data(), k, p), ymat);
+  // Samples are independent, so the batch is the coarsest safe parallel
+  // axis: each chunk lowers into its own im2col scratch and writes a
+  // disjoint slice of y. Only worth it when the batch can occupy every
+  // thread — otherwise (small-batch inference) the loop runs serially at
+  // the top level and the per-sample GEMM/hook threads over output rows
+  // instead. The grain keeps chunks thread-sized, so at most one scratch
+  // allocation per thread rather than per sample.
+  auto run_samples = [&](std::int64_t b0, std::int64_t b1) {
+    Tensor cols({k, p});
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
+        const float* x_grp =
+            x.data() +
+            (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
+        im2col(x_grp, g, cols.data());
+        MatrixView ymat(y.data() + (b * spec_.out_channels + grp * sg) * p, sg,
+                        p);
+        if (use_hook) {
+          gemm_hook_(ConstMatrixView(cols.data(), k, p), ymat);
+        } else {
+          ConstMatrixView wmat(w_eff.data() + grp * sg * k, sg, k);
+          matmul(wmat, ConstMatrixView(cols.data(), k, p), ymat);
+        }
       }
     }
+  };
+  const int threads = kernels::num_threads();
+  if (batch >= threads && threads > 1) {
+    kernels::parallel_for(batch, run_samples,
+                          /*grain=*/(batch + threads - 1) / threads);
+  } else {
+    run_samples(0, batch);
   }
 
   if (spec_.bias) {

@@ -29,7 +29,9 @@ namespace crisp::nn {
 /// layer's lowered (K x P) input and y its (S x P) output. Installed by the
 /// deploy library so eval-mode inference runs straight from a packed sparse
 /// representation; the hook owner guarantees it encodes this layer's current
-/// effective weight.
+/// effective weight. Hooks may be invoked concurrently (the batch-parallel
+/// conv forward does), so they must be const-thread-safe — the SpmmKernel
+/// implementations the deploy library installs are.
 using GemmHook = std::function<void(ConstMatrixView x, MatrixView y)>;
 
 struct Parameter {

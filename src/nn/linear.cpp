@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/parallel_for.h"
 #include "tensor/matmul.h"
 
 namespace crisp::nn {
@@ -35,17 +36,31 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   Tensor y({batch, out_features_});
   if (gemm_hook_ && !train) {
     // Hook contract is column-major activations: y' = W · x' with
-    // x' = (in x B). Transpose in, run the packed GEMM, transpose out.
+    // x' = (in x B). Transpose in, run the packed GEMM, transpose out;
+    // both transposes are row-partitioned over their output like every
+    // other kernel (disjoint writes, so thread-count independent). The
+    // work-based grain keeps single-sample inference inline — a pool
+    // dispatch would cost more than the copies.
     Tensor xt({in_features_, batch});
-    for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t i = 0; i < in_features_; ++i)
-        xt[i * batch + b] = x[b * in_features_ + i];
+    kernels::parallel_for(
+        in_features_,
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i)
+            for (std::int64_t b = 0; b < batch; ++b)
+              xt[i * batch + b] = x[b * in_features_ + i];
+        },
+        kernels::rows_grain(batch));
     Tensor yt({out_features_, batch});
     gemm_hook_(ConstMatrixView(xt.data(), in_features_, batch),
                MatrixView(yt.data(), out_features_, batch));
-    for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t o = 0; o < out_features_; ++o)
-        y[b * out_features_ + o] = yt[o * batch + b];
+    kernels::parallel_for(
+        batch,
+        [&](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t b = b0; b < b1; ++b)
+            for (std::int64_t o = 0; o < out_features_; ++o)
+              y[b * out_features_ + o] = yt[o * batch + b];
+        },
+        kernels::rows_grain(out_features_));
   } else {
     const Tensor w_eff = weight_.effective_value();
     // y[b,o] = Σ_i x[b,i] · W[o,i]

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "kernels/parallel_for.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -75,24 +76,34 @@ void BlockedEllMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   CRISP_CHECK(x.rows == grid_.cols, "Blocked-ELL spmm: inner dim mismatch");
   CRISP_CHECK(y.rows == grid_.rows && y.cols == x.cols,
               "Blocked-ELL spmm: output shape");
-  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
   const std::int64_t block = grid_.block, p = x.cols;
-  std::int64_t blk = 0;
-  for (std::int64_t br = 0; br < grid_.grid_rows(); ++br) {
-    for (std::int64_t i = 0; i < blocks_per_row_; ++i, ++blk) {
-      const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
-      const float* payload = values_.data() + blk * block * block;
-      for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
-        float* yrow = y.data + (br * block + r) * p;
-        for (std::int64_t c = 0; c < grid_.col_extent(bc); ++c) {
-          const float v = payload[r * block + c];
-          if (v == 0.0f) continue;
-          const float* xrow = x.data + (bc * block + c) * p;
-          for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+  // Block-rows own disjoint bands of output rows, so partitioning over them
+  // keeps every output row single-writer and the result thread-count
+  // independent.
+  const std::int64_t grain =
+      kernels::rows_grain(blocks_per_row_ * block * block * p);
+  kernels::parallel_for(grid_.grid_rows(), [&](std::int64_t br0,
+                                               std::int64_t br1) {
+    for (std::int64_t br = br0; br < br1; ++br) {
+      std::memset(y.data + br * block * p, 0,
+                  static_cast<std::size_t>(grid_.row_extent(br) * p) *
+                      sizeof(float));
+      for (std::int64_t i = 0; i < blocks_per_row_; ++i) {
+        const std::int64_t blk = br * blocks_per_row_ + i;
+        const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+        const float* payload = values_.data() + blk * block * block;
+        for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
+          float* yrow = y.data + (br * block + r) * p;
+          for (std::int64_t c = 0; c < grid_.col_extent(bc); ++c) {
+            const float v = payload[r * block + c];
+            if (v == 0.0f) continue;
+            const float* xrow = x.data + (bc * block + c) * p;
+            for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+          }
         }
       }
     }
-  }
+  }, grain);
 }
 
 std::int64_t BlockedEllMatrix::metadata_bits() const {

@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/spmm_kernel.h"
 #include "sparse/block.h"
 #include "tensor/tensor.h"
 
 namespace crisp::sparse {
 
-class BlockedEllMatrix {
+class BlockedEllMatrix : public kernels::SpmmKernel {
  public:
   /// Encodes `dense` under a BxB block grid. A block survives when it holds
   /// any non-zero. Requires a *uniform* survivor count per block-row (the
@@ -19,7 +20,9 @@ class BlockedEllMatrix {
   static BlockedEllMatrix encode(ConstMatrixView dense, std::int64_t block);
 
   Tensor decode() const;
-  void spmm(ConstMatrixView x, MatrixView y) const;
+  /// Parallel over block-rows (each owns its band of output rows);
+  /// bit-identical at any thread count.
+  void spmm(ConstMatrixView x, MatrixView y) const override;
 
   /// Block-column indices (ceil-log2 of the grid width each).
   std::int64_t metadata_bits() const;
@@ -28,8 +31,9 @@ class BlockedEllMatrix {
 
   const BlockGrid& grid() const { return grid_; }
   std::int64_t blocks_per_row() const { return blocks_per_row_; }
-  std::int64_t rows() const { return grid_.rows; }
-  std::int64_t cols() const { return grid_.cols; }
+  std::int64_t rows() const override { return grid_.rows; }
+  std::int64_t cols() const override { return grid_.cols; }
+  const char* format_name() const override { return "blocked-ell"; }
 
  private:
   BlockGrid grid_;

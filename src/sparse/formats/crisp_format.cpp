@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "kernels/parallel_for.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -143,30 +144,41 @@ void CrispMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   CRISP_CHECK(x.rows == grid_.cols, "CRISP spmm: inner dimension mismatch");
   CRISP_CHECK(y.rows == grid_.rows && y.cols == x.cols,
               "CRISP spmm: output shape");
-  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
   const std::int64_t block = grid_.block, groups = block / m_, p = x.cols;
-  std::int64_t blk = 0;
-  for (std::int64_t br = 0; br < grid_.grid_rows(); ++br) {
-    for (std::int64_t i = 0; i < blocks_per_row_; ++i, ++blk) {
-      const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
-      for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
-        float* yrow = y.data + (br * block + r) * p;
-        for (std::int64_t g = 0; g < groups; ++g) {
-          const std::int64_t base = ((blk * block + r) * groups + g) * n_;
-          const std::int64_t col0 = bc * block + g * m_;
-          for (std::int64_t s = 0; s < n_; ++s) {
-            const float v = values_[static_cast<std::size_t>(base + s)];
-            if (v == 0.0f) continue;
-            // The MUX step of Fig. 6: the offset selects the activation row.
-            const float* xrow =
-                x.data +
-                (col0 + offsets_[static_cast<std::size_t>(base + s)]) * p;
-            for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+  // Block-rows own disjoint bands of output rows, so partitioning over them
+  // keeps every output row single-writer and the result thread-count
+  // independent. This is also the threaded path packed deployment runs.
+  const std::int64_t grain =
+      kernels::rows_grain(blocks_per_row_ * block * groups * n_ * p);
+  kernels::parallel_for(grid_.grid_rows(), [&](std::int64_t br0,
+                                               std::int64_t br1) {
+    for (std::int64_t br = br0; br < br1; ++br) {
+      std::memset(y.data + br * block * p, 0,
+                  static_cast<std::size_t>(grid_.row_extent(br) * p) *
+                      sizeof(float));
+      for (std::int64_t i = 0; i < blocks_per_row_; ++i) {
+        const std::int64_t blk = br * blocks_per_row_ + i;
+        const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+        for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
+          float* yrow = y.data + (br * block + r) * p;
+          for (std::int64_t g = 0; g < groups; ++g) {
+            const std::int64_t base = ((blk * block + r) * groups + g) * n_;
+            const std::int64_t col0 = bc * block + g * m_;
+            for (std::int64_t s = 0; s < n_; ++s) {
+              const float v = values_[static_cast<std::size_t>(base + s)];
+              if (v == 0.0f) continue;
+              // The MUX step of Fig. 6: the offset selects the activation
+              // row.
+              const float* xrow =
+                  x.data +
+                  (col0 + offsets_[static_cast<std::size_t>(base + s)]) * p;
+              for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+            }
           }
         }
       }
     }
-  }
+  }, grain);
 }
 
 std::int64_t CrispMatrix::metadata_bits() const {

@@ -15,12 +15,13 @@
 #include <iosfwd>
 #include <vector>
 
+#include "kernels/spmm_kernel.h"
 #include "sparse/block.h"
 #include "tensor/tensor.h"
 
 namespace crisp::sparse {
 
-class CrispMatrix {
+class CrispMatrix : public kernels::SpmmKernel {
  public:
   /// Encodes a matrix already pruned to hybrid sparsity. Throws when a
   /// length-M group holds more than N non-zeros (input was not N:M sparse)
@@ -30,7 +31,9 @@ class CrispMatrix {
                             std::int64_t n, std::int64_t m);
 
   Tensor decode() const;
-  void spmm(ConstMatrixView x, MatrixView y) const;
+  /// Parallel over block-rows (each owns its band of output rows);
+  /// bit-identical at any thread count.
+  void spmm(ConstMatrixView x, MatrixView y) const override;
 
   /// Block-column indices + per-slot intra-group offsets.
   std::int64_t metadata_bits() const;
@@ -43,8 +46,9 @@ class CrispMatrix {
   static CrispMatrix read(std::istream& is);
 
   const BlockGrid& grid() const { return grid_; }
-  std::int64_t rows() const { return grid_.rows; }
-  std::int64_t cols() const { return grid_.cols; }
+  std::int64_t rows() const override { return grid_.rows; }
+  std::int64_t cols() const override { return grid_.cols; }
+  const char* format_name() const override { return "crisp"; }
   std::int64_t blocks_per_row() const { return blocks_per_row_; }
   std::int64_t n() const { return n_; }
   std::int64_t m() const { return m_; }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "kernels/parallel_for.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -38,17 +39,26 @@ Tensor CsrMatrix::decode() const {
 void CsrMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   CRISP_CHECK(x.rows == cols_, "CSR spmm: inner dimension mismatch");
   CRISP_CHECK(y.rows == rows_ && y.cols == x.cols, "CSR spmm: output shape");
-  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
   const std::int64_t p = x.cols;
-  for (std::int64_t r = 0; r < rows_; ++r) {
-    float* yrow = y.data + r * p;
-    for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
-         i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i) {
-      const float v = values_[static_cast<std::size_t>(i)];
-      const float* xrow = x.data + col_idx_[static_cast<std::size_t>(i)] * p;
-      for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+  // Each thread owns a contiguous band of output rows: zero it, then
+  // accumulate in stored (column-ascending) order — deterministic at any
+  // thread count. Grain sized from the average row cost so tiny layers
+  // stay inline.
+  const std::int64_t grain =
+      kernels::rows_grain(rows_ > 0 ? nnz() / rows_ * p : 0);
+  kernels::parallel_for(rows_, [&](std::int64_t r0, std::int64_t r1) {
+    std::memset(y.data + r0 * p, 0,
+                static_cast<std::size_t>((r1 - r0) * p) * sizeof(float));
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* yrow = y.data + r * p;
+      for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
+           i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i) {
+        const float v = values_[static_cast<std::size_t>(i)];
+        const float* xrow = x.data + col_idx_[static_cast<std::size_t>(i)] * p;
+        for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+      }
     }
-  }
+  }, grain);
 }
 
 std::int64_t CsrMatrix::metadata_bits() const {

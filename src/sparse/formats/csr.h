@@ -5,27 +5,30 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/spmm_kernel.h"
 #include "tensor/tensor.h"
 
 namespace crisp::sparse {
 
-class CsrMatrix {
+class CsrMatrix : public kernels::SpmmKernel {
  public:
   /// Encodes every non-zero of `dense`.
   static CsrMatrix encode(ConstMatrixView dense);
 
   Tensor decode() const;
 
-  /// y[rows, P] = this · x[cols, P]; y is overwritten.
-  void spmm(ConstMatrixView x, MatrixView y) const;
+  /// y[rows, P] = this · x[cols, P]; y is overwritten. Parallel over output
+  /// rows, bit-identical at any thread count.
+  void spmm(ConstMatrixView x, MatrixView y) const override;
 
   /// Column indices (ceil-log2 width) + 32-bit row pointers.
   std::int64_t metadata_bits() const;
   /// Stored value payload (32-bit floats).
   std::int64_t payload_bits() const;
 
-  std::int64_t rows() const { return rows_; }
-  std::int64_t cols() const { return cols_; }
+  std::int64_t rows() const override { return rows_; }
+  std::int64_t cols() const override { return cols_; }
+  const char* format_name() const override { return "csr"; }
   std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "kernels/parallel_for.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -51,18 +52,23 @@ Tensor EllpackMatrix::decode() const {
 void EllpackMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   CRISP_CHECK(x.rows == cols_, "ELLPACK spmm: inner dimension mismatch");
   CRISP_CHECK(y.rows == rows_ && y.cols == x.cols, "ELLPACK spmm: output shape");
-  std::memset(y.data, 0, static_cast<std::size_t>(y.numel()) * sizeof(float));
   const std::int64_t p = x.cols;
-  for (std::int64_t r = 0; r < rows_; ++r) {
-    float* yrow = y.data + r * p;
-    for (std::int64_t s = 0; s < width_; ++s) {
-      const std::int32_t c = col_idx_[static_cast<std::size_t>(r * width_ + s)];
-      if (c < 0) continue;
-      const float v = values_[static_cast<std::size_t>(r * width_ + s)];
-      const float* xrow = x.data + static_cast<std::int64_t>(c) * p;
-      for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+  const std::int64_t grain = kernels::rows_grain(width_ * p);
+  kernels::parallel_for(rows_, [&](std::int64_t r0, std::int64_t r1) {
+    std::memset(y.data + r0 * p, 0,
+                static_cast<std::size_t>((r1 - r0) * p) * sizeof(float));
+    for (std::int64_t r = r0; r < r1; ++r) {
+      float* yrow = y.data + r * p;
+      for (std::int64_t s = 0; s < width_; ++s) {
+        const std::int32_t c =
+            col_idx_[static_cast<std::size_t>(r * width_ + s)];
+        if (c < 0) continue;
+        const float v = values_[static_cast<std::size_t>(r * width_ + s)];
+        const float* xrow = x.data + static_cast<std::int64_t>(c) * p;
+        for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+      }
     }
-  }
+  }, grain);
 }
 
 std::int64_t EllpackMatrix::metadata_bits() const {

@@ -6,24 +6,27 @@
 #include <cstdint>
 #include <vector>
 
+#include "kernels/spmm_kernel.h"
 #include "tensor/tensor.h"
 
 namespace crisp::sparse {
 
-class EllpackMatrix {
+class EllpackMatrix : public kernels::SpmmKernel {
  public:
   static EllpackMatrix encode(ConstMatrixView dense);
 
   Tensor decode() const;
-  void spmm(ConstMatrixView x, MatrixView y) const;
+  /// Parallel over output rows, bit-identical at any thread count.
+  void spmm(ConstMatrixView x, MatrixView y) const override;
 
   /// Column indices for every slot, padded slots included.
   std::int64_t metadata_bits() const;
   /// Padded value payload (32-bit floats).
   std::int64_t payload_bits() const;
 
-  std::int64_t rows() const { return rows_; }
-  std::int64_t cols() const { return cols_; }
+  std::int64_t rows() const override { return rows_; }
+  std::int64_t cols() const override { return cols_; }
+  const char* format_name() const override { return "ellpack"; }
   std::int64_t width() const { return width_; }
   /// Padding slots / total slots — the waste the paper calls out.
   double padding_fraction() const;

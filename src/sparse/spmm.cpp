@@ -6,4 +6,15 @@ namespace crisp::sparse {
 
 Tensor dense_matmul(const Tensor& w, const Tensor& x) { return matmul(w, x); }
 
+Tensor spmm(const kernels::SpmmKernel& w, const Tensor& x) {
+  CRISP_CHECK(x.dim() == 2, "spmm expects a 2-D right-hand side");
+  CRISP_CHECK(x.size(0) == w.cols(),
+              w.format_name() << " spmm: inner dimension " << x.size(0)
+                              << " != " << w.cols());
+  Tensor y({w.rows(), x.size(1)});
+  w.spmm(as_matrix(x, x.size(0), x.size(1)),
+         as_matrix(y, y.size(0), y.size(1)));
+  return y;
+}
+
 }  // namespace crisp::sparse

@@ -1,8 +1,11 @@
-// Convenience wrappers: run any sparse format against a dense right-hand
-// side and compare with the dense reference — used by tests, the kernels
-// bench, and the format_inspector example.
+// Sparse GEMM dispatch: run any sparse storage format against a dense
+// right-hand side through the format-polymorphic kernels::SpmmKernel
+// interface, plus the dense reference the tests and benches compare
+// against. Used by tests, the kernels bench, the format_inspector example,
+// and packed deployment.
 #pragma once
 
+#include "kernels/spmm_kernel.h"
 #include "sparse/formats/blocked_ell.h"
 #include "sparse/formats/crisp_format.h"
 #include "sparse/formats/csr.h"
@@ -13,11 +16,10 @@ namespace crisp::sparse {
 /// Dense reference: y = w · x (allocating).
 Tensor dense_matmul(const Tensor& w, const Tensor& x);
 
-template <typename Format>
-Tensor spmm(const Format& w, const Tensor& x) {
-  Tensor y({w.rows(), x.size(1)});
-  w.spmm(as_matrix(x, x.size(0), x.size(1)), as_matrix(y, y.size(0), y.size(1)));
-  return y;
-}
+/// y = w · x through any SpmmKernel implementation (allocating). Every
+/// format class derives from kernels::SpmmKernel, so this single overload
+/// replaces the old per-format template: dispatch is a virtual call, and
+/// the multiplication itself runs on the parallel kernel layer.
+Tensor spmm(const kernels::SpmmKernel& w, const Tensor& x);
 
 }  // namespace crisp::sparse

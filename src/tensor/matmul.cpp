@@ -1,82 +1,55 @@
 #include "tensor/matmul.h"
 
-#include <cstring>
+#include "kernels/gemm.h"
 
 namespace crisp {
 
 namespace {
 
+// Validates the full C[M,N] = op(A) · op(B) contract. M and K come from A's
+// storage, N from the output buffer, and B's stored shape is checked against
+// what the variant expects — malformed operands fail loudly instead of
+// reading out of bounds.
 void check_gemm(ConstMatrixView a, ConstMatrixView b, const MatrixView& c,
-                std::int64_t m, std::int64_t n, std::int64_t k) {
+                std::int64_t m, std::int64_t n, std::int64_t k,
+                std::int64_t want_b_rows, std::int64_t want_b_cols) {
   CRISP_CHECK(a.rows * a.cols > 0 || m * k == 0, "empty A operand");
+  CRISP_CHECK(b.rows == want_b_rows && b.cols == want_b_cols,
+              "GEMM B operand is " << b.rows << "x" << b.cols << ", expected "
+                                   << want_b_rows << "x" << want_b_cols
+                                   << " for m=" << m << " n=" << n
+                                   << " k=" << k);
   CRISP_CHECK(c.rows == m && c.cols == n,
               "GEMM output is " << c.rows << "x" << c.cols << ", expected " << m
                                 << "x" << n);
-  (void)b;
-  (void)k;
 }
 
 }  // namespace
 
 void matmul(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  std::memset(c.data, 0,
-              static_cast<std::size_t>(c.rows * c.cols) * sizeof(float));
-  matmul_accumulate(a, b, c);
+  const std::int64_t m = a.rows, k = a.cols, n = c.cols;
+  check_gemm(a, b, c, m, n, k, /*want_b_rows=*/k, /*want_b_cols=*/n);
+  kernels::gemm(a, b, c, /*accumulate=*/false);
 }
 
 void matmul_accumulate(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  CRISP_CHECK(a.cols == b.rows,
-              "GEMM inner-dimension mismatch: " << a.cols << " vs " << b.rows);
-  check_gemm(a, b, c, a.rows, b.cols, a.cols);
-  const std::int64_t m = a.rows, k = a.cols, n = b.cols;
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c.data + i * n;
-    const float* arow = a.data + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;  // free win on masked weights
-      const float* brow = b.data + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  const std::int64_t m = a.rows, k = a.cols, n = c.cols;
+  check_gemm(a, b, c, m, n, k, /*want_b_rows=*/k, /*want_b_cols=*/n);
+  kernels::gemm(a, b, c, /*accumulate=*/true);
 }
 
 void matmul_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   // A stored K x M; logical op: C[M,N] = sum_p A[p,i] * B[p,j].
-  CRISP_CHECK(a.rows == b.rows,
-              "GEMM^T inner-dimension mismatch: " << a.rows << " vs " << b.rows);
-  check_gemm(a, b, c, a.cols, b.cols, a.rows);
-  const std::int64_t k = a.rows, m = a.cols, n = b.cols;
-  std::memset(c.data, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a.data + p * m;
-    const float* brow = b.data + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.data + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  const std::int64_t k = a.rows, m = a.cols, n = c.cols;
+  check_gemm(a, b, c, m, n, k, /*want_b_rows=*/k, /*want_b_cols=*/n);
+  kernels::gemm_tn(a, b, c);
 }
 
 void matmul_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   // B stored N x K; logical op: C[i,j] = sum_p A[i,p] * B[j,p].
-  CRISP_CHECK(a.cols == b.cols,
-              "GEMM-NT inner-dimension mismatch: " << a.cols << " vs "
-                                                   << b.cols);
-  check_gemm(a, b, c, a.rows, b.rows, a.cols);
-  const std::int64_t m = a.rows, k = a.cols, n = b.rows;
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data + i * k;
-    float* crow = c.data + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data + j * k;
-      float acc = 0.0f;  // float + -ffast-math → vectorized reduction
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
+  const std::int64_t m = a.rows, k = a.cols, n = c.cols;
+  check_gemm(a, b, c, m, n, k, /*want_b_rows=*/n, /*want_b_cols=*/k);
+  kernels::gemm_nt(a, b, c);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

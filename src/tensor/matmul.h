@@ -1,7 +1,8 @@
-// Dense GEMM kernels used by the NN substrate and as the reference for the
-// sparse kernels. Single-threaded, cache-friendly ikj ordering: adequate for
-// the width-scaled models this reproduction trains, and bit-exactly
-// deterministic, which the tests rely on.
+// Dense GEMM entry points used by the NN substrate and as the reference for
+// the sparse kernels. Shape checking lives here; execution is delegated to
+// the cache-blocked, multi-threaded microkernels in kernels/gemm.h, which
+// keep a fixed per-row accumulation order so results are bit-exactly
+// deterministic at any thread count (the tests rely on this).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,311 @@
+// Kernel-layer tests: parallel_for partitioning/exceptions/nesting, the
+// thread-count invariance contract — bit-identical results at 1/2/8 threads
+// for every dense GEMM variant and every SpmmKernel implementation — and
+// the strengthened GEMM operand checking.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "kernels/parallel_for.h"
+#include "sparse/block.h"
+#include "sparse/nm.h"
+#include "sparse/spmm.h"
+#include "tensor/matmul.h"
+
+namespace crisp {
+namespace {
+
+/// Restores the ambient thread count when a test exits.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(kernels::num_threads()) {}
+  ~ThreadGuard() { kernels::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+/// Runs `fn` producing a Tensor at the given thread count.
+template <typename Fn>
+Tensor at_threads(int threads, Fn&& fn) {
+  kernels::set_num_threads(threads);
+  return fn();
+}
+
+/// Asserts fn() is bit-identical at 1, 2, and 8 threads.
+template <typename Fn>
+void expect_thread_invariant(Fn&& fn) {
+  const Tensor serial = at_threads(1, fn);
+  for (const int t : {2, 8}) {
+    const Tensor parallel = at_threads(t, fn);
+    ASSERT_TRUE(serial.same_shape(parallel));
+    EXPECT_EQ(max_abs_diff(serial, parallel), 0.0f)
+        << "kernel result changed at " << t << " threads";
+  }
+}
+
+/// CRISP hybrid pattern: uniform per-row block pruning composed with N:M.
+Tensor hybrid_matrix(std::int64_t rows, std::int64_t cols, std::int64_t block,
+                     std::int64_t n, std::int64_t m,
+                     std::int64_t pruned_per_row, Rng& rng) {
+  Tensor w = Tensor::randn({rows, cols}, rng);
+  Tensor scores = Tensor::rand({rows, cols}, rng, 0.01f, 1.0f);
+  Tensor nm = sparse::nm_mask(as_matrix(scores, rows, cols), n, m);
+  sparse::BlockGrid grid{rows, cols, block};
+  Tensor bscores = sparse::block_scores(as_matrix(scores, rows, cols), grid);
+  std::vector<std::int64_t> prune(
+      static_cast<std::size_t>(grid.grid_rows()), pruned_per_row);
+  Tensor bmask = sparse::expand_block_mask(
+      sparse::uniform_row_block_mask(bscores, grid, prune), grid);
+  w.mul_(nm);
+  w.mul_(bmask);
+  return w;
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  kernels::set_num_threads(4);
+  const std::int64_t total = 1037;  // not a multiple of any chunk size
+  std::vector<int> hits(static_cast<std::size_t>(total), 0);
+  kernels::parallel_for(total, [&](std::int64_t b, std::int64_t e) {
+    ASSERT_LE(0, b);
+    ASSERT_LE(b, e);
+    ASSERT_LE(e, total);
+    for (std::int64_t i = b; i < e; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (std::int64_t i = 0; i < total; ++i) EXPECT_EQ(hits[i], 1) << "i=" << i;
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  ThreadGuard guard;
+  kernels::set_num_threads(8);
+  int calls = 0;
+  kernels::parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  kernels::parallel_for(1, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, GrainCoarsensChunks) {
+  ThreadGuard guard;
+  kernels::set_num_threads(4);
+  std::mutex m;
+  std::vector<std::int64_t> widths;
+  kernels::parallel_for(
+      100,
+      [&](std::int64_t b, std::int64_t e) {
+        std::lock_guard<std::mutex> lk(m);
+        widths.push_back(e - b);
+      },
+      /*grain=*/64);
+  // 100 indices at grain 64 -> chunks of 64 and 36.
+  ASSERT_EQ(widths.size(), 2u);
+  EXPECT_EQ(widths[0] + widths[1], 100);
+  for (const std::int64_t w : widths) EXPECT_GE(w, 36);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadGuard guard;
+  kernels::set_num_threads(4);
+  EXPECT_THROW(
+      kernels::parallel_for(64,
+                            [&](std::int64_t b, std::int64_t) {
+                              if (b == 0) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  // Pool must stay usable after an exception.
+  std::atomic<std::int64_t> sum{0};
+  kernels::parallel_for(64, [&](std::int64_t b, std::int64_t e) {
+    sum.fetch_add(e - b);
+  });
+  EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  ThreadGuard guard;
+  kernels::set_num_threads(4);
+  std::atomic<bool> saw_nested_parallel{false};
+  std::atomic<std::int64_t> inner_total{0};
+  kernels::parallel_for(8, [&](std::int64_t, std::int64_t e_outer) {
+    (void)e_outer;
+    if (kernels::in_parallel_region()) {
+      kernels::parallel_for(16, [&](std::int64_t b, std::int64_t e) {
+        if (kernels::in_parallel_region()) {
+          // still flagged: the nested loop must not resubmit to the pool
+        } else {
+          saw_nested_parallel = true;
+        }
+        inner_total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_FALSE(saw_nested_parallel.load());
+  EXPECT_GT(inner_total.load(), 0);
+}
+
+TEST(ParallelFor, SetNumThreads) {
+  ThreadGuard guard;
+  kernels::set_num_threads(3);
+  EXPECT_EQ(kernels::num_threads(), 3);
+  kernels::set_num_threads(0);  // reset to environment/hardware default
+  EXPECT_GE(kernels::num_threads(), 1);
+}
+
+TEST(DenseGemm, ThreadCountInvariantAndMatchesNaive) {
+  ThreadGuard guard;
+  Rng rng(11);
+  // Odd sizes that straddle chunk boundaries; k > kKc exercises the k-panel.
+  const std::int64_t m = 37, k = kernels::kKc + 29, n = 23;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+
+  expect_thread_invariant([&] { return matmul(a, b); });
+
+  // ikj naive reference — the kernel keeps this exact accumulation order,
+  // so equality is bitwise, not approximate.
+  Tensor want({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t p = 0; p < k; ++p)
+      for (std::int64_t j = 0; j < n; ++j)
+        want[i * n + j] += a[i * k + p] * b[p * n + j];
+  EXPECT_EQ(max_abs_diff(at_threads(8, [&] { return matmul(a, b); }), want),
+            0.0f);
+}
+
+TEST(DenseGemm, AccumulateVariantThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(12);
+  const std::int64_t m = 19, k = 301, n = 31;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor seed = Tensor::randn({m, n}, rng);
+  expect_thread_invariant([&] {
+    Tensor c = seed;
+    matmul_accumulate(as_matrix(a, m, k), as_matrix(b, k, n),
+                      as_matrix(c, m, n));
+    return c;
+  });
+}
+
+TEST(DenseGemm, TnVariantThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(13);
+  const std::int64_t k = 300, m = 41, n = 17;  // A stored K x M
+  const Tensor a = Tensor::randn({k, m}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  expect_thread_invariant([&] {
+    Tensor c({m, n});
+    matmul_tn(as_matrix(a, k, m), as_matrix(b, k, n), as_matrix(c, m, n));
+    return c;
+  });
+}
+
+TEST(DenseGemm, NtVariantThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(14);
+  const std::int64_t m = 43, k = 270, n = 19;  // B stored N x K
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({n, k}, rng);
+  expect_thread_invariant([&] {
+    Tensor c({m, n});
+    matmul_nt(as_matrix(a, m, k), as_matrix(b, n, k), as_matrix(c, m, n));
+    return c;
+  });
+}
+
+TEST(DenseGemm, MalformedOperandsThrow) {
+  Rng rng(15);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor b = Tensor::randn({6, 5}, rng);
+  Tensor c({4, 5});
+
+  // Inner-dimension mismatch: B claims the wrong row count.
+  EXPECT_THROW(matmul(as_matrix(a, 4, 6), as_matrix(b, 5, 6),
+                      as_matrix(c, 4, 5)),
+               std::runtime_error);
+  // B's column count disagrees with the k x n contract — the seed silently
+  // read out of bounds here.
+  EXPECT_THROW(matmul(as_matrix(a, 4, 6), as_matrix(b, 6, 4),
+                      as_matrix(c, 4, 5)),
+               std::runtime_error);
+  // Output shape mismatch.
+  EXPECT_THROW(matmul(as_matrix(a, 4, 6), as_matrix(b, 6, 5),
+                      as_matrix(c, 5, 4)),
+               std::runtime_error);
+  // NT variant: B stored N x K, so a K x N view must be rejected.
+  Tensor bt = Tensor::randn({5, 6}, rng);
+  EXPECT_THROW(matmul_nt(as_matrix(a, 4, 6), as_matrix(bt, 6, 5),
+                         as_matrix(c, 4, 5)),
+               std::runtime_error);
+}
+
+class SpmmKernelSuite : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kRows = 64, kCols = 96, kBlock = 16;
+  static constexpr std::int64_t kN = 2, kM = 4, kBatch = 33;
+
+  void SetUp() override {
+    Rng rng(21);
+    weights_ = hybrid_matrix(kRows, kCols, kBlock, kN, kM,
+                             /*pruned_per_row=*/2, rng);
+    x_ = Tensor::randn({kCols, kBatch}, rng);
+  }
+
+  /// Checks the SpmmKernel contract for one implementation: correct result
+  /// vs the dense reference, bit-identical across 1/2/8 threads, and
+  /// sensible interface metadata.
+  void check(const kernels::SpmmKernel& kernel, const char* want_name) {
+    ThreadGuard guard;
+    EXPECT_STREQ(kernel.format_name(), want_name);
+    EXPECT_EQ(kernel.rows(), kRows);
+    EXPECT_EQ(kernel.cols(), kCols);
+
+    const Tensor ref = sparse::dense_matmul(weights_, x_);
+    const Tensor got = at_threads(4, [&] { return sparse::spmm(kernel, x_); });
+    EXPECT_TRUE(allclose(got, ref, 1e-4f, 1e-4f)) << want_name;
+
+    expect_thread_invariant([&] { return sparse::spmm(kernel, x_); });
+  }
+
+  Tensor weights_;
+  Tensor x_;
+};
+
+TEST_F(SpmmKernelSuite, Csr) {
+  check(sparse::CsrMatrix::encode(as_matrix(weights_, kRows, kCols)), "csr");
+}
+
+TEST_F(SpmmKernelSuite, Ellpack) {
+  check(sparse::EllpackMatrix::encode(as_matrix(weights_, kRows, kCols)),
+        "ellpack");
+}
+
+TEST_F(SpmmKernelSuite, BlockedEll) {
+  check(sparse::BlockedEllMatrix::encode(as_matrix(weights_, kRows, kCols),
+                                         kBlock),
+        "blocked-ell");
+}
+
+TEST_F(SpmmKernelSuite, Crisp) {
+  check(sparse::CrispMatrix::encode(as_matrix(weights_, kRows, kCols), kBlock,
+                                    kN, kM),
+        "crisp");
+}
+
+TEST_F(SpmmKernelSuite, DispatchRejectsBadShapes) {
+  const auto csr = sparse::CsrMatrix::encode(as_matrix(weights_, kRows, kCols));
+  Rng rng(5);
+  const Tensor bad = Tensor::randn({kCols + 1, kBatch}, rng);
+  EXPECT_THROW(sparse::spmm(csr, bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace crisp
