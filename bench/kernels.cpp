@@ -5,12 +5,21 @@
 // kernel-friendly on CPUs (dense work scales with kept blocks x N/M), and
 // the measurement behind the "threading helps, it isn't asserted" claim.
 //
+// The *Scalar single-thread variants force the scalar dispatch tier, so
+// one JSON records the SIMD-vs-scalar speedup next to the thread sweep
+// (every entry is labelled with the tier it ran on). CI's regression gate
+// (tools/compare_bench.py) compares the threads:1 medians against the
+// committed BENCH_kernels.json.
+//
 // Record a baseline with:
-//   ./bench_kernels --benchmark_out=BENCH_kernels.json \
+//   ./bench_kernels --benchmark_repetitions=5 \
+//                   --benchmark_report_aggregates_only=true \
+//                   --benchmark_out=BENCH_kernels.json \
 //                   --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
 #include "kernels/parallel_for.h"
+#include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 #include "sparse/nm.h"
 #include "sparse/spmm.h"
@@ -60,37 +69,78 @@ Tensor activations() {
   return Tensor::randn({kCols, kBatch}, rng);
 }
 
-void BM_DenseGemm(benchmark::State& state) {
-  kernels::set_num_threads(static_cast<int>(state.range(0)));
-  Rng rng(7);
-  const Tensor w = Tensor::randn({kRows, kCols}, rng);
+/// Labels every run with the dispatch tier it measured ("avx2", "scalar",
+/// ...), so the JSON is self-describing on any host.
+void label_tier(benchmark::State& state) {
+  state.SetLabel(kernels::simd::tier_name(kernels::simd::active_tier()));
+}
+
+void run_dense_gemm(benchmark::State& state, const Tensor& w) {
   const Tensor x = activations();
   Tensor y({kRows, kBatch});
+  label_tier(state);
   for (auto _ : state) {
     matmul(as_matrix(w, kRows, kCols), as_matrix(x, kCols, kBatch),
            as_matrix(y, kRows, kBatch));
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch);
+}
+
+Tensor dense_weights() {
+  Rng rng(7);
+  return Tensor::randn({kRows, kCols}, rng);
+}
+
+void BM_DenseGemm(benchmark::State& state) {
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
+  run_dense_gemm(state, dense_weights());
   kernels::set_num_threads(0);
 }
 BENCHMARK(BM_DenseGemm)->Apply(thread_sweep);
 
-void BM_MaskedDenseGemm(benchmark::State& state) {
-  // The dense kernel on pruned weights: zero-skip branch gets the wins.
+void BM_DenseGemmScalar(benchmark::State& state) {
+  // Single-thread scalar tier: the denominator of the SIMD speedup claim.
+  kernels::simd::TierScope scalar(kernels::simd::Tier::kScalar);
+  kernels::set_num_threads(1);
+  run_dense_gemm(state, dense_weights());
+  kernels::set_num_threads(0);
+}
+BENCHMARK(BM_DenseGemmScalar)->ArgName("threads")->Arg(1)->UseRealTime();
+
+void BM_DenseGemmTn(benchmark::State& state) {
+  // Transposed-A GEMM: the packed-A panel fixes this kernel's strided reads.
   kernels::set_num_threads(static_cast<int>(state.range(0)));
-  const Tensor w = hybrid_weights(2, 4, 0.875);
+  Rng rng(7);
+  const Tensor w = Tensor::randn({kCols, kRows}, rng);  // stored K x M
   const Tensor x = activations();
   Tensor y({kRows, kBatch});
+  label_tier(state);
   for (auto _ : state) {
-    matmul(as_matrix(w, kRows, kCols), as_matrix(x, kCols, kBatch),
-           as_matrix(y, kRows, kBatch));
+    matmul_tn(as_matrix(w, kCols, kRows), as_matrix(x, kCols, kBatch),
+              as_matrix(y, kRows, kBatch));
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * kRows * kCols * kBatch);
   kernels::set_num_threads(0);
 }
+BENCHMARK(BM_DenseGemmTn)->Apply(thread_sweep);
+
+void BM_MaskedDenseGemm(benchmark::State& state) {
+  // The dense kernel on pruned weights: zero-skip branch gets the wins.
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
+  run_dense_gemm(state, hybrid_weights(2, 4, 0.875));
+  kernels::set_num_threads(0);
+}
 BENCHMARK(BM_MaskedDenseGemm)->Apply(thread_sweep);
+
+void BM_MaskedDenseGemmScalar(benchmark::State& state) {
+  kernels::simd::TierScope scalar(kernels::simd::Tier::kScalar);
+  kernels::set_num_threads(1);
+  run_dense_gemm(state, hybrid_weights(2, 4, 0.875));
+  kernels::set_num_threads(0);
+}
+BENCHMARK(BM_MaskedDenseGemmScalar)->ArgName("threads")->Arg(1)->UseRealTime();
 
 /// Shared loop for every SpmmKernel implementation: the format only changes
 /// the encode step, the measured call is the polymorphic interface.
@@ -99,6 +149,7 @@ void run_spmm(benchmark::State& state, const kernels::SpmmKernel& kernel,
   kernels::set_num_threads(static_cast<int>(state.range(0)));
   const Tensor x = activations();
   Tensor y({kRows, kBatch});
+  label_tier(state);
   for (auto _ : state) {
     kernel.spmm(as_matrix(x, kCols, kBatch), as_matrix(y, kRows, kBatch));
     benchmark::DoNotOptimize(y.data());
@@ -136,6 +187,15 @@ void BM_CrispSpmm(benchmark::State& state) {
   run_spmm(state, cm, cm.slot_count() * kBatch);
 }
 BENCHMARK(BM_CrispSpmm)->Apply(thread_sweep);
+
+void BM_CrispSpmmScalar(benchmark::State& state) {
+  kernels::simd::TierScope scalar(kernels::simd::Tier::kScalar);
+  const Tensor w = hybrid_weights(2, 4, 0.875);
+  const auto cm =
+      sparse::CrispMatrix::encode(as_matrix(w, kRows, kCols), kBlock, 2, 4);
+  run_spmm(state, cm, cm.slot_count() * kBatch);
+}
+BENCHMARK(BM_CrispSpmmScalar)->ArgName("threads")->Arg(1)->UseRealTime();
 
 }  // namespace
 

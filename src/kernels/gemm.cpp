@@ -4,31 +4,66 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/simd_dispatch.h"
 
 namespace crisp::kernels {
+
+namespace {
+
+/// Packs rows [i, i+mr) x reduction columns [kk, kend) of row-major A
+/// (lda = stride between rows) into the p-major sliver the gemm_panel
+/// microkernel consumes: apack[(p-kk)*mr + r] = A[i+r, p].
+inline void pack_a_rows(const float* a, std::int64_t lda, std::int64_t i,
+                        std::int64_t mr, std::int64_t kk, std::int64_t kend,
+                        float* apack) {
+  for (std::int64_t r = 0; r < mr; ++r) {
+    const float* arow = a + (i + r) * lda + kk;
+    for (std::int64_t p = 0; p < kend - kk; ++p) apack[p * mr + r] = arow[p];
+  }
+}
+
+/// Same sliver from a K x M (transposed) A: apack[(p-kk)*mr + r] = A[p, i+r].
+/// Each reduction step reads mr contiguous floats — this packing is what
+/// turns gemm_tn's column-strided loads into unit-stride microkernel reads.
+inline void pack_a_cols(const float* a, std::int64_t ldm, std::int64_t i,
+                        std::int64_t mr, std::int64_t kk, std::int64_t kend,
+                        float* apack) {
+  for (std::int64_t p = kk; p < kend; ++p) {
+    const float* asrc = a + p * ldm + i;
+    float* adst = apack + (p - kk) * mr;
+    for (std::int64_t r = 0; r < mr; ++r) adst[r] = asrc[r];
+  }
+}
+
+}  // namespace
 
 void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c,
           bool accumulate) {
   const std::int64_t m = a.rows, k = a.cols, n = b.cols;
+  const auto& mk = simd::active();
   const std::int64_t grain = rows_grain(k * n);
   parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
     if (!accumulate)
       std::memset(c.data + i0 * n, 0,
                   static_cast<std::size_t>((i1 - i0) * n) * sizeof(float));
-    // Panel over k: rows [kk, kend) of B stay hot while the row tile of A
-    // streams. Per output element the additions still happen in ascending
-    // k order, so the result matches the unblocked serial loop bit-exactly.
+    // Panel over k: rows [kk, kend) of B stay hot while row blocks of A are
+    // packed and streamed through the microkernel. Per output element the
+    // additions still happen in ascending k order, so within one dispatch
+    // tier the result is bit-identical at any thread count.
+    alignas(64) float apack[simd::kMr * kKc];
     for (std::int64_t kk = 0; kk < k; kk += kKc) {
       const std::int64_t kend = std::min(k, kk + kKc);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float* arow = a.data + i * k;
-        float* crow = c.data + i * n;
-        for (std::int64_t p = kk; p < kend; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;  // free win on masked weights
-          const float* brow = b.data + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
+      for (std::int64_t i = i0; i < i1;) {
+        // Row blocks are aligned to absolute multiples of kMr (not to the
+        // chunk start), so block membership — and with it the microkernel's
+        // all-rows-zero skip — is a pure function of the row index,
+        // independent of how parallel_for partitioned the rows.
+        const std::int64_t aligned = (i / simd::kMr + 1) * simd::kMr;
+        const std::int64_t mr = std::min(aligned, i1) - i;
+        pack_a_rows(a.data, k, i, mr, kk, kend, apack);
+        mk.gemm_panel(apack, mr, kend - kk, b.data + kk * n, n,
+                      c.data + i * n, n, n);
+        i += mr;
       }
     }
   }, grain);
@@ -37,39 +72,39 @@ void gemm(ConstMatrixView a, ConstMatrixView b, MatrixView c,
 void gemm_tn(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   // A stored K x M; logical op: C[i,j] = sum_p A[p,i] * B[p,j].
   const std::int64_t k = a.rows, m = a.cols, n = b.cols;
+  const auto& mk = simd::active();
   const std::int64_t grain = rows_grain(k * n);
   parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
     std::memset(c.data + i0 * n, 0,
                 static_cast<std::size_t>((i1 - i0) * n) * sizeof(float));
+    alignas(64) float apack[simd::kMr * kKc];
     for (std::int64_t kk = 0; kk < k; kk += kKc) {
       const std::int64_t kend = std::min(k, kk + kKc);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* crow = c.data + i * n;
-        for (std::int64_t p = kk; p < kend; ++p) {
-          const float av = a.data[p * m + i];
-          if (av == 0.0f) continue;
-          const float* brow = b.data + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
+      for (std::int64_t i = i0; i < i1;) {
+        const std::int64_t aligned = (i / simd::kMr + 1) * simd::kMr;
+        const std::int64_t mr = std::min(aligned, i1) - i;
+        pack_a_cols(a.data, m, i, mr, kk, kend, apack);
+        mk.gemm_panel(apack, mr, kend - kk, b.data + kk * n, n,
+                      c.data + i * n, n, n);
+        i += mr;
       }
     }
   }, grain);
 }
 
 void gemm_nt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  // B stored N x K; logical op: C[i,j] = sum_p A[i,p] * B[j,p].
+  // B stored N x K; logical op: C[i,j] = sum_p A[i,p] * B[j,p]. Both
+  // operand rows are contiguous, so this is a pure dot-product kernel and
+  // needs no packing.
   const std::int64_t m = a.rows, k = a.cols, n = b.rows;
+  const auto& mk = simd::active();
   const std::int64_t grain = rows_grain(k * n);
   parallel_for(m, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const float* arow = a.data + i * k;
       float* crow = c.data + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b.data + j * k;
-        float acc = 0.0f;  // float + -ffast-math → vectorized reduction
-        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = acc;
-      }
+      for (std::int64_t j = 0; j < n; ++j)
+        crow[j] = mk.dot(arow, b.data + j * k, k);
     }
   }, grain);
 }

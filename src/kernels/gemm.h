@@ -1,16 +1,20 @@
-// Cache-blocked, multi-threaded dense GEMM microkernels.
+// Cache-blocked, multi-threaded dense GEMM drivers.
 //
 // These are the execution engines behind tensor/matmul.h (which owns the
 // shape checking). All three variants partition the M output rows across
 // the parallel_for pool; every output row is produced start-to-finish by a
 // single thread with a fixed k-ascending accumulation order, so results are
-// bit-identical at any thread count and to the serial reference.
+// bit-identical at any thread count within one SIMD dispatch tier (see
+// kernels/simd_dispatch.h for the tier contract).
 //
 // The reduction dimension is processed in panels of kKc columns so the
-// active slice of B stays cache-resident while a row tile of A streams
-// through it. The zero-skip on A entries is kept from the naive kernels:
-// pruned weight rows get their "free win" before any sparse format is
-// involved.
+// active slice of B stays cache-resident. Inside a panel, row blocks of A
+// (up to simd::kMr rows) are packed into a p-major sliver — contiguous
+// reads for the register-blocked inner kernel, and the fix for gemm_tn's
+// column-strided access — and handed to the runtime-dispatched gemm_panel
+// microkernel (scalar / AVX2 / NEON). The zero-skip on A entries is kept
+// from the naive kernels: pruned weight rows get their "free win" before
+// any sparse format is involved.
 #pragma once
 
 #include <cstdint>

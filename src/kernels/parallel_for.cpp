@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -16,17 +18,27 @@ namespace {
 // function of (total, grain): more chunks than threads gives dynamic load
 // balance, while the cap bounds per-chunk dispatch overhead.
 constexpr std::int64_t kMaxChunks = 64;
-constexpr int kMaxThreads = 256;
 
 thread_local bool tl_in_parallel = false;
 
-int resolve_default_threads() {
-  if (const char* env = std::getenv("CRISP_NUM_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(std::min<long>(v, kMaxThreads));
-  }
+int hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxThreads));
+}
+
+int resolve_default_threads() {
+  if (const char* env = std::getenv("CRISP_NUM_THREADS")) {
+    const int v = parse_thread_count(env);
+    if (v >= 1) return v;
+    // An invalid value used to silently fall through to the hardware
+    // default; keep the fallback (killing the process over an env typo is
+    // worse) but say so once per resolution.
+    std::fprintf(stderr,
+                 "crisp: ignoring invalid CRISP_NUM_THREADS=\"%s\""
+                 " (want an integer in [1, %d]); using %d hardware threads\n",
+                 env, kMaxThreads, hardware_threads());
+  }
+  return hardware_threads();
 }
 
 std::atomic<int> g_num_threads{0};  // 0 = not yet resolved
@@ -104,6 +116,18 @@ void ensure_workers(Pool& p, int count) {
 }
 
 }  // namespace
+
+int parse_thread_count(const char* text) {
+  if (text == nullptr) return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text) return 0;  // no digits at all
+  while (*end == ' ' || *end == '\t') ++end;
+  if (*end != '\0') return 0;  // trailing garbage ("4x", "2.5", ...)
+  if (errno == ERANGE || v < 1) return 0;
+  return static_cast<int>(std::min<long>(v, kMaxThreads));
+}
 
 int num_threads() {
   int n = g_num_threads.load(std::memory_order_relaxed);

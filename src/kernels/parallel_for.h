@@ -23,6 +23,16 @@ namespace crisp::kernels {
 /// Body of a parallel loop: processes the half-open index range [begin, end).
 using RangeFn = std::function<void(std::int64_t begin, std::int64_t end)>;
 
+/// Hard cap on the worker pool size (and on CRISP_NUM_THREADS values).
+constexpr int kMaxThreads = 256;
+
+/// Strict parser for CRISP_NUM_THREADS-style values: returns the thread
+/// count clamped to [1, kMaxThreads] when `text` is a positive integer
+/// (surrounding whitespace allowed), and 0 for anything else — empty,
+/// non-numeric, trailing garbage, zero, or negative. Callers treat 0 as
+/// "invalid, warn and fall back to the hardware default".
+int parse_thread_count(const char* text);
+
 /// Threads the next parallel_for will use (>= 1, after env resolution).
 int num_threads();
 

@@ -1,0 +1,14 @@
+// Internal glue between simd_dispatch.cpp and the per-ISA translation
+// units. Each microkernel_*.cpp defines its accessor only when the build
+// enables that ISA (CRISP_HAVE_AVX2 / CRISP_HAVE_NEON), and the dispatcher
+// only references it under the same guard, so disabled tiers never link.
+#pragma once
+
+#include "kernels/simd_dispatch.h"
+
+namespace crisp::kernels::simd {
+
+const Microkernels& detail_avx2_kernels();
+const Microkernels& detail_neon_kernels();
+
+}  // namespace crisp::kernels::simd

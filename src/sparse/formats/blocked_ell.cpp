@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -82,6 +83,7 @@ void BlockedEllMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   // independent.
   const std::int64_t grain =
       kernels::rows_grain(blocks_per_row_ * block * block * p);
+  const auto axpy = kernels::simd::active().axpy;
   kernels::parallel_for(grid_.grid_rows(), [&](std::int64_t br0,
                                                std::int64_t br1) {
     for (std::int64_t br = br0; br < br1; ++br) {
@@ -97,8 +99,7 @@ void BlockedEllMatrix::spmm(ConstMatrixView x, MatrixView y) const {
           for (std::int64_t c = 0; c < grid_.col_extent(bc); ++c) {
             const float v = payload[r * block + c];
             if (v == 0.0f) continue;
-            const float* xrow = x.data + (bc * block + c) * p;
-            for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+            axpy(v, x.data + (bc * block + c) * p, yrow, p);
           }
         }
       }

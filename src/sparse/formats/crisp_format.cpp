@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "kernels/parallel_for.h"
+#include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -150,6 +151,7 @@ void CrispMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   // independent. This is also the threaded path packed deployment runs.
   const std::int64_t grain =
       kernels::rows_grain(blocks_per_row_ * block * groups * n_ * p);
+  const auto axpy = kernels::simd::active().axpy;
   kernels::parallel_for(grid_.grid_rows(), [&](std::int64_t br0,
                                                std::int64_t br1) {
     for (std::int64_t br = br0; br < br1; ++br) {
@@ -169,10 +171,11 @@ void CrispMatrix::spmm(ConstMatrixView x, MatrixView y) const {
               if (v == 0.0f) continue;
               // The MUX step of Fig. 6: the offset selects the activation
               // row.
-              const float* xrow =
-                  x.data +
-                  (col0 + offsets_[static_cast<std::size_t>(base + s)]) * p;
-              for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+              axpy(v,
+                   x.data +
+                       (col0 + offsets_[static_cast<std::size_t>(base + s)]) *
+                           p,
+                   yrow, p);
             }
           }
         }

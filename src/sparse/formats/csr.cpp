@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -46,17 +47,16 @@ void CsrMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   // stay inline.
   const std::int64_t grain =
       kernels::rows_grain(rows_ > 0 ? nnz() / rows_ * p : 0);
+  const auto axpy = kernels::simd::active().axpy;
   kernels::parallel_for(rows_, [&](std::int64_t r0, std::int64_t r1) {
     std::memset(y.data + r0 * p, 0,
                 static_cast<std::size_t>((r1 - r0) * p) * sizeof(float));
     for (std::int64_t r = r0; r < r1; ++r) {
       float* yrow = y.data + r * p;
       for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
-           i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i) {
-        const float v = values_[static_cast<std::size_t>(i)];
-        const float* xrow = x.data + col_idx_[static_cast<std::size_t>(i)] * p;
-        for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
-      }
+           i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i)
+        axpy(values_[static_cast<std::size_t>(i)],
+             x.data + col_idx_[static_cast<std::size_t>(i)] * p, yrow, p);
     }
   }, grain);
 }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 
 namespace crisp::sparse {
@@ -54,6 +55,7 @@ void EllpackMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   CRISP_CHECK(y.rows == rows_ && y.cols == x.cols, "ELLPACK spmm: output shape");
   const std::int64_t p = x.cols;
   const std::int64_t grain = kernels::rows_grain(width_ * p);
+  const auto axpy = kernels::simd::active().axpy;
   kernels::parallel_for(rows_, [&](std::int64_t r0, std::int64_t r1) {
     std::memset(y.data + r0 * p, 0,
                 static_cast<std::size_t>((r1 - r0) * p) * sizeof(float));
@@ -62,10 +64,9 @@ void EllpackMatrix::spmm(ConstMatrixView x, MatrixView y) const {
       for (std::int64_t s = 0; s < width_; ++s) {
         const std::int32_t c =
             col_idx_[static_cast<std::size_t>(r * width_ + s)];
-        if (c < 0) continue;
-        const float v = values_[static_cast<std::size_t>(r * width_ + s)];
-        const float* xrow = x.data + static_cast<std::int64_t>(c) * p;
-        for (std::int64_t j = 0; j < p; ++j) yrow[j] += v * xrow[j];
+        if (c < 0) continue;  // padding slot
+        axpy(values_[static_cast<std::size_t>(r * width_ + s)],
+             x.data + static_cast<std::int64_t>(c) * p, yrow, p);
       }
     }
   }, grain);

@@ -1,16 +1,19 @@
 // Kernel-layer tests: parallel_for partitioning/exceptions/nesting, the
 // thread-count invariance contract — bit-identical results at 1/2/8 threads
-// for every dense GEMM variant and every SpmmKernel implementation — and
-// the strengthened GEMM operand checking.
+// for every dense GEMM variant and every SpmmKernel implementation — the
+// strengthened GEMM operand checking, CRISP_NUM_THREADS validation, and
+// SIMD/scalar dispatch parity on tail-heavy shapes.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
 
 #include "kernels/gemm.h"
 #include "kernels/parallel_for.h"
+#include "kernels/simd_dispatch.h"
 #include "sparse/block.h"
 #include "sparse/nm.h"
 #include "sparse/spmm.h"
@@ -28,6 +31,29 @@ class ThreadGuard {
  private:
   int saved_;
 };
+
+/// Tolerance for cross-tier comparisons: tiers differ only by FMA
+/// contraction and vectorized reduction trees, so a few ULPs of the
+/// accumulated magnitude — far below any real kernel bug.
+constexpr float kTierRtol = 1e-4f;
+constexpr float kTierAtol = 1e-4f;
+
+/// Asserts fn() computed under the active (possibly SIMD) tier matches the
+/// forced-scalar fallback within rounding. In a CRISP_DISABLE_SIMD build
+/// the active tier *is* scalar and the check degenerates to bitwise.
+template <typename Fn>
+void expect_tier_parity(Fn&& fn) {
+  const Tensor active = fn();
+  Tensor scalar;
+  {
+    kernels::simd::TierScope tier(kernels::simd::Tier::kScalar);
+    scalar = fn();
+  }
+  ASSERT_TRUE(active.same_shape(scalar));
+  EXPECT_TRUE(allclose(active, scalar, kTierRtol, kTierAtol))
+      << "tier '" << kernels::simd::tier_name(kernels::simd::active_tier())
+      << "' diverged from scalar by " << max_abs_diff(active, scalar);
+}
 
 /// Runs `fn` producing a Tensor at the given thread count.
 template <typename Fn>
@@ -169,15 +195,21 @@ TEST(DenseGemm, ThreadCountInvariantAndMatchesNaive) {
 
   expect_thread_invariant([&] { return matmul(a, b); });
 
-  // ikj naive reference — the kernel keeps this exact accumulation order,
-  // so equality is bitwise, not approximate.
+  // ikj naive reference — the scalar tier keeps this exact accumulation
+  // order, so under forced-scalar dispatch equality is bitwise.
   Tensor want({m, n});
   for (std::int64_t i = 0; i < m; ++i)
     for (std::int64_t p = 0; p < k; ++p)
       for (std::int64_t j = 0; j < n; ++j)
         want[i * n + j] += a[i * k + p] * b[p * n + j];
-  EXPECT_EQ(max_abs_diff(at_threads(8, [&] { return matmul(a, b); }), want),
-            0.0f);
+  {
+    kernels::simd::TierScope tier(kernels::simd::Tier::kScalar);
+    EXPECT_EQ(max_abs_diff(at_threads(8, [&] { return matmul(a, b); }), want),
+              0.0f);
+  }
+  // SIMD tiers contract to FMA, so they match to rounding, not bitwise.
+  EXPECT_TRUE(allclose(at_threads(8, [&] { return matmul(a, b); }), want,
+                       kTierRtol, kTierAtol));
 }
 
 TEST(DenseGemm, AccumulateVariantThreadCountInvariant) {
@@ -305,6 +337,149 @@ TEST_F(SpmmKernelSuite, DispatchRejectsBadShapes) {
   Rng rng(5);
   const Tensor bad = Tensor::randn({kCols + 1, kBatch}, rng);
   EXPECT_THROW(sparse::spmm(csr, bad), std::runtime_error);
+}
+
+TEST(ParallelFor, ParseThreadCountValidation) {
+  EXPECT_EQ(kernels::parse_thread_count(nullptr), 0);
+  EXPECT_EQ(kernels::parse_thread_count(""), 0);
+  EXPECT_EQ(kernels::parse_thread_count("abc"), 0);
+  EXPECT_EQ(kernels::parse_thread_count("0"), 0);
+  EXPECT_EQ(kernels::parse_thread_count("-3"), 0);
+  EXPECT_EQ(kernels::parse_thread_count("4x"), 0);
+  EXPECT_EQ(kernels::parse_thread_count("2.5"), 0);
+  EXPECT_EQ(kernels::parse_thread_count("99999999999999999999"), 0);
+  EXPECT_EQ(kernels::parse_thread_count("4"), 4);
+  EXPECT_EQ(kernels::parse_thread_count("  8 "), 8);
+  EXPECT_EQ(kernels::parse_thread_count("+2"), 2);
+  EXPECT_EQ(kernels::parse_thread_count("100000"), kernels::kMaxThreads);
+}
+
+TEST(ParallelFor, EnvThreadCountValidation) {
+  ThreadGuard guard;
+  // A valid CRISP_NUM_THREADS value is honoured on reset...
+  ASSERT_EQ(setenv("CRISP_NUM_THREADS", "3", 1), 0);
+  kernels::set_num_threads(0);
+  EXPECT_EQ(kernels::num_threads(), 3);
+  // ...an invalid one is rejected (with a stderr warning) and resolution
+  // falls back to the hardware default instead of silently misbehaving.
+  ASSERT_EQ(setenv("CRISP_NUM_THREADS", "not-a-number", 1), 0);
+  kernels::set_num_threads(0);
+  const int fallback = kernels::num_threads();
+  EXPECT_GE(fallback, 1);
+  ASSERT_EQ(unsetenv("CRISP_NUM_THREADS"), 0);
+  kernels::set_num_threads(0);
+  EXPECT_EQ(kernels::num_threads(), fallback);
+}
+
+TEST(SimdDispatch, TierNamesAndOverride) {
+  using kernels::simd::Tier;
+  EXPECT_STREQ(kernels::simd::tier_name(Tier::kScalar), "scalar");
+  EXPECT_STREQ(kernels::simd::tier_name(Tier::kAvx2), "avx2");
+  EXPECT_STREQ(kernels::simd::tier_name(Tier::kNeon), "neon");
+
+  const Tier def = kernels::simd::active_tier();
+  kernels::simd::set_tier(Tier::kScalar);
+  EXPECT_EQ(kernels::simd::active_tier(), Tier::kScalar);
+  kernels::simd::set_tier(kernels::simd::supported_tier());
+  EXPECT_EQ(kernels::simd::active_tier(), kernels::simd::supported_tier());
+  kernels::simd::reset_tier();
+  EXPECT_EQ(kernels::simd::active_tier(), def);
+}
+
+TEST(SimdDispatch, RejectsUnavailableTier) {
+  using kernels::simd::Tier;
+  // At most one SIMD tier exists per architecture/build, so anything other
+  // than scalar and the supported tier must be rejected.
+  const Tier sup = kernels::simd::supported_tier();
+  if (sup != Tier::kAvx2)
+    EXPECT_THROW(kernels::simd::set_tier(Tier::kAvx2), std::runtime_error);
+  if (sup != Tier::kNeon)
+    EXPECT_THROW(kernels::simd::set_tier(Tier::kNeon), std::runtime_error);
+  EXPECT_EQ(kernels::simd::active_tier(), kernels::simd::active().tier);
+}
+
+// Shapes chosen so m straddles the simd::kMr row block, n straddles the
+// 16/8-lane column tiles (forcing the vector tails), and k straddles the
+// kKc reduction panel — the corners where a SIMD kernel would break first.
+TEST(SimdParity, DenseGemmTailHeavyShapes) {
+  Rng rng(31);
+  const struct {
+    std::int64_t m, k, n;
+  } shapes[] = {
+      {13, kernels::kKc + 29, 37},
+      {4, 64, 41},
+      {1, 31, 7},
+      {30, 2 * kernels::kKc + 5, 64},
+  };
+  for (const auto& s : shapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    expect_tier_parity([&] { return matmul(a, b); });
+
+    const Tensor seed = Tensor::randn({s.m, s.n}, rng);
+    expect_tier_parity([&] {
+      Tensor c = seed;
+      matmul_accumulate(as_matrix(a, s.m, s.k), as_matrix(b, s.k, s.n),
+                        as_matrix(c, s.m, s.n));
+      return c;
+    });
+  }
+}
+
+TEST(SimdParity, GemmTnTailHeavyShapes) {
+  Rng rng(32);
+  const struct {
+    std::int64_t k, m, n;
+  } shapes[] = {{kernels::kKc + 17, 13, 37}, {65, 3, 21}, {33, 1, 9}};
+  for (const auto& s : shapes) {
+    const Tensor a = Tensor::randn({s.k, s.m}, rng);  // stored K x M
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    expect_tier_parity([&] {
+      Tensor c({s.m, s.n});
+      matmul_tn(as_matrix(a, s.k, s.m), as_matrix(b, s.k, s.n),
+                as_matrix(c, s.m, s.n));
+      return c;
+    });
+  }
+}
+
+TEST(SimdParity, GemmNtTailHeavyShapes) {
+  Rng rng(33);
+  const struct {
+    std::int64_t m, k, n;
+  } shapes[] = {{13, 271, 37}, {5, 33, 11}, {1, 7, 3}};
+  for (const auto& s : shapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.n, s.k}, rng);  // stored N x K
+    expect_tier_parity([&] {
+      Tensor c({s.m, s.n});
+      matmul_nt(as_matrix(a, s.m, s.k), as_matrix(b, s.n, s.k),
+                as_matrix(c, s.m, s.n));
+      return c;
+    });
+  }
+}
+
+TEST(SimdParity, SpmmFormatsTailHeavyBatches) {
+  constexpr std::int64_t kRows = 64, kCols = 96, kBlock = 16;
+  Rng rng(34);
+  const Tensor w = hybrid_matrix(kRows, kCols, kBlock, 2, 4,
+                                 /*pruned_per_row=*/2, rng);
+  const auto csr = sparse::CsrMatrix::encode(as_matrix(w, kRows, kCols));
+  const auto ell = sparse::EllpackMatrix::encode(as_matrix(w, kRows, kCols));
+  const auto bell =
+      sparse::BlockedEllMatrix::encode(as_matrix(w, kRows, kCols), kBlock);
+  const auto cm =
+      sparse::CrispMatrix::encode(as_matrix(w, kRows, kCols), kBlock, 2, 4);
+  const kernels::SpmmKernel* formats[] = {&csr, &ell, &bell, &cm};
+  // Batches exercising the 16-wide, 8-wide, and scalar axpy tails.
+  for (const std::int64_t batch : {5, 19, 24}) {
+    const Tensor x = Tensor::randn({kCols, batch}, rng);
+    for (const kernels::SpmmKernel* kernel : formats) {
+      SCOPED_TRACE(kernel->format_name());
+      expect_tier_parity([&] { return sparse::spmm(*kernel, x); });
+    }
+  }
 }
 
 }  // namespace

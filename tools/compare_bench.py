@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+CI's bench regression gate: fails (exit 1) when any benchmark present in
+both files got slower than --max-slowdown times its baseline. Comparisons
+use the `_median` aggregate entries when a file was recorded with
+--benchmark_repetitions (recommended), falling back to the raw iteration
+entries otherwise, and always compare real_time (wall clock — the thread
+pool makes cpu_time meaningless for threaded kernels).
+
+The baseline and the run usually come from different machines, so the
+default tolerance is generous: the gate exists to catch "the SIMD dispatch
+silently fell back to scalar" (a 4-6x cliff on the dense GEMM), not 10%
+noise. Use --filter to restrict the gate to stable entries (CI gates on
+threads:1 — thread-sweep entries depend on the runner's core count).
+
+Usage:
+  tools/compare_bench.py BASELINE.json CURRENT.json \
+      [--max-slowdown 3.0] [--filter SUBSTRING]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time ns}, preferring median aggregates."""
+    with open(path) as f:
+        data = json.load(f)
+    raw, medians = {}, {}
+    for entry in data.get("benchmarks", []):
+        name = entry["run_name"] if "run_name" in entry else entry["name"]
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[name] = float(entry["real_time"])
+        else:
+            raw.setdefault(name, float(entry["real_time"]))
+    return {**raw, **medians}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-slowdown", type=float, default=3.0,
+                    help="fail when current > baseline * this (default 3.0)")
+    ap.add_argument("--filter", default="",
+                    help="only gate benchmarks whose name contains this")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+    gated_base = sorted(n for n in base if not args.filter or args.filter in n)
+    shared = [n for n in gated_base if n in cur]
+    missing = [n for n in gated_base if n not in cur]
+    if not shared:
+        print(f"error: no shared benchmarks between {args.baseline} and "
+              f"{args.current} (filter: {args.filter!r})")
+        return 2
+    if missing:
+        # A gated benchmark that disappears is itself a gate failure —
+        # otherwise a rename/deletion silently erodes coverage.
+        print(f"FAIL: {len(missing)} gated baseline benchmark(s) missing "
+              "from the current run: " + ", ".join(missing))
+        print("If the rename/removal is intentional, re-record "
+              "BENCH_kernels.json (see bench/kernels.cpp header).")
+        return 1
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in shared:
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = "  <-- REGRESSION" if ratio > args.max_slowdown else ""
+        print(f"{name:<{width}}  {base[name]:>10.0f}ns  {cur[name]:>10.0f}ns"
+              f"  {ratio:5.2f}x{flag}")
+        if ratio > args.max_slowdown:
+            regressions.append(name)
+
+    skipped = sorted(set(cur) - set(base))
+    if skipped:
+        print(f"\n{len(skipped)} benchmark(s) not in the baseline (ungated): "
+              + ", ".join(skipped))
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) slower than "
+              f"{args.max_slowdown}x baseline: " + ", ".join(regressions))
+        print("If intentional, re-record BENCH_kernels.json (see "
+              "bench/kernels.cpp header) and commit it with the change.")
+        return 1
+    print(f"\nOK: {len(shared)} benchmark(s) within {args.max_slowdown}x "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
