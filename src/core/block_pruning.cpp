@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <tuple>
 
+#include "sparse/mask.h"
+#include "sparse/nm.h"
+
 namespace crisp::core {
 
 namespace {
@@ -109,6 +112,31 @@ Tensor rank_pruned_block_mask(const LayerBlockInfo& layer,
   const Tensor block_mask =
       sparse::uniform_row_block_mask(layer.scores, g, per_row);
   return sparse::expand_block_mask(block_mask, g);
+}
+
+Tensor random_hybrid_mask(Rng& rng, std::int64_t rows, std::int64_t cols,
+                          std::int64_t block, std::int64_t n, std::int64_t m,
+                          std::int64_t pruned_ranks) {
+  Tensor scores = Tensor::rand({rows, cols}, rng, 0.1f, 1.0f);
+  const Tensor nm = sparse::nm_mask(as_matrix(scores, rows, cols), n, m);
+  LayerBlockInfo info;
+  info.grid = sparse::BlockGrid{rows, cols, block};
+  info.scores = sparse::block_scores(as_matrix(scores, rows, cols), info.grid);
+  const Tensor bmask = rank_pruned_block_mask(info, pruned_ranks);
+  return sparse::mask_and(nm, bmask);
+}
+
+void install_random_hybrid_masks(nn::Sequential& model, std::int64_t block,
+                                 std::int64_t n, std::int64_t m,
+                                 std::int64_t pruned_ranks,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  for (nn::Parameter* p : model.prunable_parameters()) {
+    const Tensor mask = random_hybrid_mask(rng, p->matrix_rows, p->matrix_cols,
+                                           block, n, m, pruned_ranks);
+    p->ensure_mask();
+    for (std::int64_t i = 0; i < mask.numel(); ++i) p->mask[i] = mask[i];
+  }
 }
 
 }  // namespace crisp::core

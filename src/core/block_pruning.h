@@ -15,7 +15,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "nn/sequential.h"
 #include "sparse/block.h"
+#include "tensor/rng.h"
 #include "tensor/tensor.h"
 
 namespace crisp::core {
@@ -56,5 +58,19 @@ std::vector<std::int64_t> plan_rank_column_pruning(
 /// each block-row zeroes its `pruned_ranks` lowest-scoring blocks.
 Tensor rank_pruned_block_mask(const LayerBlockInfo& layer,
                               std::int64_t pruned_ranks);
+
+/// Builds a hybrid-pattern mask (N:M ∧ uniform-row block pruning) from
+/// random scores — the exact invariant the CRISP pruner guarantees, without
+/// running the pruner. Tests, benches, and demos share this one recipe so
+/// they all exercise the pattern the packed format encodes.
+Tensor random_hybrid_mask(Rng& rng, std::int64_t rows, std::int64_t cols,
+                          std::int64_t block, std::int64_t n, std::int64_t m,
+                          std::int64_t pruned_ranks);
+
+/// Installs a random_hybrid_mask on every prunable parameter of `model`.
+void install_random_hybrid_masks(nn::Sequential& model, std::int64_t block,
+                                 std::int64_t n, std::int64_t m,
+                                 std::int64_t pruned_ranks,
+                                 std::uint64_t seed = 3);
 
 }  // namespace crisp::core

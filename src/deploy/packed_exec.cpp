@@ -1,5 +1,7 @@
 #include "deploy/packed_exec.h"
 
+#include <utility>
+
 #include "kernels/spmm_kernel.h"
 
 namespace crisp::deploy {
@@ -13,8 +15,9 @@ void walk(nn::Layer* layer, std::vector<nn::Layer*>& out) {
 
 }  // namespace
 
-std::vector<std::string> attach_packed(nn::Sequential& model,
-                                       const PackedModel& packed) {
+std::vector<std::string> install_packed_hooks(
+    nn::Sequential& model, std::shared_ptr<const PackedModel> packed) {
+  CRISP_CHECK(packed != nullptr, "install_packed_hooks: null artifact");
   std::vector<nn::Layer*> layers;
   walk(&model, layers);
 
@@ -22,28 +25,35 @@ std::vector<std::string> attach_packed(nn::Sequential& model,
   for (nn::Layer* layer : layers) {
     for (nn::Parameter* p : layer->parameters()) {
       if (!p->prunable) continue;
-      const PackedEntry* entry = packed.find(p->name);
+      const PackedEntry* entry = packed->find(p->name);
       if (entry == nullptr) continue;
       CRISP_CHECK(entry->matrix.rows() == p->matrix_rows &&
                       entry->matrix.cols() == p->matrix_cols,
-                  "attach_packed: " << p->name << " expects "
-                                    << p->matrix_rows << "x" << p->matrix_cols
-                                    << ", artifact holds "
-                                    << entry->matrix.rows() << "x"
-                                    << entry->matrix.cols());
+                  "install_packed_hooks: "
+                      << p->name << " expects " << p->matrix_rows << "x"
+                      << p->matrix_cols << ", artifact holds "
+                      << entry->matrix.rows() << "x" << entry->matrix.cols());
       // Hooked through the SpmmKernel interface: packed inference runs the
       // same threaded, block-row-partitioned CRISP kernel as everything
       // else, and the hook stays format-agnostic if the artifact ever
-      // carries other encodings.
+      // carries other encodings. The shared_ptr rides in the closure, so
+      // the kernel pointer stays valid for as long as the hook exists.
       const kernels::SpmmKernel* kernel = &entry->matrix;
-      if (layer->set_gemm_hook([kernel](ConstMatrixView x, MatrixView y) {
-            kernel->spmm(x, y);
-          })) {
+      if (layer->set_gemm_hook(
+              [owner = packed, kernel](ConstMatrixView x, MatrixView y) {
+                kernel->spmm(x, y);
+              })) {
         attached.push_back(p->name);
       }
     }
   }
   return attached;
+}
+
+std::vector<std::string> attach_packed(nn::Sequential& model,
+                                       const PackedModel& packed) {
+  return install_packed_hooks(model,
+                              std::make_shared<const PackedModel>(packed));
 }
 
 void detach_packed(nn::Sequential& model) {

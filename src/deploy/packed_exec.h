@@ -1,14 +1,21 @@
 // Packed sparse execution — inference straight from the CRISP format.
 //
-// attach_packed() pairs every GEMM layer whose prunable weight has an entry
-// in a PackedModel with that entry's CrispMatrix, installing an eval-mode
-// GEMM hook (nn::GemmHook). Subsequent predict() calls then multiply with
-// the compressed representation — block-column gather + offset-MUX
-// activation selection, the software analogue of the CRISP-STC datapath
-// (paper Fig. 6) — instead of the dense weights. Training forwards are
-// unaffected.
+// install_packed_hooks() pairs every GEMM layer whose prunable weight has
+// an entry in a PackedModel with that entry's CrispMatrix, installing an
+// eval-mode GEMM hook (nn::GemmHook). Subsequent eval forwards then
+// multiply with the compressed representation — block-column gather +
+// offset-MUX activation selection, the software analogue of the CRISP-STC
+// datapath (paper Fig. 6) — instead of the dense weights. Training
+// forwards are unaffected. Every hook shares ownership of the artifact, so
+// there is no use-after-free window no matter when the caller's PackedModel
+// goes out of scope.
+//
+// This header is the low-level surface; services should serve through
+// serve::CompiledModel + serve::Engine (serve/engine.h), which add an
+// immutable compiled artifact and a batched, thread-budgeted front end.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,13 +25,22 @@
 namespace crisp::deploy {
 
 /// Installs hooks on every layer whose prunable parameter name appears in
-/// `packed`. Returns the names attached. `packed` must outlive every
-/// eval-mode forward of `model` until detach_packed (the hooks hold
-/// pointers into it). Layers that refuse hooks (grouped convs) are skipped.
+/// `packed`; each hook keeps `packed` alive via shared ownership. Returns
+/// the names attached. Layers that refuse hooks (grouped convs) are
+/// skipped.
+std::vector<std::string> install_packed_hooks(
+    nn::Sequential& model, std::shared_ptr<const PackedModel> packed);
+
+/// DEPRECATED thin wrapper: copies `packed` into a shared artifact and
+/// installs hooks on it, so the historical "`packed` must outlive every
+/// eval-mode forward" contract no longer applies — the hooks own the copy.
+/// New code should build a serve::CompiledModel (or call
+/// install_packed_hooks with a shared_ptr to avoid the copy).
 std::vector<std::string> attach_packed(nn::Sequential& model,
                                        const PackedModel& packed);
 
-/// Removes every packed-execution hook from the model.
+/// Removes every packed-execution hook from the model (and with it the
+/// hooks' shared ownership of the artifact).
 void detach_packed(nn::Sequential& model);
 
 }  // namespace crisp::deploy

@@ -21,6 +21,9 @@ constexpr std::int64_t kMaxChunks = 64;
 
 thread_local bool tl_in_parallel = false;
 
+// Per-thread pool-width cap installed by ScopedThreadBudget (0 = uncapped).
+thread_local int tl_thread_budget = 0;
+
 int hardware_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxThreads));
@@ -135,8 +138,21 @@ int num_threads() {
     n = resolve_default_threads();
     g_num_threads.store(n, std::memory_order_relaxed);
   }
+  if (tl_thread_budget >= 1) n = std::min(n, tl_thread_budget);
   return n;
 }
+
+ScopedThreadBudget::ScopedThreadBudget(int max_threads)
+    : previous_(tl_thread_budget) {
+  if (max_threads >= 1) {
+    const int cap = std::min(max_threads, kMaxThreads);
+    tl_thread_budget = previous_ >= 1 ? std::min(previous_, cap) : cap;
+  }
+}
+
+ScopedThreadBudget::~ScopedThreadBudget() { tl_thread_budget = previous_; }
+
+int thread_budget() { return tl_thread_budget; }
 
 void set_num_threads(int n) {
   g_num_threads.store(n >= 1 ? std::min(n, kMaxThreads)

@@ -45,6 +45,31 @@ void set_num_threads(int n);
 /// Nested parallel_for calls detect this and degrade to serial execution.
 bool in_parallel_region();
 
+/// Caps the pool width of every parallel_for issued from the *current
+/// thread* while the scope is alive, without touching the process-wide
+/// set_num_threads state. num_threads() reports the capped value, so a
+/// serving engine pinned to a budget of 2 wakes at most one pool worker per
+/// loop while another engine (or the trainer) keeps its own budget — the
+/// knob that lets several tenants share one process without
+/// oversubscribing the pool. Budgets nest (the tightest cap wins while
+/// inner scopes live, and each scope restores what it found); a budget of
+/// 0 means "no cap from this scope". Results never change — chunk
+/// boundaries stay a pure function of (total, grain) — only how many
+/// workers participate does.
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(int max_threads);
+  ~ScopedThreadBudget();
+  ScopedThreadBudget(const ScopedThreadBudget&) = delete;
+  ScopedThreadBudget& operator=(const ScopedThreadBudget&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// The calling thread's active budget cap (0 when uncapped).
+int thread_budget();
+
 /// Runs fn over disjoint chunks covering [0, total). Chunks are at least
 /// `grain` indices wide; ranges arrive in unspecified temporal order but
 /// their boundaries are a pure function of (total, grain), independent of

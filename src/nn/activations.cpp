@@ -2,7 +2,7 @@
 
 namespace crisp::nn {
 
-Tensor ReLU::forward(const Tensor& x, bool train) {
+Tensor ReLU::forward_eval(const Tensor& x) const {
   Tensor y = x;
   if (cap_ < 0.0f) {
     y.clamp_min_(0.0f);
@@ -10,6 +10,11 @@ Tensor ReLU::forward(const Tensor& x, bool train) {
     for (std::int64_t i = 0; i < y.numel(); ++i)
       y[i] = std::min(std::max(y[i], 0.0f), cap_);
   }
+  return y;
+}
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = forward_eval(x);
   if (train) cached_input_ = x;
   return y;
 }
@@ -28,8 +33,12 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 }
 
 Tensor Flatten::forward(const Tensor& x, bool train) {
-  CRISP_CHECK(x.dim() >= 2, "Flatten expects batch dimension first");
   if (train) cached_shape_ = x.shape();
+  return forward_eval(x);
+}
+
+Tensor Flatten::forward_eval(const Tensor& x) const {
+  CRISP_CHECK(x.dim() >= 2, "Flatten expects batch dimension first");
   return x.reshaped({x.size(0), -1});
 }
 

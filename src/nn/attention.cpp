@@ -72,7 +72,8 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name,
   init_bias(bo_, this->name() + ".bo", dim);
 }
 
-Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
+MultiHeadSelfAttention::ForwardState MultiHeadSelfAttention::run_forward(
+    const Tensor& x) const {
   CRISP_CHECK(x.dim() == 3 && x.size(2) == dim_,
               name() << ": expected (B, T, " << dim_ << "), got "
                      << shape_to_string(x.shape()));
@@ -126,15 +127,31 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
   Tensor y = project(o, wo_, bo_, rows, dim_);
   y.reshape_inplace({batch, tokens, dim_});
 
+  ForwardState st;
+  st.q = std::move(q);
+  st.k = std::move(k);
+  st.v = std::move(v);
+  st.attn = std::move(attn);
+  st.o = std::move(o);
+  st.y = std::move(y);
+  return st;
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x, bool train) {
+  ForwardState st = run_forward(x);
   if (train) {
     cached_x_ = x;
-    cached_q_ = std::move(q);
-    cached_k_ = std::move(k);
-    cached_v_ = std::move(v);
-    cached_attn_ = std::move(attn);
-    cached_o_ = std::move(o);
+    cached_q_ = std::move(st.q);
+    cached_k_ = std::move(st.k);
+    cached_v_ = std::move(st.v);
+    cached_attn_ = std::move(st.attn);
+    cached_o_ = std::move(st.o);
   }
-  return y;
+  return std::move(st.y);
+}
+
+Tensor MultiHeadSelfAttention::forward_eval(const Tensor& x) const {
+  return run_forward(x).y;
 }
 
 Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {

@@ -20,6 +20,7 @@ class MultiHeadSelfAttention final : public Layer {
 
   /// x: (B, T, dim) -> (B, T, dim).
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
 
@@ -27,6 +28,13 @@ class MultiHeadSelfAttention final : public Layer {
   std::int64_t heads() const { return heads_; }
 
  private:
+  /// Everything one forward computes. `forward` moves the intermediates
+  /// into the training caches; the const eval path drops them.
+  struct ForwardState {
+    Tensor q, k, v, attn, o, y;
+  };
+  ForwardState run_forward(const Tensor& x) const;
+
   std::int64_t dim_;
   std::int64_t heads_;
   std::int64_t head_dim_;

@@ -12,6 +12,7 @@ class BatchNorm2d final : public Layer {
               float eps = 1e-5f);
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::vector<NamedBuffer> buffers() override;
@@ -19,6 +20,8 @@ class BatchNorm2d final : public Layer {
   std::int64_t channels() const { return channels_; }
 
  private:
+  void check_input(const Tensor& x) const;
+
   std::int64_t channels_;
   float momentum_;
   float eps_;

@@ -45,7 +45,7 @@ ConvGeometry Conv2d::group_geometry(std::int64_t in_h, std::int64_t in_w) const 
   return g;
 }
 
-Tensor Conv2d::forward(const Tensor& x, bool train) {
+Tensor Conv2d::compute_forward(const Tensor& x, bool use_hook) const {
   CRISP_CHECK(x.dim() == 4, "Conv2d expects (B,C,H,W), got "
                                 << shape_to_string(x.shape()));
   CRISP_CHECK(x.size(1) == spec_.in_channels,
@@ -57,7 +57,6 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   const std::int64_t sg = spec_.out_channels / spec_.groups;  // out ch / group
 
-  const bool use_hook = gemm_hook_ && !train;
   const Tensor w_eff = use_hook ? Tensor() : weight_.effective_value();
   Tensor y({batch, spec_.out_channels, oh, ow});
 
@@ -103,7 +102,15 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
         for (std::int64_t i = 0; i < p; ++i) plane[i] += bv;
       }
   }
+  return y;
+}
 
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  Tensor y = compute_forward(x, gemm_hook_ && !train);
+
+  const ConvGeometry g = group_geometry(x.size(2), x.size(3));
+  const std::int64_t k = g.col_rows(), p = g.col_cols();
+  const std::int64_t batch = x.size(0);
   // Per output position each group contributes its nnz weights, so the total
   // per-sample MACs equal p * nnz(weight) regardless of the group count.
   const std::int64_t dense_macs = batch * spec_.out_channels * k * p;
@@ -113,6 +120,10 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
 
   if (train) cached_input_ = x;
   return y;
+}
+
+Tensor Conv2d::forward_eval(const Tensor& x) const {
+  return compute_forward(x, static_cast<bool>(gemm_hook_));
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {

@@ -30,6 +30,7 @@ class Conv2d final : public Layer {
   Conv2d(std::string name, const Conv2dSpec& spec, Rng& rng);
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
 
@@ -48,6 +49,10 @@ class Conv2d final : public Layer {
 
  private:
   ConvGeometry group_geometry(std::int64_t in_h, std::int64_t in_w) const;
+
+  /// The shared math of both forwards: im2col + (hooked or dense) GEMM +
+  /// bias, no caching and no MAC bookkeeping.
+  Tensor compute_forward(const Tensor& x, bool use_hook) const;
 
   Conv2dSpec spec_;
   Parameter weight_;

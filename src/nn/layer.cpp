@@ -42,6 +42,13 @@ MatrixView Parameter::grad_matrix() {
   return as_matrix(grad, matrix_rows, matrix_cols);
 }
 
+Tensor Layer::forward_eval(const Tensor& x) const {
+  (void)x;
+  CRISP_CHECK(false, name() << ": forward_eval not implemented — this layer "
+                               "cannot join a serve::CompiledModel");
+  return Tensor();
+}
+
 void Layer::zero_grad() {
   for (Parameter* p : parameters()) {
     if (p->grad.empty()) p->grad = Tensor::zeros(p->value.shape());

@@ -84,6 +84,15 @@ class Layer {
   /// `train` toggles BatchNorm statistics and activation caching.
   virtual Tensor forward(const Tensor& x, bool train) = 0;
 
+  /// Side-effect-free eval forward: computes exactly what
+  /// forward(x, /*train=*/false) computes, but touches no activation
+  /// caches, records no MAC counters, and updates no statistics — so a
+  /// model frozen for serving can run it concurrently from many threads
+  /// (installed GemmHooks are const-thread-safe by contract). The serving
+  /// layer (serve::CompiledModel) is built on this path. The base
+  /// implementation throws; every layer in this library overrides it.
+  virtual Tensor forward_eval(const Tensor& x) const;
+
   /// Consumes d(loss)/d(output), accumulates parameter gradients, and
   /// returns d(loss)/d(input). Must be called after a forward with
   /// train=true on the same input.

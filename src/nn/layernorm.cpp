@@ -15,16 +15,13 @@ LayerNorm::LayerNorm(std::string name, std::int64_t features, float eps)
   beta_.grad = Tensor::zeros({features});
 }
 
-Tensor LayerNorm::forward(const Tensor& x, bool train) {
+Tensor LayerNorm::compute_forward(const Tensor& x, Tensor* xhat,
+                                  Tensor* inv_std_out) const {
   CRISP_CHECK(x.dim() >= 1 && x.size(-1) == features_,
               name() << ": last dimension must be " << features_ << ", got "
                      << shape_to_string(x.shape()));
   const std::int64_t rows = x.numel() / features_;
   Tensor y(x.shape());
-  if (train) {
-    cached_xhat_ = Tensor(x.shape());
-    cached_inv_std_ = Tensor({rows});
-  }
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* in = x.data() + r * features_;
     float* out = y.data() + r * features_;
@@ -38,13 +35,24 @@ Tensor LayerNorm::forward(const Tensor& x, bool train) {
         static_cast<float>(sq / static_cast<double>(features_)) - mean * mean;
     const float inv_std = 1.0f / std::sqrt(var + eps_);
     for (std::int64_t i = 0; i < features_; ++i) {
-      const float xhat = (in[i] - mean) * inv_std;
-      out[i] = gamma_.value[i] * xhat + beta_.value[i];
-      if (train) cached_xhat_[r * features_ + i] = xhat;
+      const float xh = (in[i] - mean) * inv_std;
+      out[i] = gamma_.value[i] * xh + beta_.value[i];
+      if (xhat != nullptr) (*xhat)[r * features_ + i] = xh;
     }
-    if (train) cached_inv_std_[r] = inv_std;
+    if (inv_std_out != nullptr) (*inv_std_out)[r] = inv_std;
   }
   return y;
+}
+
+Tensor LayerNorm::forward(const Tensor& x, bool train) {
+  if (!train) return compute_forward(x, nullptr, nullptr);
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_ = Tensor({x.numel() / features_});
+  return compute_forward(x, &cached_xhat_, &cached_inv_std_);
+}
+
+Tensor LayerNorm::forward_eval(const Tensor& x) const {
+  return compute_forward(x, nullptr, nullptr);
 }
 
 Tensor LayerNorm::backward(const Tensor& grad_out) {
@@ -76,13 +84,18 @@ Tensor LayerNorm::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor Gelu::forward(const Tensor& x, bool train) {
+Tensor Gelu::forward_eval(const Tensor& x) const {
   Tensor y(x.shape());
   constexpr float c = 0.7978845608f;  // sqrt(2/pi)
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     const float v = x[i];
     y[i] = 0.5f * v * (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
   }
+  return y;
+}
+
+Tensor Gelu::forward(const Tensor& x, bool train) {
+  Tensor y = forward_eval(x);
   if (train) cached_input_ = x;
   return y;
 }

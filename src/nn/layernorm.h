@@ -13,12 +13,17 @@ class LayerNorm final : public Layer {
   LayerNorm(std::string name, std::int64_t features, float eps = 1e-5f);
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
 
   std::int64_t features() const { return features_; }
 
  private:
+  /// Shared normalisation math; xhat/inv_std caches are filled only when
+  /// the pointers are non-null (training).
+  Tensor compute_forward(const Tensor& x, Tensor* xhat, Tensor* inv_std) const;
+
   std::int64_t features_;
   float eps_;
   Parameter gamma_;
@@ -32,6 +37,7 @@ class Gelu final : public Layer {
  public:
   explicit Gelu(std::string name) : Layer(std::move(name)) {}
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
 
  private:

@@ -27,14 +27,14 @@ Linear::Linear(std::string name, std::int64_t in_features,
   }
 }
 
-Tensor Linear::forward(const Tensor& x, bool train) {
+Tensor Linear::compute_forward(const Tensor& x, bool use_hook) const {
   CRISP_CHECK(x.dim() == 2 && x.size(1) == in_features_,
               name() << ": expected (B," << in_features_ << "), got "
                      << shape_to_string(x.shape()));
   const std::int64_t batch = x.size(0);
 
   Tensor y({batch, out_features_});
-  if (gemm_hook_ && !train) {
+  if (use_hook) {
     // Hook contract is column-major activations: y' = W · x' with
     // x' = (in x B). Transpose in, run the packed GEMM, transpose out;
     // both transposes are row-partitioned over their output like every
@@ -73,13 +73,22 @@ Tensor Linear::forward(const Tensor& x, bool train) {
       for (std::int64_t o = 0; o < out_features_; ++o)
         y[b * out_features_ + o] += bias_.value[o];
   }
+  return y;
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  Tensor y = compute_forward(x, gemm_hook_ && !train);
 
   const std::int64_t nnz =
       weight_.has_mask() ? weight_.mask.count_nonzero() : weight_.value.numel();
-  record_macs(batch * out_features_ * in_features_, batch * nnz);
+  record_macs(x.size(0) * out_features_ * in_features_, x.size(0) * nnz);
 
   if (train) cached_input_ = x;
   return y;
+}
+
+Tensor Linear::forward_eval(const Tensor& x) const {
+  return compute_forward(x, static_cast<bool>(gemm_hook_));
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

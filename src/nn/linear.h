@@ -15,6 +15,7 @@ class Linear final : public Layer {
          Rng& rng, bool bias = true, bool prunable = true);
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   bool set_gemm_hook(GemmHook hook) override;
@@ -24,6 +25,10 @@ class Linear final : public Layer {
   std::int64_t out_features() const { return out_features_; }
 
  private:
+  /// The shared math of both forwards: hooked (packed) or dense GEMM plus
+  /// bias, no caching and no MAC bookkeeping.
+  Tensor compute_forward(const Tensor& x, bool use_hook) const;
+
   std::int64_t in_features_;
   std::int64_t out_features_;
   bool has_bias_;

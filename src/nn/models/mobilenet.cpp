@@ -57,6 +57,12 @@ Tensor InvertedResidual::forward(const Tensor& x, bool train) {
   return y;
 }
 
+Tensor InvertedResidual::forward_eval(const Tensor& x) const {
+  Tensor y = main_.forward_eval(x);
+  if (use_residual_) y.add_(x);
+  return y;
+}
+
 Tensor InvertedResidual::backward(const Tensor& grad_out) {
   Tensor dx = main_.backward(grad_out);
   if (use_residual_) dx.add_(grad_out);

@@ -4,7 +4,7 @@
 
 namespace crisp::nn {
 
-Tensor ToTokens::forward(const Tensor& x, bool train) {
+Tensor ToTokens::forward_eval(const Tensor& x) const {
   CRISP_CHECK(x.dim() == 4, name() << " expects (B, D, H, W)");
   const std::int64_t batch = x.size(0), dim = x.size(1),
                      tokens = x.size(2) * x.size(3);
@@ -15,6 +15,11 @@ Tensor ToTokens::forward(const Tensor& x, bool train) {
       for (std::int64_t t = 0; t < tokens; ++t)
         y[(b * tokens + t) * dim + d] = plane[t];
     }
+  return y;
+}
+
+Tensor ToTokens::forward(const Tensor& x, bool train) {
+  Tensor y = forward_eval(x);
   if (train) cached_in_shape_ = x.shape();
   return y;
 }
@@ -41,7 +46,7 @@ PositionalEmbedding::PositionalEmbedding(std::string name, std::int64_t tokens,
   table_.grad = Tensor::zeros({tokens, dim});
 }
 
-Tensor PositionalEmbedding::forward(const Tensor& x, bool /*train*/) {
+Tensor PositionalEmbedding::forward_eval(const Tensor& x) const {
   CRISP_CHECK(x.dim() == 3 && x.size(1) == tokens_ && x.size(2) == dim_,
               name() << ": expected (B, " << tokens_ << ", " << dim_ << ")");
   Tensor y = x;
@@ -52,6 +57,10 @@ Tensor PositionalEmbedding::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
+Tensor PositionalEmbedding::forward(const Tensor& x, bool /*train*/) {
+  return forward_eval(x);
+}
+
 Tensor PositionalEmbedding::backward(const Tensor& grad_out) {
   const std::int64_t batch = grad_out.size(0);
   for (std::int64_t b = 0; b < batch; ++b)
@@ -60,7 +69,7 @@ Tensor PositionalEmbedding::backward(const Tensor& grad_out) {
   return grad_out;
 }
 
-Tensor TokenMeanPool::forward(const Tensor& x, bool train) {
+Tensor TokenMeanPool::forward_eval(const Tensor& x) const {
   CRISP_CHECK(x.dim() == 3, name() << " expects (B, T, D)");
   const std::int64_t batch = x.size(0), tokens = x.size(1), dim = x.size(2);
   Tensor y({batch, dim});
@@ -69,6 +78,11 @@ Tensor TokenMeanPool::forward(const Tensor& x, bool train) {
     for (std::int64_t t = 0; t < tokens; ++t)
       for (std::int64_t d = 0; d < dim; ++d)
         y[b * dim + d] += x[(b * tokens + t) * dim + d] * inv;
+  return y;
+}
+
+Tensor TokenMeanPool::forward(const Tensor& x, bool train) {
+  Tensor y = forward_eval(x);
   if (train) cached_in_shape_ = x.shape();
   return y;
 }
@@ -109,6 +123,19 @@ Tensor TransformerBlock::forward(const Tensor& x, bool train) {
   Tensor h = ln2_.forward(y, train);
   h.reshape_inplace({batch * tokens, dim});
   Tensor z = mlp_.forward(h, train);
+  z.reshape_inplace({batch, tokens, dim});
+  z.add_(y);
+  return z;
+}
+
+Tensor TransformerBlock::forward_eval(const Tensor& x) const {
+  // Same dataflow as forward(train=false), on the cache-free const path.
+  Tensor y = attn_.forward_eval(ln1_.forward_eval(x));
+  y.add_(x);
+  const std::int64_t batch = y.size(0), tokens = y.size(1), dim = y.size(2);
+  Tensor h = ln2_.forward_eval(y);
+  h.reshape_inplace({batch * tokens, dim});
+  Tensor z = mlp_.forward_eval(h);
   z.reshape_inplace({batch, tokens, dim});
   z.add_(y);
   return z;

@@ -1,8 +1,11 @@
 #include "nn/pooling.h"
 
+#include "kernels/parallel_for.h"
+
 namespace crisp::nn {
 
-Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+Tensor MaxPool2d::compute_forward(const Tensor& x,
+                                  std::vector<std::int64_t>* argmax_out) const {
   CRISP_CHECK(x.dim() == 4, name() << " expects (B,C,H,W)");
   const std::int64_t batch = x.size(0), ch = x.size(1), h = x.size(2),
                      w = x.size(3);
@@ -12,37 +15,56 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   const std::int64_t oh = (h - kernel_) / stride_ + 1;
   const std::int64_t ow = (w - kernel_) / stride_ + 1;
   Tensor y({batch, ch, oh, ow});
-  cached_argmax_.assign(static_cast<std::size_t>(batch * ch * oh * ow), 0);
+  std::int64_t* argmax = nullptr;
+  if (argmax_out != nullptr) {
+    argmax_out->assign(static_cast<std::size_t>(batch * ch * oh * ow), 0);
+    argmax = argmax_out->data();
+  }
 
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* plane = x.data() + (b * ch + c) * h * w;
-      float* out = y.data() + (b * ch + c) * oh * ow;
-      std::int64_t* amax =
-          cached_argmax_.data() + (b * ch + c) * oh * ow;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
-          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
-            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
-              const std::int64_t iy = oy * stride_ + ky;
-              const std::int64_t ix = ox * stride_ + kx;
-              const float v = plane[iy * w + ix];
-              if (v > best) {
-                best = v;
-                best_idx = iy * w + ix;
+  // Each (b, c) plane pools independently and writes a disjoint slice of y
+  // (and of argmax), so the plane loop threads with bit-identical results
+  // at any thread count.
+  kernels::parallel_for(
+      batch * ch,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bc = p0; bc < p1; ++bc) {
+          const float* plane = x.data() + bc * h * w;
+          float* out = y.data() + bc * oh * ow;
+          std::int64_t* amax = argmax == nullptr ? nullptr : argmax + bc * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              float best = -std::numeric_limits<float>::infinity();
+              std::int64_t best_idx = 0;
+              for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+                for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+                  const std::int64_t iy = oy * stride_ + ky;
+                  const std::int64_t ix = ox * stride_ + kx;
+                  const float v = plane[iy * w + ix];
+                  if (v > best) {
+                    best = v;
+                    best_idx = iy * w + ix;
+                  }
+                }
               }
+              out[oy * ow + ox] = best;
+              if (amax != nullptr) amax[oy * ow + ox] = best_idx;
             }
           }
-          out[oy * ow + ox] = best;
-          amax[oy * ow + ox] = best_idx;
         }
-      }
-    }
-  }
-  if (train) cached_in_shape_ = x.shape();
+      },
+      kernels::rows_grain(oh * ow * kernel_ * kernel_));
   return y;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  if (!train) return compute_forward(x, nullptr);
+  Tensor y = compute_forward(x, &cached_argmax_);
+  cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor MaxPool2d::forward_eval(const Tensor& x) const {
+  return compute_forward(x, nullptr);
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
@@ -62,20 +84,38 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
-Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
-  CRISP_CHECK(x.dim() == 4, name() << " expects (B,C,H,W)");
-  const std::int64_t batch = x.size(0), ch = x.size(1), hw = x.size(2) * x.size(3);
+namespace {
+
+/// Shared eval/train math of GlobalAvgPool: (B, C, H, W) -> (B, C) means.
+Tensor global_avg_pool(const Tensor& x, const std::string& layer_name) {
+  CRISP_CHECK(x.dim() == 4, layer_name << " expects (B,C,H,W)");
+  const std::int64_t batch = x.size(0), ch = x.size(1),
+                     hw = x.size(2) * x.size(3);
   Tensor y({batch, ch});
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* plane = x.data() + (b * ch + c) * hw;
-      double acc = 0.0;
-      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
-      y[b * ch + c] = static_cast<float>(acc / static_cast<double>(hw));
-    }
-  }
+  kernels::parallel_for(
+      batch * ch,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bc = p0; bc < p1; ++bc) {
+          const float* plane = x.data() + bc * hw;
+          double acc = 0.0;
+          for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+          y[bc] = static_cast<float>(acc / static_cast<double>(hw));
+        }
+      },
+      kernels::rows_grain(hw));
+  return y;
+}
+
+}  // namespace
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  Tensor y = global_avg_pool(x, name());
   if (train) cached_in_shape_ = x.shape();
   return y;
+}
+
+Tensor GlobalAvgPool::forward_eval(const Tensor& x) const {
+  return global_avg_pool(x, name());
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {

@@ -11,9 +11,16 @@ class MaxPool2d final : public Layer {
       : Layer(std::move(name)), kernel_(kernel), stride_(stride) {}
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
 
  private:
+  /// Pooled output; when `argmax` is non-null it is resized (after input
+  /// validation) to one entry per output element and receives the flat
+  /// input index of every window winner.
+  Tensor compute_forward(const Tensor& x,
+                         std::vector<std::int64_t>* argmax) const;
+
   std::int64_t kernel_;
   std::int64_t stride_;
   Shape cached_in_shape_;
@@ -25,6 +32,7 @@ class GlobalAvgPool final : public Layer {
  public:
   explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
 
  private:

@@ -14,6 +14,12 @@ Tensor Sequential::forward(const Tensor& x, bool train) {
   return h;
 }
 
+Tensor Sequential::forward_eval(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& l : layers_) h = l->forward_eval(h);
+  return h;
+}
+
 Tensor Sequential::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)

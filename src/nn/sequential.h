@@ -29,6 +29,7 @@ class Sequential final : public Layer {
   }
 
   Tensor forward(const Tensor& x, bool train) override;
+  Tensor forward_eval(const Tensor& x) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
   std::vector<NamedBuffer> buffers() override;

@@ -1,0 +1,20 @@
+#include "serve/compiled_model.h"
+
+#include <utility>
+
+#include "deploy/packed_exec.h"
+
+namespace crisp::serve {
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile(
+    std::shared_ptr<nn::Sequential> model,
+    std::shared_ptr<const deploy::PackedModel> packed) {
+  CRISP_CHECK(model != nullptr, "CompiledModel::compile: null model");
+  std::vector<std::string> packed_layers;
+  if (packed != nullptr)
+    packed_layers = deploy::install_packed_hooks(*model, packed);
+  return std::shared_ptr<const CompiledModel>(new CompiledModel(
+      std::move(model), std::move(packed), std::move(packed_layers)));
+}
+
+}  // namespace crisp::serve

@@ -1,0 +1,65 @@
+// Immutable inference artifact — the serving layer's unit of deployment.
+//
+// A CompiledModel freezes a trained (optionally CRISP-pruned-and-packed)
+// network into an eval-only form that many threads can run concurrently:
+//   * shared ownership of the nn::Sequential and of the PackedModel, so
+//     there is no attach/detach lifecycle and no dangling-hook window —
+//     whatever the compiled model references, it keeps alive;
+//   * execution through the const forward_eval path (nn/layer.h), which
+//     touches no training caches, no MAC counters, and no statistics;
+//   * packed entries hooked in at compile time via the shared-ownership
+//     GEMM hooks (deploy/packed_exec.h), so eval forwards multiply with
+//     the CRISP format directly.
+//
+// serve::Engine (serve/engine.h) queues and batches requests on top of
+// this artifact; CompiledModel itself is the synchronous core.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deploy/packed_model.h"
+#include "nn/sequential.h"
+
+namespace crisp::serve {
+
+class CompiledModel {
+ public:
+  /// Freezes `model` for serving. When `packed` is given, its entries are
+  /// hooked into the matching layers (shape-checked; grouped convs fall
+  /// back to dense eval) and the artifact is co-owned by the hooks and the
+  /// compiled model. The caller must stop mutating `model` (training,
+  /// re-masking, re-hooking) for as long as the CompiledModel serves —
+  /// shared ownership covers lifetime, the const run() surface covers the
+  /// serving side.
+  static std::shared_ptr<const CompiledModel> compile(
+      std::shared_ptr<nn::Sequential> model,
+      std::shared_ptr<const deploy::PackedModel> packed = nullptr);
+
+  /// Eval forward of a batch whose leading dimension is the batch axis.
+  /// Const-thread-safe: any number of threads may run concurrently.
+  Tensor run(const Tensor& batch) const { return model_->forward_eval(batch); }
+
+  /// Parameter names served from the packed representation (empty for a
+  /// dense compile).
+  const std::vector<std::string>& packed_layers() const {
+    return packed_layers_;
+  }
+  bool has_packed() const { return packed_ != nullptr; }
+  const nn::Sequential& model() const { return *model_; }
+
+ private:
+  CompiledModel(std::shared_ptr<nn::Sequential> model,
+                std::shared_ptr<const deploy::PackedModel> packed,
+                std::vector<std::string> packed_layers)
+      : model_(std::move(model)),
+        packed_(std::move(packed)),
+        packed_layers_(std::move(packed_layers)) {}
+
+  std::shared_ptr<nn::Sequential> model_;
+  std::shared_ptr<const deploy::PackedModel> packed_;
+  std::vector<std::string> packed_layers_;
+};
+
+}  // namespace crisp::serve

@@ -1,0 +1,218 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "kernels/parallel_for.h"
+
+namespace crisp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::microseconds elapsed_us(Clock::time_point from,
+                                     Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from);
+}
+
+}  // namespace
+
+Engine::Engine(std::shared_ptr<const CompiledModel> model,
+               EngineOptions options)
+    : model_(std::move(model)), options_(options) {
+  CRISP_CHECK(model_ != nullptr, "serve::Engine: null compiled model");
+  CRISP_CHECK(options_.max_batch >= 1,
+              "serve::Engine: max_batch must be >= 1, got "
+                  << options_.max_batch);
+  CRISP_CHECK(options_.queue_depth >= 1,
+              "serve::Engine: queue_depth must be >= 1, got "
+                  << options_.queue_depth);
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+Engine::~Engine() { shutdown(); }
+
+std::future<Response> Engine::submit(Tensor sample) {
+  CRISP_CHECK(!sample.empty(), "serve::Engine::submit: empty sample");
+  std::unique_lock<std::mutex> lk(mu_);
+  if (static_cast<std::int64_t>(queue_.size()) >= options_.queue_depth &&
+      !stopping_) {
+    if (options_.overflow == EngineOptions::Overflow::kReject) {
+      ++stats_.rejected;
+      throw std::runtime_error(
+          "serve::Engine: queue full (queue_depth = " +
+          std::to_string(options_.queue_depth) + ")");
+    }
+    // Parked submitters are counted so shutdown() can wait for them to
+    // leave before the engine's mutex/condvars are torn down.
+    ++blocked_submitters_;
+    cv_space_.wait(lk, [&] {
+      return stopping_ ||
+             static_cast<std::int64_t>(queue_.size()) < options_.queue_depth;
+    });
+    if (--blocked_submitters_ == 0 && stopping_) cv_submit_drained_.notify_all();
+  }
+  if (stopping_)
+    throw std::runtime_error("serve::Engine: submit after shutdown");
+
+  Pending p;
+  p.sample = std::move(sample);
+  p.enqueued = Clock::now();
+  std::future<Response> fut = p.promise.get_future();
+  queue_.push_back(std::move(p));
+  lk.unlock();
+  cv_submitted_.notify_one();
+  return fut;
+}
+
+void Engine::shutdown() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stopping_ = true;
+    cv_submitted_.notify_all();
+    cv_space_.notify_all();
+    // Producers parked in submit() under kBlock hold references to this
+    // engine's mutex and condvars; let them wake and leave before the
+    // worker join (and, for the destructor, before members are freed).
+    cv_submit_drained_.wait(lk, [&] { return blocked_submitters_ == 0; });
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Engine::worker_main() {
+  // The engine's pool pinning: every parallel_for issued by forwards on
+  // this thread sees at most thread_budget threads.
+  kernels::ScopedThreadBudget budget(options_.thread_budget);
+
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_submitted_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+
+    // Let the batch fill: after the first request lands, give stragglers
+    // up to flush_timeout to join before flushing a partial batch. The
+    // batch cannot grow past the queue's own capacity, so a full queue
+    // flushes immediately even when queue_depth < max_batch — otherwise
+    // blocked producers would sit out the whole timeout for nothing.
+    const std::int64_t fill_target =
+        std::min(options_.max_batch, options_.queue_depth);
+    if (!stopping_ &&
+        static_cast<std::int64_t>(queue_.size()) < fill_target &&
+        options_.flush_timeout.count() > 0) {
+      cv_submitted_.wait_for(lk, options_.flush_timeout, [&] {
+        return stopping_ ||
+               static_cast<std::int64_t>(queue_.size()) >= fill_target;
+      });
+    }
+
+    std::vector<Pending> batch;
+    const std::int64_t take =
+        std::min<std::int64_t>(options_.max_batch,
+                               static_cast<std::int64_t>(queue_.size()));
+    batch.reserve(static_cast<std::size_t>(take));
+    for (std::int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lk.unlock();
+    cv_space_.notify_all();
+
+    run_batches(batch);
+    lk.lock();
+  }
+}
+
+void Engine::run_batches(std::vector<Pending>& batch) {
+  // Group by sample shape, preserving arrival order inside each group; a
+  // mixed-shape drain becomes one forward per distinct shape.
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    bool placed = false;
+    for (auto& g : groups) {
+      if (batch[g.front()].sample.shape() == batch[i].sample.shape()) {
+        g.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  for (const auto& g : groups) {
+    const std::int64_t n = static_cast<std::int64_t>(g.size());
+    const Clock::time_point formed = Clock::now();
+    try {
+      // Stack the group into (n, sample dims...).
+      const Shape& sshape = batch[g.front()].sample.shape();
+      Shape bshape;
+      bshape.reserve(sshape.size() + 1);
+      bshape.push_back(n);
+      bshape.insert(bshape.end(), sshape.begin(), sshape.end());
+      Tensor stacked(bshape);
+      const std::int64_t stride = batch[g.front()].sample.numel();
+      for (std::int64_t i = 0; i < n; ++i)
+        std::memcpy(stacked.data() + i * stride,
+                    batch[g[static_cast<std::size_t>(i)]].sample.data(),
+                    static_cast<std::size_t>(stride) * sizeof(float));
+
+      Tensor out = model_->run(stacked);
+      const Clock::time_point done = Clock::now();
+      CRISP_CHECK(out.dim() >= 1 && out.size(0) == n,
+                  "serve::Engine: model returned leading dimension "
+                      << (out.dim() >= 1 ? out.size(0) : -1) << " for a batch of "
+                      << n);
+
+      Shape oshape(out.shape().begin() + 1, out.shape().end());
+      const std::int64_t ostride = out.numel() / n;
+      const std::chrono::microseconds run_us = elapsed_us(formed, done);
+      // Aggregate counters first, so a caller observing a fulfilled future
+      // already sees its request counted in stats().
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.requests += n;
+        stats_.batches += 1;
+        stats_.max_batch = std::max(stats_.max_batch, n);
+        stats_.total_run_us +=
+            static_cast<double>(run_us.count()) * static_cast<double>(n);
+        for (std::int64_t i = 0; i < n; ++i)
+          stats_.total_queue_us += static_cast<double>(
+              elapsed_us(batch[g[static_cast<std::size_t>(i)]].enqueued, formed)
+                  .count());
+      }
+      for (std::int64_t i = 0; i < n; ++i) {
+        Pending& p = batch[g[static_cast<std::size_t>(i)]];
+        Response r;
+        r.output = Tensor(oshape,
+                          std::vector<float>(out.data() + i * ostride,
+                                             out.data() + (i + 1) * ostride));
+        r.stats.queue_time = elapsed_us(p.enqueued, formed);
+        r.stats.run_time = run_us;
+        r.stats.batch_size = n;
+        p.promise.set_value(std::move(r));
+      }
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      {
+        // Errored requests still waited in the queue; counting them into
+        // requests without their queue time would bias mean_queue_us low.
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.requests += n;
+        stats_.batches += 1;
+        for (const std::size_t idx : g)
+          stats_.total_queue_us += static_cast<double>(
+              elapsed_us(batch[idx].enqueued, formed).count());
+      }
+      for (const std::size_t idx : g) batch[idx].promise.set_exception(err);
+    }
+  }
+}
+
+}  // namespace crisp::serve

@@ -1,0 +1,145 @@
+// Batched, thread-budgeted inference engine — the serving front end.
+//
+// The paper's deployment target is a packed, class-personalized model
+// answering a stream of single-sample requests on a shared device (CRISP
+// §V, Fig. 9's latency story). Engine turns that stream into efficient
+// batched execution:
+//   * submit() enqueues one sample and returns a std::future<Response> —
+//     any number of producer threads may call it concurrently;
+//   * a worker thread coalesces queued requests (up to max_batch, waiting
+//     at most flush_timeout after the first arrival) and runs them as one
+//     batched forward through the CompiledModel, so the batch-parallel
+//     kernels see real batches instead of B=1 slivers;
+//   * mixed-shape requests are grouped by shape inside a drain, never
+//     dropped;
+//   * a per-engine thread budget (kernels::ScopedThreadBudget) pins how
+//     much of the crisp::kernels pool this engine's forwards may use, so
+//     two engines — say a dense baseline and a packed model — share one
+//     process without oversubscription;
+//   * the queue is bounded (queue_depth): when it is full, submit either
+//     blocks for space or rejects, per EngineOptions::overflow;
+//   * every response carries queue/run timings and the batch it rode in,
+//     and stats() aggregates them engine-wide (occupancy, totals).
+//
+// Determinism: batching never changes the math. Each sample's output is
+// computed by the same per-row kernels as a serial nn::predict of that
+// sample; the engine concurrency test locks this in.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/compiled_model.h"
+
+namespace crisp::serve {
+
+struct EngineOptions {
+  /// Most requests one batched forward may coalesce.
+  std::int64_t max_batch = 8;
+  /// Bounded queue capacity; beyond it, `overflow` decides.
+  std::int64_t queue_depth = 128;
+  /// How long the worker waits after the first queued request for the
+  /// batch to fill. Zero flushes immediately (lowest latency, smallest
+  /// batches).
+  std::chrono::microseconds flush_timeout{200};
+  /// Cap on kernels-pool threads the engine's forwards may occupy
+  /// (kernels::ScopedThreadBudget); 0 leaves the pool uncapped.
+  int thread_budget = 0;
+  /// Full-queue policy: block the submitter until space frees, or throw.
+  enum class Overflow { kBlock, kReject };
+  Overflow overflow = Overflow::kBlock;
+};
+
+/// Timings of one served request.
+struct RequestStats {
+  std::chrono::microseconds queue_time{0};  ///< submit -> batch formed
+  std::chrono::microseconds run_time{0};    ///< the batched forward's wall time
+  std::int64_t batch_size = 0;              ///< requests in that forward
+};
+
+struct Response {
+  Tensor output;  ///< per-sample output, batch axis stripped
+  RequestStats stats;
+};
+
+/// Aggregate counters since construction (see Engine::stats()).
+struct EngineStats {
+  std::int64_t requests = 0;   ///< completed (fulfilled or errored)
+  std::int64_t batches = 0;    ///< batched forwards run
+  std::int64_t rejected = 0;   ///< submits refused at a full queue
+  std::int64_t max_batch = 0;  ///< largest batch coalesced so far
+  double total_queue_us = 0.0;
+  double total_run_us = 0.0;
+
+  /// Mean requests per forward — the batching win the engine exists for.
+  double occupancy() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+  double mean_queue_us() const {
+    return requests == 0 ? 0.0 : total_queue_us / static_cast<double>(requests);
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(std::shared_ptr<const CompiledModel> model,
+                  EngineOptions options = {});
+  ~Engine();  ///< shutdown(): drains in-flight work, then joins the worker
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues one unbatched sample (e.g. (C,H,W) or (features,)) and
+  /// returns a future that yields its output and timings. Throws when the
+  /// engine is shut down, when the sample is empty, or — under
+  /// Overflow::kReject — when the queue is full. Thread-safe.
+  std::future<Response> submit(Tensor sample);
+
+  /// Stops accepting submissions, wakes producers parked in a kBlock
+  /// submit (they throw), waits for them to leave, serves everything
+  /// already queued, and joins the worker. Idempotent; the destructor
+  /// calls it, so destroying an engine under concurrent blocked submitters
+  /// is safe.
+  void shutdown();
+
+  EngineStats stats() const;
+  const EngineOptions& options() const { return options_; }
+  const CompiledModel& model() const { return *model_; }
+
+ private:
+  struct Pending {
+    Tensor sample;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_main();
+  /// Groups `batch` by sample shape, runs one forward per group, and
+  /// fulfills every promise (value or exception).
+  void run_batches(std::vector<Pending>& batch);
+
+  std::shared_ptr<const CompiledModel> model_;
+  EngineOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_submitted_;  ///< queue gained work / stopping
+  std::condition_variable cv_space_;      ///< queue freed capacity
+  std::condition_variable cv_submit_drained_;  ///< blocked submitters left
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::int64_t blocked_submitters_ = 0;  ///< producers parked in submit()
+  EngineStats stats_;
+
+  std::thread worker_;  ///< started last, so it sees a fully-built engine
+};
+
+}  // namespace crisp::serve

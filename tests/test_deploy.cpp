@@ -16,8 +16,6 @@
 #include "nn/models/common.h"
 #include "nn/pooling.h"
 #include "nn/trainer.h"
-#include "sparse/mask.h"
-#include "sparse/nm.h"
 
 namespace crisp::deploy {
 namespace {
@@ -27,32 +25,9 @@ std::string temp_path(const char* stem) {
   return std::string(::testing::TempDir()) + stem;
 }
 
-/// Builds a hybrid-pattern mask (N:M ∧ uniform-row block pruning) from
-/// random scores — the exact invariant the CRISP pruner guarantees.
-Tensor hybrid_mask(Rng& rng, std::int64_t rows, std::int64_t cols,
-                   std::int64_t block, std::int64_t n, std::int64_t m,
-                   std::int64_t pruned_ranks) {
-  Tensor scores = Tensor::rand({rows, cols}, rng, 0.1f, 1.0f);
-  const Tensor nm = sparse::nm_mask(as_matrix(scores, rows, cols), n, m);
-  core::LayerBlockInfo info;
-  info.grid = sparse::BlockGrid{rows, cols, block};
-  info.scores = sparse::block_scores(as_matrix(scores, rows, cols), info.grid);
-  const Tensor bmask = core::rank_pruned_block_mask(info, pruned_ranks);
-  return sparse::mask_and(nm, bmask);
-}
-
-/// Installs a hybrid mask on every prunable parameter of `model`.
-void install_hybrid_masks(nn::Sequential& model, std::int64_t block,
-                          std::int64_t n, std::int64_t m,
-                          std::int64_t pruned_ranks, std::uint64_t seed = 3) {
-  Rng rng(seed);
-  for (nn::Parameter* p : model.prunable_parameters()) {
-    const Tensor mask = hybrid_mask(rng, p->matrix_rows, p->matrix_cols, block,
-                                    n, m, pruned_ranks);
-    p->ensure_mask();
-    for (std::int64_t i = 0; i < mask.numel(); ++i) p->mask[i] = mask[i];
-  }
-}
+/// Hybrid-pattern masks come from the shared core helper so every suite
+/// exercises the exact invariant the CRISP pruner guarantees.
+using core::install_random_hybrid_masks;
 
 /// Small conv net with one grouped conv (hook-refusing) and a classifier.
 std::unique_ptr<nn::Sequential> make_convnet(bool grouped_prunable = false) {
@@ -81,7 +56,7 @@ std::unique_ptr<nn::Sequential> make_convnet(bool grouped_prunable = false) {
 
 TEST(PackedModel, PackEncodesEveryMaskedPrunable) {
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
 
   std::int64_t masked = 0;
@@ -97,7 +72,7 @@ TEST(PackedModel, PackEncodesEveryMaskedPrunable) {
 
 TEST(PackedModel, PackedEntriesDecodeToEffectiveWeights) {
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
   for (nn::Parameter* p : model->prunable_parameters()) {
     const PackedEntry* e = packed.find(p->name);
@@ -122,7 +97,7 @@ TEST(PackedModel, PackRejectsNonHybridMasks) {
 
 TEST(PackedModel, StatsAccounting) {
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
   const PackedStats s = packed.stats();
 
@@ -144,7 +119,7 @@ TEST(PackedModel, StatsAccounting) {
 
 TEST(PackedModel, SaveLoadRoundTrip) {
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
   const std::string path = temp_path("packed_roundtrip.bin");
   packed.save(path);
@@ -181,7 +156,7 @@ TEST(PackedModel, LoadRejectsGarbageAndTruncation) {
   std::remove(garbage.c_str());
 
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   const std::string path = temp_path("packed_trunc.bin");
   PackedModel::pack(*model, 8, 2, 4).save(path);
   std::ifstream is(path, std::ios::binary);
@@ -202,7 +177,7 @@ TEST(PackedModel, LoadRejectsGarbageAndTruncation) {
 
 TEST(PackedModel, UnpackRestoresEffectiveWeightsAndMasks) {
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   Rng xrng(5);
   const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
   const Tensor want = nn::predict(*model, x);
@@ -221,7 +196,7 @@ TEST(PackedModel, UnpackRestoresEffectiveWeightsAndMasks) {
 
 TEST(PackedExec, PackedForwardMatchesMaskedDense) {
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   Rng xrng(5);
   const Tensor x = Tensor::randn({3, 3, 8, 8}, xrng);
   const Tensor dense_out = nn::predict(*model, x);
@@ -240,7 +215,7 @@ TEST(PackedExec, PackedForwardMatchesMaskedDense) {
 
 TEST(PackedExec, AttachSkipsGroupedConvs) {
   auto model = make_convnet(/*grouped_prunable=*/true);
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
   const auto attached = attach_packed(*model, packed);
   // conv2 (groups=2) refuses the hook; conv1 and fc accept.
@@ -258,7 +233,7 @@ TEST(PackedExec, AttachSkipsGroupedConvs) {
 
 TEST(PackedExec, TrainingForwardIgnoresHook) {
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
   attach_packed(*model, packed);
 
@@ -281,7 +256,7 @@ TEST(PackedExec, LinearOnlyModelRoundTrips) {
   model->emplace<nn::Linear>("fc1", 32, 24, rng);
   model->emplace<nn::ReLU>("relu");
   model->emplace<nn::Linear>("fc2", 24, 8, rng);
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
 
   Rng xrng(5);
   const Tensor x = Tensor::randn({4, 32}, xrng);
@@ -316,11 +291,11 @@ TEST(PackedModel, UnmaskedModelPacksAsAllDense) {
 
 TEST(PackedExec, HooksSurviveOwnerMove) {
   // Moving a PackedModel moves its entries' heap buffers wholesale, so
-  // hooks installed from the moved-to object stay valid. (Hooks must be
-  // installed AFTER the move — the documented owner-outlives-inference
-  // contract.)
+  // hooks installed from the moved-to object stay valid. (attach_packed
+  // now copies into a hook-owned shared artifact anyway, so the move is
+  // just ordinary value plumbing — this locks in that it stays that way.)
   auto model = make_convnet();
-  install_hybrid_masks(*model, 8, 2, 4, 1);
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
   Rng xrng(5);
   const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
   const Tensor want = nn::predict(*model, x);

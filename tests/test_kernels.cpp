@@ -9,11 +9,14 @@
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "kernels/gemm.h"
 #include "kernels/parallel_for.h"
 #include "kernels/simd_dispatch.h"
+#include "nn/batchnorm.h"
+#include "nn/pooling.h"
 #include "sparse/block.h"
 #include "sparse/nm.h"
 #include "sparse/spmm.h"
@@ -479,6 +482,114 @@ TEST(SimdParity, SpmmFormatsTailHeavyBatches) {
       SCOPED_TRACE(kernel->format_name());
       expect_tier_parity([&] { return sparse::spmm(*kernel, x); });
     }
+  }
+}
+
+TEST(ThreadBudget, CapsNestsAndRestores) {
+  ThreadGuard guard;
+  kernels::set_num_threads(8);
+  EXPECT_EQ(kernels::thread_budget(), 0);
+  EXPECT_EQ(kernels::num_threads(), 8);
+  {
+    kernels::ScopedThreadBudget budget(2);
+    EXPECT_EQ(kernels::thread_budget(), 2);
+    EXPECT_EQ(kernels::num_threads(), 2);
+    {
+      kernels::ScopedThreadBudget looser(4);  // tightest enclosing cap wins
+      EXPECT_EQ(kernels::num_threads(), 2);
+    }
+    {
+      kernels::ScopedThreadBudget tighter(1);
+      EXPECT_EQ(kernels::num_threads(), 1);
+    }
+    {
+      kernels::ScopedThreadBudget none(0);  // 0 = no cap from this scope
+      EXPECT_EQ(kernels::num_threads(), 2);
+    }
+    EXPECT_EQ(kernels::num_threads(), 2);
+  }
+  EXPECT_EQ(kernels::thread_budget(), 0);
+  EXPECT_EQ(kernels::num_threads(), 8);
+}
+
+TEST(ThreadBudget, IsPerThread) {
+  ThreadGuard guard;
+  kernels::set_num_threads(8);
+  kernels::ScopedThreadBudget budget(2);
+  int other_thread_sees = 0;
+  std::thread([&] { other_thread_sees = kernels::num_threads(); }).join();
+  EXPECT_EQ(other_thread_sees, 8);  // budgets never leak across threads
+  EXPECT_EQ(kernels::num_threads(), 2);
+}
+
+TEST(ThreadBudget, DoesNotChangeResults) {
+  ThreadGuard guard;
+  kernels::set_num_threads(8);
+  Rng rng(21);
+  const Tensor a = Tensor::randn({37, 53}, rng);
+  const Tensor b = Tensor::randn({53, 29}, rng);
+  Tensor unbudgeted({37, 29});
+  matmul(as_matrix(a, 37, 53), as_matrix(b, 53, 29),
+         as_matrix(unbudgeted, 37, 29));
+  kernels::ScopedThreadBudget budget(2);
+  Tensor budgeted({37, 29});
+  matmul(as_matrix(a, 37, 53), as_matrix(b, 53, 29),
+         as_matrix(budgeted, 37, 29));
+  EXPECT_EQ(max_abs_diff(unbudgeted, budgeted), 0.0f);
+}
+
+TEST(NnThreading, MaxPoolForwardThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(5);
+  const Tensor x = Tensor::randn({4, 6, 17, 13}, rng);
+  nn::MaxPool2d pool("pool", 3, 2);
+  expect_thread_invariant([&] { return pool.forward_eval(x); });
+  expect_thread_invariant([&] { return pool.forward(x, /*train=*/true); });
+}
+
+TEST(NnThreading, GlobalAvgPoolThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(6);
+  const Tensor x = Tensor::randn({5, 7, 9, 11}, rng);
+  nn::GlobalAvgPool gap("gap");
+  expect_thread_invariant([&] { return gap.forward_eval(x); });
+}
+
+TEST(NnThreading, BatchNormEvalThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(7);
+  const Tensor x = Tensor::randn({4, 12, 9, 7}, rng);
+  nn::BatchNorm2d bn("bn", 12);
+  expect_thread_invariant([&] { return bn.forward_eval(x); });
+}
+
+TEST(NnThreading, BatchNormTrainThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(8);
+  const Tensor x = Tensor::randn({6, 12, 5, 5}, rng);
+  // A fresh layer per run so running statistics start identical; the
+  // returned activations AND the updated statistics must match bitwise.
+  auto run = [&](int threads) {
+    kernels::set_num_threads(threads);
+    nn::BatchNorm2d bn("bn", 12);
+    Tensor y = bn.forward(x, /*train=*/true);
+    for (const nn::NamedBuffer& b : bn.buffers()) {
+      const Tensor& stat = *b.tensor;
+      Shape flat{y.numel() + stat.numel()};
+      Tensor merged(flat);
+      for (std::int64_t i = 0; i < y.numel(); ++i) merged[i] = y[i];
+      for (std::int64_t i = 0; i < stat.numel(); ++i)
+        merged[y.numel() + i] = stat[i];
+      y = merged;
+    }
+    return y;
+  };
+  const Tensor serial = run(1);
+  for (const int t : {2, 8}) {
+    const Tensor parallel = run(t);
+    ASSERT_TRUE(serial.same_shape(parallel));
+    EXPECT_EQ(max_abs_diff(serial, parallel), 0.0f)
+        << "batchnorm training forward changed at " << t << " threads";
   }
 }
 

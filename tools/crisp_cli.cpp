@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "accel/dse.h"
@@ -162,10 +163,13 @@ int cmd_pack(const Args& args) {
   packed.save(path);
 
   // Round-trip check: reload, rebuild the architecture, serve packed.
-  const deploy::PackedModel shipped = deploy::PackedModel::load(path);
+  // Shared-ownership hooks (no deprecated attach_packed copy): the hooks
+  // themselves keep the reloaded artifact alive.
+  auto shipped = std::make_shared<const deploy::PackedModel>(
+      deploy::PackedModel::load(path));
   auto device = nn::make_model(out.spec.model, out.spec.model_config());
-  shipped.unpack_into(*device);
-  deploy::attach_packed(*device, shipped);
+  shipped->unpack_into(*device);
+  deploy::install_packed_hooks(*device, shipped);
   const float served =
       nn::evaluate(*device, out.user_test, 64, out.classes);
   std::printf("saved %s; served accuracy from packed artifact: %.1f%% "
