@@ -82,6 +82,35 @@ int main() {
               "", total_crisp / 8192.0, total_csr / 8192.0, total_ell / 8192.0,
               total_csr / total_crisp, total_ell / total_crisp);
 
+  // Bytes-per-payload: the bandwidth story the int8 payload adds on top of
+  // the metadata story (docs/formats.md). int8 = 8 bits per slot + one
+  // fp32 scale per block-row; fp32 = 32 bits per slot.
+  std::printf("\nvalue payload (CRISP slots, fp32 vs quantized int8)\n");
+  std::printf("%-16s %10s | %12s %12s | %8s\n", "layer", "S x K", "fp32 KiB",
+              "int8 KiB", "ratio");
+  double total_fp32 = 0, total_int8 = 0;
+  Rng prng(5);
+  for (const auto& wl : layers) {
+    if (wl.k < 2 * block) continue;
+    const Tensor w = make_hybrid(wl.s, wl.k, block, n, m, kappa, prng);
+    auto cm = sparse::CrispMatrix::encode(as_matrix(w, wl.s, wl.k), block, n, m);
+    const double fp32_bits = static_cast<double>(cm.payload_bits());
+    cm.quantize_payload();
+    cm.release_fp32_payload();
+    const double int8_bits = static_cast<double>(cm.payload_bits());
+    total_fp32 += fp32_bits;
+    total_int8 += int8_bits;
+    char shape[32];
+    std::snprintf(shape, sizeof shape, "%lldx%lld",
+                  static_cast<long long>(wl.s), static_cast<long long>(wl.k));
+    std::printf("%-16s %10s | %12.1f %12.1f | %7.2fx\n", wl.name.c_str(),
+                shape, fp32_bits / 8192.0, int8_bits / 8192.0,
+                fp32_bits / int8_bits);
+  }
+  std::printf("%-16s %10s | %12.1f %12.1f | %7.2fx\n", "TOTAL", "",
+              total_fp32 / 8192.0, total_int8 / 8192.0,
+              total_fp32 / total_int8);
+
   // Paper closed-form check on one canonical layer.
   const auto& wl = layers[4];  // conv4_3.conv2
   const std::int64_t kp = sparse::k_prime_for_sparsity(wl.k, block, n, m, kappa);

@@ -197,6 +197,24 @@ void BM_CrispSpmmScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_CrispSpmmScalar)->ArgName("threads")->Arg(1)->UseRealTime();
 
+void BM_CrispSpmmQuantized(benchmark::State& state) {
+  // The int8 payload path (dequantize-on-the-fly axpy_i8): same metadata,
+  // a quarter of the weight-value bytes. The payload counters record the
+  // bandwidth story next to the timing one.
+  const Tensor w = hybrid_weights(2, 4, 0.875);
+  auto cm =
+      sparse::CrispMatrix::encode(as_matrix(w, kRows, kCols), kBlock, 2, 4);
+  const double fp32_payload_bytes =
+      static_cast<double>(cm.payload_bits()) / 8.0;
+  cm.quantize_payload();
+  cm.release_fp32_payload();
+  state.counters["payload_fp32_bytes"] = fp32_payload_bytes;
+  state.counters["payload_int8_bytes"] =
+      static_cast<double>(cm.payload_bits()) / 8.0;
+  run_spmm(state, cm, cm.slot_count() * kBatch);
+}
+BENCHMARK(BM_CrispSpmmQuantized)->Apply(thread_sweep);
+
 }  // namespace
 
 BENCHMARK_MAIN();

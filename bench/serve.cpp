@@ -138,4 +138,24 @@ void BM_ServeEnginePacked(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeEnginePacked)->Apply(serve_threads);
 
+void BM_ServeEngineQuantized(benchmark::State& state) {
+  // The packed engine served from the int8 payload (CompileOptions), so
+  // the latency rows sit next to BM_ServeEnginePacked's fp32 ones; the
+  // payload counters record the artifact-size delta the int8 path buys.
+  auto model = serve_mlp();
+  install_hybrid_masks(*model);
+  auto artifact = std::make_shared<const deploy::PackedModel>(
+      deploy::PackedModel::pack(*model, 16, 2, 4));
+  state.counters["payload_fp32_bytes"] =
+      static_cast<double>(artifact->stats().packed_payload_bits) / 8.0;
+  serve::CompileOptions opts;
+  opts.quantize_payload = true;
+  auto compiled = serve::CompiledModel::compile(model, artifact, opts);
+  state.counters["payload_int8_bytes"] =
+      static_cast<double>(compiled->packed()->stats().packed_payload_bits) /
+      8.0;
+  run_engine(state, std::move(compiled));
+}
+BENCHMARK(BM_ServeEngineQuantized)->Apply(serve_threads);
+
 }  // namespace

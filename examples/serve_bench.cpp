@@ -150,6 +150,25 @@ int main() {
   const EngineRun packed = run_engine(packed_compiled, reqs);
   print_engine("engine, batch<=16 (packed)", packed, seq_rps);
 
+  // Quantized: the packed engine served from the int8 payload — a quarter
+  // of the weight-value bytes, outputs within the per-block-row scale
+  // bound of the fp32 rows above (docs/formats.md).
+  auto quant_model = make_mlp();
+  install_hybrid_masks(*quant_model);
+  serve::CompileOptions copts;
+  copts.quantize_payload = true;
+  auto quant_compiled =
+      serve::CompiledModel::compile(quant_model, artifact, copts);
+  const EngineRun quant = run_engine(quant_compiled, reqs);
+  print_engine("engine, batch<=16 (int8)", quant, seq_rps);
+  std::printf("%-28s %9.1f KiB fp32 -> %.1f KiB int8 payload\n",
+              "quantized artifact",
+              static_cast<double>(artifact->stats().packed_payload_bits) /
+                  8192.0,
+              static_cast<double>(
+                  quant_compiled->packed()->stats().packed_payload_bits) /
+                  8192.0);
+
   std::printf("\nbatching wins when the weight stream amortizes across the "
               "batch; the engine\nadds the queue that makes that happen for "
               "single-sample traffic.\n");

@@ -3,24 +3,24 @@
 #include <fstream>
 #include <utility>
 
+#include "tensor/pod_stream.h"
+
 namespace crisp::deploy {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4352535050414B44ull;  // "CRSPPAKD"
-constexpr std::uint32_t kVersion = 1;
+// v2: CrispMatrix entries carry an optional int8 payload (and may omit the
+// fp32 slots). v1 files lack the payload flag and are rejected.
+constexpr std::uint32_t kVersion = 2;
 
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+constexpr const char* kCtx = "PackedModel::load";
+
+using io::write_pod;
 
 template <typename T>
 T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  CRISP_CHECK(is.good(), "PackedModel::load: truncated file");
-  return v;
+  return io::read_pod<T>(is, kCtx);
 }
 
 void write_string(std::ostream& os, const std::string& s) {
@@ -164,6 +164,31 @@ void PackedModel::unpack_into(nn::Sequential& model) const {
     for (std::int64_t i = 0; i < p->value.numel(); ++i)
       p->mask[i] = p->value[i] != 0.0f ? 1.0f : 0.0f;
   }
+}
+
+void PackedModel::quantize_payloads(bool keep_fp32) {
+  for (PackedEntry& e : entries_) {
+    if (!e.matrix.has_quantized()) e.matrix.quantize_payload();
+    if (!keep_fp32) e.matrix.release_fp32_payload();
+  }
+}
+
+bool PackedModel::quantized() const {
+  for (const PackedEntry& e : entries_) {
+    // A fully-pruned entry has no slots — nothing to quantize, and it must
+    // not pin the whole artifact's predicates to false.
+    if (e.matrix.slot_count() == 0) continue;
+    if (!e.matrix.has_quantized()) return false;
+  }
+  return !entries_.empty();
+}
+
+bool PackedModel::serves_int8() const {
+  for (const PackedEntry& e : entries_) {
+    if (e.matrix.slot_count() == 0) continue;
+    if (!e.matrix.has_quantized() || e.matrix.has_fp32()) return false;
+  }
+  return !entries_.empty();
 }
 
 const PackedEntry* PackedModel::find(const std::string& name) const {

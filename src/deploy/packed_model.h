@@ -25,10 +25,12 @@ struct PackedEntry {
   sparse::CrispMatrix matrix;       ///< hybrid-encoded effective weight
 };
 
-/// Storage breakdown in bits. "dense" sizes assume 32-bit floats.
+/// Storage breakdown in bits. "dense" sizes assume 32-bit floats; payload
+/// bits reflect what each entry actually stores (fp32 slots, int8 slots +
+/// scales after quantize_payloads, or both).
 struct PackedStats {
   std::int64_t model_dense_bits = 0;    ///< every parameter + buffer, dense
-  std::int64_t packed_payload_bits = 0; ///< surviving value slots
+  std::int64_t packed_payload_bits = 0; ///< stored value slots (fp32/int8)
   std::int64_t packed_metadata_bits = 0;///< block indices + intra-M offsets
   std::int64_t carried_dense_bits = 0;  ///< state that stays dense
   std::int64_t total_bits() const {
@@ -54,9 +56,28 @@ class PackedModel {
                           std::int64_t n, std::int64_t m);
 
   /// Binary round-trip. `load` throws on missing file, bad magic/version,
-  /// or truncation.
+  /// or truncation. (Format v2: entries may carry an int8 payload — older
+  /// v1 files are rejected; re-pack from the source model.)
   void save(const std::string& path) const;
   static PackedModel load(const std::string& path);
+
+  /// Re-encodes every entry's value payload as symmetric int8 with one
+  /// scale per block-row (sparse/quantized.h). With keep_fp32 the fp32
+  /// slots stay too (the artifact serves bit-exact fp32 and can still ship
+  /// int8 sizes); without it they are dropped, shrinking the artifact to
+  /// roughly a quarter of its payload bytes — execution, decode, and
+  /// unpack_into then run from int8 within the per-scale error bound.
+  void quantize_payloads(bool keep_fp32 = false);
+
+  /// True when every packed entry carries an int8 payload (false for an
+  /// artifact with no packed entries — there is nothing quantized to serve).
+  bool quantized() const;
+
+  /// True when every packed entry *executes* from int8: it carries a
+  /// quantized payload and its fp32 slots are released (spmm() prefers
+  /// fp32 whenever present, so a keep_fp32 artifact is quantized() but not
+  /// serves_int8()).
+  bool serves_int8() const;
 
   /// Decodes the artifact back into `model`: packed entries become masked
   /// weights (mask = surviving pattern, so sparse MAC accounting and

@@ -34,6 +34,14 @@ void avx2_axpy(float a, const float* x, float* y, std::int64_t n) {
   for (; j < n; ++j) y[j] += a * x[j];
 }
 
+void avx2_axpy_i8(std::int8_t q, float scale, const float* x, float* y,
+                  std::int64_t n) {
+  // int8 -> fp32 is exact, and the product is one IEEE multiply, so the
+  // coefficient matches the scalar tier bit for bit; the accumulate reuses
+  // the FMA axpy body above.
+  avx2_axpy(scale * static_cast<float>(q), x, y, n);
+}
+
 float avx2_dot(const float* a, const float* b, std::int64_t n) {
   // Four independent 8-lane chains for ILP; combined pairwise at the end so
   // the reduction tree is the same for every call with the same n.
@@ -169,8 +177,8 @@ void avx2_gemm_panel(const float* apack, std::int64_t mr, std::int64_t kc,
   }
 }
 
-constexpr Microkernels kAvx2Kernels{avx2_axpy, avx2_dot, avx2_gemm_panel,
-                                    Tier::kAvx2, "avx2"};
+constexpr Microkernels kAvx2Kernels{avx2_axpy, avx2_axpy_i8, avx2_dot,
+                                    avx2_gemm_panel, Tier::kAvx2, "avx2"};
 
 }  // namespace
 

@@ -26,6 +26,13 @@ void neon_axpy(float a, const float* x, float* y, std::int64_t n) {
   for (; j < n; ++j) y[j] += a * x[j];
 }
 
+void neon_axpy_i8(std::int8_t q, float scale, const float* x, float* y,
+                  std::int64_t n) {
+  // Coefficient formed as one IEEE multiply (matches the scalar tier bit
+  // for bit); the accumulate reuses the FMA axpy body above.
+  neon_axpy(scale * static_cast<float>(q), x, y, n);
+}
+
 float neon_dot(const float* a, const float* b, std::int64_t n) {
   float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
   float32x4_t acc2 = vdupq_n_f32(0.0f), acc3 = vdupq_n_f32(0.0f);
@@ -143,8 +150,8 @@ void neon_gemm_panel(const float* apack, std::int64_t mr, std::int64_t kc,
   }
 }
 
-constexpr Microkernels kNeonKernels{neon_axpy, neon_dot, neon_gemm_panel,
-                                    Tier::kNeon, "neon"};
+constexpr Microkernels kNeonKernels{neon_axpy, neon_axpy_i8, neon_dot,
+                                    neon_gemm_panel, Tier::kNeon, "neon"};
 
 }  // namespace
 

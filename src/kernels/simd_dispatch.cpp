@@ -20,6 +20,12 @@ void scalar_axpy(float a, const float* x, float* y, std::int64_t n) {
   for (std::int64_t j = 0; j < n; ++j) y[j] += a * x[j];
 }
 
+void scalar_axpy_i8(std::int8_t q, float scale, const float* x, float* y,
+                    std::int64_t n) {
+  const float a = scale * static_cast<float>(q);
+  for (std::int64_t j = 0; j < n; ++j) y[j] += a * x[j];
+}
+
 float scalar_dot(const float* a, const float* b, std::int64_t n) {
   float acc = 0.0f;
   for (std::int64_t p = 0; p < n; ++p) acc += a[p] * b[p];
@@ -40,7 +46,7 @@ void scalar_gemm_panel(const float* apack, std::int64_t mr, std::int64_t kc,
   }
 }
 
-constexpr Microkernels kScalarKernels{scalar_axpy, scalar_dot,
+constexpr Microkernels kScalarKernels{scalar_axpy, scalar_axpy_i8, scalar_dot,
                                       scalar_gemm_panel, Tier::kScalar,
                                       "scalar"};
 

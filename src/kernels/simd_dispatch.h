@@ -40,6 +40,14 @@ struct Microkernels {
   /// y[0..n) += a * x[0..n).
   void (*axpy)(float a, const float* x, float* y, std::int64_t n);
 
+  /// y[0..n) += (scale * q) * x[0..n) — the dequantize-on-the-fly
+  /// accumulate behind the int8 spmm path (sparse/quantized.h). The
+  /// coefficient scale * float(q) is a single IEEE multiply, formed
+  /// identically in every tier; the accumulate then runs the tier's axpy
+  /// body, so cross-tier differences are bounded exactly like axpy's.
+  void (*axpy_i8)(std::int8_t q, float scale, const float* x, float* y,
+                  std::int64_t n);
+
   /// Returns sum_i a[i] * b[i] over [0..n).
   float (*dot)(const float* a, const float* b, std::int64_t n);
 

@@ -8,8 +8,22 @@ namespace crisp::serve {
 
 std::shared_ptr<const CompiledModel> CompiledModel::compile(
     std::shared_ptr<nn::Sequential> model,
-    std::shared_ptr<const deploy::PackedModel> packed) {
+    std::shared_ptr<const deploy::PackedModel> packed, CompileOptions options) {
   CRISP_CHECK(model != nullptr, "CompiledModel::compile: null model");
+  if (options.quantize_payload) {
+    CRISP_CHECK(packed != nullptr,
+                "CompiledModel::compile: quantize_payload needs a packed "
+                "artifact");
+    if (!packed->serves_int8()) {
+      // Private int8 copy: the caller's artifact stays fp32, and the hooks
+      // co-own the quantized one like any other compile. serves_int8 (not
+      // quantized) is the gate — a keep_fp32 artifact carries int8 slots
+      // but spmm() would still execute its fp32 payload.
+      auto q = std::make_shared<deploy::PackedModel>(*packed);
+      q->quantize_payloads(/*keep_fp32=*/false);
+      packed = std::move(q);
+    }
+  }
   std::vector<std::string> packed_layers;
   if (packed != nullptr)
     packed_layers = deploy::install_packed_hooks(*model, packed);

@@ -24,6 +24,20 @@
 
 namespace crisp::serve {
 
+/// Knobs resolved once at compile time — a CompiledModel never changes how
+/// it executes after compile() returns.
+struct CompileOptions {
+  /// Serve the packed entries from an int8 value payload (symmetric,
+  /// per-block-row scales — sparse/quantized.h). When the supplied
+  /// artifact is not already quantized, compile() builds a private
+  /// quantized copy and hooks that, so the caller's artifact is untouched
+  /// and fp32 and int8 engines can share one source PackedModel. Outputs
+  /// differ from the fp32 compile by at most the propagated per-scale
+  /// quantization error; they stay bit-identical across thread counts.
+  /// Requires `packed` != nullptr.
+  bool quantize_payload = false;
+};
+
 class CompiledModel {
  public:
   /// Freezes `model` for serving. When `packed` is given, its entries are
@@ -35,7 +49,8 @@ class CompiledModel {
   /// serving side.
   static std::shared_ptr<const CompiledModel> compile(
       std::shared_ptr<nn::Sequential> model,
-      std::shared_ptr<const deploy::PackedModel> packed = nullptr);
+      std::shared_ptr<const deploy::PackedModel> packed = nullptr,
+      CompileOptions options = {});
 
   /// Eval forward of a batch whose leading dimension is the batch axis.
   /// Const-thread-safe: any number of threads may run concurrently.
@@ -47,7 +62,18 @@ class CompiledModel {
     return packed_layers_;
   }
   bool has_packed() const { return packed_ != nullptr; }
+  /// True when the packed layers actually execute from the int8 payload
+  /// (either the caller's artifact was int8-only already or CompileOptions
+  /// asked for it). False for a dense compile, and false for a keep_fp32
+  /// artifact — its hooks run the fp32 slots.
+  bool quantized() const {
+    return packed_ != nullptr && packed_->serves_int8();
+  }
   const nn::Sequential& model() const { return *model_; }
+  /// The artifact the hooks execute from — the compile-time quantized copy
+  /// when CompileOptions::quantize_payload built one. Null for a dense
+  /// compile.
+  const deploy::PackedModel* packed() const { return packed_.get(); }
 
  private:
   CompiledModel(std::shared_ptr<nn::Sequential> model,

@@ -41,41 +41,77 @@
 namespace crisp::serve {
 
 struct EngineOptions {
-  /// Most requests one batched forward may coalesce.
+  /// Most requests one batched forward may coalesce (>= 1). Larger batches
+  /// amortize kernel dispatch and feed the batch-parallel kernels real
+  /// work; the trade is tail latency for the first request in the batch.
   std::int64_t max_batch = 8;
-  /// Bounded queue capacity; beyond it, `overflow` decides.
+  /// Bounded queue capacity (>= 1); beyond it, `overflow` decides. The
+  /// worker flushes a partial batch as soon as the queue itself is full,
+  /// so queue_depth < max_batch never deadlocks blocked producers.
   std::int64_t queue_depth = 128;
   /// How long the worker waits after the first queued request for the
   /// batch to fill. Zero flushes immediately (lowest latency, smallest
   /// batches).
   std::chrono::microseconds flush_timeout{200};
-  /// Cap on kernels-pool threads the engine's forwards may occupy
-  /// (kernels::ScopedThreadBudget); 0 leaves the pool uncapped.
+  /// Cap on kernels-pool threads the engine's forwards may occupy. Applied
+  /// as a kernels::ScopedThreadBudget on the worker thread, so it is
+  /// per-engine, not process-global: budgets are thread-local, the
+  /// *tightest* enclosing cap wins when scopes nest, and each scope
+  /// restores what it found on exit. 0 leaves the pool uncapped. Budgets
+  /// never change numerics — chunk boundaries stay a pure function of the
+  /// loop size — only how many workers participate. Size it roughly as
+  /// cores / co-resident engines to avoid oversubscribing the shared pool.
   int thread_budget = 0;
-  /// Full-queue policy: block the submitter until space frees, or throw.
+  /// Full-queue policy.
+  ///   kBlock:  submit() parks the producer until the worker frees space;
+  ///            a shutdown() while parked wakes it and it throws
+  ///            std::runtime_error (the engine waits for parked producers
+  ///            to leave before tearing down, so destruction is safe).
+  ///   kReject: submit() throws std::runtime_error immediately and the
+  ///            attempt is counted in EngineStats::rejected; nothing is
+  ///            enqueued.
+  /// Accepted requests are served under either policy — overflow only
+  /// governs what happens at the admission edge.
   enum class Overflow { kBlock, kReject };
   Overflow overflow = Overflow::kBlock;
 };
 
-/// Timings of one served request.
+/// Timings of one served request, measured on the worker's clock.
 struct RequestStats {
-  std::chrono::microseconds queue_time{0};  ///< submit -> batch formed
-  std::chrono::microseconds run_time{0};    ///< the batched forward's wall time
-  std::int64_t batch_size = 0;              ///< requests in that forward
+  /// submit() accepting the request -> its batch being formed (includes
+  /// any flush_timeout spent waiting for stragglers).
+  std::chrono::microseconds queue_time{0};
+  /// Wall time of the batched forward the request rode in. Shared by every
+  /// request of that batch — it is the batch's time, not a per-sample
+  /// slice.
+  std::chrono::microseconds run_time{0};
+  /// Requests coalesced into that forward (1 when served alone).
+  std::int64_t batch_size = 0;
 };
 
 struct Response {
-  Tensor output;  ///< per-sample output, batch axis stripped
+  /// This sample's output with the batch axis stripped: submitting (C,H,W)
+  /// yields the same shape a B=1 forward would, minus the leading 1.
+  Tensor output;
   RequestStats stats;
 };
 
-/// Aggregate counters since construction (see Engine::stats()).
+/// Aggregate counters since construction (see Engine::stats()). Counters
+/// are updated before a request's future is fulfilled, so a caller that
+/// observed its response already sees itself counted.
 struct EngineStats {
-  std::int64_t requests = 0;   ///< completed (fulfilled or errored)
+  /// Completed requests — fulfilled *or* errored (a bad-shape request that
+  /// fails its future still counts; it queued and ran). Rejected submits
+  /// are NOT included: they never entered the queue.
+  std::int64_t requests = 0;
   std::int64_t batches = 0;    ///< batched forwards run
-  std::int64_t rejected = 0;   ///< submits refused at a full queue
+  std::int64_t rejected = 0;   ///< kReject submits refused at a full queue
   std::int64_t max_batch = 0;  ///< largest batch coalesced so far
+  /// Sum of per-request queue_time in microseconds.
   double total_queue_us = 0.0;
+  /// Sum over requests of the run_time of the batch each rode in (a batch
+  /// of n contributes n * its wall time), so mean run time per request is
+  /// total_run_us / requests.
   double total_run_us = 0.0;
 
   /// Mean requests per forward — the batching win the engine exists for.

@@ -1,5 +1,6 @@
 #include "sparse/formats/crisp_format.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -7,40 +8,13 @@
 #include "kernels/parallel_for.h"
 #include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
+#include "tensor/pod_stream.h"
 
 namespace crisp::sparse {
 
 namespace {
 
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  CRISP_CHECK(is.good(), "CrispMatrix::read: truncated stream");
-  return v;
-}
-
-template <typename T>
-void write_array(std::ostream& os, const std::vector<T>& v) {
-  write_pod(os, static_cast<std::uint64_t>(v.size()));
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_array(std::istream& is) {
-  const auto count = read_pod<std::uint64_t>(is);
-  std::vector<T> v(static_cast<std::size_t>(count));
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(v.size() * sizeof(T)));
-  CRISP_CHECK(is.good(), "CrispMatrix::read: truncated array");
-  return v;
-}
+constexpr const char* kCtx = "CrispMatrix::read";
 
 }  // namespace
 
@@ -118,6 +92,14 @@ CrispMatrix CrispMatrix::encode(ConstMatrixView dense, std::int64_t block,
 
 Tensor CrispMatrix::decode() const {
   Tensor dense({grid_.rows, grid_.cols});
+  // Serve the fp32 slots when present, else dequantize the int8 payload
+  // up front (exact: one multiply per slot, no accumulation).
+  std::vector<float> dequant;
+  const std::vector<float>* vals = &values_;
+  if (!has_fp32() && has_quantized()) {
+    dequant = qvalues_.dequantized();
+    vals = &dequant;
+  }
   const std::int64_t block = grid_.block, groups = block / m_;
   std::int64_t blk = 0;
   for (std::int64_t br = 0; br < grid_.grid_rows(); ++br) {
@@ -128,7 +110,7 @@ Tensor CrispMatrix::decode() const {
           const std::int64_t base = ((blk * block + r) * groups + g) * n_;
           const std::int64_t col0 = bc * block + g * m_;
           for (std::int64_t s = 0; s < n_; ++s) {
-            const float v = values_[static_cast<std::size_t>(base + s)];
+            const float v = (*vals)[static_cast<std::size_t>(base + s)];
             if (v == 0.0f) continue;  // padded slot
             const std::int64_t col =
                 col0 + offsets_[static_cast<std::size_t>(base + s)];
@@ -141,7 +123,32 @@ Tensor CrispMatrix::decode() const {
   return dense;
 }
 
+std::int64_t CrispMatrix::slots_per_block_row() const {
+  const std::int64_t groups = grid_.block / m_;
+  return blocks_per_row_ * grid_.block * groups * n_;
+}
+
+void CrispMatrix::quantize_payload() {
+  CRISP_CHECK(has_fp32() || slot_count() == 0,
+              "CrispMatrix::quantize_payload: fp32 payload already released");
+  qvalues_ = QuantizedPayload::quantize(
+      values_.data(), static_cast<std::int64_t>(values_.size()),
+      std::max<std::int64_t>(slots_per_block_row(), 1));
+}
+
+void CrispMatrix::release_fp32_payload() {
+  CRISP_CHECK(has_quantized() || slot_count() == 0,
+              "CrispMatrix::release_fp32_payload: no quantized payload to "
+              "fall back to (call quantize_payload first)");
+  values_.clear();
+  values_.shrink_to_fit();
+}
+
 void CrispMatrix::spmm(ConstMatrixView x, MatrixView y) const {
+  if (!has_fp32() && has_quantized()) {
+    spmm_quantized(x, y);
+    return;
+  }
   CRISP_CHECK(x.rows == grid_.cols, "CRISP spmm: inner dimension mismatch");
   CRISP_CHECK(y.rows == grid_.rows && y.cols == x.cols,
               "CRISP spmm: output shape");
@@ -184,6 +191,55 @@ void CrispMatrix::spmm(ConstMatrixView x, MatrixView y) const {
   }, grain);
 }
 
+void CrispMatrix::spmm_quantized(ConstMatrixView x, MatrixView y) const {
+  CRISP_CHECK(has_quantized(),
+              "CRISP spmm_quantized: no int8 payload attached");
+  CRISP_CHECK(x.rows == grid_.cols,
+              "CRISP spmm_quantized: inner dimension mismatch");
+  CRISP_CHECK(y.rows == grid_.rows && y.cols == x.cols,
+              "CRISP spmm_quantized: output shape");
+  const std::int64_t block = grid_.block, groups = block / m_, p = x.cols;
+  // Same block-row partitioning (and so the same single-writer /
+  // thread-count-independence argument) as the fp32 path; only the slot
+  // coefficient changes: scale_br * int8, fused into the dispatched
+  // axpy_i8 so the inner loop touches one byte per weight slot.
+  const std::int64_t grain =
+      kernels::rows_grain(blocks_per_row_ * block * groups * n_ * p);
+  const auto axpy_i8 = kernels::simd::active().axpy_i8;
+  const std::int8_t* qv = qvalues_.values.data();
+  kernels::parallel_for(grid_.grid_rows(), [&](std::int64_t br0,
+                                               std::int64_t br1) {
+    for (std::int64_t br = br0; br < br1; ++br) {
+      std::memset(y.data + br * block * p, 0,
+                  static_cast<std::size_t>(grid_.row_extent(br) * p) *
+                      sizeof(float));
+      // One scale per block-row's slot band.
+      const float scale = qvalues_.scale_for(br * slots_per_block_row());
+      for (std::int64_t i = 0; i < blocks_per_row_; ++i) {
+        const std::int64_t blk = br * blocks_per_row_ + i;
+        const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+        for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
+          float* yrow = y.data + (br * block + r) * p;
+          for (std::int64_t g = 0; g < groups; ++g) {
+            const std::int64_t base = ((blk * block + r) * groups + g) * n_;
+            const std::int64_t col0 = bc * block + g * m_;
+            for (std::int64_t s = 0; s < n_; ++s) {
+              const std::int8_t q = qv[static_cast<std::size_t>(base + s)];
+              if (q == 0) continue;  // padded slot or value rounded to zero
+              axpy_i8(q, scale,
+                      x.data +
+                          (col0 +
+                           offsets_[static_cast<std::size_t>(base + s)]) *
+                              p,
+                      yrow, p);
+            }
+          }
+        }
+      }
+    }
+  }, grain);
+}
+
 std::int64_t CrispMatrix::metadata_bits() const {
   const std::int64_t block_bits =
       grid_.grid_rows() * blocks_per_row_ * bits_for_index(grid_.grid_cols());
@@ -191,45 +247,68 @@ std::int64_t CrispMatrix::metadata_bits() const {
   return block_bits + offset_bits;
 }
 
-std::int64_t CrispMatrix::payload_bits() const { return slot_count() * 32; }
+std::int64_t CrispMatrix::payload_bits() const {
+  std::int64_t bits = 0;
+  if (has_fp32()) bits += static_cast<std::int64_t>(values_.size()) * 32;
+  if (has_quantized()) bits += qvalues_.payload_bits();
+  return bits;
+}
 
 void CrispMatrix::write(std::ostream& os) const {
-  write_pod(os, grid_.rows);
-  write_pod(os, grid_.cols);
-  write_pod(os, grid_.block);
-  write_pod(os, n_);
-  write_pod(os, m_);
-  write_pod(os, blocks_per_row_);
-  write_array(os, block_cols_);
-  write_array(os, values_);
-  write_array(os, offsets_);
+  io::write_pod(os, grid_.rows);
+  io::write_pod(os, grid_.cols);
+  io::write_pod(os, grid_.block);
+  io::write_pod(os, n_);
+  io::write_pod(os, m_);
+  io::write_pod(os, blocks_per_row_);
+  io::write_array(os, block_cols_);
+  io::write_array(os, values_);  // size 0 after release_fp32_payload
+  io::write_array(os, offsets_);
+  io::write_pod(os, static_cast<std::uint8_t>(has_quantized() ? 1 : 0));
+  if (has_quantized()) qvalues_.write(os);
 }
 
 CrispMatrix CrispMatrix::read(std::istream& is) {
   CrispMatrix out;
-  out.grid_.rows = read_pod<std::int64_t>(is);
-  out.grid_.cols = read_pod<std::int64_t>(is);
-  out.grid_.block = read_pod<std::int64_t>(is);
-  out.n_ = read_pod<std::int64_t>(is);
-  out.m_ = read_pod<std::int64_t>(is);
-  out.blocks_per_row_ = read_pod<std::int64_t>(is);
+  out.grid_.rows = io::read_pod<std::int64_t>(is, kCtx);
+  out.grid_.cols = io::read_pod<std::int64_t>(is, kCtx);
+  out.grid_.block = io::read_pod<std::int64_t>(is, kCtx);
+  out.n_ = io::read_pod<std::int64_t>(is, kCtx);
+  out.m_ = io::read_pod<std::int64_t>(is, kCtx);
+  out.blocks_per_row_ = io::read_pod<std::int64_t>(is, kCtx);
   CRISP_CHECK(out.grid_.rows > 0 && out.grid_.cols > 0 && out.grid_.block > 0 &&
                   out.n_ >= 1 && out.n_ <= out.m_ &&
                   out.grid_.block % out.m_ == 0 && out.blocks_per_row_ >= 0 &&
                   out.blocks_per_row_ <= out.grid_.grid_cols(),
               "CrispMatrix::read: inconsistent header");
-  out.block_cols_ = read_array<std::int32_t>(is);
-  out.values_ = read_array<float>(is);
-  out.offsets_ = read_array<std::uint8_t>(is);
+  out.block_cols_ = io::read_array<std::int32_t>(is, kCtx);
+  out.values_ = io::read_array<float>(is, kCtx);
+  out.offsets_ = io::read_array<std::uint8_t>(is, kCtx);
+  if (io::read_pod<std::uint8_t>(is, kCtx) != 0)
+    out.qvalues_ = QuantizedPayload::read(is);
 
   const std::int64_t total_blocks = out.grid_.grid_rows() * out.blocks_per_row_;
   const std::int64_t slots =
       total_blocks * out.grid_.block * (out.grid_.block / out.m_) * out.n_;
   CRISP_CHECK(static_cast<std::int64_t>(out.block_cols_.size()) == total_blocks,
               "CrispMatrix::read: block index count mismatch");
-  CRISP_CHECK(static_cast<std::int64_t>(out.values_.size()) == slots &&
-                  static_cast<std::int64_t>(out.offsets_.size()) == slots,
+  CRISP_CHECK(static_cast<std::int64_t>(out.offsets_.size()) == slots,
               "CrispMatrix::read: slot count mismatch");
+  CRISP_CHECK(static_cast<std::int64_t>(out.values_.size()) == slots ||
+                  out.values_.empty(),
+              "CrispMatrix::read: fp32 slot count mismatch");
+  if (out.has_quantized()) {
+    CRISP_CHECK(out.qvalues_.slot_count() == slots,
+                "CrispMatrix::read: quantized slot count mismatch");
+    // spmm_quantized assumes one scale per block-row's slot band; a
+    // foreign group size would silently select the wrong scales.
+    CRISP_CHECK(out.qvalues_.group_size == out.slots_per_block_row(),
+                "CrispMatrix::read: quantized group size "
+                    << out.qvalues_.group_size << " != block-row band "
+                    << out.slots_per_block_row());
+  }
+  CRISP_CHECK(slots == 0 || !out.values_.empty() || out.has_quantized(),
+              "CrispMatrix::read: no value payload present");
   for (const std::int32_t bc : out.block_cols_)
     CRISP_CHECK(bc >= 0 && bc < out.grid_.grid_cols(),
                 "CrispMatrix::read: block column out of range");

@@ -9,6 +9,12 @@
 // Slot counts are fixed (N per group), so the accelerator's MUX-based
 // activation selection (Fig. 6) needs no per-row bookkeeping — this is the
 // load-balance property the paper trades against CSR/ELLPACK.
+//
+// The value payload can additionally (or instead) be carried as symmetric
+// int8 with one fp32 scale per block-row (sparse/quantized.h), turning the
+// metadata win into a bandwidth win: spmm_quantized dequantizes on the fly
+// through the dispatched axpy_i8 microkernel. docs/formats.md has the
+// byte-level layout.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,7 @@
 
 #include "kernels/spmm_kernel.h"
 #include "sparse/block.h"
+#include "sparse/quantized.h"
 #include "tensor/tensor.h"
 
 namespace crisp::sparse {
@@ -32,12 +39,34 @@ class CrispMatrix : public kernels::SpmmKernel {
 
   Tensor decode() const;
   /// Parallel over block-rows (each owns its band of output rows);
-  /// bit-identical at any thread count.
+  /// bit-identical at any thread count. Runs the fp32 payload when present,
+  /// otherwise the int8 path (spmm_quantized).
   void spmm(ConstMatrixView x, MatrixView y) const override;
+
+  /// The dequantize-on-the-fly path: same block-row partitioning and
+  /// accumulation order as spmm (so also bit-identical at any thread
+  /// count), but each slot's coefficient is scale * int8 via the dispatched
+  /// axpy_i8 microkernel — a quarter of the weight-value traffic. Throws
+  /// when no quantized payload is attached.
+  void spmm_quantized(ConstMatrixView x, MatrixView y) const;
+
+  /// Builds the int8 payload from the fp32 slots: symmetric quantization,
+  /// one scale per block-row's slot band (see sparse/quantized.h for the
+  /// error bound). Idempotent; requires the fp32 payload.
+  void quantize_payload();
+  /// Frees the fp32 slots; decode()/spmm() then serve from int8 only.
+  /// Requires a quantized payload (attach first). Irreversible up to
+  /// quantization error.
+  void release_fp32_payload();
+
+  bool has_fp32() const { return !values_.empty(); }
+  bool has_quantized() const { return !qvalues_.empty(); }
+  const QuantizedPayload& quantized_payload() const { return qvalues_; }
 
   /// Block-column indices + per-slot intra-group offsets.
   std::int64_t metadata_bits() const;
-  /// Value slots (32-bit floats, padded slots included).
+  /// Bits of every stored payload: 32 per fp32 slot when the fp32 payload
+  /// is present, plus 8 per slot and 32 per scale when the int8 payload is.
   std::int64_t payload_bits() const;
 
   /// Binary persistence (host-endian, like tensor/serialize). `read` throws
@@ -53,18 +82,24 @@ class CrispMatrix : public kernels::SpmmKernel {
   std::int64_t n() const { return n_; }
   std::int64_t m() const { return m_; }
   std::int64_t slot_count() const {
-    return static_cast<std::int64_t>(values_.size());
+    return static_cast<std::int64_t>(offsets_.size());
   }
 
  private:
+  /// Slots one block-row's surviving blocks span — the quantization group.
+  std::int64_t slots_per_block_row() const;
+
   BlockGrid grid_;
   std::int64_t n_ = 0;
   std::int64_t m_ = 0;
   std::int64_t blocks_per_row_ = 0;
   std::vector<std::int32_t> block_cols_;  ///< grid_rows x blocks_per_row
   /// Per surviving block: block-side rows x (block/m groups) x n slots.
+  /// Empty after release_fp32_payload() — qvalues_ then carries the values.
   std::vector<float> values_;
   std::vector<std::uint8_t> offsets_;     ///< offset in [0, m) per slot
+  /// Optional int8 payload, one scale per block-row (see quantize_payload).
+  QuantizedPayload qvalues_;
 };
 
 }  // namespace crisp::sparse

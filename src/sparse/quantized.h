@@ -1,0 +1,65 @@
+// Quantized int8 value payload for sparse storage formats.
+//
+// The paper's metadata story (docs/formats.md) keeps the *index* overhead
+// of hybrid sparsity low; this module pairs it with a *bandwidth* story for
+// the values themselves: symmetric int8 quantization with one fp32 scale
+// per group of consecutive slots. For the CRISP format a group is one
+// block-row's slot band, so the dequantizing spmm reads a quarter of the
+// weight bytes and one scale per band of output rows.
+//
+// Scheme (symmetric, zero-point fixed at 0):
+//   scale_g = max |v| over group g / 127      (0 when the group is all-zero)
+//   q_i     = round_half_away(v_i / scale_g)  in [-127, 127]
+//   v'_i    = scale_g * q_i
+// Bounds by construction: |v'_i - v_i| <= scale_g / 2 for every element,
+// exact zeros stay exactly zero (q = 0), and the padded slots every blocked
+// format carries keep their zero-skip in the kernels. Quantization is a
+// pure element-wise function of (value, scale), so results are
+// deterministic and independent of the thread count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace crisp::sparse {
+
+struct QuantizedPayload {
+  /// One int8 per value slot, same ordering as the fp32 payload it mirrors.
+  std::vector<std::int8_t> values;
+  /// One fp32 scale per group of `group_size` consecutive slots
+  /// (ceil(values.size() / group_size) entries; the last group may be
+  /// ragged). scales[i] == 0 means group i was all-zero.
+  std::vector<float> scales;
+  std::int64_t group_size = 0;
+
+  /// Quantizes `count` floats with one symmetric scale per `group_size`
+  /// consecutive elements. count == 0 yields an empty payload; otherwise
+  /// group_size must be >= 1.
+  static QuantizedPayload quantize(const float* v, std::int64_t count,
+                                   std::int64_t group_size);
+
+  /// Writes scale * q for every slot into out[0..values.size()).
+  void dequantize(float* out) const;
+  std::vector<float> dequantized() const;
+
+  float scale_for(std::int64_t slot) const {
+    return scales[static_cast<std::size_t>(slot / group_size)];
+  }
+
+  bool empty() const { return values.empty(); }
+  std::int64_t slot_count() const {
+    return static_cast<std::int64_t>(values.size());
+  }
+  /// Stored bits: 8 per value slot + 32 per scale.
+  std::int64_t payload_bits() const {
+    return slot_count() * 8 + static_cast<std::int64_t>(scales.size()) * 32;
+  }
+
+  /// Binary persistence (host-endian, like the formats that embed it).
+  /// `read` throws on truncation or an internally inconsistent header.
+  void write(std::ostream& os) const;
+  static QuantizedPayload read(std::istream& is);
+};
+
+}  // namespace crisp::sparse

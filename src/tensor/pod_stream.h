@@ -1,0 +1,54 @@
+// Shared POD binary-stream helpers for every artifact writer/reader in the
+// repo (tensor files, CrispMatrix, QuantizedPayload, PackedModel).
+//
+// Conventions: host-endian, byte-packed, arrays prefixed with a u64
+// element count — artifacts are not portable across endianness. Readers
+// take a `context` string ("CrispMatrix::read") that prefixes the error
+// thrown on a truncated stream, so every format reports failures the same
+// way without duplicating these templates per translation unit.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace crisp::io {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is, const char* context) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CRISP_CHECK(is.good(), context << ": truncated stream");
+  return v;
+}
+
+template <typename T>
+void write_array(std::ostream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& is, const char* context) {
+  const auto count = read_pod<std::uint64_t>(is, context);
+  // Plausibility cap: a corrupt count must throw the documented
+  // runtime_error, not std::length_error/bad_alloc out of vector.
+  CRISP_CHECK(count <= (std::uint64_t{1} << 30),
+              context << ": implausible array length " << count);
+  std::vector<T> v(static_cast<std::size_t>(count));
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  CRISP_CHECK(is.good(), context << ": truncated array");
+  return v;
+}
+
+}  // namespace crisp::io

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <fstream>
 
+#include "tensor/pod_stream.h"
+
 namespace crisp {
 
 namespace {
@@ -10,17 +12,11 @@ namespace {
 constexpr std::uint32_t kMagic = 0x43525350;  // "CRSP"
 constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ofstream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+using io::write_pod;
 
 template <typename T>
-T read_pod(std::ifstream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  CRISP_CHECK(is.good(), "truncated tensor file");
-  return v;
+T read_pod(std::istream& is) {
+  return io::read_pod<T>(is, "tensor file");
 }
 
 }  // namespace

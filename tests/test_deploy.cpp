@@ -2,6 +2,7 @@
 // execution (GEMM hooks) against the dense masked reference.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -144,6 +145,80 @@ TEST(PackedModel, SaveLoadRoundTrip) {
     ASSERT_NE(it, loaded.dense_state().end()) << name;
     EXPECT_FLOAT_EQ(max_abs_diff(tensor, it->second), 0.0f) << name;
   }
+}
+
+TEST(PackedModel, QuantizePayloadsShrinksAndRoundTrips) {
+  auto model = make_convnet();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const std::int64_t fp32_payload = packed.stats().packed_payload_bits;
+  ASSERT_FALSE(packed.quantized());
+
+  // Keep-fp32 mode carries both payloads (bits grow); dropping fp32 takes
+  // the payload to 8 bits per slot + one scale per block-row.
+  PackedModel both = packed;
+  both.quantize_payloads(/*keep_fp32=*/true);
+  EXPECT_TRUE(both.quantized());
+  EXPECT_GT(both.stats().packed_payload_bits, fp32_payload);
+  for (const PackedEntry& e : both.entries()) EXPECT_TRUE(e.matrix.has_fp32());
+
+  packed.quantize_payloads();
+  EXPECT_TRUE(packed.quantized());
+  EXPECT_LT(packed.stats().packed_payload_bits, fp32_payload / 2);
+  EXPECT_LT(packed.stats().compression(), 1.0);
+
+  const std::string path = temp_path("packed_quantized.bin");
+  packed.save(path);
+  const PackedModel loaded = PackedModel::load(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(loaded.quantized());
+  ASSERT_EQ(loaded.entries().size(), packed.entries().size());
+  for (std::size_t i = 0; i < packed.entries().size(); ++i) {
+    EXPECT_FALSE(loaded.entries()[i].matrix.has_fp32());
+    EXPECT_FLOAT_EQ(max_abs_diff(loaded.entries()[i].matrix.decode(),
+                                 packed.entries()[i].matrix.decode()),
+                    0.0f);
+  }
+
+  // Unpacking the int8 artifact restores weights within the per-block-row
+  // scale bound of the original effective values, and reinstalls masks.
+  auto fresh = make_convnet();
+  loaded.unpack_into(*fresh);
+  const PackedModel repacked = PackedModel::pack(*model, 8, 2, 4);
+  for (nn::Parameter* p : fresh->prunable_parameters()) {
+    const PackedEntry* e = loaded.find(p->name);
+    if (e == nullptr) continue;
+    EXPECT_TRUE(p->has_mask()) << p->name;
+    float max_scale = 0.0f;
+    for (const float s : e->matrix.quantized_payload().scales)
+      max_scale = std::max(max_scale, s);
+    const PackedEntry* orig = repacked.find(p->name);
+    ASSERT_NE(orig, nullptr);
+    EXPECT_LE(max_abs_diff(p->effective_value(),
+                           orig->matrix.decode().reshaped(p->value.shape())),
+              0.5f * max_scale * 1.0001f)
+        << p->name;
+  }
+}
+
+TEST(PackedModel, FullyPrunedEntryDoesNotBlockQuantizedPredicates) {
+  // A parameter whose mask zeroes everything encodes with zero slots;
+  // there is nothing to quantize in it, and it must not pin the whole
+  // artifact's quantized()/serves_int8() to false.
+  auto model = make_convnet();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  nn::Parameter* first = model->prunable_parameters().front();
+  first->ensure_mask();
+  for (std::int64_t i = 0; i < first->mask.numel(); ++i) first->mask[i] = 0.0f;
+
+  PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const PackedEntry* pruned_entry = packed.find(first->name);
+  ASSERT_NE(pruned_entry, nullptr);
+  ASSERT_EQ(pruned_entry->matrix.slot_count(), 0);
+
+  packed.quantize_payloads();
+  EXPECT_TRUE(packed.quantized());
+  EXPECT_TRUE(packed.serves_int8());
 }
 
 TEST(PackedModel, LoadRejectsGarbageAndTruncation) {

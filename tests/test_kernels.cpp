@@ -335,6 +335,26 @@ TEST_F(SpmmKernelSuite, Crisp) {
         "crisp");
 }
 
+TEST_F(SpmmKernelSuite, CrispQuantized) {
+  // The int8 payload path (values released, spmm serves from quantized
+  // slots): exact against the dequantized weights, bit-identical across
+  // thread counts, and tier-parity like every other kernel.
+  auto cm = sparse::CrispMatrix::encode(as_matrix(weights_, kRows, kCols),
+                                        kBlock, kN, kM);
+  cm.quantize_payload();
+  cm.release_fp32_payload();
+  ASSERT_TRUE(cm.has_quantized());
+  ASSERT_FALSE(cm.has_fp32());
+
+  ThreadGuard guard;
+  const Tensor qref = sparse::dense_matmul(cm.decode(), x_);
+  const Tensor got = at_threads(4, [&] { return sparse::spmm(cm, x_); });
+  EXPECT_TRUE(allclose(got, qref, 1e-4f, 1e-4f));
+
+  expect_thread_invariant([&] { return sparse::spmm(cm, x_); });
+  expect_tier_parity([&] { return sparse::spmm(cm, x_); });
+}
+
 TEST_F(SpmmKernelSuite, DispatchRejectsBadShapes) {
   const auto csr = sparse::CsrMatrix::encode(as_matrix(weights_, kRows, kCols));
   Rng rng(5);
@@ -481,6 +501,26 @@ TEST(SimdParity, SpmmFormatsTailHeavyBatches) {
     for (const kernels::SpmmKernel* kernel : formats) {
       SCOPED_TRACE(kernel->format_name());
       expect_tier_parity([&] { return sparse::spmm(*kernel, x); });
+    }
+  }
+}
+
+TEST(SimdParity, AxpyI8TailHeavyLengths) {
+  // The dequantizing axpy behind the int8 spmm path: every tier must agree
+  // with forced-scalar within rounding, across vector-tail lengths and the
+  // full int8 coefficient range.
+  Rng rng(35);
+  for (const std::int64_t n : {1LL, 3LL, 7LL, 8LL, 9LL, 15LL, 17LL, 33LL,
+                               100LL}) {
+    const Tensor x = Tensor::randn({n}, rng);
+    const Tensor seed = Tensor::randn({n}, rng);
+    for (const int q : {-127, -3, 1, 127}) {
+      expect_tier_parity([&] {
+        Tensor y = seed;
+        kernels::simd::active().axpy_i8(static_cast<std::int8_t>(q), 0.0137f,
+                                        x.data(), y.data(), n);
+        return y;
+      });
     }
   }
 }

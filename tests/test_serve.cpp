@@ -11,6 +11,7 @@
 // the last bit).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <future>
 #include <memory>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 
 #include "core/block_pruning.h"
 #include "deploy/packed_exec.h"
+#include "kernels/parallel_for.h"
 #include "deploy/packed_model.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -30,6 +32,17 @@ namespace crisp::serve {
 namespace {
 
 using core::install_random_hybrid_masks;
+
+/// Restores the ambient kernel thread count when a test exits — including
+/// through an ASSERT_* early return.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(kernels::num_threads()) {}
+  ~ThreadGuard() { kernels::set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
 
 /// Conv net that accepts any input H, W (global pooling before the head).
 std::shared_ptr<nn::Sequential> make_convnet() {
@@ -134,6 +147,124 @@ TEST(PackedExecLifetime, AttachSurvivesArtifactDestruction) {
   const Tensor got = nn::predict(*model, x);
   EXPECT_LE(max_abs_diff(want, got), 1e-4f);
   deploy::detach_packed(*model);
+}
+
+TEST(CompiledModel, QuantizedCompileBuildsPrivateInt8Artifact) {
+  auto model = make_mlp();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  auto packed = std::make_shared<const deploy::PackedModel>(
+      deploy::PackedModel::pack(*model, 8, 2, 4));
+  ASSERT_FALSE(packed->quantized());
+
+  serve::CompileOptions opts;
+  opts.quantize_payload = true;
+  auto compiled = CompiledModel::compile(model, packed, opts);
+  EXPECT_TRUE(compiled->quantized());
+  EXPECT_EQ(compiled->packed_layers().size(), packed->entries().size());
+  // The caller's artifact stays fp32; the compile hooked a private copy
+  // whose payload is a quarter of the fp32 bytes plus the scales.
+  EXPECT_FALSE(packed->quantized());
+  ASSERT_NE(compiled->packed(), nullptr);
+  EXPECT_LT(compiled->packed()->stats().packed_payload_bits,
+            packed->stats().packed_payload_bits / 2);
+
+  // Regression: a keep_fp32 artifact is quantized() but still *executes*
+  // fp32 (spmm prefers the fp32 slots), so compile must still build an
+  // int8-only copy — and a compile without the option must not report
+  // quantized serving.
+  auto keep_model = make_mlp();
+  auto keep_both = std::make_shared<deploy::PackedModel>(
+      deploy::PackedModel::pack(*model, 8, 2, 4));
+  keep_both->quantize_payloads(/*keep_fp32=*/true);
+  ASSERT_TRUE(keep_both->quantized());
+  ASSERT_FALSE(keep_both->serves_int8());
+  auto keep_compiled = CompiledModel::compile(keep_model, keep_both, opts);
+  EXPECT_TRUE(keep_compiled->quantized());
+  ASSERT_NE(keep_compiled->packed(), nullptr);
+  EXPECT_TRUE(keep_compiled->packed()->serves_int8());
+
+  auto plain_model = make_mlp();
+  auto plain = CompiledModel::compile(plain_model, keep_both);
+  EXPECT_FALSE(plain->quantized());  // hooks run the fp32 slots
+}
+
+// The tentpole invariant for quantized serving: an int8 engine's outputs
+// equal the dense forward of the *dequantized* weights within kernel
+// rounding (dequantize-on-the-fly == dequantize-up-front), stay within the
+// propagated quantization error of the fp32 engine, and are bit-identical
+// across kernel thread counts.
+TEST(Engine, QuantizedEngineParityWithFp32Engine) {
+  auto model = make_mlp();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  auto packed = std::make_shared<const deploy::PackedModel>(
+      deploy::PackedModel::pack(*model, 8, 2, 4));
+  auto fp32_compiled = CompiledModel::compile(model, packed);
+
+  // A second model instance for the quantized compile (hooks are installed
+  // on the nn graph, so each compiled artifact needs its own).
+  auto qmodel = make_mlp();
+  install_random_hybrid_masks(*qmodel, 8, 2, 4, 1);
+  serve::CompileOptions qopts;
+  qopts.quantize_payload = true;
+  auto q_compiled = CompiledModel::compile(qmodel, packed, qopts);
+  ASSERT_TRUE(q_compiled->quantized());
+
+  // Dense reference of the dequantized weights: unpack the quantized
+  // artifact into a third model instance.
+  auto dq_model = make_mlp();
+  ASSERT_NE(q_compiled->packed(), nullptr);
+  q_compiled->packed()->unpack_into(*dq_model);
+
+  constexpr int kRequests = 24;
+  ThreadGuard guard;
+  std::vector<Tensor> outputs_at_threads;
+  for (const int threads : {1, 2, 8}) {
+    kernels::set_num_threads(threads);
+    EngineOptions opts;
+    opts.max_batch = 8;
+    opts.flush_timeout = std::chrono::microseconds(2000);
+    // Both engines serve concurrently from the same request stream.
+    Engine fp32_engine(fp32_compiled);
+    Engine q_engine(q_compiled, opts);
+
+    std::vector<std::future<Response>> ffp, fq;
+    for (int i = 0; i < kRequests; ++i) {
+      const Tensor sample =
+          random_sample(static_cast<std::uint64_t>(4000 + i), {32});
+      ffp.push_back(fp32_engine.submit(sample));
+      fq.push_back(q_engine.submit(sample));
+    }
+
+    Tensor stacked({kRequests, 8});
+    for (int i = 0; i < kRequests; ++i) {
+      const Tensor sample =
+          random_sample(static_cast<std::uint64_t>(4000 + i), {32});
+      const Tensor qout = fq[static_cast<std::size_t>(i)].get().output;
+      const Tensor fout = ffp[static_cast<std::size_t>(i)].get().output;
+
+      // (a) Exact against the dequantized-weights forward (kernel rounding
+      // only — the engine batches, the reference runs B=1).
+      const Tensor want = nn::predict(*dq_model, sample.reshaped({1, 32}))
+                              .reshaped({8});
+      ASSERT_TRUE(qout.same_shape(want));
+      EXPECT_LE(max_abs_diff(qout, want), 1e-4f)
+          << "request " << i << " at " << threads << " threads";
+
+      // (b) Sanity: quantization moved the output by a bounded, small
+      // amount relative to the fp32 engine (weights are O(1), scales are
+      // O(1/127); anything past this indicates a broken scale).
+      EXPECT_LE(max_abs_diff(qout, fout), 1.0f) << "request " << i;
+
+      std::memcpy(stacked.data() + i * 8, qout.data(), 8 * sizeof(float));
+    }
+    outputs_at_threads.push_back(std::move(stacked));
+  }
+
+  // (c) Bit-identical across 1/2/8 kernel threads.
+  for (std::size_t t = 1; t < outputs_at_threads.size(); ++t)
+    EXPECT_FLOAT_EQ(
+        max_abs_diff(outputs_at_threads[0], outputs_at_threads[t]), 0.0f)
+        << "quantized serve output changed with the thread count";
 }
 
 TEST(Engine, SingleRequestMatchesSerial) {

@@ -3,10 +3,14 @@
 // formulas.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+
 #include "core/block_pruning.h"
 #include "sparse/mask.h"
 #include "sparse/metadata.h"
 #include "sparse/nm.h"
+#include "sparse/quantized.h"
 #include "sparse/spmm.h"
 
 namespace crisp::sparse {
@@ -201,6 +205,198 @@ TEST(CrispFormat, MetadataBeatsCsrAndEllpackOnHybridPattern) {
   EXPECT_GT(static_cast<double>(csr.metadata_bits()) /
                 static_cast<double>(cm.metadata_bits()),
             2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized int8 payloads (sparse/quantized.h and the CrispMatrix carrier).
+
+TEST(QuantizedPayload, RoundTripErrorBoundedPerElement) {
+  Rng rng(21);
+  // 257 elements straddle every group size (ragged last group included).
+  const Tensor v = Tensor::randn({257}, rng);
+  for (const std::int64_t group : {1LL, 7LL, 64LL, 300LL}) {
+    const QuantizedPayload qp =
+        QuantizedPayload::quantize(v.data(), v.numel(), group);
+    ASSERT_EQ(qp.slot_count(), v.numel());
+    ASSERT_EQ(static_cast<std::int64_t>(qp.scales.size()),
+              (v.numel() + group - 1) / group);
+    const std::vector<float> back = qp.dequantized();
+    for (std::int64_t i = 0; i < v.numel(); ++i) {
+      // The scheme's bound: |dequant(quant(x)) - x| <= scale / 2, with a
+      // hair of slack for the float division/multiplication rounding.
+      const float scale = qp.scale_for(i);
+      EXPECT_LE(std::fabs(back[static_cast<std::size_t>(i)] - v[i]),
+                0.5f * scale * 1.0001f)
+          << "group " << group << ", element " << i;
+    }
+  }
+}
+
+TEST(QuantizedPayload, ZerosAndExtremesAreExact) {
+  // One all-zero group (scale 0), one group whose max magnitude must land
+  // exactly on ±127, and interior exact zeros that must stay exact.
+  const std::int64_t group = 4;
+  Tensor v({8}, {0.0f, 0.0f, 0.0f, 0.0f,  //
+                 -2.0f, 0.0f, 0.5f, 2.0f});
+  const QuantizedPayload qp = QuantizedPayload::quantize(v.data(), 8, group);
+  EXPECT_EQ(qp.scales[0], 0.0f);
+  EXPECT_EQ(qp.scales[1], 2.0f / 127.0f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(qp.values[static_cast<std::size_t>(i)], 0);
+  EXPECT_EQ(qp.values[4], -127);
+  EXPECT_EQ(qp.values[5], 0);   // exact zero stays exact
+  EXPECT_EQ(qp.values[7], 127);
+  const std::vector<float> back = qp.dequantized();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(back[static_cast<std::size_t>(i)], 0.0f);
+  EXPECT_EQ(back[5], 0.0f);
+  EXPECT_FLOAT_EQ(back[4], -2.0f);
+  EXPECT_FLOAT_EQ(back[7], 2.0f);
+}
+
+TEST(QuantizedPayload, DenormalGroupMaxKeepsTheErrorBound) {
+  // amax / 127 underflows to 0 for denormal group maxima; the scale must
+  // not collapse to the all-zero branch (which would break the
+  // |err| <= scale/2 contract) — it is bumped to the smallest normal
+  // float, under which every such value rounds to q = 0 within bound.
+  Tensor v({4}, {1e-44f, -1.0e-43f, 0.0f, 1.5e-43f});
+  const QuantizedPayload qp = QuantizedPayload::quantize(v.data(), 4, 4);
+  ASSERT_EQ(qp.scales.size(), 1u);
+  EXPECT_GT(qp.scales[0], 0.0f);
+  const std::vector<float> back = qp.dequantized();
+  for (int i = 0; i < 4; ++i)
+    EXPECT_LE(std::fabs(back[static_cast<std::size_t>(i)] - v[i]),
+              0.5f * qp.scales[0])
+        << "element " << i;
+}
+
+TEST(QuantizedPayload, EmptyAndBadArguments) {
+  const QuantizedPayload empty = QuantizedPayload::quantize(nullptr, 0, 16);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.payload_bits(), 0);
+  float v = 1.0f;
+  EXPECT_THROW(QuantizedPayload::quantize(&v, 1, 0), std::runtime_error);
+}
+
+class CrispQuantizedTest : public CrispFormatTest {};
+
+TEST_P(CrispQuantizedTest, QuantizedSpmmAndDecodeWithinScaleBound) {
+  const auto [rows, cols, block, n, m, pruned] = GetParam();
+  Rng rng(rows + cols + block + n + 1);
+  Tensor w = hybrid_matrix(rows, cols, block, n, m, pruned, rng);
+  CrispMatrix cm = CrispMatrix::encode(as_matrix(w, rows, cols), block, n, m);
+  cm.quantize_payload();
+  ASSERT_TRUE(cm.has_quantized());
+  ASSERT_TRUE(cm.has_fp32());  // "alongside" mode keeps both payloads
+
+  // Per-element decode error obeys the per-block-row scale bound.
+  CrispMatrix qcm = cm;
+  qcm.release_fp32_payload();
+  ASSERT_FALSE(qcm.has_fp32());
+  const Tensor dec = cm.decode(), qdec = qcm.decode();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float scale =
+        qcm.quantized_payload().scales[static_cast<std::size_t>(r / block)];
+    for (std::int64_t c = 0; c < cols; ++c)
+      EXPECT_LE(std::fabs(qdec[r * cols + c] - dec[r * cols + c]),
+                0.5f * scale * 1.0001f)
+          << "element (" << r << ", " << c << ")";
+  }
+
+  // The dequantize-on-the-fly spmm is exact for the quantized weights:
+  // same multiplications as a dense product with the dequantized matrix.
+  Rng xrng(99);
+  const Tensor x = Tensor::randn({cols, 4}, xrng);
+  const Tensor want = dense_matmul(qdec, x);
+  Tensor got({rows, 4});
+  cm.spmm_quantized(as_matrix(x, cols, 4), as_matrix(got, rows, 4));
+  EXPECT_TRUE(allclose(got, want, 1e-4f, 1e-4f));
+  // And the released matrix routes plain spmm() to the same path.
+  EXPECT_FLOAT_EQ(max_abs_diff(spmm(qcm, x), got), 0.0f);
+}
+
+TEST_P(CrispQuantizedTest, StreamRoundTripCarriesQuantizedPayload) {
+  const auto [rows, cols, block, n, m, pruned] = GetParam();
+  Rng rng(rows + cols + block + n + 2);
+  Tensor w = hybrid_matrix(rows, cols, block, n, m, pruned, rng);
+  CrispMatrix cm = CrispMatrix::encode(as_matrix(w, rows, cols), block, n, m);
+  cm.quantize_payload();
+
+  // Alongside mode: both payloads survive the stream.
+  std::stringstream both(std::ios::in | std::ios::out | std::ios::binary);
+  cm.write(both);
+  const CrispMatrix back = CrispMatrix::read(both);
+  EXPECT_TRUE(back.has_fp32());
+  EXPECT_TRUE(back.has_quantized());
+  EXPECT_EQ(back.payload_bits(), cm.payload_bits());
+  EXPECT_FLOAT_EQ(max_abs_diff(back.decode(), cm.decode()), 0.0f);
+
+  // int8-only mode: the artifact shrinks and still decodes/multiplies.
+  cm.release_fp32_payload();
+  std::stringstream qonly(std::ios::in | std::ios::out | std::ios::binary);
+  cm.write(qonly);
+  const CrispMatrix qback = CrispMatrix::read(qonly);
+  EXPECT_FALSE(qback.has_fp32());
+  EXPECT_TRUE(qback.has_quantized());
+  EXPECT_FLOAT_EQ(max_abs_diff(qback.decode(), cm.decode()), 0.0f);
+  if (cm.slot_count() > 0) {
+    // 8 bits per slot + one fp32 scale per block-row, vs 32 per slot.
+    EXPECT_LT(qback.payload_bits(), cm.slot_count() * 32);
+    EXPECT_EQ(qback.payload_bits(),
+              cm.slot_count() * 8 +
+                  static_cast<std::int64_t>(
+                      cm.quantized_payload().scales.size()) *
+                      32);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, CrispQuantizedTest,
+    ::testing::Values(CrispCase{8, 16, 4, 2, 4, 1},
+                      CrispCase{16, 32, 8, 1, 4, 2},
+                      // Tail shapes: rows/cols not multiples of the block.
+                      CrispCase{36, 32, 8, 2, 4, 1},
+                      CrispCase{25, 50, 8, 1, 4, 2},
+                      CrispCase{4, 64, 4, 2, 4, 10},
+                      CrispCase{8, 24, 4, 1, 2, 3}));
+
+TEST(CrispQuantized, AllZeroMatrixQuantizes) {
+  // Every block pruned: no surviving blocks, no slots, no scales — the
+  // degenerate "all-zero block rows" case must stay well-formed.
+  Tensor w = Tensor::zeros({8, 16});
+  CrispMatrix cm = CrispMatrix::encode(as_matrix(w, 8, 16), 4, 2, 4);
+  EXPECT_EQ(cm.slot_count(), 0);
+  cm.quantize_payload();
+  EXPECT_FALSE(cm.has_quantized());  // nothing to quantize
+  Rng rng(3);
+  const Tensor x = Tensor::randn({16, 3}, rng);
+  EXPECT_FLOAT_EQ(spmm(cm, x).abs_max(), 0.0f);
+}
+
+TEST(CrispQuantized, PerBlockRowScalesIsolateBands) {
+  // A block survives with tiny values in one block-row and zeros rounded
+  // in: per-block-row scales must isolate the bands (big row's scale does
+  // not smear into the small row's band).
+  Tensor w = Tensor::zeros({8, 8});
+  w.at({0, 0}) = 100.0f;  // block-row 0, big magnitude
+  w.at({4, 0}) = 0.001f;  // block-row 1, tiny magnitude
+  CrispMatrix cm = CrispMatrix::encode(as_matrix(w, 8, 8), 4, 2, 4);
+  cm.quantize_payload();
+  ASSERT_EQ(cm.quantized_payload().scales.size(), 2u);
+  EXPECT_FLOAT_EQ(cm.quantized_payload().scales[0], 100.0f / 127.0f);
+  EXPECT_FLOAT_EQ(cm.quantized_payload().scales[1], 0.001f / 127.0f);
+  cm.release_fp32_payload();
+  const Tensor dec = cm.decode();
+  EXPECT_NEAR(dec[0], 100.0f, 100.0f / 127.0f / 2.0f);
+  EXPECT_NEAR(dec[4 * 8], 0.001f, 0.001f / 127.0f / 2.0f);
+}
+
+TEST(CrispQuantized, ReleaseWithoutQuantizeThrows) {
+  Rng rng(5);
+  Tensor w = hybrid_matrix(8, 16, 4, 2, 4, 1, rng);
+  CrispMatrix cm = CrispMatrix::encode(as_matrix(w, 8, 16), 4, 2, 4);
+  EXPECT_THROW(cm.release_fp32_payload(), std::runtime_error);
+  cm.quantize_payload();
+  cm.release_fp32_payload();
+  EXPECT_THROW(cm.quantize_payload(), std::runtime_error);
 }
 
 // ---------------------------------------------------------------------------

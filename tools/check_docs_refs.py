@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail when docs reference repo paths that no longer exist.
+
+Scans docs/*.md and README.md for references to files under the repo's
+source roots (src/, tests/, bench/, examples/, tools/, docs/, .github/)
+and exits 1 listing every reference whose target is missing — the CI docs
+job runs this so documentation cannot silently rot as code moves.
+
+A "reference" is any token that looks like <root>/<path>.<ext> wherever it
+appears (backticks, tables, link targets, prose). Directories referenced
+with a trailing slash (e.g. `src/kernels/`) are checked as directories.
+
+Usage:
+  tools/check_docs_refs.py [--repo-root PATH]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+ROOTS = ("src", "tests", "bench", "examples", "tools", "docs", ".github")
+_ROOTS_ALT = "|".join(re.escape(r) for r in ROOTS)
+# File reference: <root>/<path> where the last component has an extension;
+# permissive on the middle so nested paths and dashes work.
+FILE_RE = re.compile(
+    r"(?<![\w/.-])"
+    r"((?:" + _ROOTS_ALT + r")(?:/[\w.-]+)+\.[A-Za-z0-9]{1,8})"
+)
+# Directory reference: <root>/<segments>/ with a trailing slash (so prose
+# like "tests pass" never matches — only deliberate path spellings).
+DIR_RE = re.compile(
+    r"(?<![\w/.-])"
+    r"((?:" + _ROOTS_ALT + r")(?:/[\w.-]+)+)/(?![\w.-])"
+)
+
+
+def extract_refs(text):
+    """Returns the set of path-looking references in a markdown text."""
+    refs = set()
+    for match in FILE_RE.finditer(text):
+        refs.add(match.group(1).rstrip("."))
+    for match in DIR_RE.finditer(text):
+        ref = match.group(1)
+        # A token like `src/kernels/gemm.h/` already matched FILE_RE; keep
+        # only true directory spellings.
+        if not FILE_RE.fullmatch(ref):
+            refs.add(ref + "/")
+    return refs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo-root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    args = ap.parse_args()
+
+    root = (pathlib.Path(args.repo_root) if args.repo_root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    sources = sorted(root.glob("docs/*.md")) + [root / "README.md"]
+    sources = [p for p in sources if p.exists()]
+    if not any(p.parent.name == "docs" for p in sources):
+        print("error: no docs/*.md found — nothing to check")
+        return 2
+
+    checked = 0
+    dangling = []
+    for doc in sources:
+        text = doc.read_text(encoding="utf-8")
+        for ref in sorted(extract_refs(text)):
+            checked += 1
+            if not (root / ref).exists():
+                dangling.append((doc.relative_to(root), ref))
+
+    if dangling:
+        print(f"FAIL: {len(dangling)} dangling code reference(s):")
+        for doc, ref in dangling:
+            print(f"  {doc}: {ref}")
+        print("Fix the path in the document (or restore the file).")
+        return 1
+    print(f"OK: {checked} reference(s) across {len(sources)} document(s) "
+          "all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
