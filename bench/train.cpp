@@ -1,0 +1,133 @@
+// Training/pruning hot-path benchmarks (google-benchmark, linked into
+// bench_kernels so the entries land in the same JSON the CI regression gate
+// reads): batch-parallel backward for the two GEMM layers, the SGD update,
+// and the class-aware saliency sweep (forward + backward + score
+// elementwise) that dominates CRISP's pruning wall-clock.
+//
+// Every entry sweeps the kernel-layer thread count; results are
+// bit-identical across the sweep (tests/test_backward_threading.cpp is the
+// identity half), only the time may move. threads:1 medians are the stable
+// entries CI gates — thread-sweep numbers depend on the runner's cores, and
+// on a 1-core recording container they document the dispatch overhead
+// floor, not scaling.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/saliency.h"
+#include "data/class_pattern.h"
+#include "kernels/parallel_for.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models/common.h"
+#include "nn/optimizer.h"
+
+namespace {
+
+using namespace crisp;
+
+void train_threads(benchmark::internal::Benchmark* b) {
+  b->ArgName("threads");
+  b->UseRealTime();  // wall clock: pool workers are the product
+  for (const int t : {1, 2, 4, 8}) b->Arg(t);
+}
+
+// ResNet-50-ish mid-stage shapes, matched to bench/kernels.cpp: the Linear
+// mirrors the (S x K) GEMM the conv lowers to, the Conv2d is a 3x3 stage.
+constexpr std::int64_t kBatch = 32;
+constexpr std::int64_t kIn = 576, kOut = 256;
+
+void BM_BackwardLinear(benchmark::State& state) {
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  nn::Linear layer("lin", kIn, kOut, rng, /*bias=*/true);
+  const Tensor x = Tensor::randn({kBatch, kIn}, rng);
+  const Tensor y = layer.forward(x, /*train=*/true);
+  const Tensor gout = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    layer.zero_grad();
+    Tensor gin = layer.backward(gout);
+    benchmark::DoNotOptimize(gin.data());
+  }
+  // dW (tn) + dx (nn) GEMMs per iteration.
+  state.SetItemsProcessed(state.iterations() * 2 * kBatch * kIn * kOut);
+  kernels::set_num_threads(0);
+}
+BENCHMARK(BM_BackwardLinear)->Apply(train_threads);
+
+void BM_BackwardConv2d(benchmark::State& state) {
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
+  nn::Conv2dSpec spec;
+  spec.in_channels = 64;
+  spec.out_channels = 64;
+  spec.kernel = 3;
+  spec.bias = true;
+  Rng rng(5);
+  nn::Conv2d layer("conv", spec, rng);
+  const Tensor x = Tensor::randn({16, 64, 8, 8}, rng);
+  const Tensor y = layer.forward(x, /*train=*/true);
+  const Tensor gout = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    layer.zero_grad();
+    Tensor gin = layer.backward(gout);
+    benchmark::DoNotOptimize(gin.data());
+  }
+  // Two GEMMs (dW, dcols) of S x K x P per sample per iteration.
+  state.SetItemsProcessed(state.iterations() * 2 * 16 * 64 * (64 * 9) *
+                          (8 * 8));
+  kernels::set_num_threads(0);
+}
+BENCHMARK(BM_BackwardConv2d)->Apply(train_threads);
+
+void BM_SgdStep(benchmark::State& state) {
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  nn::Parameter p;
+  p.name = "w";
+  p.value = Tensor::randn({kOut, kIn}, rng);
+  p.grad = Tensor::randn({kOut, kIn}, rng);
+  nn::Sgd opt({&p}, nn::SgdConfig{});
+  for (auto _ : state) {
+    opt.step();
+    benchmark::DoNotOptimize(p.value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.value.numel());
+  kernels::set_num_threads(0);
+}
+BENCHMARK(BM_SgdStep)->Apply(train_threads);
+
+void BM_SaliencySweep(benchmark::State& state) {
+  kernels::set_num_threads(static_cast<int>(state.range(0)));
+  // CASS on a thin VGG: calibration forward/backward passes plus the
+  // |grad| * |weight| sweep over every prunable parameter — the Algorithm 1
+  // step the pruning loop repeats every iteration.
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = 8;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.25f;
+  auto model = nn::make_vgg16(mcfg);
+
+  data::ClassPatternConfig dcfg;
+  dcfg.num_classes = 8;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 8;
+  dcfg.test_per_class = 1;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  core::SaliencyConfig cfg;
+  cfg.batch_size = 16;
+  cfg.max_batches = 2;
+  std::int64_t weights = 0;
+  for (const nn::Parameter* p : model->prunable_parameters())
+    weights += p->value.numel();
+  for (auto _ : state) {
+    core::SaliencyMap scores = core::estimate_saliency(*model, split.train, cfg);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * weights);
+  kernels::set_num_threads(0);
+}
+BENCHMARK(BM_SaliencySweep)->Apply(train_threads);
+
+}  // namespace

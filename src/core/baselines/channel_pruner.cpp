@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <numeric>
 
+#include "kernels/parallel_for.h"
+
 namespace crisp::core {
 
 ChannelPruner::ChannelPruner(nn::Sequential& model,
@@ -38,13 +40,23 @@ ChannelPruneReport ChannelPruner::run(const data::Dataset& user_data,
       const nn::Parameter& prm = *params[i];
       const std::int64_t rows = prm.matrix_rows, cols = prm.matrix_cols;
       total_elements += rows * cols;
-      for (std::int64_t r = 0; r < rows; ++r) {
-        double acc = 0.0;
-        const float* srow = saliency[i].data() + r * cols;
-        for (std::int64_t c = 0; c < cols; ++c) acc += srow[c];
-        channels.push_back(
-            {acc / static_cast<double>(cols), i, r, cols});
-      }
+      // Per-row mean saliency: each row reduces its own slice in a fixed
+      // column order — channel-parallel with disjoint writes.
+      std::vector<double> row_scores(static_cast<std::size_t>(rows), 0.0);
+      kernels::parallel_for(
+          rows,
+          [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+              double acc = 0.0;
+              const float* srow = saliency[i].data() + r * cols;
+              for (std::int64_t c = 0; c < cols; ++c) acc += srow[c];
+              row_scores[static_cast<std::size_t>(r)] =
+                  acc / static_cast<double>(cols);
+            }
+          },
+          kernels::rows_grain(cols));
+      for (std::int64_t r = 0; r < rows; ++r)
+        channels.push_back({row_scores[static_cast<std::size_t>(r)], i, r, cols});
     }
     std::stable_sort(channels.begin(), channels.end(),
                      [](const Channel& a, const Channel& b) {

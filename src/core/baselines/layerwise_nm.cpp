@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "core/nm_pruning.h"
+#include "kernels/parallel_for.h"
+#include "kernels/reduce.h"
 #include "sparse/nm.h"
 
 namespace crisp::core {
@@ -23,21 +25,52 @@ LayerSteps layer_steps(const Tensor& saliency, std::int64_t rows,
   LayerSteps out;
   out.losses.assign(static_cast<std::size_t>(m - 1), 0.0);
   out.removals.assign(static_cast<std::size_t>(m - 1), 0);
-  std::vector<float> group;
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* srow = saliency.data() + r * cols;
-    for (std::int64_t c0 = 0; c0 < cols; c0 += m) {
-      const std::int64_t g = std::min(m, cols - c0);
-      group.assign(srow + c0, srow + c0 + g);
-      std::sort(group.begin(), group.end(), std::greater<float>());
-      for (std::int64_t j = 0; j < m - 1; ++j) {
-        const std::int64_t kept_after = m - j - 1;  // min(n', g) if g allows
-        if (g >= m - j) {  // this group actually loses an element at step j
-          out.losses[static_cast<std::size_t>(j)] +=
-              static_cast<double>(group[static_cast<std::size_t>(kept_after)]);
-          out.removals[static_cast<std::size_t>(j)] += 1;
+  // Row-parallel sweep with double accumulators: kernels::parallel_accumulate
+  // only carries floats, so this hand-rolls the same recipe — the row range
+  // is cut with the reduce_chunk_count partition (pure in rows/grain, never
+  // the thread count), every chunk owns a private LayerSteps, and chunks
+  // merge in ascending order afterwards.
+  const std::int64_t grain = kernels::rows_grain(8 * cols);
+  const std::int64_t nchunks = kernels::reduce_chunk_count(rows, grain);
+  const std::int64_t width = kernels::reduce_chunk_width(rows, grain);
+  std::vector<LayerSteps> parts(static_cast<std::size_t>(nchunks));
+  for (auto& part : parts) {
+    part.losses.assign(static_cast<std::size_t>(m - 1), 0.0);
+    part.removals.assign(static_cast<std::size_t>(m - 1), 0);
+  }
+  kernels::parallel_for(
+      nchunks,
+      [&](std::int64_t k0, std::int64_t k1) {
+        std::vector<float> group;
+        for (std::int64_t k = k0; k < k1; ++k) {
+          LayerSteps& part = parts[static_cast<std::size_t>(k)];
+          const std::int64_t r1 = std::min(rows, (k + 1) * width);
+          for (std::int64_t r = k * width; r < r1; ++r) {
+            const float* srow = saliency.data() + r * cols;
+            for (std::int64_t c0 = 0; c0 < cols; c0 += m) {
+              const std::int64_t g = std::min(m, cols - c0);
+              group.assign(srow + c0, srow + c0 + g);
+              std::sort(group.begin(), group.end(), std::greater<float>());
+              for (std::int64_t j = 0; j < m - 1; ++j) {
+                const std::int64_t kept_after = m - j - 1;  // min(n', g)
+                if (g >= m - j) {  // group loses an element at step j
+                  part.losses[static_cast<std::size_t>(j)] +=
+                      static_cast<double>(
+                          group[static_cast<std::size_t>(kept_after)]);
+                  part.removals[static_cast<std::size_t>(j)] += 1;
+                }
+              }
+            }
+          }
         }
-      }
+      },
+      /*grain=*/1);
+  for (const LayerSteps& part : parts) {
+    for (std::int64_t j = 0; j < m - 1; ++j) {
+      out.losses[static_cast<std::size_t>(j)] +=
+          part.losses[static_cast<std::size_t>(j)];
+      out.removals[static_cast<std::size_t>(j)] +=
+          part.removals[static_cast<std::size_t>(j)];
     }
   }
   return out;

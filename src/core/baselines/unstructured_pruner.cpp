@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "kernels/parallel_for.h"
+
 namespace crisp::core {
 
 UnstructuredPruner::UnstructuredPruner(nn::Sequential& model,
@@ -44,12 +46,18 @@ UnstructuredPruneReport UnstructuredPruner::run(const data::Dataset& user_data,
     }
 
     // Keep strictly-above-threshold weights (re-selection each iteration —
-    // the same STE revival CRISP gets).
+    // the same STE revival CRISP gets). Elementwise compare: disjoint
+    // writes, so the sweep threads.
     for (std::size_t i = 0; i < params.size(); ++i) {
       nn::Parameter& prm = *params[i];
       prm.ensure_mask();
-      for (std::int64_t e = 0; e < prm.value.numel(); ++e)
-        prm.mask[e] = saliency[i][e] > threshold ? 1.0f : 0.0f;
+      kernels::parallel_for(
+          prm.value.numel(),
+          [&](std::int64_t e0, std::int64_t e1) {
+            for (std::int64_t e = e0; e < e1; ++e)
+              prm.mask[e] = saliency[i][e] > threshold ? 1.0f : 0.0f;
+          },
+          kernels::rows_grain(1));
     }
 
     nn::TrainConfig tc;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "kernels/parallel_for.h"
 #include "sparse/mask.h"
 #include "sparse/nm.h"
 
@@ -19,14 +20,19 @@ struct RankColumn {
 
 /// Ascending per-row sort of the block-score grid → grid of rank columns.
 /// Returns (grid_rows x grid_cols) where column o is each row's o-th
-/// smallest score.
+/// smallest score. Rows sort independently, so the sweep threads.
 Tensor sorted_rows(const Tensor& scores) {
   const std::int64_t gr = scores.size(0), gc = scores.size(1);
   Tensor out = scores;
-  for (std::int64_t r = 0; r < gr; ++r) {
-    float* row = out.data() + r * gc;
-    std::sort(row, row + gc);
-  }
+  kernels::parallel_for(
+      gr,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          float* row = out.data() + r * gc;
+          std::sort(row, row + gc);
+        }
+      },
+      kernels::rows_grain(8 * gc));
   return out;
 }
 
@@ -55,12 +61,24 @@ std::vector<std::int64_t> plan_rank_column_pruning(
     const std::int64_t gr = g.grid_rows(), gc = g.grid_cols();
     const double layer_total =
         std::max(static_cast<double>(layer.scores.sum()), 1e-30);
+    // Column aggregation (line 7): each rank column sums its own grid
+    // column in ascending row order — disjoint writes, thread-invariant.
+    std::vector<double> aggs(static_cast<std::size_t>(gc), 0.0);
+    kernels::parallel_for(
+        gc,
+        [&](std::int64_t o0, std::int64_t o1) {
+          for (std::int64_t o = o0; o < o1; ++o) {
+            double agg = 0.0;
+            for (std::int64_t r = 0; r < gr; ++r) agg += ranked[r * gc + o];
+            aggs[static_cast<std::size_t>(o)] = agg;
+          }
+        },
+        kernels::rows_grain(gr));
     for (std::int64_t o = 0; o < gc; ++o) {
       RankColumn col;
       col.layer = static_cast<std::int64_t>(li);
       col.rank = o;
-      double agg = 0.0;
-      for (std::int64_t r = 0; r < gr; ++r) agg += ranked[r * gc + o];
+      const double agg = aggs[static_cast<std::size_t>(o)];
       // One block leaves every block-row; edge blocks are narrower, so the
       // exact cost is rows x the average column extent. Using B for the
       // column extent is exact away from the right edge; we charge the
@@ -135,7 +153,12 @@ void install_random_hybrid_masks(nn::Sequential& model, std::int64_t block,
     const Tensor mask = random_hybrid_mask(rng, p->matrix_rows, p->matrix_cols,
                                            block, n, m, pruned_ranks);
     p->ensure_mask();
-    for (std::int64_t i = 0; i < mask.numel(); ++i) p->mask[i] = mask[i];
+    kernels::parallel_for(
+        mask.numel(),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) p->mask[i] = mask[i];
+        },
+        kernels::rows_grain(1));
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/parallel_for.h"
 #include "nn/loss.h"
 
 namespace crisp::core {
@@ -24,7 +25,17 @@ SaliencyMap estimate_saliency(nn::Sequential& model,
 
   switch (cfg.kind) {
     case SaliencyKind::kMagnitude: {
-      for (nn::Parameter* p : params) scores.push_back(p->value.abs());
+      for (nn::Parameter* p : params) {
+        Tensor s(p->value.shape());
+        kernels::parallel_for(
+            s.numel(),
+            [&](std::int64_t i0, std::int64_t i1) {
+              for (std::int64_t i = i0; i < i1; ++i)
+                s[i] = std::fabs(p->value[i]);
+            },
+            kernels::rows_grain(1));
+        scores.push_back(std::move(s));
+      }
       return scores;
     }
     case SaliencyKind::kRandom: {
@@ -54,9 +65,17 @@ SaliencyMap estimate_saliency(nn::Sequential& model,
 
   const float inv = 1.0f / static_cast<float>(batches);
   for (nn::Parameter* p : params) {
+    // T_w = |(1/H) Σ ∂L/∂W| ⊙ |W| — elementwise over the (already
+    // batch-accumulated, thread-count-invariant) gradient, so the sweep
+    // threads with disjoint writes.
     Tensor s(p->value.shape());
-    for (std::int64_t i = 0; i < s.numel(); ++i)
-      s[i] = std::fabs(p->grad[i] * inv) * std::fabs(p->value[i]);
+    kernels::parallel_for(
+        s.numel(),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i)
+            s[i] = std::fabs(p->grad[i] * inv) * std::fabs(p->value[i]);
+        },
+        kernels::rows_grain(1));
     scores.push_back(std::move(s));
   }
   model.zero_grad();  // leave no stale gradients for the next training phase

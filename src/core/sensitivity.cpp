@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/block_pruning.h"
+#include "kernels/parallel_for.h"
 #include "nn/trainer.h"
 #include "sparse/block.h"
 #include "sparse/mask.h"
@@ -68,7 +69,12 @@ std::vector<LayerSensitivity> layer_sensitivity(
       p.ensure_mask();
       const double achieved =
           sparse::mask_sparsity(as_matrix(mask, p.matrix_rows, p.matrix_cols));
-      for (std::int64_t e = 0; e < mask.numel(); ++e) p.mask[e] = mask[e];
+      kernels::parallel_for(
+          mask.numel(),
+          [&](std::int64_t e0, std::int64_t e1) {
+            for (std::int64_t e = e0; e < e1; ++e) p.mask[e] = mask[e];
+          },
+          kernels::rows_grain(1));
 
       const double loss =
           nn::evaluate_loss(model, calibration, cfg.batch_size);

@@ -1,0 +1,24 @@
+// Software prefetch hint for the sparse gather loops.
+//
+// The SpmmKernel inner loops read activation rows through an indirection
+// (column index / MUX offset), so the hardware prefetcher cannot follow
+// them. Issuing a read-prefetch for the *next* slot's activation row while
+// the current axpy runs hides part of that gather latency. A hint never
+// changes results — kernels stay bit-identical with or without it — and it
+// compiles to nothing on toolchains without __builtin_prefetch.
+#pragma once
+
+namespace crisp::kernels {
+
+/// Read-prefetch `addr` with low temporal locality (the gathered row is
+/// consumed once per slot). Safe for any address, including out-of-range
+/// speculation: prefetching never faults.
+inline void prefetch_read(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/1);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace crisp::kernels

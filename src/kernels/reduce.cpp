@@ -1,0 +1,81 @@
+#include "kernels/reduce.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "kernels/parallel_for.h"
+
+namespace crisp::kernels {
+
+std::int64_t reduce_chunk_width(std::int64_t total, std::int64_t grain) {
+  if (total <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return std::max(grain, (total + kMaxReduceChunks - 1) / kMaxReduceChunks);
+}
+
+std::int64_t reduce_chunk_count(std::int64_t total, std::int64_t grain) {
+  if (total <= 0) return 0;
+  const std::int64_t width = reduce_chunk_width(total, grain);
+  return (total + width - 1) / width;
+}
+
+void deterministic_reduce(float* parts, std::int64_t nparts, std::int64_t len,
+                          float* out) {
+  if (nparts <= 0 || len <= 0) return;
+  // Stride-doubling pairwise tree: each level halves the live part count.
+  // Every merge is element-parallel with disjoint writes, so the threads
+  // only change who executes a merge, never the order values combine in.
+  for (std::int64_t stride = 1; stride < nparts; stride *= 2) {
+    for (std::int64_t i = 0; i + stride < nparts; i += 2 * stride) {
+      float* dst = parts + i * len;
+      const float* src = parts + (i + stride) * len;
+      parallel_for(
+          len,
+          [&](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t j = j0; j < j1; ++j) dst[j] += src[j];
+          },
+          rows_grain(1));
+    }
+  }
+  const float* sum = parts;
+  parallel_for(
+      len,
+      [&](std::int64_t j0, std::int64_t j1) {
+        for (std::int64_t j = j0; j < j1; ++j) out[j] += sum[j];
+      },
+      rows_grain(1));
+}
+
+void parallel_accumulate(std::int64_t total, std::int64_t grain,
+                         std::int64_t len, const AccumulateFn& fn, float* out) {
+  if (total <= 0 || len <= 0) return;
+  const std::int64_t nchunks = reduce_chunk_count(total, grain);
+  if (nchunks <= 1) {
+    // One chunk ⇒ no scratch: accumulate straight into the destination.
+    // Still thread-count independent — the chunk count is a pure function
+    // of (total, grain).
+    fn(out, 0, total);
+    return;
+  }
+  const std::int64_t width = reduce_chunk_width(total, grain);
+  // Scratch is allocated uninitialised (new[] without value-init): each
+  // chunk zeroes its own slice inside the parallel region, so the
+  // gradient-sized clears run on the workers instead of serially on the
+  // caller.
+  std::unique_ptr<float[]> scratch(
+      new float[static_cast<std::size_t>(nchunks * len)]);
+  float* parts = scratch.get();
+  parallel_for(
+      nchunks,
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          float* acc = parts + c * len;
+          std::fill(acc, acc + len, 0.0f);
+          fn(acc, c * width, std::min(total, (c + 1) * width));
+        }
+      },
+      /*grain=*/1);
+  deterministic_reduce(parts, nchunks, len, out);
+}
+
+}  // namespace crisp::kernels

@@ -1,0 +1,68 @@
+// Deterministic parallel accumulation — the backward-pass counterpart of
+// parallel_for.
+//
+// Forward kernels thread by giving every output element exactly one writer,
+// so no accumulation ever crosses a chunk boundary. Gradient work is the
+// opposite shape: many samples contribute to the *same* parameter gradient,
+// so a naive batch-parallel backward would race (or, with atomics, pick up a
+// thread-count-dependent summation order). parallel_accumulate restores the
+// forward path's contract for reductions:
+//
+//   * [0, total) is cut into chunks whose boundaries are a pure function of
+//     (total, grain) — never the thread count (same rule as parallel_for);
+//   * every chunk accumulates into its own private buffer;
+//   * buffers are merged by a fixed-order pairwise tree (deterministic_reduce)
+//     whose shape depends only on the chunk count.
+//
+// The summation order is therefore frozen by (total, grain) alone, and
+// gradients come out bit-identical at any kernels::num_threads() — the
+// property tests/test_backward_threading.cpp locks in for every layer type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace crisp::kernels {
+
+/// Cap on the per-chunk scratch buffers parallel_accumulate allocates. Lower
+/// than parallel_for's internal chunk cap because each chunk here costs a
+/// full gradient-sized buffer, not just a dispatch: a Conv2d weight gradient
+/// is megabytes, and 16 chunks already load-balance any realistic pool.
+constexpr std::int64_t kMaxReduceChunks = 16;
+
+/// Number of chunks parallel_accumulate partitions [0, total) into. A pure
+/// function of (total, grain) — callers that hand-roll reductions over other
+/// element types (e.g. double accumulators) use this to size their per-chunk
+/// state so the partition stays thread-count independent.
+std::int64_t reduce_chunk_count(std::int64_t total, std::int64_t grain);
+
+/// Width of each chunk in the reduce_chunk_count partition; chunk c covers
+/// [c * width, min(total, (c+1) * width)).
+std::int64_t reduce_chunk_width(std::int64_t total, std::int64_t grain);
+
+/// out[j] += Σ_p parts[p * len + j], merged in a fixed pairwise-tree order
+/// over the part index (stride-doubling: p += p+1, p+2 += p+3, ...). `parts`
+/// is part-major — nparts contiguous slices of `len` floats. The tree shape
+/// depends only on nparts, so the float summation order is frozen no matter
+/// how many threads execute the (element-parallel, write-disjoint) merges.
+/// Parts are consumed (mutated) by the merge.
+void deterministic_reduce(float* parts, std::int64_t nparts, std::int64_t len,
+                          float* out);
+
+/// Chunk body of a parallel reduction: accumulates the half-open index range
+/// [begin, end) into `acc` (a zeroed buffer of the caller's declared length).
+using AccumulateFn =
+    std::function<void(float* acc, std::int64_t begin, std::int64_t end)>;
+
+/// Runs `fn` over [0, total) partitioned into reduce_chunk_count chunks, each
+/// with a private zero-initialised accumulator of `len` floats, then merges
+/// the accumulators into `out` (out[j] += sum) via deterministic_reduce.
+/// When the partition collapses to a single chunk the body accumulates
+/// straight into `out` — the serial fast path, still consistent at any
+/// thread count because the chunk count never depends on it. `grain` has the
+/// same meaning as in parallel_for (minimum indices per chunk; size it with
+/// rows_grain so tiny batches skip the scratch buffers entirely).
+void parallel_accumulate(std::int64_t total, std::int64_t grain,
+                         std::int64_t len, const AccumulateFn& fn, float* out);
+
+}  // namespace crisp::kernels

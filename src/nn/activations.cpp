@@ -1,5 +1,7 @@
 #include "nn/activations.h"
 
+#include "kernels/parallel_for.h"
+
 namespace crisp::nn {
 
 Tensor ReLU::forward_eval(const Tensor& x) const {
@@ -24,11 +26,17 @@ Tensor ReLU::backward(const Tensor& grad_out) {
               name() << ": backward without cached forward");
   CRISP_CHECK(grad_out.same_shape(cached_input_), name() << ": shape mismatch");
   Tensor grad_in(grad_out.shape());
-  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
-    const float v = cached_input_[i];
-    const bool pass = cap_ < 0.0f ? (v > 0.0f) : (v > 0.0f && v < cap_);
-    grad_in[i] = pass ? grad_out[i] : 0.0f;
-  }
+  // Pure elementwise gate: disjoint writes, trivially thread-invariant.
+  kernels::parallel_for(
+      grad_out.numel(),
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float v = cached_input_[i];
+          const bool pass = cap_ < 0.0f ? (v > 0.0f) : (v > 0.0f && v < cap_);
+          grad_in[i] = pass ? grad_out[i] : 0.0f;
+        }
+      },
+      kernels::rows_grain(1));
   return grad_in;
 }
 

@@ -1,7 +1,9 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <vector>
 
+#include "kernels/parallel_for.h"
 #include "tensor/matmul.h"
 
 namespace crisp::nn {
@@ -32,8 +34,13 @@ Tensor project(const Tensor& x, const Parameter& w, const Parameter& b,
   Tensor y({rows, dim});
   matmul_nt(ConstMatrixView(x.data(), rows, dim),
             as_matrix(w_eff, dim, dim), as_matrix(y, rows, dim));
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (std::int64_t i = 0; i < dim; ++i) y[r * dim + i] += b.value[i];
+  kernels::parallel_for(
+      rows,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r)
+          for (std::int64_t i = 0; i < dim; ++i) y[r * dim + i] += b.value[i];
+      },
+      kernels::rows_grain(dim));
   return y;
 }
 
@@ -44,8 +51,18 @@ Tensor project_backward(const Tensor& dy, const Tensor& x, Parameter& w,
   matmul_tn(ConstMatrixView(dy.data(), rows, dim),
             ConstMatrixView(x.data(), rows, dim), as_matrix(dw, dim, dim));
   w.grad.add_(dw);
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (std::int64_t i = 0; i < dim; ++i) b.grad[i] += dy[r * dim + i];
+  // db[i] += Σ_r dY[r,i] — one writer per bias slot, rows accumulated in
+  // ascending order inside it, so the sum never depends on the partition.
+  kernels::parallel_for(
+      dim,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float acc = 0.0f;
+          for (std::int64_t r = 0; r < rows; ++r) acc += dy[r * dim + i];
+          b.grad[i] += acc;
+        }
+      },
+      kernels::rows_grain(rows));
 
   const Tensor w_eff = w.effective_value();
   Tensor dx({rows, dim});
@@ -88,41 +105,48 @@ MultiHeadSelfAttention::ForwardState MultiHeadSelfAttention::run_forward(
   Tensor attn({batch, heads_, tokens, tokens});
   Tensor o({batch, tokens, dim_});
 
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t h = 0; h < heads_; ++h) {
-      const std::int64_t off = h * head_dim_;
-      float* a = attn.data() + ((b * heads_ + h) * tokens) * tokens;
-      // scores S = Q_h · K_hᵀ * scale, then row-softmax in place.
-      for (std::int64_t i = 0; i < tokens; ++i) {
-        const float* qi = q.data() + (b * tokens + i) * dim_ + off;
-        float mx = -1e30f;
-        for (std::int64_t j = 0; j < tokens; ++j) {
-          const float* kj = k.data() + (b * tokens + j) * dim_ + off;
-          float s = 0.0f;
-          for (std::int64_t d = 0; d < head_dim_; ++d) s += qi[d] * kj[d];
-          a[i * tokens + j] = s * scale;
-          mx = std::max(mx, a[i * tokens + j]);
+  // Every (b, h) pair owns its attention plane and its `off` column band of
+  // o, so the head loop threads with disjoint writes and per-(b, h) math
+  // that never depends on the partition.
+  kernels::parallel_for(
+      batch * heads_,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bh = p0; bh < p1; ++bh) {
+          const std::int64_t b = bh / heads_, h = bh % heads_;
+          const std::int64_t off = h * head_dim_;
+          float* a = attn.data() + (bh * tokens) * tokens;
+          // scores S = Q_h · K_hᵀ * scale, then row-softmax in place.
+          for (std::int64_t i = 0; i < tokens; ++i) {
+            const float* qi = q.data() + (b * tokens + i) * dim_ + off;
+            float mx = -1e30f;
+            for (std::int64_t j = 0; j < tokens; ++j) {
+              const float* kj = k.data() + (b * tokens + j) * dim_ + off;
+              float s = 0.0f;
+              for (std::int64_t d = 0; d < head_dim_; ++d) s += qi[d] * kj[d];
+              a[i * tokens + j] = s * scale;
+              mx = std::max(mx, a[i * tokens + j]);
+            }
+            double denom = 0.0;
+            for (std::int64_t j = 0; j < tokens; ++j) {
+              a[i * tokens + j] = std::exp(a[i * tokens + j] - mx);
+              denom += a[i * tokens + j];
+            }
+            const float inv = static_cast<float>(1.0 / denom);
+            for (std::int64_t j = 0; j < tokens; ++j) a[i * tokens + j] *= inv;
+          }
+          // O_h = A · V_h
+          for (std::int64_t i = 0; i < tokens; ++i) {
+            float* oi = o.data() + (b * tokens + i) * dim_ + off;
+            for (std::int64_t d = 0; d < head_dim_; ++d) oi[d] = 0.0f;
+            for (std::int64_t j = 0; j < tokens; ++j) {
+              const float aij = a[i * tokens + j];
+              const float* vj = v.data() + (b * tokens + j) * dim_ + off;
+              for (std::int64_t d = 0; d < head_dim_; ++d) oi[d] += aij * vj[d];
+            }
+          }
         }
-        double denom = 0.0;
-        for (std::int64_t j = 0; j < tokens; ++j) {
-          a[i * tokens + j] = std::exp(a[i * tokens + j] - mx);
-          denom += a[i * tokens + j];
-        }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (std::int64_t j = 0; j < tokens; ++j) a[i * tokens + j] *= inv;
-      }
-      // O_h = A · V_h
-      for (std::int64_t i = 0; i < tokens; ++i) {
-        float* oi = o.data() + (b * tokens + i) * dim_ + off;
-        for (std::int64_t d = 0; d < head_dim_; ++d) oi[d] = 0.0f;
-        for (std::int64_t j = 0; j < tokens; ++j) {
-          const float aij = a[i * tokens + j];
-          const float* vj = v.data() + (b * tokens + j) * dim_ + off;
-          for (std::int64_t d = 0; d < head_dim_; ++d) oi[d] += aij * vj[d];
-        }
-      }
-    }
-  }
+      },
+      kernels::rows_grain(2 * tokens * tokens * head_dim_));
 
   Tensor y = project(o, wo_, bo_, rows, dim_);
   y.reshape_inplace({batch, tokens, dim_});
@@ -170,53 +194,62 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
   Tensor dk({batch, tokens, dim_});
   Tensor dv({batch, tokens, dim_});
 
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t h = 0; h < heads_; ++h) {
-      const std::int64_t off = h * head_dim_;
-      const float* a = cached_attn_.data() + ((b * heads_ + h) * tokens) * tokens;
-      // dA = dO_h · V_hᵀ ; dV_h = Aᵀ · dO_h
-      std::vector<float> da(static_cast<std::size_t>(tokens * tokens), 0.0f);
-      for (std::int64_t i = 0; i < tokens; ++i) {
-        const float* doi = d_o.data() + (b * tokens + i) * dim_ + off;
-        for (std::int64_t j = 0; j < tokens; ++j) {
-          const float* vj = cached_v_.data() + (b * tokens + j) * dim_ + off;
-          float acc = 0.0f;
-          for (std::int64_t d = 0; d < head_dim_; ++d) acc += doi[d] * vj[d];
-          da[static_cast<std::size_t>(i * tokens + j)] = acc;
+  // Mirror of the forward partition: each (b, h) pair writes only its own
+  // `off` column band of dq/dk/dv (rows of one sample, columns of one
+  // head), so the head loop threads with disjoint writes; the dS scratch
+  // is per-(b, h).
+  kernels::parallel_for(
+      batch * heads_,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bh = p0; bh < p1; ++bh) {
+          const std::int64_t b = bh / heads_, h = bh % heads_;
+          const std::int64_t off = h * head_dim_;
+          const float* a = cached_attn_.data() + (bh * tokens) * tokens;
+          // dA = dO_h · V_hᵀ ; dV_h = Aᵀ · dO_h
+          std::vector<float> da(static_cast<std::size_t>(tokens * tokens),
+                                0.0f);
+          for (std::int64_t i = 0; i < tokens; ++i) {
+            const float* doi = d_o.data() + (b * tokens + i) * dim_ + off;
+            for (std::int64_t j = 0; j < tokens; ++j) {
+              const float* vj = cached_v_.data() + (b * tokens + j) * dim_ + off;
+              float acc = 0.0f;
+              for (std::int64_t d = 0; d < head_dim_; ++d) acc += doi[d] * vj[d];
+              da[static_cast<std::size_t>(i * tokens + j)] = acc;
 
-          const float aij = a[i * tokens + j];
-          float* dvj = dv.data() + (b * tokens + j) * dim_ + off;
-          for (std::int64_t d = 0; d < head_dim_; ++d) dvj[d] += aij * doi[d];
-        }
-      }
-      // Softmax backward: dS_ij = A_ij (dA_ij − Σ_k dA_ik A_ik).
-      for (std::int64_t i = 0; i < tokens; ++i) {
-        double dot = 0.0;
-        for (std::int64_t j = 0; j < tokens; ++j)
-          dot += static_cast<double>(da[static_cast<std::size_t>(i * tokens + j)]) *
-                 a[i * tokens + j];
-        for (std::int64_t j = 0; j < tokens; ++j) {
-          const std::size_t idx = static_cast<std::size_t>(i * tokens + j);
-          da[idx] = a[i * tokens + j] *
-                    (da[idx] - static_cast<float>(dot));  // now holds dS
-        }
-      }
-      // dQ_h = dS · K_h · scale ; dK_h = dSᵀ · Q_h · scale
-      for (std::int64_t i = 0; i < tokens; ++i) {
-        float* dqi = dq.data() + (b * tokens + i) * dim_ + off;
-        for (std::int64_t j = 0; j < tokens; ++j) {
-          const float ds = da[static_cast<std::size_t>(i * tokens + j)] * scale;
-          const float* kj = cached_k_.data() + (b * tokens + j) * dim_ + off;
-          const float* qi = cached_q_.data() + (b * tokens + i) * dim_ + off;
-          float* dkj = dk.data() + (b * tokens + j) * dim_ + off;
-          for (std::int64_t d = 0; d < head_dim_; ++d) {
-            dqi[d] += ds * kj[d];
-            dkj[d] += ds * qi[d];
+              const float aij = a[i * tokens + j];
+              float* dvj = dv.data() + (b * tokens + j) * dim_ + off;
+              for (std::int64_t d = 0; d < head_dim_; ++d) dvj[d] += aij * doi[d];
+            }
+          }
+          // Softmax backward: dS_ij = A_ij (dA_ij − Σ_k dA_ik A_ik).
+          for (std::int64_t i = 0; i < tokens; ++i) {
+            double dot = 0.0;
+            for (std::int64_t j = 0; j < tokens; ++j)
+              dot += static_cast<double>(da[static_cast<std::size_t>(i * tokens + j)]) *
+                     a[i * tokens + j];
+            for (std::int64_t j = 0; j < tokens; ++j) {
+              const std::size_t idx = static_cast<std::size_t>(i * tokens + j);
+              da[idx] = a[i * tokens + j] *
+                        (da[idx] - static_cast<float>(dot));  // now holds dS
+            }
+          }
+          // dQ_h = dS · K_h · scale ; dK_h = dSᵀ · Q_h · scale
+          for (std::int64_t i = 0; i < tokens; ++i) {
+            float* dqi = dq.data() + (b * tokens + i) * dim_ + off;
+            for (std::int64_t j = 0; j < tokens; ++j) {
+              const float ds = da[static_cast<std::size_t>(i * tokens + j)] * scale;
+              const float* kj = cached_k_.data() + (b * tokens + j) * dim_ + off;
+              const float* qi = cached_q_.data() + (b * tokens + i) * dim_ + off;
+              float* dkj = dk.data() + (b * tokens + j) * dim_ + off;
+              for (std::int64_t d = 0; d < head_dim_; ++d) {
+                dqi[d] += ds * kj[d];
+                dkj[d] += ds * qi[d];
+              }
+            }
           }
         }
-      }
-    }
-  }
+      },
+      kernels::rows_grain(3 * tokens * tokens * head_dim_));
 
   Tensor dx = project_backward(dq, cached_x_, wq_, bq_, rows, dim_);
   dx.add_(project_backward(dk, cached_x_, wk_, bk_, rows, dim_));

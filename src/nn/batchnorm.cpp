@@ -111,34 +111,43 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   const double count = static_cast<double>(batch * hw);
   Tensor grad_in(grad_out.shape());
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
-    // Standard batch-norm backward:
-    // dxhat = dy * gamma
-    // dx = inv_std/N * (N*dxhat - Σdxhat - xhat*Σ(dxhat*xhat))
-    double sum_dy = 0.0, sum_dy_xhat = 0.0;
-    for (std::int64_t b = 0; b < batch; ++b) {
-      const float* dy = grad_out.data() + b * plane + c * hw;
-      const float* xh = cached_xhat_.data() + b * plane + c * hw;
-      for (std::int64_t i = 0; i < hw; ++i) {
-        sum_dy += dy[i];
-        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
-      }
-    }
-    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
-    beta_.grad[c] += static_cast<float>(sum_dy);
+  // Same partitioning argument as the training forward: every channel owns
+  // its reduction sums, its gamma/beta gradient slots, and its (b, c) planes
+  // of grad_in, so the channel loop threads with disjoint writes and a
+  // per-channel accumulation order that never depends on the partition.
+  kernels::parallel_for(
+      channels_,
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          // Standard batch-norm backward:
+          // dxhat = dy * gamma
+          // dx = inv_std/N * (N*dxhat - Σdxhat - xhat*Σ(dxhat*xhat))
+          double sum_dy = 0.0, sum_dy_xhat = 0.0;
+          for (std::int64_t b = 0; b < batch; ++b) {
+            const float* dy = grad_out.data() + b * plane + c * hw;
+            const float* xh = cached_xhat_.data() + b * plane + c * hw;
+            for (std::int64_t i = 0; i < hw; ++i) {
+              sum_dy += dy[i];
+              sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+            }
+          }
+          gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+          beta_.grad[c] += static_cast<float>(sum_dy);
 
-    const float g = gamma_.value[c];
-    const float inv_std = cached_inv_std_[c];
-    const float mean_dy = static_cast<float>(sum_dy / count);
-    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
-    for (std::int64_t b = 0; b < batch; ++b) {
-      const float* dy = grad_out.data() + b * plane + c * hw;
-      const float* xh = cached_xhat_.data() + b * plane + c * hw;
-      float* dx = grad_in.data() + b * plane + c * hw;
-      for (std::int64_t i = 0; i < hw; ++i)
-        dx[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
-    }
-  }
+          const float g = gamma_.value[c];
+          const float inv_std = cached_inv_std_[c];
+          const float mean_dy = static_cast<float>(sum_dy / count);
+          const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+          for (std::int64_t b = 0; b < batch; ++b) {
+            const float* dy = grad_out.data() + b * plane + c * hw;
+            const float* xh = cached_xhat_.data() + b * plane + c * hw;
+            float* dx = grad_in.data() + b * plane + c * hw;
+            for (std::int64_t i = 0; i < hw; ++i)
+              dx[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+          }
+        }
+      },
+      kernels::rows_grain(3 * batch * hw));
   return grad_in;
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/reduce.h"
 #include "tensor/matmul.h"
 
 namespace crisp::nn {
@@ -95,12 +96,16 @@ Tensor Conv2d::compute_forward(const Tensor& x, bool use_hook) const {
   }
 
   if (spec_.bias) {
-    for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t c = 0; c < spec_.out_channels; ++c) {
-        float* plane = y.data() + (b * spec_.out_channels + c) * p;
-        const float bv = bias_.value[c];
-        for (std::int64_t i = 0; i < p; ++i) plane[i] += bv;
-      }
+    kernels::parallel_for(
+        batch * spec_.out_channels,
+        [&](std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t bc = p0; bc < p1; ++bc) {
+            float* plane = y.data() + bc * p;
+            const float bv = bias_.value[bc % spec_.out_channels];
+            for (std::int64_t i = 0; i < p; ++i) plane[i] += bv;
+          }
+        },
+        kernels::rows_grain(p));
   }
   return y;
 }
@@ -141,44 +146,66 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   const Tensor w_eff = weight_.effective_value();
   Tensor grad_in({batch, spec_.in_channels, in_h, in_w});
-  Tensor cols({k, p});
-  Tensor dcols({k, p});
 
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
-      const float* x_grp =
-          x.data() + (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
-      im2col(x_grp, g, cols.data());  // recomputed: cheaper than caching all
+  // Samples are independent on the input side (each writes its own grad_in
+  // slice) but all contribute to the same weight gradient, so the batch
+  // loop threads through parallel_accumulate: every chunk owns a private
+  // dW accumulator and a fixed-order tree merges them — gradients are
+  // bit-identical at any thread count (single-chunk batches accumulate
+  // straight into weight_.grad, exactly the old serial order). The inner
+  // GEMMs detect the parallel region and run inline; a batch too small to
+  // chunk keeps its GEMM-level threading instead.
+  auto backward_samples = [&](float* dw_acc, std::int64_t b0, std::int64_t b1) {
+    Tensor cols({k, p});
+    Tensor dcols({k, p});
+    Tensor dw_local({sg, k});
+    for (std::int64_t b = b0; b < b1; ++b) {
+      for (std::int64_t grp = 0; grp < spec_.groups; ++grp) {
+        const float* x_grp =
+            x.data() +
+            (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
+        im2col(x_grp, g, cols.data());  // recomputed: cheaper than caching all
 
-      ConstMatrixView dy(grad_out.data() + (b * spec_.out_channels + grp * sg) * p,
-                         sg, p);
-      // dW += dY · colsᵀ  — gradient w.r.t. the *effective* weight, stored on
-      // the dense weight (straight-through estimator).
-      MatrixView dw(weight_.grad.data() + grp * sg * k, sg, k);
-      Tensor dw_local({sg, k});
-      matmul_nt(dy, ConstMatrixView(cols.data(), k, p),
-                as_matrix(dw_local, sg, k));
-      for (std::int64_t i = 0; i < sg * k; ++i)
-        dw.data[i] += dw_local[i];
+        ConstMatrixView dy(
+            grad_out.data() + (b * spec_.out_channels + grp * sg) * p, sg, p);
+        // dW += dY · colsᵀ  — gradient w.r.t. the *effective* weight, stored
+        // on the dense weight (straight-through estimator).
+        matmul_nt(dy, ConstMatrixView(cols.data(), k, p),
+                  as_matrix(dw_local, sg, k));
+        float* dst = dw_acc + grp * sg * k;
+        for (std::int64_t i = 0; i < sg * k; ++i) dst[i] += dw_local[i];
 
-      // dcols = W_effᵀ · dY, then scatter back to the input image.
-      ConstMatrixView wmat(w_eff.data() + grp * sg * k, sg, k);
-      matmul_tn(wmat, dy, as_matrix(dcols, k, p));
-      float* gin =
-          grad_in.data() +
-          (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
-      col2im(dcols.data(), g, gin);
+        // dcols = W_effᵀ · dY, then scatter back to the input image.
+        ConstMatrixView wmat(w_eff.data() + grp * sg * k, sg, k);
+        matmul_tn(wmat, dy, as_matrix(dcols, k, p));
+        float* gin =
+            grad_in.data() +
+            (b * spec_.in_channels + grp * g.in_channels) * in_h * in_w;
+        col2im(dcols.data(), g, gin);
+      }
     }
-  }
+  };
+  // Per-sample cost ≈ the two GEMMs; im2col/col2im ride along.
+  kernels::parallel_accumulate(
+      batch, kernels::rows_grain(2 * spec_.out_channels * k * p),
+      weight_.grad.numel(), backward_samples, weight_.grad.data());
 
   if (spec_.bias) {
-    for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t c = 0; c < spec_.out_channels; ++c) {
-        const float* plane = grad_out.data() + (b * spec_.out_channels + c) * p;
-        double acc = 0.0;
-        for (std::int64_t i = 0; i < p; ++i) acc += plane[i];
-        bias_.grad[c] += static_cast<float>(acc);
-      }
+    // One writer per channel; the batch is summed in ascending order inside
+    // it, so the result never depends on the channel partition.
+    kernels::parallel_for(
+        spec_.out_channels,
+        [&](std::int64_t c0, std::int64_t c1) {
+          for (std::int64_t c = c0; c < c1; ++c)
+            for (std::int64_t b = 0; b < batch; ++b) {
+              const float* plane =
+                  grad_out.data() + (b * spec_.out_channels + c) * p;
+              double acc = 0.0;
+              for (std::int64_t i = 0; i < p; ++i) acc += plane[i];
+              bias_.grad[c] += static_cast<float>(acc);
+            }
+        },
+        kernels::rows_grain(batch * p));
   }
   return grad_in;
 }

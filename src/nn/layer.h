@@ -96,6 +96,13 @@ class Layer {
   /// Consumes d(loss)/d(output), accumulates parameter gradients, and
   /// returns d(loss)/d(input). Must be called after a forward with
   /// train=true on the same input.
+  ///
+  /// Threading contract (mirrors the forward path): every layer's backward
+  /// runs through crisp::kernels — batch/row/channel-parallel loops with
+  /// single-writer outputs, and per-chunk accumulators merged by
+  /// kernels::parallel_accumulate's fixed-order tree wherever many samples
+  /// feed one parameter gradient — so gradients are bit-identical at any
+  /// kernels::num_threads() (tests/test_backward_threading.cpp).
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
   virtual std::vector<Parameter*> parameters() { return {}; }

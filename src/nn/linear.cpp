@@ -69,9 +69,14 @@ Tensor Linear::compute_forward(const Tensor& x, bool use_hook) const {
               as_matrix(y, batch, out_features_));
   }
   if (has_bias_) {
-    for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t o = 0; o < out_features_; ++o)
-        y[b * out_features_ + o] += bias_.value[o];
+    kernels::parallel_for(
+        batch,
+        [&](std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t b = b0; b < b1; ++b)
+            for (std::int64_t o = 0; o < out_features_; ++o)
+              y[b * out_features_ + o] += bias_.value[o];
+        },
+        kernels::rows_grain(out_features_));
   }
   return y;
 }
@@ -108,9 +113,20 @@ Tensor Linear::backward(const Tensor& grad_out) {
   weight_.grad.add_(dw);
 
   if (has_bias_) {
-    for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t o = 0; o < out_features_; ++o)
-        bias_.grad[o] += grad_out[b * out_features_ + o];
+    // db[o] += Σ_b dY[b,o] — one writer per output feature, with the batch
+    // accumulated in ascending order inside it, so the sum is independent
+    // of how the features are chunked across threads.
+    kernels::parallel_for(
+        out_features_,
+        [&](std::int64_t o0, std::int64_t o1) {
+          for (std::int64_t o = o0; o < o1; ++o) {
+            float acc = 0.0f;
+            for (std::int64_t b = 0; b < batch; ++b)
+              acc += grad_out[b * out_features_ + o];
+            bias_.grad[o] += acc;
+          }
+        },
+        kernels::rows_grain(batch));
   }
 
   // dx = dY · W_eff

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/parallel_for.h"
 #include "tensor/check.h"
 
 namespace crisp::nn {
@@ -10,19 +11,25 @@ Tensor softmax(const Tensor& logits) {
   CRISP_CHECK(logits.dim() == 2, "softmax expects (B, C)");
   const std::int64_t batch = logits.size(0), classes = logits.size(1);
   Tensor probs(logits.shape());
-  for (std::int64_t b = 0; b < batch; ++b) {
-    const float* row = logits.data() + b * classes;
-    float* out = probs.data() + b * classes;
-    float mx = row[0];
-    for (std::int64_t c = 1; c < classes; ++c) mx = std::max(mx, row[c]);
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < classes; ++c) {
-      out[c] = std::exp(row[c] - mx);
-      denom += out[c];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < classes; ++c) out[c] *= inv;
-  }
+  // Rows normalise independently — disjoint writes, thread-invariant.
+  kernels::parallel_for(
+      batch,
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+          const float* row = logits.data() + b * classes;
+          float* out = probs.data() + b * classes;
+          float mx = row[0];
+          for (std::int64_t c = 1; c < classes; ++c) mx = std::max(mx, row[c]);
+          double denom = 0.0;
+          for (std::int64_t c = 0; c < classes; ++c) {
+            out[c] = std::exp(row[c] - mx);
+            denom += out[c];
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (std::int64_t c = 0; c < classes; ++c) out[c] *= inv;
+        }
+      },
+      kernels::rows_grain(3 * classes));
   return probs;
 }
 
@@ -35,17 +42,27 @@ LossResult cross_entropy(const Tensor& logits,
 
   LossResult res;
   res.grad = softmax(logits);
+  // The scalar loss reduces over the batch in a fixed serial order (O(B)
+  // log reads — negligible next to the softmax above), *before* the grad
+  // rows are rewritten below.
   double loss = 0.0;
-  const float inv_batch = 1.0f / static_cast<float>(batch);
   for (std::int64_t b = 0; b < batch; ++b) {
     const std::int64_t y = labels[static_cast<std::size_t>(b)];
     CRISP_CHECK(y >= 0 && y < classes, "label " << y << " out of range");
-    const float p = res.grad[b * classes + y];
-    loss -= std::log(std::max(p, 1e-12f));
-    // d(mean CE)/d(logits) = (softmax - onehot) / B
-    res.grad[b * classes + y] -= 1.0f;
+    loss -= std::log(std::max(res.grad[b * classes + y], 1e-12f));
   }
-  res.grad.scale_(inv_batch);
+  // d(mean CE)/d(logits) = (softmax - onehot) / B — row-disjoint writes.
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  kernels::parallel_for(
+      batch,
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b) {
+          float* row = res.grad.data() + b * classes;
+          row[labels[static_cast<std::size_t>(b)]] -= 1.0f;
+          for (std::int64_t c = 0; c < classes; ++c) row[c] *= inv_batch;
+        }
+      },
+      kernels::rows_grain(classes));
   res.value = static_cast<float>(loss / static_cast<double>(batch));
   return res;
 }

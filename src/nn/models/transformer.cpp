@@ -1,5 +1,6 @@
 #include "nn/models/transformer.h"
 
+#include "kernels/parallel_for.h"
 #include "nn/conv2d.h"
 
 namespace crisp::nn {
@@ -9,12 +10,18 @@ Tensor ToTokens::forward_eval(const Tensor& x) const {
   const std::int64_t batch = x.size(0), dim = x.size(1),
                      tokens = x.size(2) * x.size(3);
   Tensor y({batch, tokens, dim});
-  for (std::int64_t b = 0; b < batch; ++b)
-    for (std::int64_t d = 0; d < dim; ++d) {
-      const float* plane = x.data() + (b * dim + d) * tokens;
-      for (std::int64_t t = 0; t < tokens; ++t)
-        y[(b * tokens + t) * dim + d] = plane[t];
-    }
+  // Pure transpose: every (b, d) plane scatters to its own column of y.
+  kernels::parallel_for(
+      batch * dim,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bd = p0; bd < p1; ++bd) {
+          const std::int64_t b = bd / dim, d = bd % dim;
+          const float* plane = x.data() + bd * tokens;
+          for (std::int64_t t = 0; t < tokens; ++t)
+            y[(b * tokens + t) * dim + d] = plane[t];
+        }
+      },
+      kernels::rows_grain(tokens));
   return y;
 }
 
@@ -29,12 +36,17 @@ Tensor ToTokens::backward(const Tensor& grad_out) {
   const std::int64_t batch = cached_in_shape_[0], dim = cached_in_shape_[1],
                      tokens = cached_in_shape_[2] * cached_in_shape_[3];
   Tensor dx(cached_in_shape_);
-  for (std::int64_t b = 0; b < batch; ++b)
-    for (std::int64_t d = 0; d < dim; ++d) {
-      float* plane = dx.data() + (b * dim + d) * tokens;
-      for (std::int64_t t = 0; t < tokens; ++t)
-        plane[t] = grad_out[(b * tokens + t) * dim + d];
-    }
+  kernels::parallel_for(
+      batch * dim,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bd = p0; bd < p1; ++bd) {
+          const std::int64_t b = bd / dim, d = bd % dim;
+          float* plane = dx.data() + bd * tokens;
+          for (std::int64_t t = 0; t < tokens; ++t)
+            plane[t] = grad_out[(b * tokens + t) * dim + d];
+        }
+      },
+      kernels::rows_grain(tokens));
   return dx;
 }
 
@@ -51,9 +63,14 @@ Tensor PositionalEmbedding::forward_eval(const Tensor& x) const {
               name() << ": expected (B, " << tokens_ << ", " << dim_ << ")");
   Tensor y = x;
   const std::int64_t batch = x.size(0);
-  for (std::int64_t b = 0; b < batch; ++b)
-    for (std::int64_t i = 0; i < tokens_ * dim_; ++i)
-      y[b * tokens_ * dim_ + i] += table_.value[i];
+  kernels::parallel_for(
+      batch,
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b)
+          for (std::int64_t i = 0; i < tokens_ * dim_; ++i)
+            y[b * tokens_ * dim_ + i] += table_.value[i];
+      },
+      kernels::rows_grain(tokens_ * dim_));
   return y;
 }
 
@@ -63,9 +80,19 @@ Tensor PositionalEmbedding::forward(const Tensor& x, bool /*train*/) {
 
 Tensor PositionalEmbedding::backward(const Tensor& grad_out) {
   const std::int64_t batch = grad_out.size(0);
-  for (std::int64_t b = 0; b < batch; ++b)
-    for (std::int64_t i = 0; i < tokens_ * dim_; ++i)
-      table_.grad[i] += grad_out[b * tokens_ * dim_ + i];
+  // One writer per table slot; the batch is accumulated in ascending order
+  // inside it, so the sum never depends on the slot partition.
+  kernels::parallel_for(
+      tokens_ * dim_,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float acc = 0.0f;
+          for (std::int64_t b = 0; b < batch; ++b)
+            acc += grad_out[b * tokens_ * dim_ + i];
+          table_.grad[i] += acc;
+        }
+      },
+      kernels::rows_grain(batch));
   return grad_out;
 }
 
@@ -74,10 +101,16 @@ Tensor TokenMeanPool::forward_eval(const Tensor& x) const {
   const std::int64_t batch = x.size(0), tokens = x.size(1), dim = x.size(2);
   Tensor y({batch, dim});
   const float inv = 1.0f / static_cast<float>(tokens);
-  for (std::int64_t b = 0; b < batch; ++b)
-    for (std::int64_t t = 0; t < tokens; ++t)
-      for (std::int64_t d = 0; d < dim; ++d)
-        y[b * dim + d] += x[(b * tokens + t) * dim + d] * inv;
+  // Each sample owns its output row; tokens accumulate in ascending order.
+  kernels::parallel_for(
+      batch,
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b)
+          for (std::int64_t t = 0; t < tokens; ++t)
+            for (std::int64_t d = 0; d < dim; ++d)
+              y[b * dim + d] += x[(b * tokens + t) * dim + d] * inv;
+      },
+      kernels::rows_grain(tokens * dim));
   return y;
 }
 
@@ -93,10 +126,16 @@ Tensor TokenMeanPool::backward(const Tensor& grad_out) {
                      dim = cached_in_shape_[2];
   Tensor dx(cached_in_shape_);
   const float inv = 1.0f / static_cast<float>(tokens);
-  for (std::int64_t b = 0; b < batch; ++b)
-    for (std::int64_t t = 0; t < tokens; ++t)
-      for (std::int64_t d = 0; d < dim; ++d)
-        dx[(b * tokens + t) * dim + d] = grad_out[b * dim + d] * inv;
+  kernels::parallel_for(
+      batch * tokens,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bt = p0; bt < p1; ++bt) {
+          const std::int64_t b = bt / tokens;
+          for (std::int64_t d = 0; d < dim; ++d)
+            dx[bt * dim + d] = grad_out[b * dim + d] * inv;
+        }
+      },
+      kernels::rows_grain(dim));
   return dx;
 }
 

@@ -1,5 +1,7 @@
 #include "nn/optimizer.h"
 
+#include "kernels/parallel_for.h"
+
 namespace crisp::nn {
 
 Sgd::Sgd(std::vector<Parameter*> params, const SgdConfig& cfg)
@@ -17,11 +19,19 @@ void Sgd::step() {
     Parameter& p = *params_[i];
     Tensor& v = velocity_[i];
     const float lr = cfg_.lr, mu = cfg_.momentum, wd = cfg_.weight_decay;
-    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
-      const float g = p.grad[j] + wd * p.value[j];
-      v[j] = mu * v[j] - lr * g;
-      p.value[j] += v[j];
-    }
+    // Elementwise update — each slot owns its velocity and weight, so the
+    // loop threads with disjoint writes (large parameters dominate a
+    // training step once backward itself is parallel).
+    kernels::parallel_for(
+        p.value.numel(),
+        [&](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            const float g = p.grad[j] + wd * p.value[j];
+            v[j] = mu * v[j] - lr * g;
+            p.value[j] += v[j];
+          }
+        },
+        kernels::rows_grain(4));
   }
 }
 

@@ -73,14 +73,19 @@ Tensor MaxPool2d::backward(const Tensor& grad_out) {
                      h = cached_in_shape_[2], w = cached_in_shape_[3];
   const std::int64_t oh = grad_out.size(2), ow = grad_out.size(3);
   Tensor grad_in(cached_in_shape_);
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* dy = grad_out.data() + (b * ch + c) * oh * ow;
-      float* dx = grad_in.data() + (b * ch + c) * h * w;
-      const std::int64_t* amax = cached_argmax_.data() + (b * ch + c) * oh * ow;
-      for (std::int64_t i = 0; i < oh * ow; ++i) dx[amax[i]] += dy[i];
-    }
-  }
+  // Argmax indices stay inside their own (b, c) plane, so the plane loop
+  // threads with disjoint scatter targets.
+  kernels::parallel_for(
+      batch * ch,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bc = p0; bc < p1; ++bc) {
+          const float* dy = grad_out.data() + bc * oh * ow;
+          float* dx = grad_in.data() + bc * h * w;
+          const std::int64_t* amax = cached_argmax_.data() + bc * oh * ow;
+          for (std::int64_t i = 0; i < oh * ow; ++i) dx[amax[i]] += dy[i];
+        }
+      },
+      kernels::rows_grain(oh * ow));
   return grad_in;
 }
 
@@ -124,12 +129,16 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
                      hw = cached_in_shape_[2] * cached_in_shape_[3];
   const float inv = 1.0f / static_cast<float>(hw);
   Tensor grad_in(cached_in_shape_);
-  for (std::int64_t b = 0; b < batch; ++b)
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float g = grad_out[b * ch + c] * inv;
-      float* dx = grad_in.data() + (b * ch + c) * hw;
-      for (std::int64_t i = 0; i < hw; ++i) dx[i] = g;
-    }
+  kernels::parallel_for(
+      batch * ch,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t bc = p0; bc < p1; ++bc) {
+          const float g = grad_out[bc] * inv;
+          float* dx = grad_in.data() + bc * hw;
+          for (std::int64_t i = 0; i < hw; ++i) dx[i] = g;
+        }
+      },
+      kernels::rows_grain(hw));
   return grad_in;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/parallel_for.h"
+
 namespace crisp::sparse {
 
 Tensor block_scores(ConstMatrixView scores, const BlockGrid& grid) {
@@ -10,17 +12,24 @@ Tensor block_scores(ConstMatrixView scores, const BlockGrid& grid) {
               "block grid does not match score matrix");
   CRISP_CHECK(grid.block >= 1, "block size must be positive");
   Tensor out({grid.grid_rows(), grid.grid_cols()});
-  for (std::int64_t br = 0; br < grid.grid_rows(); ++br) {
-    for (std::int64_t bc = 0; bc < grid.grid_cols(); ++bc) {
-      double acc = 0.0;
-      for (std::int64_t r = br * grid.block;
-           r < br * grid.block + grid.row_extent(br); ++r)
-        for (std::int64_t c = bc * grid.block;
-             c < bc * grid.block + grid.col_extent(bc); ++c)
-          acc += std::fabs(scores(r, c));
-      out[br * grid.grid_cols() + bc] = static_cast<float>(acc);
-    }
-  }
+  // Each block-row owns its row of the score grid and a fixed per-block
+  // accumulation order, so the sweep threads with disjoint writes.
+  kernels::parallel_for(
+      grid.grid_rows(),
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t br = b0; br < b1; ++br) {
+          for (std::int64_t bc = 0; bc < grid.grid_cols(); ++bc) {
+            double acc = 0.0;
+            for (std::int64_t r = br * grid.block;
+                 r < br * grid.block + grid.row_extent(br); ++r)
+              for (std::int64_t c = bc * grid.block;
+                   c < bc * grid.block + grid.col_extent(bc); ++c)
+                acc += std::fabs(scores(r, c));
+            out[br * grid.grid_cols() + bc] = static_cast<float>(acc);
+          }
+        }
+      },
+      kernels::rows_grain(grid.block * grid.cols));
   return out;
 }
 
@@ -32,20 +41,28 @@ Tensor uniform_row_block_mask(const Tensor& scores, const BlockGrid& grid,
   CRISP_CHECK(static_cast<std::int64_t>(prune_per_row.size()) == gr,
               "prune_per_row size mismatch");
   Tensor mask = Tensor::ones({gr, gc});
-  std::vector<std::int64_t> order(static_cast<std::size_t>(gc));
-  for (std::int64_t br = 0; br < gr; ++br) {
-    const std::int64_t prune = prune_per_row[static_cast<std::size_t>(br)];
-    CRISP_CHECK(prune >= 0 && prune <= gc,
-                "cannot prune " << prune << " of " << gc << " blocks");
-    for (std::int64_t i = 0; i < gc; ++i) order[static_cast<std::size_t>(i)] = i;
-    const float* srow = scores.data() + br * gc;
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::int64_t a, std::int64_t b) {
-                       return srow[a] < srow[b];
-                     });
-    for (std::int64_t i = 0; i < prune; ++i)
-      mask[br * gc + order[static_cast<std::size_t>(i)]] = 0.0f;
-  }
+  // Per-block-row top-k: each row sorts and masks only its own grid row.
+  kernels::parallel_for(
+      gr,
+      [&](std::int64_t b0, std::int64_t b1) {
+        std::vector<std::int64_t> order(static_cast<std::size_t>(gc));
+        for (std::int64_t br = b0; br < b1; ++br) {
+          const std::int64_t prune =
+              prune_per_row[static_cast<std::size_t>(br)];
+          CRISP_CHECK(prune >= 0 && prune <= gc,
+                      "cannot prune " << prune << " of " << gc << " blocks");
+          for (std::int64_t i = 0; i < gc; ++i)
+            order[static_cast<std::size_t>(i)] = i;
+          const float* srow = scores.data() + br * gc;
+          std::stable_sort(order.begin(), order.end(),
+                           [&](std::int64_t a, std::int64_t b) {
+                             return srow[a] < srow[b];
+                           });
+          for (std::int64_t i = 0; i < prune; ++i)
+            mask[br * gc + order[static_cast<std::size_t>(i)]] = 0.0f;
+        }
+      },
+      kernels::rows_grain(8 * gc));
   return mask;
 }
 
@@ -55,12 +72,17 @@ Tensor expand_block_mask(const Tensor& block_mask, const BlockGrid& grid) {
                   block_mask.size(1) == gc,
               "block mask shape mismatch");
   Tensor mask({grid.rows, grid.cols});
-  for (std::int64_t r = 0; r < grid.rows; ++r) {
-    const std::int64_t br = r / grid.block;
-    float* mrow = mask.data() + r * grid.cols;
-    for (std::int64_t c = 0; c < grid.cols; ++c)
-      mrow[c] = block_mask[br * gc + c / grid.block];
-  }
+  kernels::parallel_for(
+      grid.rows,
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::int64_t br = r / grid.block;
+          float* mrow = mask.data() + r * grid.cols;
+          for (std::int64_t c = 0; c < grid.cols; ++c)
+            mrow[c] = block_mask[br * gc + c / grid.block];
+        }
+      },
+      kernels::rows_grain(grid.cols));
   return mask;
 }
 
@@ -69,20 +91,25 @@ std::vector<std::int64_t> zero_blocks_per_row(ConstMatrixView mask,
   CRISP_CHECK(grid.rows == mask.rows && grid.cols == mask.cols,
               "block grid does not match mask");
   std::vector<std::int64_t> counts(static_cast<std::size_t>(grid.grid_rows()), 0);
-  for (std::int64_t br = 0; br < grid.grid_rows(); ++br) {
-    for (std::int64_t bc = 0; bc < grid.grid_cols(); ++bc) {
-      bool all_zero = true;
-      for (std::int64_t r = br * grid.block;
-           all_zero && r < br * grid.block + grid.row_extent(br); ++r)
-        for (std::int64_t c = bc * grid.block;
-             c < bc * grid.block + grid.col_extent(bc); ++c)
-          if (mask(r, c) != 0.0f) {
-            all_zero = false;
-            break;
+  kernels::parallel_for(
+      grid.grid_rows(),
+      [&](std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t br = b0; br < b1; ++br) {
+          for (std::int64_t bc = 0; bc < grid.grid_cols(); ++bc) {
+            bool all_zero = true;
+            for (std::int64_t r = br * grid.block;
+                 all_zero && r < br * grid.block + grid.row_extent(br); ++r)
+              for (std::int64_t c = bc * grid.block;
+                   c < bc * grid.block + grid.col_extent(bc); ++c)
+                if (mask(r, c) != 0.0f) {
+                  all_zero = false;
+                  break;
+                }
+            counts[static_cast<std::size_t>(br)] += all_zero;
           }
-      counts[static_cast<std::size_t>(br)] += all_zero;
-    }
-  }
+        }
+      },
+      kernels::rows_grain(grid.block * grid.cols));
   return counts;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/prefetch.h"
 #include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 
@@ -93,6 +94,12 @@ void BlockedEllMatrix::spmm(ConstMatrixView x, MatrixView y) const {
       for (std::int64_t i = 0; i < blocks_per_row_; ++i) {
         const std::int64_t blk = br * blocks_per_row_ + i;
         const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+        // The indirection is block-level here: prefetch the next block's
+        // activation band while this block multiplies (hint only).
+        if (i + 1 < blocks_per_row_)
+          kernels::prefetch_read(
+              x.data +
+              block_cols_[static_cast<std::size_t>(blk) + 1] * block * p);
         const float* payload = values_.data() + blk * block * block;
         for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
           float* yrow = y.data + (br * block + r) * p;

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "kernels/parallel_for.h"
+#include "kernels/prefetch.h"
 #include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 #include "tensor/pod_stream.h"
@@ -168,12 +169,28 @@ void CrispMatrix::spmm(ConstMatrixView x, MatrixView y) const {
       for (std::int64_t i = 0; i < blocks_per_row_; ++i) {
         const std::int64_t blk = br * blocks_per_row_ + i;
         const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+        // Block-level indirection: prefetch the next block's activation
+        // band while this block multiplies (hint only — results are
+        // unchanged).
+        if (i + 1 < blocks_per_row_)
+          kernels::prefetch_read(
+              x.data +
+              block_cols_[static_cast<std::size_t>(blk) + 1] * block * p);
         for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
           float* yrow = y.data + (br * block + r) * p;
           for (std::int64_t g = 0; g < groups; ++g) {
             const std::int64_t base = ((blk * block + r) * groups + g) * n_;
             const std::int64_t col0 = bc * block + g * m_;
             for (std::int64_t s = 0; s < n_; ++s) {
+              // Next slot's MUX target, one gather ahead of the axpy —
+              // before the zero-skip, so a zero slot still hides the
+              // following slot's gather.
+              if (s + 1 < n_)
+                kernels::prefetch_read(
+                    x.data +
+                    (col0 +
+                     offsets_[static_cast<std::size_t>(base + s) + 1]) *
+                        p);
               const float v = values_[static_cast<std::size_t>(base + s)];
               if (v == 0.0f) continue;
               // The MUX step of Fig. 6: the offset selects the activation
@@ -218,12 +235,25 @@ void CrispMatrix::spmm_quantized(ConstMatrixView x, MatrixView y) const {
       for (std::int64_t i = 0; i < blocks_per_row_; ++i) {
         const std::int64_t blk = br * blocks_per_row_ + i;
         const std::int64_t bc = block_cols_[static_cast<std::size_t>(blk)];
+        // Same block-band prefetch as the fp32 path (hint only).
+        if (i + 1 < blocks_per_row_)
+          kernels::prefetch_read(
+              x.data +
+              block_cols_[static_cast<std::size_t>(blk) + 1] * block * p);
         for (std::int64_t r = 0; r < grid_.row_extent(br); ++r) {
           float* yrow = y.data + (br * block + r) * p;
           for (std::int64_t g = 0; g < groups; ++g) {
             const std::int64_t base = ((blk * block + r) * groups + g) * n_;
             const std::int64_t col0 = bc * block + g * m_;
             for (std::int64_t s = 0; s < n_; ++s) {
+              // Prefetch before the zero-skip (zeros are common in the
+              // quantized payload) so every slot hides its successor.
+              if (s + 1 < n_)
+                kernels::prefetch_read(
+                    x.data +
+                    (col0 +
+                     offsets_[static_cast<std::size_t>(base + s) + 1]) *
+                        p);
               const std::int8_t q = qv[static_cast<std::size_t>(base + s)];
               if (q == 0) continue;  // padded slot or value rounded to zero
               axpy_i8(q, scale,

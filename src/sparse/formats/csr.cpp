@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/prefetch.h"
 #include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 
@@ -53,10 +54,17 @@ void CsrMatrix::spmm(ConstMatrixView x, MatrixView y) const {
                 static_cast<std::size_t>((r1 - r0) * p) * sizeof(float));
     for (std::int64_t r = r0; r < r1; ++r) {
       float* yrow = y.data + r * p;
-      for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
-           i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i)
+      const std::int64_t end = row_ptr_[static_cast<std::size_t>(r) + 1];
+      for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)]; i < end;
+           ++i) {
+        // Hide the gather latency of the *next* slot's activation row while
+        // this one multiplies (hint only — results are unchanged).
+        if (i + 1 < end)
+          kernels::prefetch_read(
+              x.data + col_idx_[static_cast<std::size_t>(i) + 1] * p);
         axpy(values_[static_cast<std::size_t>(i)],
              x.data + col_idx_[static_cast<std::size_t>(i)] * p, yrow, p);
+      }
     }
   }, grain);
 }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "kernels/parallel_for.h"
+#include "kernels/prefetch.h"
 #include "kernels/simd_dispatch.h"
 #include "sparse/metadata.h"
 
@@ -65,6 +66,15 @@ void EllpackMatrix::spmm(ConstMatrixView x, MatrixView y) const {
         const std::int32_t c =
             col_idx_[static_cast<std::size_t>(r * width_ + s)];
         if (c < 0) continue;  // padding slot
+        // Next slot's activation row (hint only — results are unchanged;
+        // a padding slot prefetches a harmless out-of-range address, which
+        // costs less than branching on it).
+        if (s + 1 < width_)
+          kernels::prefetch_read(
+              x.data +
+              static_cast<std::int64_t>(
+                  col_idx_[static_cast<std::size_t>(r * width_ + s) + 1]) *
+                  p);
         axpy(values_[static_cast<std::size_t>(r * width_ + s)],
              x.data + static_cast<std::int64_t>(c) * p, yrow, p);
       }

@@ -4,29 +4,39 @@
 #include <array>
 #include <vector>
 
+#include "kernels/parallel_for.h"
+
 namespace crisp::sparse {
 
 Tensor nm_mask(ConstMatrixView scores, std::int64_t n, std::int64_t m) {
   CRISP_CHECK(m >= 1 && n >= 1 && n <= m,
               "invalid N:M = " << n << ":" << m);
   Tensor mask({scores.rows, scores.cols});
-  std::vector<std::int64_t> order;
-  for (std::int64_t r = 0; r < scores.rows; ++r) {
-    for (std::int64_t g0 = 0; g0 < scores.cols; g0 += m) {
-      const std::int64_t g = std::min(m, scores.cols - g0);
-      const std::int64_t keep = std::min(n, g);
-      order.resize(static_cast<std::size_t>(g));
-      for (std::int64_t i = 0; i < g; ++i) order[static_cast<std::size_t>(i)] = i;
-      // stable sort by descending score → ties keep the lower index.
-      std::stable_sort(order.begin(), order.end(),
-                       [&](std::int64_t a, std::int64_t b) {
-                         return scores(r, g0 + a) > scores(r, g0 + b);
-                       });
-      float* mrow = mask.data() + r * scores.cols + g0;
-      for (std::int64_t i = 0; i < keep; ++i)
-        mrow[order[static_cast<std::size_t>(i)]] = 1.0f;
-    }
-  }
+  // Every row selects its groups independently and writes only its own mask
+  // row, so the sweep threads with disjoint writes (scratch per chunk).
+  kernels::parallel_for(
+      scores.rows,
+      [&](std::int64_t r0, std::int64_t r1) {
+        std::vector<std::int64_t> order;
+        for (std::int64_t r = r0; r < r1; ++r) {
+          for (std::int64_t g0 = 0; g0 < scores.cols; g0 += m) {
+            const std::int64_t g = std::min(m, scores.cols - g0);
+            const std::int64_t keep = std::min(n, g);
+            order.resize(static_cast<std::size_t>(g));
+            for (std::int64_t i = 0; i < g; ++i)
+              order[static_cast<std::size_t>(i)] = i;
+            // stable sort by descending score → ties keep the lower index.
+            std::stable_sort(order.begin(), order.end(),
+                             [&](std::int64_t a, std::int64_t b) {
+                               return scores(r, g0 + a) > scores(r, g0 + b);
+                             });
+            float* mrow = mask.data() + r * scores.cols + g0;
+            for (std::int64_t i = 0; i < keep; ++i)
+              mrow[order[static_cast<std::size_t>(i)]] = 1.0f;
+          }
+        }
+      },
+      kernels::rows_grain(8 * scores.cols));
   return mask;
 }
 

@@ -1,0 +1,475 @@
+// Thread-invariance suite for the training/pruning hot path: backward
+// gradients must be bit-identical at 1/2/8 threads for every layer type
+// (the contract nn/layer.h documents and kernels/reduce.h implements),
+// finite-difference gradient checks must still hold under the threaded
+// path, the class-aware saliency sweeps must agree threaded-vs-serial, and
+// a full CRISP pruning iteration must land on identical weights and masks
+// at any thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "core/block_pruning.h"
+#include "core/nm_pruning.h"
+#include "core/pruner.h"
+#include "core/saliency.h"
+#include "data/class_pattern.h"
+#include "kernels/parallel_for.h"
+#include "kernels/reduce.h"
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/models/common.h"
+#include "nn/models/mobilenet.h"
+#include "nn/models/resnet.h"
+#include "nn/models/transformer.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "sparse/nm.h"
+#include "thread_guard.h"
+
+namespace crisp {
+namespace {
+
+using nn::Layer;
+using nn::Parameter;
+using crisp::testing::ThreadGuard;
+
+/// One backward pass at `threads`: d(loss)/d(input) plus every parameter
+/// gradient, captured by value.
+struct BackwardRun {
+  Tensor grad_in;
+  std::vector<Tensor> param_grads;
+};
+
+BackwardRun run_backward(Layer& layer, const Tensor& x, const Tensor& gout,
+                         int threads) {
+  kernels::set_num_threads(threads);
+  layer.zero_grad();
+  (void)layer.forward(x, /*train=*/true);
+  BackwardRun run;
+  run.grad_in = layer.backward(gout);
+  for (Parameter* p : layer.parameters()) run.param_grads.push_back(p->grad);
+  return run;
+}
+
+/// Asserts one layer's gradients are bit-identical at 1, 2, and 8 threads.
+void expect_backward_thread_invariant(Layer& layer, const Tensor& x) {
+  ThreadGuard guard;
+  Rng rng(99);
+  const Tensor y = layer.forward(x, /*train=*/true);
+  const Tensor gout = Tensor::randn(y.shape(), rng);
+
+  const BackwardRun serial = run_backward(layer, x, gout, 1);
+  for (const int t : {2, 8}) {
+    const BackwardRun threaded = run_backward(layer, x, gout, t);
+    ASSERT_TRUE(serial.grad_in.same_shape(threaded.grad_in));
+    EXPECT_EQ(max_abs_diff(serial.grad_in, threaded.grad_in), 0.0f)
+        << layer.name() << ": input gradient changed at " << t << " threads";
+    ASSERT_EQ(serial.param_grads.size(), threaded.param_grads.size());
+    for (std::size_t i = 0; i < serial.param_grads.size(); ++i)
+      EXPECT_EQ(
+          max_abs_diff(serial.param_grads[i], threaded.param_grads[i]), 0.0f)
+          << layer.name() << ": gradient of parameter " << i << " changed at "
+          << t << " threads";
+  }
+}
+
+Tensor image_input(std::int64_t batch, std::int64_t ch, std::int64_t hw,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({batch, ch, hw, hw}, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Per-layer grad bit-identity at 1/2/8 threads — every layer type.
+
+TEST(BackwardThreading, Linear) {
+  Rng rng(1);
+  nn::Linear layer("lin", 48, 32, rng, /*bias=*/true);
+  Rng xr(2);
+  expect_backward_thread_invariant(layer, Tensor::randn({20, 48}, xr));
+}
+
+TEST(BackwardThreading, LinearMaskedSte) {
+  Rng rng(1);
+  nn::Linear layer("lin_masked", 48, 32, rng, /*bias=*/true);
+  layer.weight().ensure_mask();
+  for (std::int64_t i = 0; i < layer.weight().mask.numel(); i += 2)
+    layer.weight().mask[i] = 0.0f;
+  Rng xr(2);
+  expect_backward_thread_invariant(layer, Tensor::randn({20, 48}, xr));
+}
+
+TEST(BackwardThreading, Conv2d) {
+  nn::Conv2dSpec spec;
+  spec.in_channels = 6;
+  spec.out_channels = 8;
+  spec.kernel = 3;
+  spec.bias = true;
+  Rng rng(3);
+  nn::Conv2d layer("conv", spec, rng);
+  // Batch of 20 forces several parallel_accumulate chunks at 8 threads.
+  expect_backward_thread_invariant(layer, image_input(20, 6, 8, 4));
+}
+
+TEST(BackwardThreading, Conv2dGroupedAndStrided) {
+  nn::Conv2dSpec spec;
+  spec.in_channels = 6;
+  spec.out_channels = 6;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.groups = 3;
+  spec.bias = true;
+  Rng rng(5);
+  nn::Conv2d layer("gconv", spec, rng);
+  expect_backward_thread_invariant(layer, image_input(12, 6, 9, 6));
+}
+
+TEST(BackwardThreading, ReLUAndCapped) {
+  nn::ReLU relu("relu");
+  expect_backward_thread_invariant(relu, image_input(6, 4, 8, 7));
+  nn::ReLU relu6("relu6", 6.0f);
+  expect_backward_thread_invariant(relu6, image_input(6, 4, 8, 8));
+}
+
+TEST(BackwardThreading, Flatten) {
+  nn::Flatten layer("flat");
+  expect_backward_thread_invariant(layer, image_input(6, 4, 8, 9));
+}
+
+TEST(BackwardThreading, MaxPool2d) {
+  nn::MaxPool2d layer("pool");
+  expect_backward_thread_invariant(layer, image_input(8, 5, 8, 10));
+}
+
+TEST(BackwardThreading, GlobalAvgPool) {
+  nn::GlobalAvgPool layer("gap");
+  expect_backward_thread_invariant(layer, image_input(8, 5, 8, 11));
+}
+
+TEST(BackwardThreading, BatchNorm2d) {
+  nn::BatchNorm2d layer("bn", 7);
+  expect_backward_thread_invariant(layer, image_input(10, 7, 6, 12));
+}
+
+TEST(BackwardThreading, LayerNorm) {
+  nn::LayerNorm layer("ln", 24);
+  Rng xr(13);
+  expect_backward_thread_invariant(layer, Tensor::randn({4, 9, 24}, xr));
+}
+
+TEST(BackwardThreading, Gelu) {
+  nn::Gelu layer("gelu");
+  Rng xr(14);
+  expect_backward_thread_invariant(layer, Tensor::randn({4, 9, 24}, xr));
+}
+
+TEST(BackwardThreading, MultiHeadSelfAttention) {
+  Rng rng(15);
+  nn::MultiHeadSelfAttention layer("attn", 24, 4, rng);
+  Rng xr(16);
+  expect_backward_thread_invariant(layer, Tensor::randn({5, 9, 24}, xr));
+}
+
+TEST(BackwardThreading, ToTokens) {
+  nn::ToTokens layer("tok");
+  expect_backward_thread_invariant(layer, image_input(5, 12, 4, 17));
+}
+
+TEST(BackwardThreading, PositionalEmbedding) {
+  Rng rng(18);
+  nn::PositionalEmbedding layer("pos", 16, 12, rng);
+  Rng xr(19);
+  expect_backward_thread_invariant(layer, Tensor::randn({5, 16, 12}, xr));
+}
+
+TEST(BackwardThreading, TokenMeanPool) {
+  nn::TokenMeanPool layer("meanpool");
+  Rng xr(20);
+  expect_backward_thread_invariant(layer, Tensor::randn({5, 16, 12}, xr));
+}
+
+TEST(BackwardThreading, TransformerBlock) {
+  Rng rng(21);
+  nn::TransformerBlock layer("blk", 24, 4, 2, rng);
+  Rng xr(22);
+  expect_backward_thread_invariant(layer, Tensor::randn({4, 9, 24}, xr));
+}
+
+TEST(BackwardThreading, Bottleneck) {
+  Rng rng(23);
+  nn::Bottleneck layer("bneck", 8, 4, /*stride=*/2, rng);
+  expect_backward_thread_invariant(layer, image_input(8, 8, 8, 24));
+}
+
+TEST(BackwardThreading, InvertedResidual) {
+  Rng rng(25);
+  nn::InvertedResidual layer("ir", 8, 8, /*stride=*/1, /*expand_ratio=*/4,
+                             rng);
+  expect_backward_thread_invariant(layer, image_input(8, 8, 8, 26));
+}
+
+TEST(BackwardThreading, SequentialMlp) {
+  Rng rng(27);
+  nn::Sequential model("mlp");
+  model.emplace<nn::Flatten>("flat");
+  model.emplace<nn::Linear>("fc1", 48, 32, rng);
+  model.emplace<nn::ReLU>("relu");
+  model.emplace<nn::Linear>("fc2", 32, 5, rng);
+  expect_backward_thread_invariant(model, image_input(16, 3, 4, 28));
+}
+
+// ---------------------------------------------------------------------------
+// Loss and optimizer legs of the training step.
+
+TEST(BackwardThreading, CrossEntropyThreadInvariant) {
+  ThreadGuard guard;
+  Rng rng(30);
+  const Tensor logits = Tensor::randn({64, 10}, rng, 0.0f, 2.0f);
+  std::vector<std::int64_t> labels;
+  for (std::int64_t b = 0; b < 64; ++b) labels.push_back(b % 10);
+
+  kernels::set_num_threads(1);
+  const nn::LossResult serial = nn::cross_entropy(logits, labels);
+  for (const int t : {2, 8}) {
+    kernels::set_num_threads(t);
+    const nn::LossResult threaded = nn::cross_entropy(logits, labels);
+    EXPECT_EQ(serial.value, threaded.value);
+    EXPECT_EQ(max_abs_diff(serial.grad, threaded.grad), 0.0f);
+  }
+}
+
+TEST(BackwardThreading, SgdStepThreadInvariant) {
+  ThreadGuard guard;
+  auto run_steps = [](int threads) {
+    kernels::set_num_threads(threads);
+    Rng rng(31);
+    Parameter p;
+    p.name = "w";
+    p.value = Tensor::randn({4096}, rng);
+    p.grad = Tensor::randn({4096}, rng);
+    nn::SgdConfig cfg;
+    cfg.lr = 0.05f;
+    cfg.momentum = 0.9f;
+    cfg.weight_decay = 1e-4f;
+    nn::Sgd opt({&p}, cfg);
+    opt.step();
+    opt.step();
+    return p.value;
+  };
+  const Tensor serial = run_steps(1);
+  for (const int t : {2, 8})
+    EXPECT_EQ(max_abs_diff(serial, run_steps(t)), 0.0f)
+        << "SGD update changed at " << t << " threads";
+}
+
+// ---------------------------------------------------------------------------
+// Finite-difference checks re-run under the threaded path: the parallel
+// backward must still be the true gradient, not merely self-consistent.
+
+float probe_loss(Layer& layer, const Tensor& x, const Tensor& w) {
+  const Tensor y = layer.forward(x, /*train=*/true);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    acc += static_cast<double>(y[i]) * w[i];
+  return static_cast<float>(acc);
+}
+
+void check_gradients_threaded(Layer& layer, Tensor x, std::uint64_t seed) {
+  ThreadGuard guard;
+  kernels::set_num_threads(8);
+  Rng rng(seed);
+  // Nudge away from ReLU/pool kinks so central differences stay valid.
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (std::fabs(x[i]) < 0.05f) x[i] = x[i] < 0 ? -0.05f : 0.05f;
+
+  Tensor y = layer.forward(x, /*train=*/true);
+  const Tensor w = Tensor::randn(y.shape(), rng);
+  layer.zero_grad();
+  (void)probe_loss(layer, x, w);
+  const Tensor grad_in = layer.backward(w);
+  ASSERT_TRUE(grad_in.same_shape(x));
+
+  constexpr float kEps = 5e-3f;
+  auto check = [&](float analytic, float numeric, const char* what,
+                   std::int64_t i) {
+    EXPECT_NEAR(analytic, numeric, 0.02f + 0.08f * std::fabs(numeric))
+        << layer.name() << " " << what << " grad at " << i;
+  };
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(x.numel(), 16); ++i) {
+    const float saved = x[i];
+    x[i] = saved + kEps;
+    const float lp = probe_loss(layer, x, w);
+    x[i] = saved - kEps;
+    const float lm = probe_loss(layer, x, w);
+    x[i] = saved;
+    check(grad_in[i], (lp - lm) / (2.0f * kEps), "input", i);
+  }
+  for (Parameter* p : layer.parameters()) {
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(p->value.numel(), 16);
+         ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + kEps;
+      const float lp = probe_loss(layer, x, w);
+      p->value[i] = saved - kEps;
+      const float lm = probe_loss(layer, x, w);
+      p->value[i] = saved;
+      check(p->grad[i], (lp - lm) / (2.0f * kEps), p->name.c_str(), i);
+    }
+  }
+}
+
+TEST(BackwardThreadingFiniteDiff, LinearAtEightThreads) {
+  Rng rng(40);
+  nn::Linear layer("lin", 12, 7, rng, /*bias=*/true);
+  Rng xr(41);
+  check_gradients_threaded(layer, Tensor::randn({10, 12}, xr), 42);
+}
+
+TEST(BackwardThreadingFiniteDiff, Conv2dAtEightThreads) {
+  nn::Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 4;
+  spec.kernel = 3;
+  spec.bias = true;
+  Rng rng(43);
+  nn::Conv2d layer("conv", spec, rng);
+  check_gradients_threaded(layer, image_input(10, 3, 6, 44), 45);
+}
+
+TEST(BackwardThreadingFiniteDiff, BatchNormAtEightThreads) {
+  nn::BatchNorm2d layer("bn", 5);
+  check_gradients_threaded(layer, image_input(6, 5, 4, 46), 47);
+}
+
+TEST(BackwardThreadingFiniteDiff, LayerNormAtEightThreads) {
+  nn::LayerNorm layer("ln", 16);
+  Rng xr(48);
+  check_gradients_threaded(layer, Tensor::randn({6, 16}, xr), 49);
+}
+
+// ---------------------------------------------------------------------------
+// Saliency sweeps: threaded and serial runs must agree bit-for-bit.
+
+data::TrainTest tiny_split() {
+  data::ClassPatternConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 8;
+  dcfg.test_per_class = 2;
+  return data::make_class_pattern_dataset(dcfg);
+}
+
+std::unique_ptr<nn::Sequential> tiny_conv_model() {
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = 4;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.125f;
+  return nn::make_vgg16(mcfg);
+}
+
+core::SaliencyMap saliency_at(int threads, const data::Dataset& calib,
+                              core::SaliencyKind kind) {
+  kernels::set_num_threads(threads);
+  auto model = tiny_conv_model();
+  core::SaliencyConfig cfg;
+  cfg.kind = kind;
+  cfg.batch_size = 8;
+  cfg.max_batches = 2;
+  return core::estimate_saliency(*model, calib, cfg);
+}
+
+TEST(SaliencyThreading, CassSweepThreadInvariant) {
+  ThreadGuard guard;
+  const data::TrainTest split = tiny_split();
+  const core::SaliencyMap serial =
+      saliency_at(1, split.train, core::SaliencyKind::kClassAwareGradient);
+  for (const int t : {2, 8}) {
+    const core::SaliencyMap threaded =
+        saliency_at(t, split.train, core::SaliencyKind::kClassAwareGradient);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_EQ(max_abs_diff(serial[i], threaded[i]), 0.0f)
+          << "CASS scores for parameter " << i << " changed at " << t
+          << " threads";
+  }
+}
+
+TEST(SaliencyThreading, MaskSelectionThreadInvariant) {
+  ThreadGuard guard;
+  Rng rng(50);
+  const std::int64_t rows = 64, cols = 96, block = 8;
+  const Tensor scores = Tensor::rand({rows, cols}, rng, 0.01f, 1.0f);
+
+  auto selection_at = [&](int threads) {
+    kernels::set_num_threads(threads);
+    const Tensor nm = sparse::nm_mask(as_matrix(scores, rows, cols), 2, 4);
+    core::LayerBlockInfo info;
+    info.grid = sparse::BlockGrid{rows, cols, block};
+    info.scores =
+        sparse::block_scores(as_matrix(scores, rows, cols), info.grid);
+    const auto pruned = core::plan_rank_column_pruning({info}, 0.25, {});
+    Tensor bmask = core::rank_pruned_block_mask(info, pruned[0]);
+    bmask.mul_(nm);
+    return bmask;
+  };
+  const Tensor serial = selection_at(1);
+  for (const int t : {2, 8})
+    EXPECT_EQ(max_abs_diff(serial, selection_at(t)), 0.0f)
+        << "hybrid mask selection changed at " << t << " threads";
+}
+
+// ---------------------------------------------------------------------------
+// End to end: one CRISP pruning iteration (saliency → masks → fine-tune)
+// must produce identical weights and masks at any thread count. This is the
+// whole-hot-path composition of every invariance above.
+
+TEST(SaliencyThreading, CrispIterationThreadInvariant) {
+  ThreadGuard guard;
+  const data::TrainTest split = tiny_split();
+
+  auto prune_at = [&](int threads) {
+    kernels::set_num_threads(threads);
+    auto model = tiny_conv_model();
+    core::CrispConfig pcfg;
+    pcfg.block = 8;
+    pcfg.target_sparsity = 0.6;
+    pcfg.iterations = 1;
+    pcfg.finetune_epochs = 1;
+    pcfg.recovery_epochs = 0;
+    pcfg.batch_size = 8;
+    pcfg.saliency.batch_size = 8;
+    pcfg.saliency.max_batches = 2;
+    core::CrispPruner pruner(*model, pcfg);
+    Rng rng(51);
+    pruner.run(split.train, rng);
+    return model;
+  };
+  auto serial = prune_at(1);
+  for (const int t : {2, 8}) {
+    auto threaded = prune_at(t);
+    auto ps = serial->parameters();
+    auto pt = threaded->parameters();
+    ASSERT_EQ(ps.size(), pt.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      EXPECT_EQ(max_abs_diff(ps[i]->value, pt[i]->value), 0.0f)
+          << ps[i]->name << ": weights diverged at " << t << " threads";
+      ASSERT_EQ(ps[i]->has_mask(), pt[i]->has_mask()) << ps[i]->name;
+      if (ps[i]->has_mask()) {
+        EXPECT_EQ(max_abs_diff(ps[i]->mask, pt[i]->mask), 0.0f)
+            << ps[i]->name << ": masks diverged at " << t << " threads";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crisp

@@ -19,7 +19,11 @@ TEST(Integration, PruneThenExecuteThroughCrispFormat) {
   dcfg.num_classes = 8;
   dcfg.image_size = 8;
   dcfg.train_per_class = 8;
-  dcfg.test_per_class = 4;
+  // 12 test samples per user class: at 4 the accuracy gate sat one sample
+  // from its threshold, flipping on any legitimate change to float
+  // summation order (e.g. the batch-parallel backward's fixed-tree grad
+  // reduction or the BatchNorm running-stat warm-start).
+  dcfg.test_per_class = 12;
   // Pin a mild difficulty: this test checks pipeline mechanics at 8 px,
   // where the presets' bench-scale noise/shift would swamp a 3-epoch model.
   dcfg.noise_std = 0.15f;

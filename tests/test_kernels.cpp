@@ -14,6 +14,7 @@
 
 #include "kernels/gemm.h"
 #include "kernels/parallel_for.h"
+#include "kernels/reduce.h"
 #include "kernels/simd_dispatch.h"
 #include "nn/batchnorm.h"
 #include "nn/pooling.h"
@@ -21,19 +22,12 @@
 #include "sparse/nm.h"
 #include "sparse/spmm.h"
 #include "tensor/matmul.h"
+#include "thread_guard.h"
 
 namespace crisp {
 namespace {
 
-/// Restores the ambient thread count when a test exits.
-class ThreadGuard {
- public:
-  ThreadGuard() : saved_(kernels::num_threads()) {}
-  ~ThreadGuard() { kernels::set_num_threads(saved_); }
-
- private:
-  int saved_;
-};
+using crisp::testing::ThreadGuard;
 
 /// Tolerance for cross-tier comparisons: tiers differ only by FMA
 /// contraction and vectorized reduction trees, so a few ULPs of the
@@ -631,6 +625,104 @@ TEST(NnThreading, BatchNormTrainThreadCountInvariant) {
     EXPECT_EQ(max_abs_diff(serial, parallel), 0.0f)
         << "batchnorm training forward changed at " << t << " threads";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic reduction (kernels/reduce.h) — the backward-pass primitive.
+
+TEST(Reduce, ChunkCountIsPureAndBounded) {
+  ThreadGuard guard;
+  for (const std::int64_t total : {0LL, 1LL, 5LL, 16LL, 100LL, 4096LL}) {
+    for (const std::int64_t grain : {1LL, 4LL, 1000LL}) {
+      // Same answer no matter the ambient thread count.
+      kernels::set_num_threads(1);
+      const std::int64_t serial = kernels::reduce_chunk_count(total, grain);
+      kernels::set_num_threads(8);
+      EXPECT_EQ(serial, kernels::reduce_chunk_count(total, grain));
+      if (total <= 0) {
+        EXPECT_EQ(serial, 0);
+      } else {
+        EXPECT_GE(serial, 1);
+        EXPECT_LE(serial, kernels::kMaxReduceChunks);
+        // Chunks cover [0, total) exactly.
+        const std::int64_t width = kernels::reduce_chunk_width(total, grain);
+        EXPECT_EQ(serial, (total + width - 1) / width);
+        EXPECT_GE(width, grain);
+      }
+    }
+  }
+}
+
+TEST(Reduce, DeterministicReduceSumsExactly) {
+  ThreadGuard guard;
+  // Integer-valued floats sum exactly, so the tree's value can be checked
+  // against arithmetic no matter how the pairwise merges associate.
+  const std::int64_t len = 1000;
+  for (const std::int64_t nparts : {1, 2, 3, 7, 16}) {
+    std::vector<float> parts(static_cast<std::size_t>(nparts * len));
+    for (std::int64_t p = 0; p < nparts; ++p)
+      for (std::int64_t j = 0; j < len; ++j)
+        parts[static_cast<std::size_t>(p * len + j)] =
+            static_cast<float>(p + j % 17);
+    Tensor out = Tensor::ones({len});
+    kernels::deterministic_reduce(parts.data(), nparts, len, out.data());
+    for (std::int64_t j = 0; j < std::min<std::int64_t>(len, 32); ++j) {
+      const float expected =
+          1.0f + static_cast<float>(
+                     static_cast<std::int64_t>(nparts) * (j % 17) +
+                     static_cast<std::int64_t>(nparts * (nparts - 1) / 2));
+      EXPECT_EQ(out[j], expected) << "nparts " << nparts << " slot " << j;
+    }
+  }
+}
+
+TEST(Reduce, ParallelAccumulateThreadCountInvariant) {
+  ThreadGuard guard;
+  Rng rng(12);
+  const std::int64_t total = 100, len = 512;
+  const Tensor contributions = Tensor::randn({total, len}, rng);
+  auto run = [&](int threads) {
+    kernels::set_num_threads(threads);
+    Tensor out = Tensor::ones({len});
+    kernels::parallel_accumulate(
+        total, /*grain=*/1, len,
+        [&](float* acc, std::int64_t b0, std::int64_t b1) {
+          for (std::int64_t b = b0; b < b1; ++b)
+            for (std::int64_t j = 0; j < len; ++j)
+              acc[j] += contributions[b * len + j];
+        },
+        out.data());
+    return out;
+  };
+  const Tensor serial = run(1);
+  for (const int t : {2, 8}) {
+    const Tensor parallel = run(t);
+    EXPECT_EQ(max_abs_diff(serial, parallel), 0.0f)
+        << "parallel_accumulate changed at " << t << " threads";
+  }
+  // And the value is the right sum (up to float reassociation).
+  Tensor naive = Tensor::ones({len});
+  for (std::int64_t b = 0; b < total; ++b)
+    for (std::int64_t j = 0; j < len; ++j)
+      naive[j] += contributions[b * len + j];
+  EXPECT_TRUE(allclose(serial, naive, 1e-4f, 1e-4f));
+}
+
+TEST(Reduce, SingleChunkAccumulatesInPlace) {
+  ThreadGuard guard;
+  kernels::set_num_threads(8);
+  // total below any chunking threshold: the fast path writes straight into
+  // out with no scratch, and still matches the serial loop bitwise.
+  Tensor out = Tensor::zeros({4});
+  kernels::parallel_accumulate(
+      3, /*grain=*/1000, 4,
+      [](float* acc, std::int64_t b0, std::int64_t b1) {
+        for (std::int64_t b = b0; b < b1; ++b)
+          for (std::int64_t j = 0; j < 4; ++j)
+            acc[j] += static_cast<float>(b + 1);
+      },
+      out.data());
+  for (std::int64_t j = 0; j < 4; ++j) EXPECT_EQ(out[j], 6.0f);
 }
 
 }  // namespace

@@ -27,22 +27,13 @@
 #include "nn/linear.h"
 #include "nn/pooling.h"
 #include "serve/engine.h"
+#include "thread_guard.h"
 
 namespace crisp::serve {
 namespace {
 
 using core::install_random_hybrid_masks;
-
-/// Restores the ambient kernel thread count when a test exits — including
-/// through an ASSERT_* early return.
-class ThreadGuard {
- public:
-  ThreadGuard() : saved_(kernels::num_threads()) {}
-  ~ThreadGuard() { kernels::set_num_threads(saved_); }
-
- private:
-  int saved_;
-};
+using crisp::testing::ThreadGuard;
 
 /// Conv net that accepts any input H, W (global pooling before the head).
 std::shared_ptr<nn::Sequential> make_convnet() {

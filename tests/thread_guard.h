@@ -1,0 +1,23 @@
+// Shared test helper: restores the ambient kernel thread count when a test
+// exits — including through an ASSERT_* early return. One definition so the
+// suites that sweep kernels::set_num_threads (test_kernels, test_serve,
+// test_backward_threading) cannot silently diverge on the restore
+// semantics.
+#pragma once
+
+#include "kernels/parallel_for.h"
+
+namespace crisp::testing {
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(kernels::num_threads()) {}
+  ~ThreadGuard() { kernels::set_num_threads(saved_); }
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+}  // namespace crisp::testing
