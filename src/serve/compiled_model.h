@@ -11,8 +11,11 @@
 //     GEMM hooks (deploy/packed_exec.h), so eval forwards multiply with
 //     the CRISP format directly.
 //
-// serve::Engine (serve/engine.h) queues and batches requests on top of
-// this artifact; CompiledModel itself is the synchronous core.
+// serve::Engine (serve/engine.h) schedules, batches, and admission-
+// controls requests on top of this artifact (docs/serving.md);
+// CompiledModel itself is the synchronous core — and the unit of
+// capacity: one full-batch run() is what the load harness calibrates
+// saturation from (bench/loadgen.cpp).
 #pragma once
 
 #include <memory>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "kernels/parallel_for.h"
@@ -18,6 +19,11 @@ std::chrono::microseconds elapsed_us(Clock::time_point from,
   return std::chrono::duration_cast<std::chrono::microseconds>(to - from);
 }
 
+/// Smoothing factor of the batch-run-time EMA. Light smoothing: admission
+/// control wants to track load shifts within a few batches, and the
+/// estimate is advisory (a lower bound), not a latency promise.
+constexpr double kEmaAlpha = 0.2;
+
 }  // namespace
 
 Engine::Engine(std::shared_ptr<const CompiledModel> model,
@@ -30,48 +36,131 @@ Engine::Engine(std::shared_ptr<const CompiledModel> model,
   CRISP_CHECK(options_.queue_depth >= 1,
               "serve::Engine: queue_depth must be >= 1, got "
                   << options_.queue_depth);
+  for (double& w : options_.admission_watermark)
+    w = std::min(1.0, std::max(0.0, w));
   worker_ = std::thread([this] { worker_main(); });
 }
 
-Engine::~Engine() { shutdown(); }
+Engine::~Engine() { shutdown(Drain::kServe); }
 
 std::future<Response> Engine::submit(Tensor sample) {
-  CRISP_CHECK(!sample.empty(), "serve::Engine::submit: empty sample");
-  std::unique_lock<std::mutex> lk(mu_);
-  if (static_cast<std::int64_t>(queue_.size()) >= options_.queue_depth &&
-      !stopping_) {
-    if (options_.overflow == EngineOptions::Overflow::kReject) {
-      ++stats_.rejected;
-      throw std::runtime_error(
-          "serve::Engine: queue full (queue_depth = " +
-          std::to_string(options_.queue_depth) + ")");
-    }
-    // Parked submitters are counted so shutdown() can wait for them to
-    // leave before the engine's mutex/condvars are torn down.
-    ++blocked_submitters_;
-    cv_space_.wait(lk, [&] {
-      return stopping_ ||
-             static_cast<std::int64_t>(queue_.size()) < options_.queue_depth;
-    });
-    if (--blocked_submitters_ == 0 && stopping_) cv_submit_drained_.notify_all();
-  }
-  if (stopping_)
-    throw std::runtime_error("serve::Engine: submit after shutdown");
+  Request request;
+  request.sample = std::move(sample);
+  return submit_impl(std::move(request), /*legacy_throw=*/true);
+}
+
+std::future<Response> Engine::submit(Request request) {
+  return submit_impl(std::move(request), /*legacy_throw=*/false);
+}
+
+std::future<Response> Engine::submit_impl(Request request, bool legacy_throw) {
+  CRISP_CHECK(!request.sample.empty(), "serve::Engine::submit: empty sample");
+  const int pr = static_cast<int>(request.priority);
+  CRISP_CHECK(pr >= 0 && pr < kPriorityCount,
+              "serve::Engine::submit: invalid priority " << pr);
 
   Pending p;
-  p.sample = std::move(sample);
+  p.sample = std::move(request.sample);
+  p.priority = request.priority;
   p.enqueued = Clock::now();
+  if (request.deadline.count() > 0) p.deadline = p.enqueued + request.deadline;
   std::future<Response> fut = p.promise.get_future();
-  queue_.push_back(std::move(p));
-  lk.unlock();
+
+  // A displaced victim is completed outside the lock; the decision to
+  // displace is made under it.
+  Pending victim;
+  bool have_victim = false;
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_)
+      throw std::runtime_error("serve::Engine: submit after shutdown");
+
+    // Admission: deadline feasibility. An already-passed deadline is
+    // always refused; beyond that the estimate only exists once a batch
+    // has completed (ema > 0).
+    if (p.deadline != Clock::time_point::max()) {
+      const Clock::time_point now = p.enqueued;
+      bool refuse = p.deadline <= now;
+      if (!refuse && options_.reject_infeasible) {
+        const double est_us = estimated_completion_us_locked(p.priority);
+        refuse = est_us > 0.0 &&
+                 p.deadline < now + std::chrono::microseconds(
+                                        static_cast<std::int64_t>(est_us));
+      }
+      if (refuse) {
+        ++stats_.infeasible;
+        lk.unlock();
+        fulfill_terminal(p, Response::Status::kInfeasible, Clock::now());
+        return fut;
+      }
+    }
+
+    // Admission: per-class watermark band. A watermark of 1.0 (wm ==
+    // queue_depth) defers entirely to the full-queue policy below.
+    const std::int64_t wm = static_cast<std::int64_t>(
+        options_.admission_watermark[static_cast<std::size_t>(pr)] *
+        static_cast<double>(options_.queue_depth));
+    if (wm < options_.queue_depth && queued_total_locked() >= wm) {
+      ++stats_.rejected;
+      lk.unlock();
+      fulfill_terminal(p, Response::Status::kRejected, Clock::now());
+      return fut;
+    }
+
+    if (queued_total_locked() >= options_.queue_depth && !stopping_) {
+      // Displacement: a more urgent arrival sheds the youngest request of
+      // the least urgent queued class rather than waiting behind it.
+      int victim_class = -1;
+      for (int c = kPriorityCount - 1; c > pr; --c) {
+        if (!queues_[static_cast<std::size_t>(c)].empty()) {
+          victim_class = c;
+          break;
+        }
+      }
+      if (victim_class >= 0) {
+        auto& q = queues_[static_cast<std::size_t>(victim_class)];
+        victim = std::move(q.back());
+        q.pop_back();
+        have_victim = true;
+        ++stats_.shed;
+      } else if (options_.overflow == EngineOptions::Overflow::kReject) {
+        ++stats_.rejected;
+        if (legacy_throw)
+          throw std::runtime_error(
+              "serve::Engine: queue full (queue_depth = " +
+              std::to_string(options_.queue_depth) + ")");
+        lk.unlock();
+        fulfill_terminal(p, Response::Status::kRejected, Clock::now());
+        return fut;
+      } else {
+        // Parked submitters are counted so shutdown() can wait for them to
+        // leave before the engine's mutex/condvars are torn down.
+        ++blocked_submitters_;
+        cv_space_.wait(lk, [&] {
+          return stopping_ || queued_total_locked() < options_.queue_depth;
+        });
+        if (--blocked_submitters_ == 0 && stopping_)
+          cv_submit_drained_.notify_all();
+      }
+    }
+    if (stopping_)
+      throw std::runtime_error("serve::Engine: submit after shutdown");
+
+    ++stats_.accepted;
+    queues_[static_cast<std::size_t>(pr)].push_back(std::move(p));
+  }
   cv_submitted_.notify_one();
+  if (have_victim)
+    fulfill_terminal(victim, Response::Status::kShed, Clock::now());
   return fut;
 }
 
-void Engine::shutdown() {
+void Engine::shutdown(Drain drain) {
   {
     std::unique_lock<std::mutex> lk(mu_);
     stopping_ = true;
+    if (drain == Drain::kCancel) cancel_pending_ = true;
     cv_submitted_.notify_all();
     cv_space_.notify_all();
     // Producers parked in submit() under kBlock hold references to this
@@ -87,6 +176,69 @@ EngineStats Engine::stats() const {
   return stats_;
 }
 
+void Engine::fulfill_terminal(Pending& p, Response::Status status,
+                              Clock::time_point now) {
+  Response r;
+  r.status = status;
+  // Admission refusals never queued; everything else reports how long the
+  // request sat before the scheduler dropped it.
+  if (status != Response::Status::kRejected &&
+      status != Response::Status::kInfeasible)
+    r.stats.queue_time = elapsed_us(p.enqueued, now);
+  p.promise.set_value(std::move(r));
+}
+
+void Engine::take_expired_locked(Clock::time_point now,
+                                 std::vector<Pending>& out) {
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->deadline <= now) {
+        out.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Engine::collect_matching_locked(const Shape& shape, std::int64_t target,
+                                     std::vector<Pending>& batch) {
+  for (auto& q : queues_) {
+    if (static_cast<std::int64_t>(batch.size()) >= target) return;
+    for (auto it = q.begin();
+         it != q.end() && static_cast<std::int64_t>(batch.size()) < target;) {
+      if (it->sample.shape() == shape) {
+        batch.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+double Engine::estimated_completion_us_locked(Priority p) const {
+  if (ema_run_us_ == 0.0) return 0.0;
+  // Work queued at or above this request's urgency runs first; it drains
+  // in batches of up to max_batch, each costing ~one EMA batch time, and
+  // the request's own batch costs one more. Optimistic on purpose: it
+  // ignores shape fragmentation and flush waits, so it only refuses
+  // deadlines that even a perfectly packed queue could not meet.
+  std::int64_t ahead = 0;
+  for (int c = 0; c <= static_cast<int>(p); ++c)
+    ahead += static_cast<std::int64_t>(queues_[static_cast<std::size_t>(c)].size());
+  const double batches_ahead =
+      static_cast<double>(ahead) / static_cast<double>(options_.max_batch);
+  return ema_run_us_ * (1.0 + batches_ahead);
+}
+
+std::int64_t Engine::queued_total_locked() const {
+  std::int64_t total = 0;
+  for (const auto& q : queues_) total += static_cast<std::int64_t>(q.size());
+  return total;
+}
+
 void Engine::worker_main() {
   // The engine's pool pinning: every parallel_for issued by forwards on
   // this thread sees at most thread_budget threads.
@@ -94,124 +246,165 @@ void Engine::worker_main() {
 
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    cv_submitted_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping and fully drained
+    cv_submitted_.wait(lk, [&] { return stopping_ || queued_total_locked() > 0; });
+    if (queued_total_locked() == 0) return;  // stopping and fully drained
 
-    // Let the batch fill: after the first request lands, give stragglers
-    // up to flush_timeout to join before flushing a partial batch. The
-    // batch cannot grow past the queue's own capacity, so a full queue
-    // flushes immediately even when queue_depth < max_batch — otherwise
-    // blocked producers would sit out the whole timeout for nothing.
-    const std::int64_t fill_target =
-        std::min(options_.max_batch, options_.queue_depth);
-    if (!stopping_ &&
-        static_cast<std::int64_t>(queue_.size()) < fill_target &&
-        options_.flush_timeout.count() > 0) {
-      cv_submitted_.wait_for(lk, options_.flush_timeout, [&] {
-        return stopping_ ||
-               static_cast<std::int64_t>(queue_.size()) >= fill_target;
-      });
+    if (stopping_ && cancel_pending_) {
+      // shutdown(Drain::kCancel): everything still queued gets a terminal
+      // kCancelled status instead of a forward.
+      std::vector<Pending> dropped;
+      for (auto& q : queues_) {
+        for (auto& p : q) dropped.push_back(std::move(p));
+        q.clear();
+      }
+      stats_.cancelled += static_cast<std::int64_t>(dropped.size());
+      lk.unlock();
+      const Clock::time_point now = Clock::now();
+      for (auto& p : dropped)
+        fulfill_terminal(p, Response::Status::kCancelled, now);
+      return;
     }
 
+    // Shed deadline-expired work before it can anchor or join a batch.
+    std::vector<Pending> expired;
+    take_expired_locked(Clock::now(), expired);
+    if (!expired.empty()) {
+      stats_.expired += static_cast<std::int64_t>(expired.size());
+      lk.unlock();
+      cv_space_.notify_all();
+      const Clock::time_point now = Clock::now();
+      for (auto& p : expired) fulfill_terminal(p, Response::Status::kExpired, now);
+      expired.clear();
+      lk.lock();
+      if (queued_total_locked() == 0) continue;
+    }
+
+    // Lead request: oldest of the most urgent non-empty class. Its shape
+    // defines the batch; everything coalesced below stacks behind it.
     std::vector<Pending> batch;
-    const std::int64_t take =
-        std::min<std::int64_t>(options_.max_batch,
-                               static_cast<std::int64_t>(queue_.size()));
-    batch.reserve(static_cast<std::size_t>(take));
-    for (std::int64_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    for (auto& q : queues_) {
+      if (!q.empty()) {
+        batch.push_back(std::move(q.front()));
+        q.pop_front();
+        break;
+      }
     }
+    const Shape shape = batch.front().sample.shape();
+    const std::int64_t target = options_.max_batch;
+
+    // Continuous coalescing: keep folding shape-compatible arrivals (most
+    // urgent first) into the open slots until the batch is full, the
+    // flush window closes, the queue itself fills (blocked producers need
+    // the flush), or shutdown begins.
+    const Clock::time_point flush_at = Clock::now() + options_.flush_timeout;
+    for (;;) {
+      collect_matching_locked(shape, target, batch);
+      // Popping the lead / coalescing freed queue space; wake producers
+      // parked in a kBlock submit before settling into the flush wait.
+      cv_space_.notify_all();
+      if (stopping_ || static_cast<std::int64_t>(batch.size()) >= target ||
+          queued_total_locked() >= options_.queue_depth)
+        break;
+      if (cv_submitted_.wait_until(lk, flush_at) == std::cv_status::timeout) {
+        collect_matching_locked(shape, target, batch);
+        break;
+      }
+    }
+
+    // A batch member whose deadline lapsed during the flush wait is shed,
+    // not served late.
+    const Clock::time_point formed = Clock::now();
+    std::vector<Pending> late;
+    for (auto it = batch.begin(); it != batch.end();) {
+      if (it->deadline <= formed) {
+        late.push_back(std::move(*it));
+        it = batch.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    stats_.expired += static_cast<std::int64_t>(late.size());
+
     lk.unlock();
     cv_space_.notify_all();
-
-    run_batches(batch);
+    for (auto& p : late) fulfill_terminal(p, Response::Status::kExpired, formed);
+    if (!batch.empty()) run_batch(batch);
     lk.lock();
   }
 }
 
-void Engine::run_batches(std::vector<Pending>& batch) {
-  // Group by sample shape, preserving arrival order inside each group; a
-  // mixed-shape drain becomes one forward per distinct shape.
-  std::vector<std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    bool placed = false;
-    for (auto& g : groups) {
-      if (batch[g.front()].sample.shape() == batch[i].sample.shape()) {
-        g.push_back(i);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) groups.push_back({i});
-  }
+void Engine::run_batch(std::vector<Pending>& batch) {
+  const std::int64_t n = static_cast<std::int64_t>(batch.size());
+  const Clock::time_point formed = Clock::now();
+  try {
+    // Stack the batch into (n, sample dims...).
+    const Shape& sshape = batch.front().sample.shape();
+    Shape bshape;
+    bshape.reserve(sshape.size() + 1);
+    bshape.push_back(n);
+    bshape.insert(bshape.end(), sshape.begin(), sshape.end());
+    Tensor stacked(bshape);
+    const std::int64_t stride = batch.front().sample.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+      std::memcpy(stacked.data() + i * stride,
+                  batch[static_cast<std::size_t>(i)].sample.data(),
+                  static_cast<std::size_t>(stride) * sizeof(float));
 
-  for (const auto& g : groups) {
-    const std::int64_t n = static_cast<std::int64_t>(g.size());
-    const Clock::time_point formed = Clock::now();
-    try {
-      // Stack the group into (n, sample dims...).
-      const Shape& sshape = batch[g.front()].sample.shape();
-      Shape bshape;
-      bshape.reserve(sshape.size() + 1);
-      bshape.push_back(n);
-      bshape.insert(bshape.end(), sshape.begin(), sshape.end());
-      Tensor stacked(bshape);
-      const std::int64_t stride = batch[g.front()].sample.numel();
+    Tensor out = model_->run(stacked);
+    const Clock::time_point done = Clock::now();
+    CRISP_CHECK(out.dim() >= 1 && out.size(0) == n,
+                "serve::Engine: model returned leading dimension "
+                    << (out.dim() >= 1 ? out.size(0) : -1) << " for a batch of "
+                    << n);
+
+    Shape oshape(out.shape().begin() + 1, out.shape().end());
+    const std::int64_t ostride = out.numel() / n;
+    const std::chrono::microseconds run_us = elapsed_us(formed, done);
+    std::int64_t seq = 0;
+    // Aggregate counters first, so a caller observing a fulfilled future
+    // already sees its request counted in stats().
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      seq = stats_.batches;
+      stats_.requests += n;
+      stats_.batches += 1;
+      stats_.max_batch = std::max(stats_.max_batch, n);
+      stats_.total_run_us +=
+          static_cast<double>(run_us.count()) * static_cast<double>(n);
       for (std::int64_t i = 0; i < n; ++i)
-        std::memcpy(stacked.data() + i * stride,
-                    batch[g[static_cast<std::size_t>(i)]].sample.data(),
-                    static_cast<std::size_t>(stride) * sizeof(float));
-
-      Tensor out = model_->run(stacked);
-      const Clock::time_point done = Clock::now();
-      CRISP_CHECK(out.dim() >= 1 && out.size(0) == n,
-                  "serve::Engine: model returned leading dimension "
-                      << (out.dim() >= 1 ? out.size(0) : -1) << " for a batch of "
-                      << n);
-
-      Shape oshape(out.shape().begin() + 1, out.shape().end());
-      const std::int64_t ostride = out.numel() / n;
-      const std::chrono::microseconds run_us = elapsed_us(formed, done);
-      // Aggregate counters first, so a caller observing a fulfilled future
-      // already sees its request counted in stats().
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        stats_.requests += n;
-        stats_.batches += 1;
-        stats_.max_batch = std::max(stats_.max_batch, n);
-        stats_.total_run_us +=
-            static_cast<double>(run_us.count()) * static_cast<double>(n);
-        for (std::int64_t i = 0; i < n; ++i)
-          stats_.total_queue_us += static_cast<double>(
-              elapsed_us(batch[g[static_cast<std::size_t>(i)]].enqueued, formed)
-                  .count());
-      }
-      for (std::int64_t i = 0; i < n; ++i) {
-        Pending& p = batch[g[static_cast<std::size_t>(i)]];
-        Response r;
-        r.output = Tensor(oshape,
-                          std::vector<float>(out.data() + i * ostride,
-                                             out.data() + (i + 1) * ostride));
-        r.stats.queue_time = elapsed_us(p.enqueued, formed);
-        r.stats.run_time = run_us;
-        r.stats.batch_size = n;
-        p.promise.set_value(std::move(r));
-      }
-    } catch (...) {
-      const std::exception_ptr err = std::current_exception();
-      {
-        // Errored requests still waited in the queue; counting them into
-        // requests without their queue time would bias mean_queue_us low.
-        std::lock_guard<std::mutex> lk(mu_);
-        stats_.requests += n;
-        stats_.batches += 1;
-        for (const std::size_t idx : g)
-          stats_.total_queue_us += static_cast<double>(
-              elapsed_us(batch[idx].enqueued, formed).count());
-      }
-      for (const std::size_t idx : g) batch[idx].promise.set_exception(err);
+        stats_.total_queue_us += static_cast<double>(
+            elapsed_us(batch[static_cast<std::size_t>(i)].enqueued, formed)
+                .count());
+      const double run = static_cast<double>(run_us.count());
+      ema_run_us_ =
+          ema_run_us_ == 0.0 ? run
+                             : (1.0 - kEmaAlpha) * ema_run_us_ + kEmaAlpha * run;
     }
+    for (std::int64_t i = 0; i < n; ++i) {
+      Pending& p = batch[static_cast<std::size_t>(i)];
+      Response r;
+      r.output = Tensor(oshape,
+                        std::vector<float>(out.data() + i * ostride,
+                                           out.data() + (i + 1) * ostride));
+      r.stats.queue_time = elapsed_us(p.enqueued, formed);
+      r.stats.run_time = run_us;
+      r.stats.batch_size = n;
+      r.stats.batch_seq = seq;
+      p.promise.set_value(std::move(r));
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    {
+      // Errored requests still waited in the queue; counting them into
+      // requests without their queue time would bias mean_queue_us low.
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.requests += n;
+      stats_.batches += 1;
+      for (const Pending& p : batch)
+        stats_.total_queue_us += static_cast<double>(
+            elapsed_us(p.enqueued, formed).count());
+    }
+    for (Pending& p : batch) p.promise.set_exception(err);
   }
 }
 

@@ -14,6 +14,11 @@ silently fell back to scalar" (a 4-6x cliff on the dense GEMM), not 10%
 noise. Use --filter to restrict the gate to stable entries (CI gates on
 threads:1 — thread-sweep entries depend on the runner's core count).
 
+A baseline entry recorded as 0 is an exact gate: the current value must
+also be 0 or the gate fails regardless of --max-slowdown. Counter-valued
+entries (bench_loadgen's Loadgen/*/gate_shed_total) use this to assert
+"no shedding at sub-saturation load".
+
 Usage:
   tools/compare_bench.py BASELINE.json CURRENT.json \
       [--max-slowdown 3.0] [--filter SUBSTRING]
@@ -71,7 +76,14 @@ def main():
     width = max(len(n) for n in shared)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
     for name in shared:
-        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        if base[name] > 0:
+            ratio = cur[name] / base[name]
+        else:
+            # A zero baseline is an exact gate: the entry must stay 0.
+            # Used by counter-valued entries (bench_loadgen's
+            # Loadgen/subsat/gate_shed_total) where "any nonzero value is
+            # a regression" — a ratio can't express that.
+            ratio = 1.0 if cur[name] <= 0 else float("inf")
         flag = "  <-- REGRESSION" if ratio > args.max_slowdown else ""
         print(f"{name:<{width}}  {base[name]:>10.0f}ns  {cur[name]:>10.0f}ns"
               f"  {ratio:5.2f}x{flag}")
