@@ -1,28 +1,39 @@
-// personalize_edge — the paper's end-to-end story in one program.
+// personalize_edge — the paper's end-to-end story, fleet edition.
 //
-// A universal 100-class model ships to a user who only ever sees a handful
-// of classes (the paper's motivating scenario, §I). The device:
-//  1. identifies the frequently-occurring classes in an observation window,
-//  2. CRISP-prunes the model for those classes (class-aware saliency,
-//     hybrid 2:4 + block sparsity, iterative fine-tuning),
-//  3. exports the pruned weights to the CRISP storage format,
+// A provider ships one universal 100-class model to a fleet of users, each
+// of whom only ever sees a handful of classes (the paper's motivating
+// scenario, §I). The provider:
+//  1. CRISP-prunes the universal model once (class-aware saliency, hybrid
+//     2:4 + block sparsity) — this becomes the one shared base artifact,
+//  2. observes each user's traffic and derives their frequently-occurring
+//     classes (§III-B),
+//  3. personalizes per user by *restricting* the base — class-aware
+//     saliency ranks the base's surviving blocks on the user's classes and
+//     the least useful ones are dropped, uniformly per block-row, so the
+//     personalization is a tens-of-bytes tenant::MaskDelta instead of a
+//     model copy,
 //  4. estimates on-device latency/energy on the CRISP-STC edge accelerator,
-//  5. and stands the personalized model up behind a batched serve::Engine —
-//     the shape the device actually answers requests in.
+//  5. and serves the whole fleet from one process through tenant::Store
+//     (LRU-compiled overlays aliasing the one base arena) and
+//     tenant::Router (tenant-affine engines). docs/tenants.md is the
+//     subsystem guide.
 #include <cstdio>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "accel/report.h"
 #include "core/pruner.h"
-#include "deploy/packed_model.h"
+#include "core/saliency.h"
 #include "nn/flops.h"
 #include "nn/zoo.h"
-#include "serve/engine.h"
+#include "sparse/block.h"
 #include "sparse/formats/crisp_format.h"
+#include "tenant/router.h"
 
 using namespace crisp;
 
@@ -55,10 +66,76 @@ std::vector<std::int64_t> observe_user_classes(const data::Dataset& stream,
   return uc;
 }
 
+/// Restricts the model's masks in place: in every layer where each
+/// block-row keeps at least eight of the base's surviving blocks, drop
+/// the one with the lowest class-aware saliency per block-row (ties
+/// toward lower column). The >= 8 floor keeps the restriction gentle — a
+/// tenant gives up at most an eighth of a row's surviving weights, and
+/// only in the wide layers where its calibration data says they matter
+/// least
+/// (there is no per-tenant fine-tune to recover from an aggressive cut:
+/// the overlay serves the base's weights as-is). Uniform per-row drops
+/// keep the result a valid CRISP pattern — exactly what
+/// tenant::MaskDelta::from_model requires.
+void restrict_masks_by_saliency(nn::Sequential& model,
+                                const core::SaliencyMap& saliency,
+                                std::int64_t block) {
+  const auto params = model.prunable_parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    nn::Parameter* p = params[pi];
+    if (!p->has_mask()) continue;
+    const sparse::BlockGrid grid{p->matrix_rows, p->matrix_cols, block};
+    const Tensor scores = sparse::block_scores(
+        as_matrix(saliency[pi], p->matrix_rows, p->matrix_cols), grid);
+    const std::int64_t gr = grid.grid_rows(), gc = grid.grid_cols();
+    const std::int64_t cols = p->matrix_cols;
+    float* mask = p->mask.data();
+    const float* sc = scores.data();
+
+    // Survivors per block-row (uniform across rows by the CRISP
+    // invariant, but verify the minimum so the drop stays legal).
+    auto block_live = [&](std::int64_t br, std::int64_t bc) {
+      const std::int64_t r0 = br * block, r1 = r0 + grid.row_extent(br);
+      const std::int64_t c0 = bc * block, c1 = c0 + grid.col_extent(bc);
+      for (std::int64_t r = r0; r < r1; ++r)
+        for (std::int64_t c = c0; c < c1; ++c)
+          if (mask[r * cols + c] != 0.0f) return true;
+      return false;
+    };
+    std::int64_t min_survivors = std::numeric_limits<std::int64_t>::max();
+    for (std::int64_t br = 0; br < gr; ++br) {
+      std::int64_t live = 0;
+      for (std::int64_t bc = 0; bc < gc; ++bc) live += block_live(br, bc);
+      min_survivors = std::min(min_survivors, live);
+    }
+    if (min_survivors < 8) continue;  // too lean to give anything up
+
+    for (std::int64_t br = 0; br < gr; ++br) {
+      std::int64_t worst = -1;
+      for (std::int64_t bc = 0; bc < gc; ++bc) {
+        if (!block_live(br, bc)) continue;
+        if (worst < 0 || sc[br * gc + bc] < sc[br * gc + worst]) worst = bc;
+      }
+      const std::int64_t r0 = br * block, r1 = r0 + grid.row_extent(br);
+      const std::int64_t c0 = worst * block,
+                         c1 = c0 + grid.col_extent(worst);
+      for (std::int64_t r = r0; r < r1; ++r)
+        for (std::int64_t c = c0; c < c1; ++c) mask[r * cols + c] = 0.0f;
+    }
+  }
+}
+
+struct Tenant {
+  std::string id;
+  std::vector<std::int64_t> classes;
+  data::Dataset test;
+  std::int64_t delta_bytes = 0;
+};
+
 }  // namespace
 
 int main() {
-  std::printf("=== CRISP edge personalization walkthrough ===\n\n");
+  std::printf("=== CRISP fleet personalization walkthrough ===\n\n");
 
   // -- 1. the universal model (from the zoo cache; trains on first run) ----
   nn::ZooSpec spec;
@@ -76,45 +153,34 @@ int main() {
               pm.model->prunable_parameters().size(), 100 * pm.test_accuracy,
               static_cast<long long>(pm.data.train.num_classes));
 
-  // -- 2. observe the user, derive preferred classes ------------------------
+  // -- 2. CRISP-prune once: the shared base artifact ------------------------
+  // The provider prunes the universal model over the full class mix; every
+  // tenant's personalization will be a restriction of this one pattern.
   Rng rng(2024);
-  const auto user_classes = observe_user_classes(pm.data.train, rng);
-  std::printf("\nobservation window found %zu user-preferred classes:",
-              user_classes.size());
-  for (auto c : user_classes) std::printf(" %lld", static_cast<long long>(c));
-  std::printf("\n");
-
-  const data::Dataset user_train =
-      data::filter_classes(pm.data.train, user_classes);
-  const data::Dataset user_test =
-      data::filter_classes(pm.data.test, user_classes);
-  const float before =
-      nn::evaluate(*pm.model, user_test, 64, user_classes);
-
-  // -- 3. CRISP pruning ------------------------------------------------------
   core::CrispConfig cfg;
   cfg.n = 2;
   cfg.m = 4;
   cfg.block = 16;
-  cfg.target_sparsity = 0.92;
+  cfg.target_sparsity = 0.80;
   cfg.iterations = 3;
   cfg.finetune_epochs = 2;
-  cfg.recovery_epochs = 12;
+  cfg.recovery_epochs = 10;
   cfg.verbose = true;
   core::CrispPruner pruner(*pm.model, cfg);
-  const core::PruneReport report = pruner.run(user_train, rng);
-  const float after = nn::evaluate(*pm.model, user_test, 64, user_classes);
+  const core::PruneReport report = pruner.run(pm.data.train, rng);
+  const float base_acc = nn::evaluate(*pm.model, pm.data.test);
+  pruner.bake();
   const double flops =
       nn::count_flops(*pm.model, {1, 3, spec.input_size, spec.input_size})
           .ratio();
+  std::printf("\nbase artifact: sparsity %.1f%%, accuracy %.1f%% "
+              "(dense was %.1f%%), FLOPs ratio %.3f\n",
+              100 * report.achieved_sparsity(), 100 * base_acc,
+              100 * pm.test_accuracy, flops);
 
-  std::printf("\npersonalization: accuracy %.1f%% -> %.1f%% on user classes, "
-              "sparsity %.1f%%, FLOPs ratio %.3f\n",
-              100 * before, 100 * after, 100 * report.achieved_sparsity(),
-              flops);
-
-  // -- 4. deployment artefacts ----------------------------------------------
-  pruner.bake();
+  auto base = tenant::BaseArtifact::create(
+      std::make_shared<const deploy::PackedModel>(
+          deploy::PackedModel::pack(*pm.model, cfg.block, cfg.n, cfg.m)));
   double payload_kib = 0, metadata_kib = 0, dense_kib = 0;
   for (nn::Parameter* p : pm.model->prunable_parameters()) {
     const auto mat = as_matrix(p->value, p->matrix_rows, p->matrix_cols);
@@ -128,7 +194,60 @@ int main() {
               payload_kib, metadata_kib, dense_kib,
               dense_kib / (payload_kib + metadata_kib));
 
-  // -- 5. on-device latency/energy estimate (true ResNet-50 shapes) --------
+  // -- 3. personalize the fleet: masks, not models --------------------------
+  // Per tenant: observe the user's classes, score the base's surviving
+  // blocks with class-aware saliency on those classes (Eq. 1 restricted to
+  // the user's calibration data), and register the restriction as a
+  // MaskDelta. The model's base masks are restored after each derivation —
+  // nothing about the shared artifact changes per tenant.
+  constexpr int kTenants = 6;
+  const tenant::ModelFactory factory = [spec] {
+    return std::shared_ptr<nn::Sequential>(
+        nn::make_model(spec.model, spec.model_config()));
+  };
+  auto store = std::make_shared<tenant::Store>(base, factory);
+
+  std::vector<Tensor> base_masks;
+  for (nn::Parameter* p : pm.model->prunable_parameters())
+    base_masks.push_back(p->mask);
+
+  std::vector<Tenant> tenants;
+  std::int64_t delta_bytes_total = 0;
+  for (int t = 0; t < kTenants; ++t) {
+    Rng trng(static_cast<std::uint64_t>(100 + t));
+    Tenant tn;
+    tn.id = "tenant-" + std::to_string(t);
+    tn.classes = observe_user_classes(pm.data.train, trng);
+    tn.test = data::filter_classes(pm.data.test, tn.classes);
+
+    core::SaliencyConfig scfg;
+    scfg.seed = static_cast<std::uint64_t>(t);
+    const core::SaliencyMap sal = core::estimate_saliency(
+        *pm.model, data::filter_classes(pm.data.train, tn.classes), scfg);
+    restrict_masks_by_saliency(*pm.model, sal, cfg.block);
+    tenant::MaskDelta delta = tenant::MaskDelta::from_model(*base, *pm.model);
+    tn.delta_bytes = delta.delta_bytes();
+    delta_bytes_total += tn.delta_bytes;
+    store->register_tenant(tn.id, std::move(delta));
+
+    const auto params = pm.model->prunable_parameters();
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i]->mask = base_masks[i];  // restore the base pattern
+
+    std::printf("%s: %zu classes, personalization = %lld bytes\n",
+                tn.id.c_str(), tn.classes.size(),
+                static_cast<long long>(tn.delta_bytes));
+    tenants.push_back(std::move(tn));
+  }
+  const double base_kib = static_cast<double>(base->base_bytes()) / 1024.0;
+  std::printf("fleet residency: one %.0f KiB base + %lld bytes of deltas, "
+              "vs %.0f KiB for %d model copies (%.0fx smaller)\n",
+              base_kib, static_cast<long long>(delta_bytes_total),
+              base_kib * kTenants, kTenants,
+              base_kib * kTenants /
+                  (base_kib + static_cast<double>(delta_bytes_total) / 1024.0));
+
+  // -- 4. on-device latency/energy estimate (true ResNet-50 shapes) --------
   const auto workloads = accel::resnet50_representative_workloads();
   std::vector<accel::SparsityProfile> profiles;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
@@ -158,46 +277,64 @@ int main() {
   std::printf("  energy:  %.2fx more efficient\n",
               total_dense_energy / total_crisp_energy);
 
-  // -- 6. stand the personalized model up as a service ----------------------
-  // The packed artifact and the model move into an immutable CompiledModel;
-  // the Engine batches the device's request stream through it with a pinned
-  // kernel-pool budget (an edge device shares its cores with everything
-  // else).
-  auto artifact = std::make_shared<const deploy::PackedModel>(
-      deploy::PackedModel::pack(*pm.model, cfg.block, cfg.n, cfg.m));
-  std::shared_ptr<nn::Sequential> served_model = std::move(pm.model);
-  const auto compiled = serve::CompiledModel::compile(served_model, artifact);
+  // -- 5. serve the fleet from one process ----------------------------------
+  // The router fronts the store with tenant-affine engines: a cold tenant
+  // costs one overlay compile (zero payload copies — the overlay aliases
+  // the base arena), a hot tenant is a map lookup into its own batching
+  // engine. The pool is smaller than the fleet, so LRU retirement runs too.
+  tenant::RouterOptions ropts;
+  ropts.max_engines = 3;
+  ropts.engine.max_batch = 16;
+  ropts.engine.flush_timeout = std::chrono::microseconds(500);
+  ropts.engine.thread_budget = 2;  // share cores with the rest of the box
+  tenant::Router router(store, ropts);
 
-  serve::EngineOptions eopts;
-  eopts.max_batch = 16;
-  eopts.flush_timeout = std::chrono::microseconds(500);
-  eopts.thread_budget = 2;  // leave cores for the rest of the device
-  serve::Engine engine(compiled, eopts);
-
-  const std::int64_t c = user_test.channels(), h = user_test.height(),
-                     w = user_test.width();
-  std::vector<std::future<serve::Response>> futures;
-  for (std::int64_t i = 0; i < user_test.size(); ++i)
-    futures.push_back(engine.submit(user_test.sample(i).reshaped({c, h, w})));
-  std::int64_t correct = 0;
-  for (std::int64_t i = 0; i < user_test.size(); ++i) {
-    const serve::Response r = futures[static_cast<std::size_t>(i)].get();
-    std::int64_t best = user_classes.front();
-    for (const std::int64_t cls : user_classes)
-      if (r.output[cls] > r.output[best]) best = cls;
-    if (best == user_test.labels[static_cast<std::size_t>(i)]) ++correct;
+  std::printf("\nserving %d tenants through %lld engines:\n", kTenants,
+              static_cast<long long>(ropts.max_engines));
+  const std::int64_t c = pm.data.test.channels(), h = pm.data.test.height(),
+                     w = pm.data.test.width();
+  for (const Tenant& tn : tenants) {
+    std::vector<std::future<serve::Response>> futures;
+    for (std::int64_t i = 0; i < tn.test.size(); ++i) {
+      serve::Request req;
+      req.sample = tn.test.sample(i).reshaped({c, h, w});
+      futures.push_back(router.submit(tn.id, std::move(req)));
+      // Wait out the first (cold) response so the rest of this tenant's
+      // burst rides the hot path into its freshly-built engine.
+      if (i == 0) futures.front().wait();
+    }
+    std::int64_t correct = 0;
+    for (std::int64_t i = 0; i < tn.test.size(); ++i) {
+      const serve::Response r = futures[static_cast<std::size_t>(i)].get();
+      std::int64_t best = tn.classes.front();
+      for (const std::int64_t cls : tn.classes)
+        if (r.output[cls] > r.output[best]) best = cls;
+      if (best == tn.test.labels[static_cast<std::size_t>(i)]) ++correct;
+    }
+    std::printf("  %s: %lld requests, accuracy %.1f%% on its %zu classes\n",
+                tn.id.c_str(), static_cast<long long>(tn.test.size()),
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(tn.test.size()),
+                tn.classes.size());
   }
-  const serve::EngineStats es = engine.stats();
-  std::printf("\nserving: %lld requests in %lld batched forwards "
-              "(occupancy %.1f, thread budget %d), accuracy %.1f%%\n",
-              static_cast<long long>(es.requests),
-              static_cast<long long>(es.batches), es.occupancy(),
-              eopts.thread_budget,
-              100.0 * static_cast<double>(correct) /
-                  static_cast<double>(user_test.size()));
+  const tenant::RouterStats rs = router.stats();
+  const tenant::ResidentBytes res = store->resident_bytes();
+  router.shutdown();
+  std::printf("router: %lld requests (%lld hot, %lld cold), %lld engines "
+              "built, %lld retired\n",
+              static_cast<long long>(rs.submitted),
+              static_cast<long long>(rs.hot),
+              static_cast<long long>(rs.cold_misses),
+              static_cast<long long>(rs.engines_built),
+              static_cast<long long>(rs.engines_retired));
+  std::printf("resident: %.0f KiB base + %.1f KiB deltas + %.0f KiB "
+              "compiled cache\n",
+              static_cast<double>(res.base) / 1024.0,
+              static_cast<double>(res.deltas) / 1024.0,
+              static_cast<double>(res.compiled) / 1024.0);
 
-  std::printf("\ndone — the pruned model answers the user's %zu classes at "
-              "%.1f%% accuracy on a fraction of the compute.\n",
-              user_classes.size(), 100 * after);
+  std::printf("\ndone — one base model, %d personalizations of a few KiB "
+              "each, served from one process.\n",
+              kTenants);
   return 0;
 }

@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "kernels/spmm_kernel.h"
-
 namespace crisp::deploy {
 
 namespace {
@@ -15,9 +13,8 @@ void walk(nn::Layer* layer, std::vector<nn::Layer*>& out) {
 
 }  // namespace
 
-std::vector<std::string> install_packed_hooks(
-    nn::Sequential& model, std::shared_ptr<const PackedModel> packed) {
-  CRISP_CHECK(packed != nullptr, "install_packed_hooks: null artifact");
+std::vector<std::string> install_kernel_hooks(
+    nn::Sequential& model, const std::vector<NamedKernel>& kernels) {
   std::vector<nn::Layer*> layers;
   walk(&model, layers);
 
@@ -25,22 +22,29 @@ std::vector<std::string> install_packed_hooks(
   for (nn::Layer* layer : layers) {
     for (nn::Parameter* p : layer->parameters()) {
       if (!p->prunable) continue;
-      const PackedEntry* entry = packed->find(p->name);
-      if (entry == nullptr) continue;
-      CRISP_CHECK(entry->matrix.rows() == p->matrix_rows &&
-                      entry->matrix.cols() == p->matrix_cols,
-                  "install_packed_hooks: "
+      const NamedKernel* named = nullptr;
+      for (const NamedKernel& k : kernels) {
+        if (k.name == p->name) {
+          named = &k;
+          break;
+        }
+      }
+      if (named == nullptr) continue;
+      CRISP_CHECK(named->kernel != nullptr,
+                  "install_kernel_hooks: null kernel for " << named->name);
+      CRISP_CHECK(named->kernel->rows() == p->matrix_rows &&
+                      named->kernel->cols() == p->matrix_cols,
+                  "install_kernel_hooks: "
                       << p->name << " expects " << p->matrix_rows << "x"
-                      << p->matrix_cols << ", artifact holds "
-                      << entry->matrix.rows() << "x" << entry->matrix.cols());
+                      << p->matrix_cols << ", kernel holds "
+                      << named->kernel->rows() << "x" << named->kernel->cols());
       // Hooked through the SpmmKernel interface: packed inference runs the
-      // same threaded, block-row-partitioned CRISP kernel as everything
-      // else, and the hook stays format-agnostic if the artifact ever
-      // carries other encodings. The shared_ptr rides in the closure, so
-      // the kernel pointer stays valid for as long as the hook exists.
-      const kernels::SpmmKernel* kernel = &entry->matrix;
+      // same threaded, block-row-partitioned kernels as everything else,
+      // and the hook stays format-agnostic across CrispMatrix, tenant
+      // overlays, and whatever encodings come later. The shared_ptr rides
+      // in the closure, so the kernel stays valid as long as the hook does.
       if (layer->set_gemm_hook(
-              [owner = packed, kernel](ConstMatrixView x, MatrixView y) {
+              [kernel = named->kernel](ConstMatrixView x, MatrixView y) {
                 kernel->spmm(x, y);
               })) {
         attached.push_back(p->name);
@@ -50,16 +54,17 @@ std::vector<std::string> install_packed_hooks(
   return attached;
 }
 
-std::vector<std::string> attach_packed(nn::Sequential& model,
-                                       const PackedModel& packed) {
-  return install_packed_hooks(model,
-                              std::make_shared<const PackedModel>(packed));
-}
-
-void detach_packed(nn::Sequential& model) {
-  std::vector<nn::Layer*> layers;
-  walk(&model, layers);
-  for (nn::Layer* layer : layers) layer->set_gemm_hook(nullptr);
+std::vector<std::string> install_packed_hooks(
+    nn::Sequential& model, std::shared_ptr<const PackedModel> packed) {
+  CRISP_CHECK(packed != nullptr, "install_packed_hooks: null artifact");
+  std::vector<NamedKernel> named;
+  named.reserve(packed->entries().size());
+  for (const PackedEntry& entry : packed->entries())
+    // Aliasing shared_ptr: each kernel pointer is the entry's CrispMatrix,
+    // but the refcount (and lifetime) is the whole artifact's.
+    named.push_back({entry.name, std::shared_ptr<const kernels::SpmmKernel>(
+                                     packed, &entry.matrix)});
+  return install_kernel_hooks(model, named);
 }
 
 }  // namespace crisp::deploy

@@ -1,14 +1,21 @@
 // Packed sparse execution — inference straight from the CRISP format.
 //
-// install_packed_hooks() pairs every GEMM layer whose prunable weight has
-// an entry in a PackedModel with that entry's CrispMatrix, installing an
-// eval-mode GEMM hook (nn::GemmHook). Subsequent eval forwards then
-// multiply with the compressed representation — block-column gather +
-// offset-MUX activation selection, the software analogue of the CRISP-STC
-// datapath (paper Fig. 6) — instead of the dense weights. Training
-// forwards are unaffected. Every hook shares ownership of the artifact, so
-// there is no use-after-free window no matter when the caller's PackedModel
-// goes out of scope.
+// install_kernel_hooks() pairs every GEMM layer whose prunable weight has
+// a named SpmmKernel with that kernel, installing an eval-mode GEMM hook
+// (nn::GemmHook). Subsequent eval forwards then multiply with the
+// compressed representation — block-column gather + offset-MUX activation
+// selection, the software analogue of the CRISP-STC datapath (paper
+// Fig. 6) — instead of the dense weights. Training forwards are
+// unaffected. Every hook shares ownership of its kernel, so there is no
+// use-after-free window no matter when the caller's artifact goes out of
+// scope.
+//
+// Two producers feed this surface today: install_packed_hooks() wires a
+// whole PackedModel (each entry's CrispMatrix aliased out of the shared
+// artifact), and the tenant overlay path (tenant/overlay.h) wires
+// per-tenant OverlayMatrix kernels that execute against a shared base
+// arena. Both end up here because a hook does not care what owns the
+// kernel — only that the shared_ptr in its closure keeps it alive.
 //
 // This header is the low-level surface; services should serve through
 // serve::CompiledModel + serve::Engine (serve/engine.h), which add an
@@ -20,27 +27,30 @@
 #include <vector>
 
 #include "deploy/packed_model.h"
+#include "kernels/spmm_kernel.h"
 #include "nn/sequential.h"
 
 namespace crisp::deploy {
 
+/// One kernel destined for the layer whose prunable parameter carries
+/// `name`. The shared_ptr may alias into a larger owner (a PackedModel, a
+/// tenant base arena) — the hook only needs it to keep the kernel alive.
+struct NamedKernel {
+  std::string name;
+  std::shared_ptr<const kernels::SpmmKernel> kernel;
+};
+
 /// Installs hooks on every layer whose prunable parameter name appears in
-/// `packed`; each hook keeps `packed` alive via shared ownership. Returns
-/// the names attached. Layers that refuse hooks (grouped convs) are
-/// skipped.
+/// `kernels` (shape-checked against the parameter's matrix view); each
+/// hook keeps its kernel alive via shared ownership. Returns the names
+/// attached. Layers that refuse hooks (grouped convs) are skipped.
+std::vector<std::string> install_kernel_hooks(
+    nn::Sequential& model, const std::vector<NamedKernel>& kernels);
+
+/// Installs hooks on every layer whose prunable parameter name appears in
+/// `packed`; each hook keeps `packed` alive via shared ownership (the
+/// per-entry kernels alias into the artifact). Returns the names attached.
 std::vector<std::string> install_packed_hooks(
     nn::Sequential& model, std::shared_ptr<const PackedModel> packed);
-
-/// DEPRECATED thin wrapper: copies `packed` into a shared artifact and
-/// installs hooks on it, so the historical "`packed` must outlive every
-/// eval-mode forward" contract no longer applies — the hooks own the copy.
-/// New code should build a serve::CompiledModel (or call
-/// install_packed_hooks with a shared_ptr to avoid the copy).
-std::vector<std::string> attach_packed(nn::Sequential& model,
-                                       const PackedModel& packed);
-
-/// Removes every packed-execution hook from the model (and with it the
-/// hooks' shared ownership of the artifact).
-void detach_packed(nn::Sequential& model);
 
 }  // namespace crisp::deploy

@@ -93,6 +93,30 @@ PackedModel PackedModel::pack(nn::Sequential& model, std::int64_t block,
   return out;
 }
 
+PackedModel PackedModel::assemble(std::int64_t block, std::int64_t n,
+                                  std::int64_t m,
+                                  std::vector<PackedEntry> entries,
+                                  TensorMap dense_state) {
+  PackedModel out;
+  out.n_ = n;
+  out.m_ = m;
+  out.block_ = block;
+  for (const PackedEntry& e : entries) {
+    CRISP_CHECK(e.matrix.n() == n && e.matrix.m() == m &&
+                    e.matrix.grid().block == block,
+                "PackedModel::assemble: entry " << e.name << " is "
+                    << e.matrix.n() << ":" << e.matrix.m() << "/block "
+                    << e.matrix.grid().block << ", artifact is " << n << ":"
+                    << m << "/block " << block);
+    CRISP_CHECK(shape_numel(e.shape) == e.matrix.rows() * e.matrix.cols(),
+                "PackedModel::assemble: entry " << e.name
+                                                << " shape/matrix mismatch");
+  }
+  out.entries_ = std::move(entries);
+  out.dense_ = std::move(dense_state);
+  return out;
+}
+
 void PackedModel::save(const std::string& path) const {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   CRISP_CHECK(os.is_open(), "PackedModel::save: cannot open " << path);

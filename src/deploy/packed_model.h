@@ -55,6 +55,16 @@ class PackedModel {
   static PackedModel pack(nn::Sequential& model, std::int64_t block,
                           std::int64_t n, std::int64_t m);
 
+  /// Assembles an artifact from already-encoded entries plus the dense
+  /// state they ride with — the tenant delta-apply path
+  /// (tenant::MaskDelta::apply), which restricts a base artifact's
+  /// matrices without round-tripping through a model. Every entry must
+  /// match the stated N:M geometry and its own declared shape.
+  static PackedModel assemble(std::int64_t block, std::int64_t n,
+                              std::int64_t m,
+                              std::vector<PackedEntry> entries,
+                              TensorMap dense_state);
+
   /// Binary round-trip. `load` throws on missing file, bad magic/version,
   /// or truncation. (Format v2: entries may carry an int8 payload — older
   /// v1 files are rejected; re-pack from the source model.)

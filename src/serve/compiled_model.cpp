@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "deploy/packed_exec.h"
-
 namespace crisp::serve {
 
 std::shared_ptr<const CompiledModel> CompiledModel::compile(
@@ -29,6 +27,16 @@ std::shared_ptr<const CompiledModel> CompiledModel::compile(
     packed_layers = deploy::install_packed_hooks(*model, packed);
   return std::shared_ptr<const CompiledModel>(new CompiledModel(
       std::move(model), std::move(packed), std::move(packed_layers)));
+}
+
+std::shared_ptr<const CompiledModel> CompiledModel::compile_with_kernels(
+    std::shared_ptr<nn::Sequential> model,
+    const std::vector<deploy::NamedKernel>& kernels) {
+  CRISP_CHECK(model != nullptr, "CompiledModel::compile_with_kernels: null model");
+  std::vector<std::string> packed_layers =
+      deploy::install_kernel_hooks(*model, kernels);
+  return std::shared_ptr<const CompiledModel>(new CompiledModel(
+      std::move(model), nullptr, std::move(packed_layers)));
 }
 
 }  // namespace crisp::serve

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "deploy/packed_exec.h"
 #include "deploy/packed_model.h"
 #include "nn/sequential.h"
 
@@ -54,6 +55,17 @@ class CompiledModel {
       std::shared_ptr<nn::Sequential> model,
       std::shared_ptr<const deploy::PackedModel> packed = nullptr,
       CompileOptions options = {});
+
+  /// Freezes `model` with explicitly supplied kernels instead of a whole
+  /// PackedModel — the tenant overlay path (tenant/overlay.h), where each
+  /// kernel executes against a shared base arena its shared_ptr co-owns.
+  /// Same contract as compile(): the hooks and the compiled model keep
+  /// every kernel alive, the caller must stop mutating `model`, and the
+  /// const run() surface is what serves. has_packed()/quantized() are
+  /// false for this form — the kernels themselves decide what they execute.
+  static std::shared_ptr<const CompiledModel> compile_with_kernels(
+      std::shared_ptr<nn::Sequential> model,
+      const std::vector<deploy::NamedKernel>& kernels);
 
   /// Eval forward of a batch whose leading dimension is the batch axis.
   /// Const-thread-safe: any number of threads may run concurrently.

@@ -204,17 +204,23 @@ void Engine::take_expired_locked(Clock::time_point now,
 
 void Engine::collect_matching_locked(const Shape& shape, std::int64_t target,
                                      std::vector<Pending>& batch) {
+  // EDF within each class: among shape-matching requests, the earliest
+  // absolute deadline fills the next slot. Undeadlined requests carry
+  // time_point::max(), so they order FIFO behind every deadlined one (the
+  // strict < keeps the scan stable). Linear scans are fine here — the
+  // queue is bounded by queue_depth.
   for (auto& q : queues_) {
-    if (static_cast<std::int64_t>(batch.size()) >= target) return;
-    for (auto it = q.begin();
-         it != q.end() && static_cast<std::int64_t>(batch.size()) < target;) {
-      if (it->sample.shape() == shape) {
-        batch.push_back(std::move(*it));
-        it = q.erase(it);
-      } else {
-        ++it;
+    while (static_cast<std::int64_t>(batch.size()) < target) {
+      auto best = q.end();
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (it->sample.shape() != shape) continue;
+        if (best == q.end() || it->deadline < best->deadline) best = it;
       }
+      if (best == q.end()) break;
+      batch.push_back(std::move(*best));
+      q.erase(best);
     }
+    if (static_cast<std::int64_t>(batch.size()) >= target) return;
   }
 }
 
@@ -279,15 +285,19 @@ void Engine::worker_main() {
       if (queued_total_locked() == 0) continue;
     }
 
-    // Lead request: oldest of the most urgent non-empty class. Its shape
-    // defines the batch; everything coalesced below stacks behind it.
+    // Lead request: earliest deadline in the most urgent non-empty class
+    // (EDF within the class; undeadlined requests sort last and FIFO among
+    // themselves via the strict <). Its shape defines the batch;
+    // everything coalesced below stacks behind it.
     std::vector<Pending> batch;
     for (auto& q : queues_) {
-      if (!q.empty()) {
-        batch.push_back(std::move(q.front()));
-        q.pop_front();
-        break;
-      }
+      if (q.empty()) continue;
+      auto lead = q.begin();
+      for (auto it = std::next(q.begin()); it != q.end(); ++it)
+        if (it->deadline < lead->deadline) lead = it;
+      batch.push_back(std::move(*lead));
+      q.erase(lead);
+      break;
     }
     const Shape shape = batch.front().sample.shape();
     const std::int64_t target = options_.max_batch;

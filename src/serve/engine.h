@@ -8,10 +8,12 @@
 //     any number of producer threads may call it concurrently. The richer
 //     submit(Request) overload carries a priority class and an optional
 //     deadline;
-//   * a worker thread picks the oldest request of the most urgent
-//     non-empty class, then keeps coalescing shape-compatible arrivals —
-//     from any class, most urgent first — into the open batch slots for up
-//     to flush_timeout, so the batch-parallel kernels see real batches and
+//   * a worker thread picks the earliest-deadline request of the most
+//     urgent non-empty class (EDF within a class; requests without a
+//     deadline order FIFO behind deadlined ones), then keeps coalescing
+//     shape-compatible arrivals — from any class, most urgent and
+//     earliest-deadline first — into the open batch slots for up to
+//     flush_timeout, so the batch-parallel kernels see real batches and
 //     late arrivals ride the batch that is already forming;
 //   * admission control refuses work the engine should not accept: a
 //     per-class queue-occupancy watermark (EngineOptions), and
@@ -55,7 +57,8 @@ namespace crisp::serve {
 
 /// Scheduling class of a request. Lower values are more urgent; the worker
 /// always serves the most urgent non-empty class first (strict priority,
-/// FIFO within a class). Strict priority means a saturated stream of
+/// earliest-deadline-first within a class — undeadlined requests run FIFO
+/// behind deadlined ones). Strict priority means a saturated stream of
 /// urgent work can starve kBatch indefinitely — that is deliberate: under
 /// overload the admission watermarks and displacement shedding, not the
 /// scheduler, are the pressure valve (see docs/serving.md).
@@ -314,7 +317,8 @@ class Engine {
   /// Moves every queued request whose deadline has passed into `out`.
   void take_expired_locked(Clock::time_point now, std::vector<Pending>& out);
   /// Moves shape-matching requests into `batch` (most urgent class first,
-  /// FIFO within a class) until it holds `target` requests.
+  /// earliest deadline first within a class, FIFO among undeadlined) until
+  /// it holds `target` requests.
   void collect_matching_locked(const Shape& shape, std::int64_t target,
                                std::vector<Pending>& batch);
   /// Optimistic completion-time estimate (µs) for a request of class `p`:
@@ -329,8 +333,9 @@ class Engine {
   std::condition_variable cv_submitted_;  ///< queue gained work / stopping
   std::condition_variable cv_space_;      ///< queue freed capacity
   std::condition_variable cv_submit_drained_;  ///< blocked submitters left
-  /// One FIFO per priority class; the worker drains the lowest non-empty
-  /// index first.
+  /// One queue per priority class; the worker drains the lowest non-empty
+  /// index first, earliest deadline first within it (arrival order is
+  /// kept, selection scans for the minimum deadline).
   std::array<std::deque<Pending>, kPriorityCount> queues_;
   bool stopping_ = false;
   bool cancel_pending_ = false;  ///< shutdown(kCancel): drop, don't serve

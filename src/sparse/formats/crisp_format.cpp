@@ -270,6 +270,84 @@ void CrispMatrix::spmm_quantized(ConstMatrixView x, MatrixView y) const {
   }, grain);
 }
 
+CrispMatrix CrispMatrix::restricted_to_blocks(
+    const std::vector<std::uint8_t>& kept, std::int64_t kept_per_row) const {
+  const std::int64_t gr = grid_.grid_rows();
+  const std::int64_t total_blocks = gr * blocks_per_row_;
+  CRISP_CHECK(static_cast<std::int64_t>(kept.size()) == (total_blocks + 7) / 8,
+              "restricted_to_blocks: bitmap holds " << kept.size() * 8
+                  << " bits, matrix stores " << total_blocks << " blocks");
+  CRISP_CHECK(kept_per_row >= 0 && kept_per_row <= blocks_per_row_,
+              "restricted_to_blocks: kept_per_row " << kept_per_row
+                  << " outside [0, " << blocks_per_row_ << "]");
+
+  CrispMatrix out;
+  out.grid_ = grid_;
+  out.n_ = n_;
+  out.m_ = m_;
+  out.blocks_per_row_ = kept_per_row;
+  const std::int64_t spb = slots_per_block();
+  const std::int64_t out_slots = gr * kept_per_row * spb;
+  const bool fp32 = has_fp32();
+  const bool quant = has_quantized() && kept_per_row > 0;
+  out.block_cols_.reserve(static_cast<std::size_t>(gr * kept_per_row));
+  if (fp32) out.values_.reserve(static_cast<std::size_t>(out_slots));
+  out.offsets_.reserve(static_cast<std::size_t>(out_slots));
+  if (quant) {
+    out.qvalues_.group_size = kept_per_row * spb;
+    out.qvalues_.values.reserve(static_cast<std::size_t>(out_slots));
+    out.qvalues_.scales.reserve(static_cast<std::size_t>(gr));
+  }
+
+  for (std::int64_t br = 0; br < gr; ++br) {
+    std::int64_t row_kept = 0;
+    for (std::int64_t i = 0; i < blocks_per_row_; ++i) {
+      const std::int64_t blk = br * blocks_per_row_ + i;
+      if (!(kept[static_cast<std::size_t>(blk >> 3)] &
+            (1u << (blk & 7))))
+        continue;
+      ++row_kept;
+      out.block_cols_.push_back(block_cols_[static_cast<std::size_t>(blk)]);
+      const auto s0 = static_cast<std::size_t>(blk * spb);
+      const auto s1 = s0 + static_cast<std::size_t>(spb);
+      if (fp32)
+        out.values_.insert(out.values_.end(), values_.begin() + s0,
+                           values_.begin() + s1);
+      out.offsets_.insert(out.offsets_.end(), offsets_.begin() + s0,
+                          offsets_.begin() + s1);
+      if (quant)
+        out.qvalues_.values.insert(out.qvalues_.values.end(),
+                                   qvalues_.values.begin() + s0,
+                                   qvalues_.values.begin() + s1);
+    }
+    CRISP_CHECK(row_kept == kept_per_row,
+                "restricted_to_blocks: block-row " << br << " keeps "
+                    << row_kept << " blocks, expected " << kept_per_row
+                    << " (CRISP requires uniform surviving blocks per row)");
+    // The kept slots are a subset of the base band, so the base's
+    // per-block-row scale still bounds them — reusing it keeps every kept
+    // int8 slot dequantizing to the exact value the base computes.
+    if (quant)
+      out.qvalues_.scales.push_back(
+          qvalues_.scale_for(br * slots_per_block_row()));
+  }
+  return out;
+}
+
+void CrispMatrix::override_row_scales(const std::vector<float>& scales) {
+  CRISP_CHECK(has_quantized(),
+              "override_row_scales: no quantized payload attached");
+  CRISP_CHECK(static_cast<std::int64_t>(scales.size()) == grid_.grid_rows(),
+              "override_row_scales: need one scale per block-row ("
+                  << grid_.grid_rows() << "), got " << scales.size());
+  CRISP_CHECK(static_cast<std::int64_t>(qvalues_.scales.size()) ==
+                  grid_.grid_rows(),
+              "override_row_scales: payload carries "
+                  << qvalues_.scales.size() << " scale groups, expected one "
+                  "per block-row");
+  qvalues_.scales = scales;
+}
+
 std::int64_t CrispMatrix::metadata_bits() const {
   const std::int64_t block_bits =
       grid_.grid_rows() * blocks_per_row_ * bits_for_index(grid_.grid_cols());

@@ -85,10 +85,42 @@ class CrispMatrix : public kernels::SpmmKernel {
     return static_cast<std::int64_t>(offsets_.size());
   }
 
- private:
+  /// Zero-copy views of the encoded arena, in stored order (block-rows
+  /// ascending, surviving blocks ascending within a row; slot layout
+  /// block-side rows x groups x n per block). tenant::OverlayMatrix walks
+  /// these to execute a per-tenant block subset directly against this
+  /// matrix's payload without copying it.
+  const std::vector<std::int32_t>& block_cols() const { return block_cols_; }
+  const std::vector<float>& fp32_values() const { return values_; }
+  const std::vector<std::uint8_t>& slot_offsets() const { return offsets_; }
+  /// Slots one surviving block spans: block * (block/m) * n.
+  std::int64_t slots_per_block() const {
+    return grid_.block * (grid_.block / m_) * n_;
+  }
   /// Slots one block-row's surviving blocks span — the quantization group.
   std::int64_t slots_per_block_row() const;
 
+  /// Copies out the sub-matrix that keeps, per block-row, exactly the
+  /// stored blocks whose bit is set in `kept` — a bitmap over the block
+  /// list (grid_rows x blocks_per_row positions, row-major, LSB-first
+  /// within each byte; bits address list *positions*, not block columns).
+  /// Every block-row must keep exactly `kept_per_row` blocks (the format's
+  /// uniformity invariant; throws otherwise). Kept blocks carry their
+  /// slots over verbatim — fp32 and/or int8, the int8 scales staying one
+  /// per block-row — so the result computes bit-identically to this matrix
+  /// restricted to those blocks. This is the tenant delta-apply path
+  /// (tenant/mask_delta.h).
+  CrispMatrix restricted_to_blocks(const std::vector<std::uint8_t>& kept,
+                                   std::int64_t kept_per_row) const;
+
+  /// Replaces the per-block-row dequantization scales — the tenant
+  /// scale-override path (one cheap fp32 per block-row of re-calibration,
+  /// no payload rewrite). Requires a quantized payload and exactly one
+  /// scale per block-row. Only the int8 execution path reads scales; an
+  /// fp32 payload, when present, still serves bit-exact.
+  void override_row_scales(const std::vector<float>& scales);
+
+ private:
   BlockGrid grid_;
   std::int64_t n_ = 0;
   std::int64_t m_ = 0;

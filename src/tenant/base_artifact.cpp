@@ -1,0 +1,22 @@
+#include "tenant/base_artifact.h"
+
+#include <utility>
+
+namespace crisp::tenant {
+
+BaseArtifact::BaseArtifact(std::shared_ptr<const deploy::PackedModel> packed)
+    : packed_(std::move(packed)) {
+  base_bytes_ = packed_->stats().total_bits() / 8;
+}
+
+std::shared_ptr<const BaseArtifact> BaseArtifact::create(
+    std::shared_ptr<const deploy::PackedModel> packed) {
+  CRISP_CHECK(packed != nullptr, "BaseArtifact::create: null artifact");
+  CRISP_CHECK(!packed->entries().empty(),
+              "BaseArtifact::create: artifact has no packed entries — "
+              "nothing for tenant deltas to personalize");
+  return std::shared_ptr<const BaseArtifact>(
+      new BaseArtifact(std::move(packed)));
+}
+
+}  // namespace crisp::tenant

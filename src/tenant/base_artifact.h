@@ -1,0 +1,55 @@
+// Shared immutable base for fleet-scale personalized serving.
+//
+// CRISP's premise is one universal model pruned differently per user
+// (paper §III-B; the edge-personalization story of §V). Serving a fleet
+// that way must NOT mean one PackedModel copy per user: the base weights —
+// value slots (fp32 and/or int8), block-column indices, N:M offsets, and
+// the carried dense state — are identical across tenants; only *which
+// blocks survive* differs. BaseArtifact freezes one PackedModel as that
+// shared arena. Tenants reference it three ways, none of which copy it:
+//   * tenant::MaskDelta validates against it and stores only the per-row
+//     block survivorship (a bitmap) + optional per-block-row scales;
+//   * tenant::OverlayMatrix executes a delta by walking the base's slot
+//     arena directly (aliased via shared_ptr, refcounted lifetime);
+//   * tenant::Store accounts the base once, no matter how many thousands
+//     of tenants are registered against it (docs/tenants.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "deploy/packed_model.h"
+
+namespace crisp::tenant {
+
+class BaseArtifact {
+ public:
+  /// Freezes `packed` as the fleet's shared base. The artifact must hold
+  /// at least one packed entry (a dense-only model has nothing for deltas
+  /// to mask). The PackedModel must not be mutated afterwards — every
+  /// overlay in the fleet executes straight out of its arena.
+  static std::shared_ptr<const BaseArtifact> create(
+      std::shared_ptr<const deploy::PackedModel> packed);
+
+  const deploy::PackedModel& packed() const { return *packed_; }
+  std::shared_ptr<const deploy::PackedModel> packed_ptr() const {
+    return packed_;
+  }
+  /// nullptr when `name` is not a packed entry.
+  const deploy::PackedEntry* find(const std::string& name) const {
+    return packed_->find(name);
+  }
+
+  /// Bytes this base occupies once, fleet-wide: packed payload + metadata
+  /// + carried dense state (PackedStats::total_bits / 8).
+  std::int64_t base_bytes() const { return base_bytes_; }
+
+ private:
+  explicit BaseArtifact(std::shared_ptr<const deploy::PackedModel> packed);
+
+  std::shared_ptr<const deploy::PackedModel> packed_;
+  std::int64_t base_bytes_ = 0;
+};
+
+}  // namespace crisp::tenant

@@ -1,0 +1,108 @@
+// Per-tenant personalization as a delta against the shared base.
+//
+// A CRISP personalization keeps, per block-row of each packed weight, a
+// subset of the base's surviving blocks (the class-aware block pruning of
+// paper Fig. 5 step 4 applied on top of the universal model's pattern);
+// the N:M content *inside* a kept block is the base's verbatim. That makes
+// a tenant exactly:
+//   * one bit per base block ("is this block kept") — the kept_bits
+//     bitmap, indexed by position in the base's stored block list;
+//   * optionally one fp32 per block-row — a dequantization-scale override
+//     for the int8 execution path (cheap per-tenant re-calibration without
+//     touching the payload).
+// Tens of kilobytes per tenant where a standalone PackedModel is
+// megabytes; docs/tenants.md has the byte layout.
+//
+// Deltas are block-granular by design: from_model() records block-level
+// survivorship of the parameter masks, so differences *inside* a kept
+// block (finer element pruning than the base pattern) are not
+// representable and are served as the base stores them. A mask that keeps
+// anything in a block the base pruned is an error — the delta could not
+// reproduce it.
+//
+// Two ways to execute a delta, bit-identical to each other (fp32 and
+// int8 paths both — kept slots alias or copy the same encoded values and,
+// for int8, the same per-block-row scales):
+//   * overlay — tenant::OverlayMatrix walks the base arena in place
+//     (zero copy; what tenant::Store serves);
+//   * standalone — apply() materializes a self-contained PackedModel
+//     (what you'd ship to an edge device).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tenant/base_artifact.h"
+
+namespace crisp::tenant {
+
+/// Survivorship of one packed entry. kept_bits holds grid_rows *
+/// base_blocks_per_row bits, row-major over the base's stored block list
+/// (LSB-first within each byte); bit positions address list slots, not
+/// block columns. Every block-row keeps exactly kept_per_row blocks — the
+/// CRISP format's uniformity invariant, preserved under restriction.
+struct EntryDelta {
+  std::string name;
+  std::int64_t grid_rows = 0;
+  std::int64_t base_blocks_per_row = 0;
+  std::int64_t kept_per_row = 0;
+  std::vector<std::uint8_t> kept_bits;
+  /// Empty, or one dequantization scale per block-row replacing the
+  /// base's on the int8 path (ignored by fp32 execution).
+  std::vector<float> scale_overrides;
+};
+
+class MaskDelta {
+ public:
+  /// Derives a delta from `model`'s parameter masks against `base`: a base
+  /// block is kept iff the mask keeps anything inside it. Throws when a
+  /// mask keeps weight in a block the base pruned (not representable as a
+  /// restriction), or when a parameter's kept-block counts differ across
+  /// block-rows (violates CRISP uniformity). Parameters without a mask or
+  /// without a base entry contribute no delta entry and serve the base
+  /// verbatim.
+  static MaskDelta from_model(const BaseArtifact& base, nn::Sequential& model);
+
+  /// Materializes the personalization as a self-contained PackedModel:
+  /// every delta entry becomes the base matrix restricted to its kept
+  /// blocks (payloads copied verbatim, scale overrides applied to the int8
+  /// scales), every other base entry and all dense state carry over
+  /// unchanged. Output executes bit-identically to the overlay path.
+  deploy::PackedModel apply(const BaseArtifact& base) const;
+
+  /// Checks this delta is executable against `base`: geometry matches,
+  /// every entry exists with the same grid, bitmaps are well-formed with
+  /// uniform per-row popcounts, override lengths fit. Throws on violation.
+  void validate(const BaseArtifact& base) const;
+
+  /// Versioned binary stream (host-endian, like the formats). `read`
+  /// throws on bad magic, unsupported version, truncation, or an
+  /// internally inconsistent bitmap.
+  void write(std::ostream& os) const;
+  static MaskDelta read(std::istream& is);
+
+  /// Exact serialized size of write()'s output — what tenant::Store
+  /// accounts per registered tenant.
+  std::int64_t delta_bytes() const;
+
+  /// Installs per-block-row dequantization-scale overrides for `name`
+  /// (one per block-row; pass empty to clear). The entry must exist.
+  void set_scale_overrides(const std::string& name,
+                           std::vector<float> scales);
+
+  const std::vector<EntryDelta>& entries() const { return entries_; }
+  /// nullptr when `name` has no delta entry (served as base).
+  const EntryDelta* find(const std::string& name) const;
+
+  std::int64_t block() const { return block_; }
+  std::int64_t n() const { return n_; }
+  std::int64_t m() const { return m_; }
+
+ private:
+  std::int64_t n_ = 0, m_ = 0, block_ = 0;
+  std::vector<EntryDelta> entries_;
+};
+
+}  // namespace crisp::tenant

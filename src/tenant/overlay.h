@@ -1,0 +1,83 @@
+// Zero-copy tenant execution: a delta overlaid on the shared base arena.
+//
+// OverlayMatrix is an SpmmKernel that executes one packed entry restricted
+// to a tenant's kept blocks *in place*: it walks the base CrispMatrix's
+// block list, skips blocks the delta dropped, and multiplies with the
+// base's own value slots and offsets — nothing is copied, the per-tenant
+// state is the delta's bitmap (and optional per-block-row scales). The
+// shared_ptrs to the BaseArtifact and MaskDelta ride in the kernel, so a
+// compiled tenant keeps exactly what it executes from alive.
+//
+// Equivalence contract (locked in by tests/test_tenant.cpp): an overlay
+// issues the identical per-slot multiply sequence as the standalone
+// restriction MaskDelta::apply() builds — kept blocks in stored order,
+// same accumulation order, same per-block-row scales on the int8 path —
+// so both produce bit-identical outputs, at any thread count (the usual
+// block-row single-writer argument of the CRISP kernels).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/compiled_model.h"
+#include "tenant/mask_delta.h"
+
+namespace crisp::tenant {
+
+class OverlayMatrix final : public kernels::SpmmKernel {
+ public:
+  /// Builds the overlay for packed entry `name`. The delta must validate
+  /// against the base and carry an entry for `name` (use the base matrix
+  /// directly — no overlay needed — when a parameter has no delta entry).
+  OverlayMatrix(std::shared_ptr<const BaseArtifact> base,
+                std::shared_ptr<const MaskDelta> delta,
+                const std::string& name);
+
+  /// Same block-row partitioning (and thread-count-independence argument)
+  /// as CrispMatrix::spmm; runs the base's fp32 slots when present,
+  /// otherwise the int8 payload with the delta's scale overrides (when
+  /// set) replacing the base's per-block-row scales.
+  void spmm(ConstMatrixView x, MatrixView y) const override;
+
+  std::int64_t rows() const override;
+  std::int64_t cols() const override;
+  const char* format_name() const override { return "crisp-overlay"; }
+
+  std::int64_t kept_per_row() const { return edelta_->kept_per_row; }
+  /// True when this kernel executes the base's payload storage itself
+  /// (pointer identity with the base entry) — the masks-not-models
+  /// invariant. tenant::Store sums the failures as excess_base_copies(),
+  /// which bench/tenants.cpp gates at exactly zero; if overlay compilation
+  /// ever regresses to copying payloads, that gate trips.
+  bool aliases_base_payload() const;
+
+ private:
+  void spmm_fp32(ConstMatrixView x, MatrixView y) const;
+  void spmm_int8(ConstMatrixView x, MatrixView y) const;
+
+  std::shared_ptr<const BaseArtifact> base_;
+  std::shared_ptr<const MaskDelta> delta_;
+  const deploy::PackedEntry* entry_ = nullptr;  ///< into base_'s artifact
+  const EntryDelta* edelta_ = nullptr;          ///< into delta_
+};
+
+/// A compiled tenant: the serving artifact plus the overlay kernels it
+/// executes through (kept so tenant::Store can audit aliasing).
+struct OverlayCompile {
+  std::shared_ptr<const serve::CompiledModel> model;
+  std::vector<std::shared_ptr<const OverlayMatrix>> overlays;
+};
+
+/// Freezes `model` for serving tenant `delta` against `base`: every packed
+/// entry with a delta entry is hooked through an OverlayMatrix, every
+/// other packed entry through the base's CrispMatrix (aliased, not
+/// copied). `model` must already hold the base's unpacked dense state
+/// (tenant::Store feeds it from one shared template); layers that refuse
+/// hooks (grouped convs) fall back to that dense state, exactly as
+/// CompiledModel::compile does.
+OverlayCompile compile_overlay(std::shared_ptr<nn::Sequential> model,
+                               std::shared_ptr<const BaseArtifact> base,
+                               std::shared_ptr<const MaskDelta> delta);
+
+}  // namespace crisp::tenant

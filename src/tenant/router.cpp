@@ -1,0 +1,267 @@
+#include "tenant/router.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace crisp::tenant {
+
+Router::Router(std::shared_ptr<Store> store, RouterOptions options)
+    : store_(std::move(store)), options_(options) {
+  CRISP_CHECK(store_ != nullptr, "tenant::Router: null store");
+  CRISP_CHECK(options_.max_engines >= 1,
+              "tenant::Router: max_engines must be >= 1, got "
+                  << options_.max_engines);
+  CRISP_CHECK(options_.cold_queue_depth >= 1,
+              "tenant::Router: cold_queue_depth must be >= 1, got "
+                  << options_.cold_queue_depth);
+  compiler_ = std::thread([this] { compiler_main(); });
+  forwarder_ = std::thread([this] { forwarder_main(); });
+}
+
+Router::~Router() { shutdown(); }
+
+std::future<serve::Response> Router::submit(const std::string& tenant_id,
+                                            serve::Request request) {
+  CRISP_CHECK(!request.sample.empty(), "tenant::Router::submit: empty sample");
+  const int pr = static_cast<int>(request.priority);
+  CRISP_CHECK(pr >= 0 && pr < serve::kPriorityCount,
+              "tenant::Router::submit: invalid priority " << pr);
+
+  // Hot path: one map lookup under the router lock, the engine submit
+  // itself outside it (it may block under Overflow::kBlock; the router
+  // must stay routable meanwhile). The shared_ptr copy keeps the engine
+  // alive across a concurrent retirement — retiring only drops the pool's
+  // reference, and an engine drains on destruction, so a request that got
+  // its engine always gets its response.
+  std::shared_ptr<serve::Engine> engine;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_)
+      throw std::runtime_error("tenant::Router: submit after shutdown");
+    auto it = engines_.find(tenant_id);
+    if (it != engines_.end()) {
+      engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_it);
+      ++stats_.submitted;
+      ++stats_.hot;
+      engine = it->second.engine;
+    }
+  }
+  if (engine) return engine->submit(std::move(request));
+
+  CRISP_CHECK(store_->has_tenant(tenant_id),
+              "tenant::Router::submit: unknown tenant " << tenant_id);
+
+  // Cold miss: park behind the compile. The deadline stays relative in
+  // the parked request; the compiler ages it by the wait when flushing,
+  // so "1 ms from submit" means 1 ms from *submit*, not from engine birth.
+  ColdRequest cr;
+  cr.request = std::move(request);
+  cr.submitted = Clock::now();
+  std::future<serve::Response> fut = cr.promise.get_future();
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_)
+      throw std::runtime_error("tenant::Router: submit after shutdown");
+    auto [pit, fresh] = pending_.try_emplace(tenant_id);
+    if (static_cast<std::int64_t>(pit->second.size()) >=
+        options_.cold_queue_depth) {
+      ++stats_.cold_rejected;
+      rejected = true;
+    } else {
+      ++stats_.submitted;
+      ++stats_.cold_misses;
+      pit->second.push_back(std::move(cr));
+      // A fresh pending entry means no compile job covers this tenant yet
+      // (the compiler erases the entry in the same critical section it
+      // takes the requests, so entry-present == job-covered).
+      if (fresh) compile_queue_.push_back(tenant_id);
+    }
+  }
+  if (rejected) {
+    serve::Response r;
+    r.status = serve::Response::Status::kRejected;
+    cr.promise.set_value(std::move(r));
+    return fut;
+  }
+  cv_compile_.notify_one();
+  return fut;
+}
+
+void Router::compiler_main() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_compile_.wait(lk,
+                     [&] { return stopping_ || !compile_queue_.empty(); });
+    if (compile_queue_.empty()) return;  // stopping and drained
+    const std::string id = std::move(compile_queue_.front());
+    compile_queue_.pop_front();
+    std::shared_ptr<serve::Engine> engine;
+    auto eit = engines_.find(id);
+    if (eit != engines_.end()) engine = eit->second.engine;
+    lk.unlock();
+
+    // Build the engine outside the lock — this is the slow part (model
+    // clone + overlay compile via Store::acquire), and hot routing must
+    // not stall behind it.
+    std::exception_ptr err;
+    std::shared_ptr<serve::Engine> retired;
+    if (engine == nullptr) {
+      try {
+        engine = std::make_shared<serve::Engine>(store_->acquire(id),
+                                                 options_.engine);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      if (engine != nullptr) {
+        lk.lock();
+        if (stopping_) {
+          // Shutdown won the race: nothing is pending (shutdown cancels
+          // all parked work when it sets stopping_), so the engine just
+          // drains empty when the local ref drops.
+          lk.unlock();
+          engine.reset();
+          return;
+        }
+        ++stats_.engines_built;
+        engine_lru_.push_front(id);
+        engines_[id] = EngineSlot{engine, engine_lru_.begin()};
+        retired = enforce_engine_cap_locked();
+        lk.unlock();
+      }
+    }
+    // The retired engine drains (Drain::kServe) on destruction, outside
+    // the lock; a hot submitter holding its own reference defers that
+    // drain until its submit returns.
+    retired.reset();
+
+    std::vector<ColdRequest> flush;
+    lk.lock();
+    auto pit = pending_.find(id);
+    if (pit != pending_.end()) {
+      flush = std::move(pit->second);
+      pending_.erase(pit);
+    }
+    lk.unlock();
+
+    const Clock::time_point now = Clock::now();
+    std::int64_t expired = 0;
+    std::vector<Bridge> built;
+    built.reserve(flush.size());
+    for (ColdRequest& cr : flush) {
+      if (err != nullptr) {
+        cr.promise.set_exception(err);
+        continue;
+      }
+      if (cr.request.deadline.count() > 0) {
+        const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+            now - cr.submitted);
+        if (waited >= cr.request.deadline) {
+          // The deadline lapsed before an engine existed — same contract
+          // as the engine's own queue expiry: never served late.
+          serve::Response r;
+          r.status = serve::Response::Status::kExpired;
+          r.stats.queue_time = waited;
+          cr.promise.set_value(std::move(r));
+          ++expired;
+          continue;
+        }
+        cr.request.deadline -= waited;
+      }
+      built.push_back(
+          Bridge{engine->submit(std::move(cr.request)), std::move(cr.promise)});
+    }
+    if (expired > 0) {
+      std::lock_guard<std::mutex> slk(mu_);
+      stats_.cold_expired += expired;
+    }
+    if (!built.empty()) {
+      std::lock_guard<std::mutex> blk(bridge_mu_);
+      for (Bridge& b : built) bridges_.push_back(std::move(b));
+      cv_bridge_.notify_all();
+    }
+  }
+}
+
+void Router::forwarder_main() {
+  for (;;) {
+    std::unique_lock<std::mutex> lk(bridge_mu_);
+    cv_bridge_.wait(lk, [&] { return bridge_stopping_ || !bridges_.empty(); });
+    if (bridges_.empty()) return;  // stopping and drained
+    Bridge b = std::move(bridges_.front());
+    bridges_.pop_front();
+    lk.unlock();
+    try {
+      b.to.set_value(b.from.get());
+    } catch (...) {
+      b.to.set_exception(std::current_exception());
+    }
+  }
+}
+
+std::shared_ptr<serve::Engine> Router::enforce_engine_cap_locked() {
+  if (static_cast<std::int64_t>(engines_.size()) <= options_.max_engines)
+    return nullptr;
+  const std::string victim = engine_lru_.back();
+  auto it = engines_.find(victim);
+  std::shared_ptr<serve::Engine> retired = std::move(it->second.engine);
+  engine_lru_.erase(it->second.lru_it);
+  engines_.erase(it);
+  ++stats_.engines_retired;
+  return retired;
+}
+
+void Router::shutdown() {
+  std::lock_guard<std::mutex> serialized(shutdown_mu_);
+  std::vector<ColdRequest> parked;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    for (auto& [id, vec] : pending_)
+      for (ColdRequest& cr : vec) parked.push_back(std::move(cr));
+    pending_.clear();
+    stats_.cancelled += static_cast<std::int64_t>(parked.size());
+    cv_compile_.notify_all();
+  }
+  const Clock::time_point now = Clock::now();
+  for (ColdRequest& cr : parked) {
+    serve::Response r;
+    r.status = serve::Response::Status::kCancelled;
+    r.stats.queue_time =
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              cr.submitted);
+    cr.promise.set_value(std::move(r));
+  }
+  if (compiler_.joinable()) compiler_.join();
+
+  // Retire every engine: drop the pool's references and let the
+  // destructors drain accepted work (Drain::kServe). Done before the
+  // forwarder join so every bridged future completes.
+  std::unordered_map<std::string, EngineSlot> engines;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    engines = std::move(engines_);
+    engines_.clear();
+    engine_lru_.clear();
+  }
+  engines.clear();
+
+  {
+    std::lock_guard<std::mutex> lk(bridge_mu_);
+    bridge_stopping_ = true;
+    cv_bridge_.notify_all();
+  }
+  if (forwarder_.joinable()) forwarder_.join();
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::int64_t Router::resident_engines() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<std::int64_t>(engines_.size());
+}
+
+}  // namespace crisp::tenant

@@ -1,0 +1,142 @@
+// Tenant router: fleet traffic onto a budgeted pool of engines.
+//
+// submit(tenant_id, Request) is the fleet's front door. Behind it:
+//   * tenant-affine engines — each resident serve::Engine serves exactly
+//     one tenant's compiled artifact, so a request never crosses models
+//     and per-engine batching coalesces same-tenant traffic naturally;
+//   * a hot path that never blocks on a miss: a resident tenant's request
+//     goes straight to its engine (one map lookup under the router lock,
+//     the engine submit itself outside it);
+//   * cold-miss compile on a side thread: the first request for a
+//     non-resident tenant parks in a bounded pending list, the compiler
+//     thread acquires the artifact from the Store, spins up an engine,
+//     retires the least-recently-used engine past the pool cap, and
+//     flushes the parked requests — with their deadlines aged by the time
+//     spent waiting, so serve::Engine's admission control (priorities,
+//     deadline expiry/infeasibility — serve/engine.h) stays honest
+//     end-to-end;
+//   * a forwarder thread that bridges engine futures back to the futures
+//     handed out at submit time, so callers see one uniform
+//     std::future<serve::Response> whether they hit hot or cold.
+// Statuses carry through unchanged: kOk/kExpired/kRejected/etc. mean the
+// same thing they mean at the engine, plus the router-level cases (cold
+// queue overflow → kRejected, deadline lapsed during compile → kExpired,
+// shutdown with work parked → kCancelled). docs/tenants.md covers tuning.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/engine.h"
+#include "tenant/store.h"
+
+namespace crisp::tenant {
+
+struct RouterOptions {
+  /// Resident engine cap. Past it, the least-recently-submitted tenant's
+  /// engine is retired (drains its queue, then stops). Size it with
+  /// engine.thread_budget in mind: total worker threads ≈ max_engines x
+  /// per-engine budget.
+  std::int64_t max_engines = 4;
+  /// Options every per-tenant engine is constructed with.
+  serve::EngineOptions engine;
+  /// Bound on requests parked behind one tenant's cold compile; beyond
+  /// it, submits complete immediately with Status::kRejected.
+  std::int64_t cold_queue_depth = 256;
+};
+
+struct RouterStats {
+  std::int64_t submitted = 0;       ///< accepted into routing (hot + cold)
+  std::int64_t hot = 0;             ///< served by an already-resident engine
+  std::int64_t cold_misses = 0;     ///< parked behind an engine build
+  std::int64_t cold_rejected = 0;   ///< cold queue overflow (kRejected)
+  std::int64_t cold_expired = 0;    ///< deadline lapsed before the engine
+                                    ///< existed (kExpired)
+  std::int64_t cancelled = 0;       ///< parked at shutdown (kCancelled)
+  std::int64_t engines_built = 0;
+  std::int64_t engines_retired = 0;
+};
+
+class Router {
+ public:
+  explicit Router(std::shared_ptr<Store> store, RouterOptions options = {});
+  ~Router();  ///< shutdown()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes one request to `tenant_id`'s engine, building it first when
+  /// non-resident. Throws for an unregistered tenant or after shutdown;
+  /// every other outcome is a status on the returned future. Thread-safe.
+  std::future<serve::Response> submit(const std::string& tenant_id,
+                                      serve::Request request);
+
+  /// Stops accepting submissions, cancels parked cold requests
+  /// (kCancelled), drains and retires every resident engine
+  /// (Drain::kServe — already-accepted work completes), and joins the
+  /// router threads. Idempotent.
+  void shutdown();
+
+  RouterStats stats() const;
+  std::int64_t resident_engines() const;
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct EngineSlot {
+    std::shared_ptr<serve::Engine> engine;
+    std::list<std::string>::iterator lru_it;
+  };
+  /// One request parked behind a cold compile.
+  struct ColdRequest {
+    serve::Request request;
+    std::promise<serve::Response> promise;
+    Clock::time_point submitted;
+  };
+  /// An engine future bridged back to a cold submit's promise.
+  struct Bridge {
+    std::future<serve::Response> from;
+    std::promise<serve::Response> to;
+  };
+
+  void compiler_main();
+  void forwarder_main();
+  /// Retires the coldest engine past the cap. Requires mu_; returns the
+  /// retired engine so the caller drains it outside the lock.
+  std::shared_ptr<serve::Engine> enforce_engine_cap_locked();
+
+  std::shared_ptr<Store> store_;
+  RouterOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_compile_;
+  std::unordered_map<std::string, EngineSlot> engines_;
+  std::list<std::string> engine_lru_;  ///< front = most recently submitted
+  std::unordered_map<std::string, std::vector<ColdRequest>> pending_;
+  std::deque<std::string> compile_queue_;
+  bool stopping_ = false;
+  RouterStats stats_;
+
+  std::mutex bridge_mu_;
+  std::condition_variable cv_bridge_;
+  std::deque<Bridge> bridges_;
+  bool bridge_stopping_ = false;
+
+  std::mutex shutdown_mu_;  ///< serializes shutdown() callers (joins)
+
+  std::thread compiler_;
+  std::thread forwarder_;
+};
+
+}  // namespace crisp::tenant

@@ -1,0 +1,143 @@
+// Tenant store: thousands of resident personalizations, one base model.
+//
+// The store owns the fleet's memory story (docs/tenants.md):
+//   * the shared BaseArtifact is accounted once, no matter how many
+//     tenants register;
+//   * each registered tenant costs its MaskDelta's serialized size —
+//     tens of kilobytes, so thousands of tenants fit where a handful of
+//     full PackedModel copies would;
+//   * only *compiled* tenants (model clone + overlay hooks, built by
+//     acquire() on a miss) cost real per-tenant memory, and those live in
+//     an LRU cache under an explicit byte budget.
+// resident_bytes() reports exactly those three components, and the
+// accounting test (tests/test_tenant.cpp) pins total ≈ base + N·delta +
+// K·compiled for N ≥ 2000 registered tenants and K cache residents.
+//
+// Compilation happens *outside* the store lock — registration lookups and
+// cache hits never wait behind a miss — and a lost insert race just serves
+// the winner's artifact. excess_base_copies() audits the masks-not-models
+// invariant: every cached overlay must execute the base arena by pointer
+// identity (bench/tenants.cpp gates it at exactly zero in CI).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tenant/overlay.h"
+
+namespace crisp::tenant {
+
+struct StoreOptions {
+  /// LRU budget over compiled tenants, in bytes (model clone + bookkeeping
+  /// per resident — see Store::compiled_overhead_bytes()). When an insert
+  /// pushes past it, least-recently-acquired tenants are evicted; the
+  /// just-compiled tenant itself is never evicted, so one oversized model
+  /// still serves.
+  std::int64_t compiled_budget_bytes = 256ll << 20;
+};
+
+struct StoreStats {
+  std::int64_t hits = 0;       ///< acquire() served from the compiled cache
+  std::int64_t misses = 0;     ///< acquire() had to compile
+  std::int64_t compiles = 0;   ///< compiled artifacts actually built & cached
+  std::int64_t evictions = 0;  ///< compiled tenants dropped for the budget
+};
+
+/// resident_bytes() breakdown. The accounting identity:
+///   total() = 1 x base + sum(registered deltas) + sum(cached compiled)
+struct ResidentBytes {
+  std::int64_t base = 0;
+  std::int64_t deltas = 0;
+  std::int64_t compiled = 0;
+  std::int64_t total() const { return base + deltas + compiled; }
+};
+
+/// Builds a fresh instance of the served architecture (weights are then
+/// loaded from the store's shared unpacked template). Must be thread-safe
+/// to call concurrently — acquire() compiles outside the store lock.
+using ModelFactory = std::function<std::shared_ptr<nn::Sequential>()>;
+
+class Store {
+ public:
+  /// `factory` must produce the architecture the base artifact was packed
+  /// from; the constructor unpacks the base through it once to build the
+  /// dense template every compiled tenant loads.
+  Store(std::shared_ptr<const BaseArtifact> base, ModelFactory factory,
+        StoreOptions options = {});
+
+  /// Registers (or replaces) tenant `id`. The delta is validated against
+  /// the base; replacing invalidates any cached compiled artifact so the
+  /// next acquire() serves the new personalization.
+  void register_tenant(const std::string& id, MaskDelta delta);
+  /// Unregisters `id` (and drops its compiled artifact). Throws when
+  /// unknown.
+  void remove_tenant(const std::string& id);
+  bool has_tenant(const std::string& id) const;
+  std::int64_t tenant_count() const;
+
+  /// The tenant's serving artifact: cache hit, or compile-and-insert (the
+  /// compile runs outside the store lock; concurrent acquires of the same
+  /// tenant may both compile, one result wins the cache). Throws for an
+  /// unregistered id. The returned artifact stays valid for as long as the
+  /// caller holds it, eviction notwithstanding — eviction only drops the
+  /// cache's reference.
+  std::shared_ptr<const serve::CompiledModel> acquire(const std::string& id);
+
+  std::int64_t compiled_count() const;
+  ResidentBytes resident_bytes() const;
+  StoreStats stats() const;
+  /// Cached tenants whose overlays do NOT execute the base arena by
+  /// pointer identity. Always 0 by construction today; gated at exactly
+  /// zero in CI so a regression to copy-per-tenant cannot land silently.
+  std::int64_t excess_base_copies() const;
+
+  /// Bytes one compiled resident is accounted at: the dense template
+  /// clone (the dominant term) + a fixed allowance for hooks, overlay
+  /// objects, and engine-side bookkeeping.
+  std::int64_t compiled_overhead_bytes() const {
+    return template_bytes_ + kCompiledFixedBytes;
+  }
+  const BaseArtifact& base() const { return *base_; }
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  static constexpr std::int64_t kCompiledFixedBytes = 4096;
+
+  struct Tenant {
+    std::shared_ptr<const MaskDelta> delta;
+    std::int64_t delta_bytes = 0;
+  };
+  struct Compiled {
+    std::shared_ptr<const serve::CompiledModel> model;
+    std::vector<std::shared_ptr<const OverlayMatrix>> overlays;
+    std::shared_ptr<const MaskDelta> delta;  ///< what the model was built from
+    std::int64_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Requires mu_ held. Drops `id` from the compiled cache if present.
+  void drop_compiled_locked(const std::string& id,
+                            std::vector<Compiled>& reap);
+
+  std::shared_ptr<const BaseArtifact> base_;
+  ModelFactory factory_;
+  StoreOptions options_;
+  TensorMap template_state_;     ///< base unpacked once, shared by clones
+  std::int64_t template_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Tenant> tenants_;
+  std::unordered_map<std::string, Compiled> compiled_;
+  std::list<std::string> lru_;  ///< front = most recently acquired
+  std::int64_t delta_bytes_total_ = 0;
+  std::int64_t compiled_bytes_total_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace crisp::tenant

@@ -250,6 +250,37 @@ TEST(PackedModel, LoadRejectsGarbageAndTruncation) {
                std::runtime_error);
 }
 
+TEST(PackedModel, LoadRejectsWrongMagicAndVersion) {
+  auto model = make_convnet();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  const std::string path = temp_path("packed_header.bin");
+  PackedModel::pack(*model, 8, 2, 4).save(path);
+  std::ifstream is(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  is.close();
+  std::remove(path.c_str());
+  ASSERT_GT(bytes.size(), 12u);  // u64 magic + u32 version
+
+  const auto write_mutated = [&](std::size_t offset, char flip) {
+    std::vector<char> mutated = bytes;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ flip);
+    const std::string p = temp_path("packed_mutated.bin");
+    std::ofstream os(p, std::ios::binary);
+    os.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    return p;
+  };
+
+  // A foreign magic and a future version must both throw cleanly — never
+  // attempt to parse a payload the header disowns.
+  const std::string bad_magic = write_mutated(0, 0x7f);
+  EXPECT_THROW(PackedModel::load(bad_magic), std::runtime_error);
+  std::remove(bad_magic.c_str());
+  const std::string bad_version = write_mutated(8, 0x40);
+  EXPECT_THROW(PackedModel::load(bad_version), std::runtime_error);
+  std::remove(bad_version.c_str());
+}
+
 TEST(PackedModel, UnpackRestoresEffectiveWeightsAndMasks) {
   auto model = make_convnet();
   install_random_hybrid_masks(*model, 8, 2, 4, 1);
@@ -276,53 +307,51 @@ TEST(PackedExec, PackedForwardMatchesMaskedDense) {
   const Tensor x = Tensor::randn({3, 3, 8, 8}, xrng);
   const Tensor dense_out = nn::predict(*model, x);
 
-  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
-  const auto attached = attach_packed(*model, packed);
-  EXPECT_EQ(attached.size(), packed.entries().size());
+  auto packed =
+      std::make_shared<const PackedModel>(PackedModel::pack(*model, 8, 2, 4));
+  const auto attached = install_packed_hooks(*model, packed);
+  EXPECT_EQ(attached.size(), packed->entries().size());
   const Tensor packed_out = nn::predict(*model, x);
   // Same multiplications in a different accumulation order.
   EXPECT_LE(max_abs_diff(dense_out, packed_out), 1e-4f);
-
-  detach_packed(*model);
-  const Tensor detached_out = nn::predict(*model, x);
-  EXPECT_FLOAT_EQ(max_abs_diff(dense_out, detached_out), 0.0f);
 }
 
-TEST(PackedExec, AttachSkipsGroupedConvs) {
+TEST(PackedExec, InstallSkipsGroupedConvs) {
   auto model = make_convnet(/*grouped_prunable=*/true);
   install_random_hybrid_masks(*model, 8, 2, 4, 1);
-  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
-  const auto attached = attach_packed(*model, packed);
+  Rng xrng(5);
+  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  const Tensor dense_out = nn::predict(*model, x);
+
+  auto packed =
+      std::make_shared<const PackedModel>(PackedModel::pack(*model, 8, 2, 4));
+  const auto attached = install_packed_hooks(*model, packed);
   // conv2 (groups=2) refuses the hook; conv1 and fc accept.
-  EXPECT_EQ(attached.size(), packed.entries().size() - 1);
+  EXPECT_EQ(attached.size(), packed->entries().size() - 1);
   for (const std::string& name : attached) EXPECT_NE(name, "conv2.weight");
 
   // Mixed execution still matches the dense reference.
-  Rng xrng(5);
-  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
   const Tensor packed_out = nn::predict(*model, x);
-  detach_packed(*model);
-  const Tensor dense_out = nn::predict(*model, x);
   EXPECT_LE(max_abs_diff(dense_out, packed_out), 1e-4f);
 }
 
 TEST(PackedExec, TrainingForwardIgnoresHook) {
   auto model = make_convnet();
   install_random_hybrid_masks(*model, 8, 2, 4, 1);
-  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
-  attach_packed(*model, packed);
-
   Rng xrng(5);
   const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
+  const Tensor dense_out = nn::predict(*model, x);
+  auto packed =
+      std::make_shared<const PackedModel>(PackedModel::pack(*model, 8, 2, 4));
+  install_packed_hooks(*model, packed);
+
   // Train-mode forward must run the dense path (and cache activations for
   // backward) even with hooks installed — STE updates need dense weights.
   const Tensor train_out = model->forward(x, /*train=*/true);
   Tensor grad(train_out.shape());
   grad.fill(1.0f);
   EXPECT_NO_THROW(model->backward(grad));
-  detach_packed(*model);
-  const Tensor eval_out = nn::predict(*model, x);
-  EXPECT_LE(max_abs_diff(train_out, eval_out), 1e-4f);
+  EXPECT_FLOAT_EQ(max_abs_diff(train_out, dense_out), 0.0f);
 }
 
 TEST(PackedExec, LinearOnlyModelRoundTrips) {
@@ -336,8 +365,9 @@ TEST(PackedExec, LinearOnlyModelRoundTrips) {
   Rng xrng(5);
   const Tensor x = Tensor::randn({4, 32}, xrng);
   const Tensor dense_out = nn::predict(*model, x);
-  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
-  const auto attached = attach_packed(*model, packed);
+  auto packed =
+      std::make_shared<const PackedModel>(PackedModel::pack(*model, 8, 2, 4));
+  const auto attached = install_packed_hooks(*model, packed);
   EXPECT_EQ(attached.size(), 2u);
   const Tensor packed_out = nn::predict(*model, x);
   EXPECT_LE(max_abs_diff(dense_out, packed_out), 1e-4f);
@@ -364,11 +394,11 @@ TEST(PackedModel, UnmaskedModelPacksAsAllDense) {
             1e-6f);
 }
 
-TEST(PackedExec, HooksSurviveOwnerMove) {
-  // Moving a PackedModel moves its entries' heap buffers wholesale, so
-  // hooks installed from the moved-to object stay valid. (attach_packed
-  // now copies into a hook-owned shared artifact anyway, so the move is
-  // just ordinary value plumbing — this locks in that it stays that way.)
+TEST(PackedExec, HooksSurviveOwnerHandleDestruction) {
+  // The hooks co-own the artifact through aliasing shared_ptrs: each
+  // kernel pointer is one entry's CrispMatrix, but the refcount is the
+  // whole PackedModel's. Dropping every caller-side handle — moved-from
+  // staging object, reset shared_ptr — must leave packed serving intact.
   auto model = make_convnet();
   install_random_hybrid_masks(*model, 8, 2, 4, 1);
   Rng xrng(5);
@@ -376,10 +406,10 @@ TEST(PackedExec, HooksSurviveOwnerMove) {
   const Tensor want = nn::predict(*model, x);
 
   PackedModel staging = PackedModel::pack(*model, 8, 2, 4);
-  const PackedModel packed = std::move(staging);
-  attach_packed(*model, packed);
+  auto packed = std::make_shared<const PackedModel>(std::move(staging));
+  ASSERT_FALSE(install_packed_hooks(*model, packed).empty());
+  packed.reset();  // the hooks hold the only remaining references
   const Tensor got = nn::predict(*model, x);
-  detach_packed(*model);
   EXPECT_LE(max_abs_diff(want, got), 1e-4f);
 }
 
@@ -422,11 +452,12 @@ TEST(PackedPipeline, PruneShipReloadServe) {
   const std::string path = temp_path("pipeline_packed.bin");
   PackedModel::pack(*model, pcfg.block, pcfg.n, pcfg.m).save(path);
 
-  const PackedModel shipped = PackedModel::load(path);
+  const auto shipped =
+      std::make_shared<const PackedModel>(PackedModel::load(path));
   std::remove(path.c_str());
   auto device_model = nn::make_vgg16(mcfg);  // fresh weights on the device
-  shipped.unpack_into(*device_model);
-  const auto attached = attach_packed(*device_model, shipped);
+  shipped->unpack_into(*device_model);
+  const auto attached = install_packed_hooks(*device_model, shipped);
   EXPECT_FALSE(attached.empty());
   const float acc_served = nn::evaluate(*device_model, split.test);
   EXPECT_NEAR(acc_served, acc_pruned, 1e-6f);

@@ -1,7 +1,7 @@
 // Serving-layer tests: CompiledModel immutability/lifetime guarantees, the
 // batched Engine's correctness under concurrent producers and mixed
 // shapes, bounded-queue backpressure (block and reject), clean shutdown
-// draining, and the attach_packed lifetime-hazard regression.
+// draining, and the packed-execution lifetime-hazard regression.
 //
 // The load-bearing invariant: batching never changes the math. Every
 // engine response must equal the serial single-sample forward of the same
@@ -120,24 +120,28 @@ TEST(CompiledModel, KeepsArtifactAndModelAlive) {
 
 // Regression for the historical attach_packed lifetime hazard: the hooks
 // used to hold raw pointers into the caller's PackedModel, so destroying
-// it left the model dangling. The deprecated wrapper now copies into a
-// shared artifact owned by the hooks themselves.
-TEST(PackedExecLifetime, AttachSurvivesArtifactDestruction) {
-  auto model = make_convnet();
-  install_random_hybrid_masks(*model, 8, 2, 4, 1);
-  Rng xrng(5);
-  const Tensor x = Tensor::randn({2, 3, 8, 8}, xrng);
-  const Tensor want = nn::predict(*model, x);
-
+// it left the model dangling. That wrapper is gone; the supported path is
+// a CompiledModel whose hooks co-own their kernels via aliasing
+// shared_ptrs, so every caller-side handle — the model, the artifact, the
+// individual kernel list — may die right after compile.
+TEST(PackedExecLifetime, CompiledModelSurvivesHandleDestruction) {
+  Tensor x = random_sample(5, {2, 3, 8, 8});
+  Tensor want;
+  std::shared_ptr<const CompiledModel> compiled;
   {
-    const deploy::PackedModel packed =
-        deploy::PackedModel::pack(*model, 8, 2, 4);
-    ASSERT_FALSE(deploy::attach_packed(*model, packed).empty());
-  }  // artifact destroyed here, hooks must keep serving
-
-  const Tensor got = nn::predict(*model, x);
-  EXPECT_LE(max_abs_diff(want, got), 1e-4f);
-  deploy::detach_packed(*model);
+    auto model = make_convnet();
+    install_random_hybrid_masks(*model, 8, 2, 4, 1);
+    want = nn::predict(*model, x);
+    auto packed = std::make_shared<const deploy::PackedModel>(
+        deploy::PackedModel::pack(*model, 8, 2, 4));
+    std::vector<deploy::NamedKernel> kernels;
+    for (const deploy::PackedEntry& e : packed->entries())
+      kernels.push_back({e.name, std::shared_ptr<const kernels::SpmmKernel>(
+                                     packed, &e.matrix)});
+    compiled = CompiledModel::compile_with_kernels(model, kernels);
+    packed.reset();  // only the hooks' aliasing references remain
+  }
+  EXPECT_LE(max_abs_diff(want, compiled->run(x)), 1e-4f);
 }
 
 TEST(CompiledModel, QuantizedCompileBuildsPrivateInt8Artifact) {

@@ -174,6 +174,56 @@ TEST(Scheduling, HigherPriorityNeverStarvesBehindLowPriorityBacklog) {
       << "interactive work was scheduled after the batch-class backlog";
 }
 
+// Within one priority class the queue is earliest-deadline-first, not
+// FIFO: requests submitted in reverse deadline order are served in
+// deadline order, and an undeadlined request runs FIFO behind every
+// deadlined one. Distinct shapes keep each request in its own batch, so
+// batch_seq ordering is decisive.
+TEST(Scheduling, EarlierDeadlineServedFirstWithinClass) {
+  auto compiled = CompiledModel::compile(make_convnet());
+  EngineOptions opts;
+  opts.max_batch = 8;
+  opts.queue_depth = 64;
+  opts.flush_timeout = std::chrono::microseconds(0);
+  Engine engine(compiled, opts);
+
+  auto blocker = engine.submit(
+      make_request(blocker_sample(9), Priority::kStandard));
+  let_worker_pick_up_blocker();
+
+  // Most-relaxed first: an undeadlined request, then deadlines shrinking
+  // from 3 minutes to 1. A FIFO queue would serve them in submit order;
+  // EDF must exactly invert the deadlined ones and park the undeadlined
+  // request behind them all.
+  auto no_deadline = engine.submit(make_request(
+      random_sample(120, {3, 6, 6}), Priority::kStandard));
+  auto relaxed = engine.submit(make_request(
+      random_sample(121, {3, 8, 8}), Priority::kStandard,
+      std::chrono::minutes(3)));
+  auto middle = engine.submit(make_request(
+      random_sample(122, {3, 10, 10}), Priority::kStandard,
+      std::chrono::minutes(2)));
+  auto urgent = engine.submit(make_request(
+      random_sample(123, {3, 12, 12}), Priority::kStandard,
+      std::chrono::minutes(1)));
+
+  const auto seq = [](std::future<Response>& f) {
+    Response r = f.get();
+    EXPECT_EQ(r.status, Response::Status::kOk);
+    return r.stats.batch_seq;
+  };
+  const std::int64_t urgent_seq = seq(urgent);
+  const std::int64_t middle_seq = seq(middle);
+  const std::int64_t relaxed_seq = seq(relaxed);
+  const std::int64_t fifo_seq = seq(no_deadline);
+  EXPECT_NO_THROW(blocker.get());
+
+  EXPECT_LT(urgent_seq, middle_seq);
+  EXPECT_LT(middle_seq, relaxed_seq);
+  EXPECT_LT(relaxed_seq, fifo_seq)
+      << "undeadlined request overtook deadlined work in its class";
+}
+
 // At a full queue, a more urgent arrival displaces the youngest request of
 // the least urgent queued class (Status::kShed) instead of blocking or
 // being rejected behind it.

@@ -12,6 +12,7 @@
 #include "sparse/nm.h"
 #include "sparse/quantized.h"
 #include "sparse/spmm.h"
+#include "tensor/pod_stream.h"
 
 namespace crisp::sparse {
 namespace {
@@ -274,6 +275,81 @@ TEST(QuantizedPayload, EmptyAndBadArguments) {
   EXPECT_EQ(empty.payload_bits(), 0);
   float v = 1.0f;
   EXPECT_THROW(QuantizedPayload::quantize(&v, 1, 0), std::runtime_error);
+}
+
+/// Reads a payload from raw bytes, as a deserializer under attack would.
+QuantizedPayload read_payload_bytes(const std::string& bytes) {
+  std::stringstream is(std::ios::in | std::ios::out | std::ios::binary);
+  is.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return QuantizedPayload::read(is);
+}
+
+TEST(QuantizedPayload, StreamRejectsTruncationAtEveryPrefix) {
+  Rng rng(11);
+  Tensor v = Tensor::randn({64}, rng);
+  const QuantizedPayload qp = QuantizedPayload::quantize(v.data(), 64, 16);
+  std::stringstream os(std::ios::in | std::ios::out | std::ios::binary);
+  qp.write(os);
+  const std::string bytes = os.str();
+
+  // Sanity: the full stream round-trips bit-exactly.
+  const QuantizedPayload back = read_payload_bytes(bytes);
+  EXPECT_EQ(back.group_size, qp.group_size);
+  EXPECT_EQ(back.values, qp.values);
+  EXPECT_EQ(back.scales, qp.scales);
+
+  // Every strict prefix must throw the documented runtime_error — no
+  // crash, no silently short payload (exercised under ASan in CI).
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(read_payload_bytes(bytes.substr(0, cut)), std::runtime_error)
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(QuantizedPayload, StreamRejectsCorruptHeaders) {
+  Rng rng(12);
+  Tensor v = Tensor::randn({32}, rng);
+  const QuantizedPayload qp = QuantizedPayload::quantize(v.data(), 32, 8);
+
+  const auto serialize = [](std::int64_t group_size,
+                            const std::vector<std::int8_t>& values,
+                            const std::vector<float>& scales) {
+    std::stringstream os(std::ios::in | std::ios::out | std::ios::binary);
+    io::write_pod(os, group_size);
+    io::write_array(os, values);
+    io::write_array(os, scales);
+    return os.str();
+  };
+
+  // Corrupt scale-group count: one extra and one missing scale both break
+  // the ceil(slots / group_size) invariant.
+  std::vector<float> extra = qp.scales;
+  extra.push_back(1.0f);
+  EXPECT_THROW(read_payload_bytes(serialize(qp.group_size, qp.values, extra)),
+               std::runtime_error);
+  std::vector<float> missing = qp.scales;
+  missing.pop_back();
+  EXPECT_THROW(
+      read_payload_bytes(serialize(qp.group_size, qp.values, missing)),
+      std::runtime_error);
+
+  // Non-positive group size with a non-empty payload.
+  EXPECT_THROW(read_payload_bytes(serialize(0, qp.values, qp.scales)),
+               std::runtime_error);
+  EXPECT_THROW(read_payload_bytes(serialize(-8, qp.values, qp.scales)),
+               std::runtime_error);
+
+  // Empty payload carrying leftover header state.
+  EXPECT_THROW(read_payload_bytes(serialize(8, {}, {})), std::runtime_error);
+  EXPECT_THROW(read_payload_bytes(serialize(0, {}, {1.0f})),
+               std::runtime_error);
+
+  // Implausible element count: must throw the documented error instead of
+  // attempting a huge allocation (length_error/bad_alloc).
+  std::stringstream huge(std::ios::in | std::ios::out | std::ios::binary);
+  io::write_pod(huge, std::int64_t{8});
+  io::write_pod(huge, std::uint64_t{1} << 40);
+  EXPECT_THROW(QuantizedPayload::read(huge), std::runtime_error);
 }
 
 class CrispQuantizedTest : public CrispFormatTest {};

@@ -163,8 +163,8 @@ int cmd_pack(const Args& args) {
   packed.save(path);
 
   // Round-trip check: reload, rebuild the architecture, serve packed.
-  // Shared-ownership hooks (no deprecated attach_packed copy): the hooks
-  // themselves keep the reloaded artifact alive.
+  // The hooks co-own the reloaded artifact, so no caller-side handle has
+  // to outlive them.
   auto shipped = std::make_shared<const deploy::PackedModel>(
       deploy::PackedModel::load(path));
   auto device = nn::make_model(out.spec.model, out.spec.model_config());
