@@ -23,17 +23,15 @@ int main() {
   const data::Dataset user_test = data::filter_classes(pm.data.test, classes);
 
   std::printf("\n%-12s %10s %14s\n", "saliency", "accuracy", "sparsity");
-  for (core::SaliencyKind kind :
-       {core::SaliencyKind::kClassAwareGradient, core::SaliencyKind::kMagnitude,
-        core::SaliencyKind::kRandom}) {
+  for (const char* criterion : {"cass", "magnitude", "random"}) {
     bench::restore(*pm.model, snapshot);
     core::CrispConfig cfg = bench::bench_crisp_config(0.90);
-    cfg.saliency.kind = kind;
+    cfg.saliency.criterion = criterion;
     Rng rng(6);
     core::CrispPruner pruner(*pm.model, cfg);
     const core::PruneReport report = pruner.run(user_train, rng);
     const float acc = nn::evaluate(*pm.model, user_test, 64, classes);
-    std::printf("%-12s %9.1f%% %13.1f%%\n", core::saliency_kind_name(kind),
+    std::printf("%-12s %9.1f%% %13.1f%%\n", criterion,
                 100 * acc, 100 * report.achieved_sparsity());
   }
   std::printf("\nexpected: cass >= magnitude > random at matched sparsity\n");

@@ -1,0 +1,210 @@
+// Criterion ablation bench: the saliency registry, timed and gated.
+//
+// Sweeps every registered saliency criterion over a small trained conv
+// model — per-criterion sweep time plus a serial-vs-threaded bit-identity
+// audit (the determinism contract every criterion signs up to) — then runs
+// the loss-aware auto-selector and reports its per-layer assignment.
+//
+// JSON (--json PATH) is google-benchmark-shaped so tools/compare_bench.py
+// gates it against the committed BENCH_criteria.json. Gated entries (a
+// baseline of 0 is an exact must-stay-0 gate — see docs/benchmarks.md):
+//   Criteria/ablation/gate_thread_mismatch    criteria whose threaded scores
+//                                             differ from serial in any bit
+//   Criteria/ablation/gate_auto_single_criterion  0 when the auto-selector
+//                                             chose >= 2 distinct criteria
+//                                             across layers, 1 otherwise
+// Everything else (per-criterion sweep ms, auto-selection ms, distinct
+// count, layer count) is informational.
+//
+// Usage:
+//   bench_criteria [--classes C] [--image N] [--threads T] [--seed S]
+//                  [--json PATH] [--quiet]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/criterion_select.h"
+#include "core/saliency.h"
+#include "data/class_pattern.h"
+#include "kernels/parallel_for.h"
+#include "nn/models/common.h"
+#include "nn/trainer.h"
+
+namespace {
+
+using namespace crisp;
+using Clock = std::chrono::steady_clock;
+
+float max_diff(const Tensor& a, const Tensor& b) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+void json_entry(std::FILE* f, bool* first, const std::string& name,
+                double value) {
+  std::fprintf(f, "%s\n    {\"name\": \"%s\", \"run_name\": \"%s\", "
+               "\"run_type\": \"iteration\", \"iterations\": 1, "
+               "\"real_time\": %.4f, \"cpu_time\": %.4f, "
+               "\"time_unit\": \"us\"}",
+               *first ? "" : ",", name.c_str(), name.c_str(), value, value);
+  *first = false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t classes = 6;
+  std::int64_t image = 8;
+  int threads = 4;
+  std::uint64_t seed = 42;
+  std::string json_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "criteria: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--classes") classes = std::atoll(next());
+    else if (arg == "--image") image = std::atoll(next());
+    else if (arg == "--threads") threads = std::atoi(next());
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--quiet") quiet = true;
+    else {
+      std::fprintf(stderr, "criteria: unknown argument %s (see header)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  data::ClassPatternConfig dcfg = data::ClassPatternConfig::cifar100_like();
+  dcfg.num_classes = classes;
+  dcfg.image_size = image;
+  dcfg.train_per_class = 16;
+  dcfg.test_per_class = 4;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = classes;
+  mcfg.input_size = image;
+  mcfg.width_mult = 0.25f;
+  auto model = nn::make_vgg16(mcfg);
+
+  // A briefly, gently trained model: criteria only disagree interestingly
+  // once gradients carry class signal, but the validation loss must stay
+  // OUT of the cross-entropy clamp (a saturated loss ties every probe and
+  // the auto-selector degenerates to its first candidate).
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.01f;
+  Rng rng(seed);
+  nn::train(*model, split.train, tc, rng);
+
+  core::SaliencyConfig scfg;
+  scfg.batch_size = 16;
+  scfg.max_batches = 4;
+
+  // ---- per-criterion sweep + bit-identity audit -----------------------------
+  const std::vector<std::string> names = core::criterion_names();
+  std::vector<double> sweep_ms(names.size(), 0.0);
+  std::int64_t thread_mismatch = 0;
+  // Gradient sweeps advance BatchNorm running statistics, so both runs of
+  // each criterion start from the same snapshotted state.
+  const TensorMap snapshot = model->state_dict();
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    scfg.criterion = names[c];
+
+    kernels::set_num_threads(1);
+    model->load_state_dict(snapshot);
+    const core::SaliencyMap serial =
+        core::estimate_saliency(*model, split.train, scfg);
+
+    kernels::set_num_threads(threads);
+    model->load_state_dict(snapshot);
+    const Clock::time_point t0 = Clock::now();
+    const core::SaliencyMap threaded =
+        core::estimate_saliency(*model, split.train, scfg);
+    sweep_ms[c] =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    bool mismatch = false;
+    for (std::size_t i = 0; i < threaded.size(); ++i)
+      if (max_diff(threaded[i], serial[i]) != 0.0f) mismatch = true;
+    thread_mismatch += mismatch;
+    if (!quiet)
+      std::printf("criterion %-12s  sweep %7.2f ms  threads %d  %s\n",
+                  names[c].c_str(), sweep_ms[c], threads,
+                  mismatch ? "MISMATCH" : "bit-identical");
+  }
+
+  // ---- the loss-aware auto-selector -----------------------------------------
+  model->load_state_dict(snapshot);
+  kernels::set_num_threads(threads);
+  core::AutoSelectConfig acfg;
+  acfg.saliency = scfg;
+  acfg.saliency.criterion = "cass";
+  acfg.batch_size = 16;
+  const Clock::time_point t0 = Clock::now();
+  const core::AutoSelection sel =
+      core::auto_select_criteria(*model, split.test, acfg);
+  const double auto_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  const std::int64_t distinct = sel.distinct_chosen();
+  if (!quiet) {
+    std::printf("auto-selector      %.2f ms over %zu layers, %lld distinct "
+                "criteria chosen\n",
+                auto_ms, sel.per_layer.size(),
+                static_cast<long long>(distinct));
+    for (std::size_t i = 0; i < sel.per_layer.size(); ++i) {
+      std::printf("  layer %2zu -> %-10s", i, sel.per_layer[i].c_str());
+      for (std::size_t c = 0; c < sel.candidates.size(); ++c)
+        std::printf("  %s=%.6f", sel.candidates[c].c_str(),
+                    sel.loss_increase[c][i]);
+      std::printf("\n");
+    }
+  }
+
+  const std::int64_t auto_single = distinct >= 2 ? 0 : 1;
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "criteria: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"context\": {\"executable\": \"bench_criteria\", "
+                 "\"seed\": %llu},\n  \"benchmarks\": [",
+                 static_cast<unsigned long long>(seed));
+    bool first = true;
+    const std::string b = "Criteria/ablation/";
+    // Gated entries: both record 0, so compare_bench.py holds them at
+    // exactly 0 forever.
+    json_entry(f, &first, b + "gate_thread_mismatch",
+               static_cast<double>(thread_mismatch));
+    json_entry(f, &first, b + "gate_auto_single_criterion",
+               static_cast<double>(auto_single));
+    // Informational entries.
+    json_entry(f, &first, b + "layers",
+               static_cast<double>(sel.per_layer.size()));
+    json_entry(f, &first, b + "auto_distinct_chosen",
+               static_cast<double>(distinct));
+    json_entry(f, &first, b + "auto_select_ms", auto_ms);
+    for (std::size_t c = 0; c < names.size(); ++c)
+      json_entry(f, &first, b + "sweep_ms_" + names[c], sweep_ms[c]);
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+  return thread_mismatch == 0 && auto_single == 0 ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+// unlearn_classes — forget classes with masks, deploy with a hot swap.
+//
+// The scenario: a deployment serving live traffic must stop recognizing
+// some of its classes (right-to-be-forgotten, an expired content pack,
+// tenant class churn) without a retrain-and-redeploy cycle and without
+// dropping a single in-flight request. The CRISP machinery already has
+// both halves:
+//  1. core::unlearn_classes runs the saliency registry in reverse — it
+//     scores the forget set and the retain set separately, ranks blocks by
+//     forget-specificity, and prunes the same count per block-row, so the
+//     unlearned mask keeps the uniform-rows invariant (docs/criteria.md),
+//  2. serve::Engine::swap_model lands the recompiled artifact between
+//     batches on a live engine — old batches finish on the old model, new
+//     batches serve the new one, nothing fails or tears
+//     (tests/test_serve_swap.cpp).
+//
+// The serving clone trick below matters: CompiledModel::compile freezes a
+// *live reference* to its Sequential, so the engine must never serve the
+// model the unlearning pass is mutating. Sequential::state_dict round-trips
+// values, masks, and BatchNorm buffers, so a fresh make_vgg16 +
+// load_state_dict is an exact, independently-owned snapshot.
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/unlearn.h"
+#include "data/class_pattern.h"
+#include "nn/models/common.h"
+#include "nn/trainer.h"
+#include "serve/engine.h"
+
+using namespace crisp;
+
+namespace {
+
+/// Exact serving snapshot of `model`: same architecture, independent
+/// storage, values + masks + BatchNorm statistics copied over.
+std::shared_ptr<nn::Sequential> freeze_snapshot(const nn::ModelConfig& mcfg,
+                                                nn::Sequential& model) {
+  std::shared_ptr<nn::Sequential> clone = nn::make_vgg16(mcfg);
+  clone->load_state_dict(model.state_dict());
+  return clone;
+}
+
+/// Submits every sample of `split` to the live engine and scores argmax
+/// over the FULL class menu — a forgotten class must lose to retained
+/// classes outright, not merely drop within a restricted menu.
+double served_accuracy(serve::Engine& engine, const data::Dataset& split) {
+  const std::int64_t c = split.channels(), h = split.height(),
+                     w = split.width();
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(static_cast<std::size_t>(split.size()));
+  for (std::int64_t i = 0; i < split.size(); ++i) {
+    serve::Request req;
+    req.sample = split.sample(i).reshaped({c, h, w});
+    futures.push_back(engine.submit(std::move(req)));
+  }
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < split.size(); ++i) {
+    const serve::Response r = futures[static_cast<std::size_t>(i)].get();
+    if (r.status != serve::Response::Status::kOk) continue;
+    std::int64_t best = 0;
+    for (std::int64_t k = 1; k < r.output.numel(); ++k)
+      if (r.output[k] > r.output[best]) best = k;
+    if (best == split.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(split.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CRISP class unlearning + hot swap walkthrough ===\n\n");
+
+  // -- 1. a small trained deployment ----------------------------------------
+  data::ClassPatternConfig dcfg = data::ClassPatternConfig::cifar100_like();
+  dcfg.num_classes = 6;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 24;
+  dcfg.test_per_class = 12;
+  // Mild difficulty (same settings as tests/test_integration.cpp): the
+  // walkthrough shows the mechanics, not bench-scale robustness.
+  dcfg.noise_std = 0.15f;
+  dcfg.max_shift = 1;
+  dcfg.gain_jitter = 0.15f;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = dcfg.num_classes;
+  mcfg.input_size = dcfg.image_size;
+  mcfg.width_mult = 0.125f;
+  std::unique_ptr<nn::Sequential> model = nn::make_vgg16(mcfg);
+
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05f;
+  Rng rng(1);
+  std::printf("training vgg16 (width %.3f) on %lld classes...\n",
+              static_cast<double>(mcfg.width_mult),
+              static_cast<long long>(dcfg.num_classes));
+  nn::train(*model, split.train, tc, rng);
+
+  const std::vector<std::int64_t> forget_classes{0, 1};
+  const std::vector<std::int64_t> retain_classes{2, 3, 4, 5};
+  const data::Dataset forget_train =
+      data::filter_classes(split.train, forget_classes);
+  const data::Dataset retain_train =
+      data::filter_classes(split.train, retain_classes);
+  const data::Dataset forget_test =
+      data::filter_classes(split.test, forget_classes);
+  const data::Dataset retain_test =
+      data::filter_classes(split.test, retain_classes);
+
+  // -- 2. put the model into live service -----------------------------------
+  serve::EngineOptions eopts;
+  eopts.max_batch = 8;
+  serve::Engine engine(
+      serve::CompiledModel::compile(freeze_snapshot(mcfg, *model)), eopts);
+
+  const double forget_before = served_accuracy(engine, forget_test);
+  const double retain_before = served_accuracy(engine, retain_test);
+  std::printf("live engine, before unlearning: forget-class accuracy "
+              "%.1f%%, retained %.1f%%\n",
+              100 * forget_before, 100 * retain_before);
+
+  // -- 3. unlearn on the training copy while the engine keeps serving -------
+  core::UnlearnConfig ucfg;
+  ucfg.block = 8;  // match the tiny layer widths of this walkthrough
+  ucfg.drop_per_row = 1;
+  ucfg.finetune_epochs = 4;
+  ucfg.batch_size = 16;
+  const core::UnlearnReport rep =
+      core::unlearn_classes(*model, forget_train, retain_train, ucfg, rng);
+  std::int64_t layers_touched = 0;
+  for (const std::int64_t d : rep.dropped_per_row) layers_touched += d > 0;
+  std::printf("unlearned %zu classes: dropped %lld block/row in %lld of %zu "
+              "layers, sparsity %.1f%% -> %.1f%%\n",
+              forget_classes.size(), static_cast<long long>(ucfg.drop_per_row),
+              static_cast<long long>(layers_touched),
+              rep.dropped_per_row.size(), 100 * rep.sparsity_before,
+              100 * rep.sparsity_after);
+
+  // -- 4. deploy with one call — no restart, no failed requests -------------
+  engine.swap_model(serve::CompiledModel::compile(freeze_snapshot(mcfg, *model)));
+
+  const double forget_after = served_accuracy(engine, forget_test);
+  const double retain_after = served_accuracy(engine, retain_test);
+  const serve::EngineStats stats = engine.stats();
+  engine.shutdown();
+
+  std::printf("live engine, after the swap:    forget-class accuracy "
+              "%.1f%% (chance is %.1f%%), retained %.1f%%\n",
+              100 * forget_after, 100.0 / dcfg.num_classes,
+              100 * retain_after);
+  std::printf("engine: %lld requests, %lld swap(s), %lld failed\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.swaps),
+              static_cast<long long>(stats.shed + stats.expired +
+                                     stats.cancelled + stats.rejected +
+                                     stats.infeasible));
+
+  // The contract (pinned by tests/test_integration.cpp): forgotten classes
+  // fall to chance under the full menu, retained classes hold.
+  const bool ok =
+      forget_after <= 1.0 / dcfg.num_classes + 0.05 &&
+      retain_after >= retain_before - 0.02 &&
+      stats.shed + stats.expired + stats.cancelled + stats.rejected +
+              stats.infeasible ==
+          0;
+  std::printf("\n%s — the deployment forgot classes 0 and 1 without a "
+              "restart.\n", ok ? "done" : "CONTRACT VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#include "core/criterion_select.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/block_pruning.h"
+#include "kernels/parallel_for.h"
+#include "nn/trainer.h"
+#include "sparse/block.h"
+#include "sparse/mask.h"
+#include "sparse/nm.h"
+
+namespace crisp::core {
+
+std::int64_t AutoSelection::distinct_chosen() const {
+  std::set<std::string> seen;
+  for (const std::string& name : per_layer)
+    if (!name.empty()) seen.insert(name);
+  return static_cast<std::int64_t>(seen.size());
+}
+
+AutoSelection auto_select_criteria(nn::Sequential& model,
+                                   const data::Dataset& validation,
+                                   const AutoSelectConfig& cfg) {
+  CRISP_CHECK(!cfg.candidates.empty(), "no candidate criteria to select from");
+  CRISP_CHECK(cfg.probe_sparsity > 0.0 && cfg.probe_sparsity < 1.0,
+              "probe sparsity out of (0, 1)");
+  CRISP_CHECK(cfg.block % cfg.m == 0, "block must be a multiple of M");
+  auto params = model.prunable_parameters();
+
+  // One saliency map per candidate. Estimation runs train-mode forwards
+  // (BatchNorm statistics advance), so snapshot/restore around each sweep —
+  // every candidate then scores the identical model, and the probes below
+  // measure the identical base.
+  const TensorMap snapshot = model.state_dict();
+  std::vector<SaliencyMap> maps;
+  maps.reserve(cfg.candidates.size());
+  for (const std::string& name : cfg.candidates) {
+    SaliencyConfig sub = cfg.saliency;
+    sub.criterion = name;
+    maps.push_back(estimate_saliency(model, validation, sub));
+    model.load_state_dict(snapshot);
+  }
+
+  const double base = nn::evaluate_loss(model, validation, cfg.batch_size);
+  const double nm_density =
+      static_cast<double>(cfg.n) / static_cast<double>(cfg.m);
+
+  AutoSelection sel;
+  sel.candidates = cfg.candidates;
+  sel.per_layer.resize(params.size());
+  sel.loss_increase.assign(cfg.candidates.size(),
+                           std::vector<double>(params.size(), 0.0));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter& p = *params[i];
+    const Tensor saved_mask = p.mask;  // empty when dense
+    const sparse::BlockGrid grid{p.matrix_rows, p.matrix_cols, cfg.block};
+
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < cfg.candidates.size(); ++c) {
+      // Probe mask from THIS candidate's scores: N:M ∧ rank-pruned blocks
+      // at the requested element sparsity (sensitivity.cpp's recipe).
+      const auto sal = as_matrix(maps[c][i], p.matrix_rows, p.matrix_cols);
+      LayerBlockInfo info;
+      info.grid = grid;
+      info.scores = sparse::block_scores(sal, grid);
+      const double kc =
+          std::clamp((1.0 - cfg.probe_sparsity) / nm_density, 0.0, 1.0);
+      const auto pruned = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::llround(
+              (1.0 - kc) * static_cast<double>(grid.grid_cols()))),
+          0, grid.grid_cols() - 1);
+      Tensor mask = sparse::mask_and(sparse::nm_mask(sal, cfg.n, cfg.m),
+                                     rank_pruned_block_mask(info, pruned));
+
+      p.ensure_mask();
+      kernels::parallel_for(
+          mask.numel(),
+          [&](std::int64_t e0, std::int64_t e1) {
+            for (std::int64_t e = e0; e < e1; ++e) p.mask[e] = mask[e];
+          },
+          kernels::rows_grain(1));
+      const double loss = nn::evaluate_loss(model, validation, cfg.batch_size);
+      p.mask = saved_mask;  // restore before the next probe
+
+      sel.loss_increase[c][i] = loss - base;
+      if (sel.loss_increase[c][i] < sel.loss_increase[best][i]) best = c;
+    }
+    sel.per_layer[i] = cfg.candidates[best];
+  }
+  return sel;
+}
+
+}  // namespace crisp::core

@@ -1,0 +1,64 @@
+// Loss-aware per-layer criterion auto-selection (arXiv:2506.20152 flavour).
+//
+// No single saliency rule wins everywhere: a layer whose class-aware
+// gradient is concentrated ranks well under cass, one whose per-row energy
+// dominates under lasso, one with high gradient variance under taylor. The
+// auto-selector measures instead of guessing: for every candidate criterion
+// it scores the model once, then probes each layer *in isolation* with a
+// hybrid mask built from that candidate's scores and measures the
+// validation-loss increase (the sensitivity.cpp probe pattern). The
+// candidate with the smallest increase wins the layer; ties go to the
+// earlier candidate, so the result is deterministic.
+//
+// CrispPruner spells this `saliency.criterion = "auto"`: it resolves the
+// per-layer assignment once up front, then every pruning iteration runs
+// estimate_saliency_selected with the chosen names. bench/criteria.cpp
+// gates that the selector actually exercises the menu (≥ 2 distinct
+// criteria chosen) and docs/criteria.md walks through the semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/saliency.h"
+#include "nn/sequential.h"
+
+namespace crisp::core {
+
+struct AutoSelectConfig {
+  /// Criteria competing for each layer, probed in this order (ties break
+  /// toward the front). Every name must be registered.
+  std::vector<std::string> candidates{"cass", "lasso", "taylor"};
+  /// Element sparsity of each probe mask. High enough that criteria
+  /// disagree measurably; the final schedule's κ is applied later by the
+  /// pruner, not here.
+  double probe_sparsity = 0.75;
+  std::int64_t n = 2;      ///< N:M inside surviving blocks of the probe
+  std::int64_t m = 4;
+  std::int64_t block = 8;  ///< block side of the probe's coarse component
+  std::int64_t batch_size = 64;  ///< validation-loss evaluation batches
+  /// Estimation settings shared by every candidate (the criterion field is
+  /// ignored — each candidate overrides it). Same cfg ⇒ same calibration
+  /// batches, so candidates are compared on identical data.
+  SaliencyConfig saliency;
+};
+
+struct AutoSelection {
+  std::vector<std::string> candidates;  ///< probe order used
+  std::vector<std::string> per_layer;   ///< winner per prunable parameter
+  /// loss_increase[c][i]: probe loss − base loss for candidate c, layer i.
+  std::vector<std::vector<double>> loss_increase;
+
+  /// Number of distinct criteria actually chosen across layers.
+  std::int64_t distinct_chosen() const;
+};
+
+/// Probes every prunable layer under every candidate and returns the
+/// per-layer argmin assignment. The model is returned to its exact
+/// pre-call state (weights, masks, BatchNorm statistics). Deterministic
+/// for a fixed config and thread-count independent.
+AutoSelection auto_select_criteria(nn::Sequential& model,
+                                   const data::Dataset& validation,
+                                   const AutoSelectConfig& cfg);
+
+}  // namespace crisp::core

@@ -16,6 +16,10 @@ std::vector<Tensor> select_nm_masks(nn::Sequential& model,
   for (std::size_t i = 0; i < params.size(); ++i) {
     const nn::Parameter& p = *params[i];
     const Tensor& s = saliency[i];
+    if (s.numel() == 0) {  // frozen layer: no score, no new mask
+      masks.emplace_back();
+      continue;
+    }
     CRISP_CHECK(s.same_shape(p.value), "saliency shape mismatch for " << p.name);
     Tensor mask = sparse::nm_mask(
         as_matrix(s, p.matrix_rows, p.matrix_cols), n, m);
@@ -34,12 +38,17 @@ void install_masks(nn::Sequential& model, const std::vector<Tensor>& nm_masks,
               "block mask count mismatch");
   for (std::size_t i = 0; i < params.size(); ++i) {
     nn::Parameter& p = *params[i];
+    const bool nm_empty = nm_masks.empty() || nm_masks[i].numel() == 0;
+    const bool blk_empty = block_masks.empty() || block_masks[i].numel() == 0;
+    if (nm_empty && blk_empty && !(nm_masks.empty() && block_masks.empty())) {
+      continue;  // frozen layer (empty component tensors): keep current mask
+    }
     Tensor mask;
-    if (!nm_masks.empty() && !block_masks.empty()) {
+    if (!nm_empty && !blk_empty) {
       mask = sparse::mask_and(nm_masks[i], block_masks[i]);
-    } else if (!nm_masks.empty()) {
+    } else if (!nm_empty) {
       mask = nm_masks[i];
-    } else if (!block_masks.empty()) {
+    } else if (!blk_empty) {
       mask = block_masks[i];
     } else {
       mask = Tensor::ones(p.value.shape());

@@ -11,14 +11,18 @@
 
 namespace crisp::core {
 
-/// Per-parameter N:M masks, aligned with prunable_parameters() order.
+/// Per-parameter N:M masks, aligned with prunable_parameters() order. A
+/// parameter with an *empty* saliency tensor (frozen layer) gets an empty
+/// mask back, which install_masks treats as "leave the current mask alone".
 std::vector<Tensor> select_nm_masks(nn::Sequential& model,
                                     const SaliencyMap& saliency,
                                     std::int64_t n, std::int64_t m);
 
 /// Combines per-parameter component masks (Hadamard AND) and installs them
-/// on the model's prunable parameters. Either component list may be empty
-/// (treated as all-ones).
+/// on the model's prunable parameters. Either component *list* may be empty
+/// (treated as all-ones). When the lists are non-empty but both component
+/// *tensors* at index i are empty, parameter i's mask is left untouched —
+/// that is the frozen-layer contract from SaliencyMap.
 void install_masks(nn::Sequential& model, const std::vector<Tensor>& nm_masks,
                    const std::vector<Tensor>& block_masks);
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "core/criterion_select.h"
 #include "core/nm_pruning.h"
 
 namespace crisp::core {
@@ -22,27 +23,32 @@ CrispPruner::CrispPruner(nn::Sequential& model, const CrispConfig& cfg)
 std::vector<Tensor> CrispPruner::select_block_masks(const SaliencyMap& saliency,
                                                     double element_fraction) {
   auto params = model_.prunable_parameters();
+  // Frozen layers (empty saliency) sit out of the global rank-column plan
+  // entirely: they neither receive a new mask nor distort the budget the
+  // active layers share.
   std::vector<LayerBlockInfo> infos;
+  std::vector<std::size_t> active_idx;
   infos.reserve(params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
+    if (saliency[i].numel() == 0) continue;
     const nn::Parameter& p = *params[i];
     LayerBlockInfo info;
     info.grid = sparse::BlockGrid{p.matrix_rows, p.matrix_cols, cfg_.block};
     info.scores = sparse::block_scores(
         as_matrix(saliency[i], p.matrix_rows, p.matrix_cols), info.grid);
     infos.push_back(std::move(info));
+    active_idx.push_back(i);
   }
 
   const auto pruned_ranks =
       plan_rank_column_pruning(infos, element_fraction, cfg_.block_pruning);
 
-  std::vector<Tensor> masks;
-  masks.reserve(params.size());
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    Tensor mask = rank_pruned_block_mask(
-        infos[i], pruned_ranks[static_cast<std::size_t>(i)]);
+  std::vector<Tensor> masks(params.size());
+  for (std::size_t a = 0; a < active_idx.size(); ++a) {
+    const std::size_t i = active_idx[a];
+    Tensor mask = rank_pruned_block_mask(infos[a], pruned_ranks[a]);
     mask.reshape_inplace(params[i]->value.shape());
-    masks.push_back(std::move(mask));
+    masks[i] = std::move(mask);
   }
   return masks;
 }
@@ -51,16 +57,60 @@ PruneReport CrispPruner::run(const data::Dataset& user_data, Rng& rng) {
   PruneReport report;
   SparsitySchedule schedule{cfg_.target_sparsity, cfg_.iterations, cfg_.n,
                             cfg_.m};
+  schedule.freeze_at_target = cfg_.freeze_at_target;
   if (!cfg_.enable_nm) {
     // Pure block pruning has no N:M floor: the whole κ must come from
     // blocks, so treat the floor as zero by using 1:1 "N:M".
     schedule.n = schedule.m = 1;
   }
 
+  auto params = model_.prunable_parameters();
+  const bool use_auto = cfg_.saliency.criterion == "auto";
+  if (use_auto) {
+    // Resolve the per-layer assignment once on the pre-pruning model; every
+    // iteration reuses it (core/criterion_select.h).
+    AutoSelectConfig ac;
+    ac.candidates = cfg_.auto_candidates;
+    ac.n = cfg_.n;
+    ac.m = cfg_.m;
+    ac.block = cfg_.block;
+    ac.batch_size = cfg_.batch_size;
+    ac.saliency = cfg_.saliency;
+    const AutoSelection sel = auto_select_criteria(model_, user_data, ac);
+    report.criterion_per_layer = sel.per_layer;
+    if (cfg_.verbose)
+      for (std::size_t i = 0; i < sel.per_layer.size(); ++i)
+        std::printf("[crisp] auto-criterion %-24s -> %s\n",
+                    params[i]->name.c_str(), sel.per_layer[i].c_str());
+  } else {
+    report.criterion_per_layer.assign(params.size(), cfg_.saliency.criterion);
+  }
+
   for (std::int64_t p = 1; p <= cfg_.iterations; ++p) {
+    // Freeze policy: layers already at the final κ sit this iteration out —
+    // their bit clears in `active`, their saliency slot stays empty, and
+    // install_masks leaves their mask alone.
+    std::vector<std::uint8_t> active(params.size(), 1);
+    std::int64_t frozen = 0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (schedule.layer_frozen(params[i]->mask_sparsity(), p)) {
+        active[i] = 0;
+        ++frozen;
+      }
+    }
+    report.frozen_per_iteration.push_back(frozen);
+
     // Class-aware saliency of the current dense weights (Alg. 1 lines 4-5).
-    SaliencyMap saliency =
-        estimate_saliency(model_, user_data, cfg_.saliency);
+    SaliencyMap saliency;
+    if (use_auto) {
+      std::vector<std::string> per_layer = report.criterion_per_layer;
+      for (std::size_t i = 0; i < params.size(); ++i)
+        if (active[i] == 0) per_layer[i].clear();
+      saliency = estimate_saliency_selected(model_, user_data, cfg_.saliency,
+                                            per_layer);
+    } else {
+      saliency = estimate_saliency(model_, user_data, cfg_.saliency, active);
+    }
 
     // Line 2: fine-grained N:M re-selection (revival via STE).
     std::vector<Tensor> nm_masks;
@@ -81,7 +131,7 @@ PruneReport CrispPruner::run(const data::Dataset& user_data, Rng& rng) {
         } else {
           SaliencyMap surviving = saliency;
           for (std::size_t i = 0; i < surviving.size(); ++i)
-            surviving[i].mul_(nm_masks[i]);
+            if (surviving[i].numel() > 0) surviving[i].mul_(nm_masks[i]);
           block_masks = select_block_masks(surviving, fraction);
         }
       }

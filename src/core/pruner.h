@@ -32,8 +32,17 @@ struct CrispConfig {
   nn::SgdConfig finetune_sgd{/*lr=*/0.02f, /*momentum=*/0.9f,
                              /*weight_decay=*/4e-5f};
   std::int64_t batch_size = 32;
+  /// saliency.criterion names any registered criterion, or "auto" — the
+  /// loss-aware per-layer selector (core/criterion_select.h), resolved once
+  /// before iteration 1 and reused for every iteration.
   SaliencyConfig saliency;
+  /// Candidates the "auto" criterion chooses between (ignored otherwise).
+  std::vector<std::string> auto_candidates{"cass", "lasso", "taylor"};
   BlockPruningConfig block_pruning;
+  /// Skip saliency estimation and mask re-selection for layers whose mask
+  /// already sits at the final κ (SparsitySchedule::freeze_at_target). Off
+  /// by default: the paper's schedule re-scores every layer each iteration.
+  bool freeze_at_target = false;
   /// Disable the N:M component (pure block pruning — the Fig. 3 baseline).
   bool enable_nm = true;
   /// Disable the block component (pure N:M — the Fig. 1 configuration).
@@ -51,6 +60,11 @@ struct IterationStats {
 struct PruneReport {
   std::vector<IterationStats> iterations;
   ModelCensus census;  ///< final per-layer state
+  /// Criterion that scored each prunable parameter. All identical for a
+  /// fixed criterion; the per-layer winners when saliency.criterion=="auto".
+  std::vector<std::string> criterion_per_layer;
+  /// Per-iteration count of layers skipped by the freeze policy.
+  std::vector<std::int64_t> frozen_per_iteration;
 
   double achieved_sparsity() const { return census.global_sparsity; }
 };

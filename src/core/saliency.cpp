@@ -1,85 +1,386 @@
 #include "core/saliency.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 
 #include "kernels/parallel_for.h"
 #include "nn/loss.h"
 
 namespace crisp::core {
 
-const char* saliency_kind_name(SaliencyKind kind) {
-  switch (kind) {
-    case SaliencyKind::kClassAwareGradient: return "cass";
-    case SaliencyKind::kMagnitude: return "magnitude";
-    case SaliencyKind::kRandom: return "random";
-  }
-  return "unknown";
+namespace {
+
+/// Resolves the active bitmask: empty means "all active".
+bool is_active(const std::vector<std::uint8_t>& active, std::size_t i) {
+  return active.empty() || active[i] != 0;
 }
 
-SaliencyMap estimate_saliency(nn::Sequential& model,
-                              const data::Dataset& calibration,
-                              const SaliencyConfig& cfg) {
-  auto params = model.prunable_parameters();
-  SaliencyMap scores;
-  scores.reserve(params.size());
+void check_active_size(const std::vector<std::uint8_t>& active,
+                       std::size_t nparams) {
+  CRISP_CHECK(active.empty() || active.size() == nparams,
+              "active bitmask size " << active.size() << " does not match "
+                                     << nparams << " prunable parameters");
+}
 
-  switch (cfg.kind) {
-    case SaliencyKind::kMagnitude: {
-      for (nn::Parameter* p : params) {
-        Tensor s(p->value.shape());
-        kernels::parallel_for(
-            s.numel(),
-            [&](std::int64_t i0, std::int64_t i1) {
-              for (std::int64_t i = i0; i < i1; ++i)
-                s[i] = std::fabs(p->value[i]);
-            },
-            kernels::rows_grain(1));
-        scores.push_back(std::move(s));
-      }
-      return scores;
+// ---- built-in criteria ------------------------------------------------------
+
+class MagnitudeCriterion final : public SaliencyCriterion {
+ public:
+  const char* name() const override { return "magnitude"; }
+  bool needs_gradients() const override { return false; }
+
+  SaliencyMap compute(nn::Sequential& model, const data::Dataset&,
+                      const SaliencyConfig&,
+                      const std::vector<std::uint8_t>& active) override {
+    auto params = model.prunable_parameters();
+    check_active_size(active, params.size());
+    SaliencyMap scores(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!is_active(active, i)) continue;
+      const nn::Parameter& p = *params[i];
+      Tensor s(p.value.shape());
+      kernels::parallel_for(
+          s.numel(),
+          [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t e = i0; e < i1; ++e)
+              s[e] = std::fabs(p.value[e]);
+          },
+          kernels::rows_grain(1));
+      scores[i] = std::move(s);
     }
-    case SaliencyKind::kRandom: {
-      Rng rng(cfg.seed);
-      for (nn::Parameter* p : params)
-        scores.push_back(Tensor::rand(p->value.shape(), rng, 1e-3f, 1.0f));
-      return scores;
-    }
-    case SaliencyKind::kClassAwareGradient:
-      break;
+    return scores;
   }
+};
 
+class RandomCriterion final : public SaliencyCriterion {
+ public:
+  const char* name() const override { return "random"; }
+  bool needs_gradients() const override { return false; }
+
+  SaliencyMap compute(nn::Sequential& model, const data::Dataset&,
+                      const SaliencyConfig& cfg,
+                      const std::vector<std::uint8_t>& active) override {
+    auto params = model.prunable_parameters();
+    check_active_size(active, params.size());
+    SaliencyMap scores(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!is_active(active, i)) continue;
+      // Per-parameter seeding keeps each score a function of (seed, index)
+      // alone, so freezing one layer never shifts another layer's draw.
+      Rng rng(cfg.seed + 0x9E3779B9u * static_cast<std::uint64_t>(i + 1));
+      scores[i] = Tensor::rand(params[i]->value.shape(), rng, 1e-3f, 1.0f);
+    }
+    return scores;
+  }
+};
+
+/// CASS — the paper's metric: |(1/H) Σ ∂L/∂W| ⊙ |W|. Gradients accumulate
+/// across batches in p->grad (no zeroing between batches), preserving the
+/// original implementation's float summation order bit-for-bit.
+class CassCriterion final : public SaliencyCriterion {
+ public:
+  const char* name() const override { return "cass"; }
+  bool needs_gradients() const override { return true; }
+
+  SaliencyMap compute(nn::Sequential& model, const data::Dataset& calibration,
+                      const SaliencyConfig& cfg,
+                      const std::vector<std::uint8_t>& active) override {
+    auto params = model.prunable_parameters();
+    check_active_size(active, params.size());
+    const std::int64_t batches = for_each_calibration_batch(
+        model, calibration, cfg, /*zero_between_batches=*/false, nullptr);
+    // Accumulated total sits in p->grad after the sweep; the elementwise
+    // sweep threads with disjoint writes.
+    const float inv = 1.0f / static_cast<float>(batches);
+    SaliencyMap scores(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!is_active(active, i)) continue;
+      const nn::Parameter& p = *params[i];
+      Tensor s(p.value.shape());
+      kernels::parallel_for(
+          s.numel(),
+          [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t e = i0; e < i1; ++e)
+              s[e] = std::fabs(p.grad[e] * inv) * std::fabs(p.value[e]);
+          },
+          kernels::rows_grain(1));
+      scores[i] = std::move(s);
+    }
+    model.zero_grad();  // leave no stale gradients for the next phase
+    return scores;
+  }
+};
+
+/// Diagonal-Fisher loss-change estimate: mean over batches of grad² ⊙ W².
+/// ΔL from zeroing w ≈ ½ g² w² under the Fisher approximation of the loss
+/// curvature — a second-order flavour that, unlike cass, squares the
+/// gradient *per batch*, so high-variance weights score high even when
+/// their mean gradient cancels to ~0 across batches.
+class TaylorCriterion final : public SaliencyCriterion {
+ public:
+  const char* name() const override { return "taylor"; }
+  bool needs_gradients() const override { return true; }
+
+  SaliencyMap compute(nn::Sequential& model, const data::Dataset& calibration,
+                      const SaliencyConfig& cfg,
+                      const std::vector<std::uint8_t>& active) override {
+    auto params = model.prunable_parameters();
+    check_active_size(active, params.size());
+    // Per-parameter grad² accumulators, filled batch-by-batch in a fixed
+    // order (elementwise, disjoint writes — thread-count independent).
+    std::vector<Tensor> sq(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+      if (is_active(active, i)) sq[i] = Tensor::zeros(params[i]->value.shape());
+
+    const std::int64_t batches = for_each_calibration_batch(
+        model, calibration, cfg, /*zero_between_batches=*/true,
+        [&](std::int64_t) {
+          for (std::size_t i = 0; i < params.size(); ++i) {
+            if (!is_active(active, i)) continue;
+            const nn::Parameter& p = *params[i];
+            Tensor& acc = sq[i];
+            kernels::parallel_for(
+                acc.numel(),
+                [&](std::int64_t i0, std::int64_t i1) {
+                  for (std::int64_t e = i0; e < i1; ++e)
+                    acc[e] += p.grad[e] * p.grad[e];
+                },
+                kernels::rows_grain(1));
+          }
+        });
+
+    const float inv = 1.0f / static_cast<float>(batches);
+    SaliencyMap scores(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!is_active(active, i)) continue;
+      const nn::Parameter& p = *params[i];
+      Tensor s(p.value.shape());
+      const Tensor& acc = sq[i];
+      kernels::parallel_for(
+          s.numel(),
+          [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t e = i0; e < i1; ++e)
+              s[e] = (acc[e] * inv) * (p.value[e] * p.value[e]);
+          },
+          kernels::rows_grain(1));
+      scores[i] = std::move(s);
+    }
+    model.zero_grad();  // last batch's gradients are still resident
+    return scores;
+  }
+};
+
+/// Class-wise structured lasso (arXiv:2502.09125 flavour): the group is the
+/// output-channel row of the reshaped S x K matrix, and every element's
+/// score is |W| weighted by its group's L2 gradient energy —
+///   s[r, c] = |W[r, c]| * sqrt(Σ_j (mean grad[r, j])²).
+/// Rows whose class-aware gradient energy is concentrated protect all their
+/// weights; rows the user classes never excite score near zero as a group,
+/// which is exactly the structured-sparsity prior.
+class LassoCriterion final : public SaliencyCriterion {
+ public:
+  const char* name() const override { return "lasso"; }
+  bool needs_gradients() const override { return true; }
+
+  SaliencyMap compute(nn::Sequential& model, const data::Dataset& calibration,
+                      const SaliencyConfig& cfg,
+                      const std::vector<std::uint8_t>& active) override {
+    auto params = model.prunable_parameters();
+    check_active_size(active, params.size());
+    SaliencyMap scores(params.size());
+    std::int64_t last = -1;
+    for_each_calibration_batch(
+        model, calibration, cfg, /*zero_between_batches=*/false,
+        [&](std::int64_t b) { last = b; });
+    const float inv = 1.0f / static_cast<float>(last + 1);
+
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (!is_active(active, i)) continue;
+      const nn::Parameter& p = *params[i];
+      const std::int64_t rows = p.matrix_rows, cols = p.matrix_cols;
+      Tensor s(p.value.shape());
+      // One owner per row: the serial in-row sum fixes the float order, so
+      // the group norm never depends on the thread count.
+      kernels::parallel_for(
+          rows,
+          [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+              float energy = 0.0f;
+              for (std::int64_t c = 0; c < cols; ++c) {
+                const float g = p.grad[r * cols + c] * inv;
+                energy += g * g;
+              }
+              const float group = std::sqrt(energy);
+              for (std::int64_t c = 0; c < cols; ++c)
+                s[r * cols + c] =
+                    std::fabs(p.value[r * cols + c]) * group;
+            }
+          },
+          kernels::rows_grain(cols));
+      scores[i] = std::move(s);
+    }
+    model.zero_grad();  // leave no stale gradients for the next phase
+    return scores;
+  }
+};
+
+// ---- registry ---------------------------------------------------------------
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, CriterionFactory> factories;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry();
+    reg->factories["cass"] = [] {
+      return std::unique_ptr<SaliencyCriterion>(new CassCriterion());
+    };
+    reg->factories["taylor"] = [] {
+      return std::unique_ptr<SaliencyCriterion>(new TaylorCriterion());
+    };
+    reg->factories["lasso"] = [] {
+      return std::unique_ptr<SaliencyCriterion>(new LassoCriterion());
+    };
+    reg->factories["magnitude"] = [] {
+      return std::unique_ptr<SaliencyCriterion>(new MagnitudeCriterion());
+    };
+    reg->factories["random"] = [] {
+      return std::unique_ptr<SaliencyCriterion>(new RandomCriterion());
+    };
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+void register_criterion(const std::string& name, CriterionFactory factory) {
+  CRISP_CHECK(!name.empty() && name != "auto",
+              "invalid criterion name '" << name << "'");
+  CRISP_CHECK(factory != nullptr, "null factory for criterion '" << name << "'");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.factories[name] = std::move(factory);
+}
+
+bool has_criterion(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.factories.count(name) != 0;
+}
+
+std::vector<std::string> criterion_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, _] : r.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::unique_ptr<SaliencyCriterion> make_criterion(const std::string& name) {
+  CRISP_CHECK(name != "auto",
+              "'auto' is the per-layer selector, not a criterion — resolve it "
+              "via core/criterion_select.h (CrispPruner does this for you)");
+  CriterionFactory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    auto it = r.factories.find(name);
+    if (it != r.factories.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : criterion_names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    CRISP_CHECK(false, "unknown saliency criterion '"
+                           << name << "' (registered: " << known << ")");
+  }
+  auto criterion = factory();
+  CRISP_CHECK(criterion != nullptr,
+              "criterion factory for '" << name << "' returned null");
+  return criterion;
+}
+
+std::int64_t for_each_calibration_batch(
+    nn::Sequential& model, const data::Dataset& calibration,
+    const SaliencyConfig& cfg, bool zero_between_batches,
+    const std::function<void(std::int64_t)>& on_batch) {
   CRISP_CHECK(calibration.size() > 0,
-              "CASS needs calibration samples of the user classes");
+              "gradient-based saliency needs calibration samples of the user "
+              "classes");
   model.zero_grad();
   Rng rng(cfg.seed);
   std::int64_t batches = 0;
   for (const auto& batch :
        data::make_batches(calibration, cfg.batch_size, rng, /*shuffle=*/true)) {
     if (cfg.max_batches >= 0 && batches >= cfg.max_batches) break;
+    if (zero_between_batches && batches > 0) model.zero_grad();
     Tensor logits = model.forward(batch.images, /*train=*/true);
     nn::LossResult loss = nn::cross_entropy(logits, batch.labels);
-    model.backward(loss.grad);  // gradients accumulate across batches
+    model.backward(loss.grad);  // gradients accumulate within the batch
+    if (on_batch) on_batch(batches);
     ++batches;
   }
   CRISP_CHECK(batches > 0, "no calibration batches were processed");
+  // Gradients are deliberately NOT zeroed here: without zero_between_batches
+  // the accumulated total in p->grad IS the result the caller reads next.
+  // Criteria zero them once the scores are computed.
+  return batches;
+}
 
-  const float inv = 1.0f / static_cast<float>(batches);
-  for (nn::Parameter* p : params) {
-    // T_w = |(1/H) Σ ∂L/∂W| ⊙ |W| — elementwise over the (already
-    // batch-accumulated, thread-count-invariant) gradient, so the sweep
-    // threads with disjoint writes.
-    Tensor s(p->value.shape());
-    kernels::parallel_for(
-        s.numel(),
-        [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i)
-            s[i] = std::fabs(p->grad[i] * inv) * std::fabs(p->value[i]);
-        },
-        kernels::rows_grain(1));
-    scores.push_back(std::move(s));
-  }
-  model.zero_grad();  // leave no stale gradients for the next training phase
+SaliencyMap estimate_saliency(nn::Sequential& model,
+                              const data::Dataset& calibration,
+                              const SaliencyConfig& cfg) {
+  return estimate_saliency(model, calibration, cfg, {});
+}
+
+SaliencyMap estimate_saliency(nn::Sequential& model,
+                              const data::Dataset& calibration,
+                              const SaliencyConfig& cfg,
+                              const std::vector<std::uint8_t>& active) {
+  auto criterion = make_criterion(cfg.criterion);
+  SaliencyMap scores = criterion->compute(model, calibration, cfg, active);
+  CRISP_CHECK(scores.size() == model.prunable_parameters().size(),
+              "criterion '" << cfg.criterion << "' returned "
+                            << scores.size() << " score tensors");
   return scores;
+}
+
+SaliencyMap estimate_saliency_selected(
+    nn::Sequential& model, const data::Dataset& calibration,
+    const SaliencyConfig& cfg, const std::vector<std::string>& per_layer) {
+  auto params = model.prunable_parameters();
+  CRISP_CHECK(per_layer.size() == params.size(),
+              "per-layer criterion list size " << per_layer.size()
+                                               << " != " << params.size()
+                                               << " prunable parameters");
+  SaliencyMap merged(params.size());
+  // First-appearance order keeps the calibration sweeps deterministic. An
+  // empty name marks a frozen layer: no sweep, empty tensor in the result.
+  std::vector<std::string> order;
+  for (const std::string& name : per_layer)
+    if (!name.empty() &&
+        std::find(order.begin(), order.end(), name) == order.end())
+      order.push_back(name);
+
+  for (const std::string& name : order) {
+    std::vector<std::uint8_t> active(params.size(), 0);
+    for (std::size_t i = 0; i < params.size(); ++i)
+      if (per_layer[i] == name) active[i] = 1;
+    SaliencyConfig sub = cfg;
+    sub.criterion = name;
+    SaliencyMap part = estimate_saliency(model, calibration, sub, active);
+    for (std::size_t i = 0; i < params.size(); ++i)
+      if (active[i] != 0) merged[i] = std::move(part[i]);
+  }
+  return merged;
 }
 
 }  // namespace crisp::core

@@ -1,15 +1,43 @@
-// Class-Aware Saliency Score — CASS (paper §III-D, Eq. 1).
+// Pluggable saliency-criterion registry.
+//
+// CRISP's original metric is CASS (paper §III-D, Eq. 1):
 //
 //   T_w = | (1/H_uc) Σ ∂L/∂W | ⊙ |W|
 //
-// The gradient is averaged over a calibration set H_uc drawn from the
-// user-preferred classes, then multiplied elementwise by the weight — the
-// first-order Taylor estimate of the loss change from removing each weight,
-// specialised to the classes the user actually sees. Gradients flow through
-// the masked forward but are dense (STE), so previously pruned weights keep
-// meaningful scores and can be revived (§III-C).
+// — the first-order Taylor estimate of the loss change from removing each
+// weight, specialised to the classes the user actually sees. Related work
+// shows the criterion itself is a design axis (class-wise structured lasso
+// scoring, arXiv:2502.09125; loss-aware automatic per-layer criterion
+// selection, arXiv:2506.20152), so the scorer is an interface: a
+// SaliencyCriterion computes one non-negative score tensor per prunable
+// parameter, and criteria are registered by name. Built-ins:
+//
+//   cass       |mean grad| ⊙ |W|            (the paper's metric; default)
+//   taylor     mean(grad²) ⊙ W²             (diagonal-Fisher loss-change
+//                                            estimate — second-order flavour,
+//                                            distinct from cass because the
+//                                            square is taken per batch)
+//   lasso      |W| ⊙ group-L2(mean grad)    (class-wise structured lasso:
+//                                            the group is the output-channel
+//                                            row of the reshaped S x K matrix)
+//   magnitude  |W|                          (ablation baseline)
+//   random     uniform random               (ablation baseline)
+//
+// Gradients flow through the masked forward but are dense (STE), so
+// previously pruned weights keep meaningful scores and can be revived
+// (§III-C). Every criterion runs its sweeps on the parallel_for /
+// deterministic-partition substrate, so scores are bit-identical at any
+// thread count (tests/test_criteria.cpp locks this in for every registered
+// name).
+//
+// core/criterion_select.h builds the loss-aware per-layer auto-selector on
+// top of this registry; core/unlearn.h inverts the machinery into class
+// unlearning. docs/criteria.md is the guide.
 #pragma once
 
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -17,31 +45,108 @@
 
 namespace crisp::core {
 
-enum class SaliencyKind {
-  kClassAwareGradient,  ///< CASS — the paper's metric
-  kMagnitude,           ///< |W| (ablation baseline)
-  kRandom,              ///< uniform random (ablation baseline)
-};
-
-const char* saliency_kind_name(SaliencyKind kind);
-
 struct SaliencyConfig {
-  SaliencyKind kind = SaliencyKind::kClassAwareGradient;
+  /// Registry name of the criterion ("cass", "taylor", "lasso",
+  /// "magnitude", "random", or anything registered at runtime). The
+  /// loss-aware per-layer auto-selector is spelled "auto" and resolved by
+  /// CrispPruner via core/criterion_select.h — estimate_saliency itself
+  /// rejects it.
+  std::string criterion = "cass";
   std::int64_t batch_size = 32;
   /// Cap on calibration batches per estimation (-1 = use all).
   std::int64_t max_batches = 8;
-  std::uint64_t seed = 7;  ///< for kRandom and batch order
+  std::uint64_t seed = 7;  ///< for "random" and batch order
 };
 
 /// One score tensor per prunable parameter, aligned with
-/// model.prunable_parameters() order. Scores are non-negative.
+/// model.prunable_parameters() order. Scores are non-negative. An *empty*
+/// tensor marks a parameter whose score was skipped (its layer is frozen —
+/// see SparsitySchedule::freeze_at_target); downstream mask selection
+/// leaves such layers' masks untouched.
 using SaliencyMap = std::vector<Tensor>;
 
-/// Estimates saliency for every prunable parameter. For CASS this runs
-/// forward/backward passes over `calibration` (user-class samples) without
-/// optimizer steps; for the ablation kinds no data pass is needed.
+/// Scores every prunable parameter of a model. Implementations must
+///   * write scores only for parameters whose `active` bit is set, leaving
+///     the rest as empty tensors;
+///   * produce bit-identical results at any kernels::num_threads() —
+///     elementwise sweeps thread with disjoint writes, and any
+///     accumulation must use a thread-count-independent order
+///     (kernels/reduce.h, or per-row serial sums owned by one thread).
+class SaliencyCriterion {
+ public:
+  virtual ~SaliencyCriterion() = default;
+
+  virtual const char* name() const = 0;
+
+  /// True when compute() runs calibration forward/backward passes (and
+  /// therefore needs calibration samples and mutates BatchNorm running
+  /// statistics in train-mode forwards).
+  virtual bool needs_gradients() const = 0;
+
+  virtual SaliencyMap compute(nn::Sequential& model,
+                              const data::Dataset& calibration,
+                              const SaliencyConfig& cfg,
+                              const std::vector<std::uint8_t>& active) = 0;
+};
+
+/// Factory registered under a criterion name; must be callable from any
+/// thread (a fresh instance is built per estimation).
+using CriterionFactory = std::function<std::unique_ptr<SaliencyCriterion>()>;
+
+/// Registers (or replaces) `factory` under `name`. Built-ins are
+/// pre-registered; tests register instrumented criteria through this.
+void register_criterion(const std::string& name, CriterionFactory factory);
+
+/// True when `name` resolves (built-in or runtime-registered).
+bool has_criterion(const std::string& name);
+
+/// All registered names, sorted (deterministic iteration for benches).
+std::vector<std::string> criterion_names();
+
+/// Builds a fresh instance of the named criterion; throws on unknown names
+/// (listing what is registered) and on the "auto" pseudo-name.
+std::unique_ptr<SaliencyCriterion> make_criterion(const std::string& name);
+
+/// Estimates saliency for every prunable parameter with the configured
+/// criterion. For gradient-based criteria this runs forward/backward passes
+/// over `calibration` (user-class samples) without optimizer steps; for the
+/// data-free kinds no pass is needed.
 SaliencyMap estimate_saliency(nn::Sequential& model,
                               const data::Dataset& calibration,
                               const SaliencyConfig& cfg);
+
+/// Same, but scores only parameters with a set `active` bit (empty tensors
+/// elsewhere) — the frozen-layer skip. `active` must be empty (= all
+/// active) or sized to prunable_parameters().
+SaliencyMap estimate_saliency(nn::Sequential& model,
+                              const data::Dataset& calibration,
+                              const SaliencyConfig& cfg,
+                              const std::vector<std::uint8_t>& active);
+
+/// Composes a SaliencyMap whose layer i is scored by `per_layer[i]` — the
+/// output of the auto-selector (core/criterion_select.h). Each distinct
+/// criterion runs once, over exactly the layers assigned to it. An empty
+/// string skips that layer (frozen): its slot stays an empty tensor.
+SaliencyMap estimate_saliency_selected(nn::Sequential& model,
+                                       const data::Dataset& calibration,
+                                       const SaliencyConfig& cfg,
+                                       const std::vector<std::string>& per_layer);
+
+/// Shared calibration sweep for gradient-based criteria: runs
+/// forward/backward over up to cfg.max_batches batches of `calibration`,
+/// invoking `on_batch` after each batch's backward. With
+/// `zero_between_batches` the callback sees that batch's gradients alone in
+/// p->grad (what per-batch accumulators — taylor — need); without it,
+/// gradients accumulate across batches exactly as the original CASS sweep
+/// did, preserving its float summation order bit-for-bit, and the
+/// accumulated total is still resident in p->grad when the call returns.
+/// The *caller* zeroes gradients once it has read them (every built-in
+/// criterion does). Returns the number of batches processed (throws when
+/// calibration is empty). Batching (shuffle order, sizes) depends only on
+/// cfg, so two criteria with the same cfg see the same batch sequence.
+std::int64_t for_each_calibration_batch(
+    nn::Sequential& model, const data::Dataset& calibration,
+    const SaliencyConfig& cfg, bool zero_between_batches,
+    const std::function<void(std::int64_t batch_index)>& on_batch);
 
 }  // namespace crisp::core

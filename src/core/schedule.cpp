@@ -22,4 +22,9 @@ double SparsitySchedule::block_fraction_at(std::int64_t p) const {
   return std::clamp(1.0 - keep_cols, 0.0, 1.0);
 }
 
+bool SparsitySchedule::layer_frozen(double achieved, std::int64_t p) const {
+  if (!freeze_at_target || p <= 1) return false;
+  return achieved >= kappa_at(iterations) - freeze_tolerance;
+}
+
 }  // namespace crisp::core

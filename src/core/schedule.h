@@ -15,6 +15,15 @@ struct SparsitySchedule {
   std::int64_t n = 2;          ///< N of N:M
   std::int64_t m = 4;          ///< M of N:M
 
+  /// Freeze policy: once a layer's installed mask already reaches the
+  /// final κ (within `freeze_tolerance`), later iterations skip its
+  /// saliency estimation and leave its mask untouched. Off by default —
+  /// the paper's schedule re-scores everything every iteration (dense STE
+  /// gradients can revive pruned weights), and the default output must
+  /// stay bit-identical to it.
+  bool freeze_at_target = false;
+  double freeze_tolerance = 1e-9;
+
   /// Sparsity floor (1 − N/M) enforced by the N:M component alone.
   double floor() const {
     return 1.0 - static_cast<double>(n) / static_cast<double>(m);
@@ -28,6 +37,13 @@ struct SparsitySchedule {
   /// Fraction of weight elements block pruning must remove at κ_p, i.e.
   /// 1 − (1−κ_p)·M/N clamped to [0, 1).
   double block_fraction_at(std::int64_t p) const;
+
+  /// True when iteration p may skip a layer whose current mask sparsity is
+  /// `achieved`: freeze_at_target is on, this is not the first iteration
+  /// (iteration 1 always scores — there is no installed mask yet), and the
+  /// layer already sits at the final κ. CrispPruner consults this before
+  /// estimating saliency (see estimate_saliency's `active` overload).
+  bool layer_frozen(double achieved, std::int64_t p) const;
 };
 
 }  // namespace crisp::core

@@ -1,0 +1,168 @@
+#include "core/unlearn.h"
+
+#include <cmath>
+
+#include "core/accounting.h"
+#include "kernels/parallel_for.h"
+#include "sparse/block.h"
+#include "sparse/mask.h"
+
+namespace crisp::core {
+
+namespace {
+
+/// Block-score grid of `saliency`, normalized to the layer's total (layer
+/// fraction — the same cross-layer scale block pruning uses). Zero-total
+/// layers normalize to all-zero.
+Tensor normalized_block_scores(const Tensor& saliency,
+                               const nn::Parameter& p,
+                               const sparse::BlockGrid& grid) {
+  Tensor scores = sparse::block_scores(
+      as_matrix(saliency, p.matrix_rows, p.matrix_cols), grid);
+  const float total = scores.sum();
+  if (total > 0.0f) scores.scale_(1.0f / total);
+  return scores;
+}
+
+}  // namespace
+
+std::vector<Tensor> derive_forget_masks(nn::Sequential& model,
+                                        const data::Dataset& forget,
+                                        const data::Dataset& retain,
+                                        const UnlearnConfig& cfg) {
+  CRISP_CHECK(cfg.drop_per_row >= 1, "drop_per_row must be >= 1");
+  CRISP_CHECK(cfg.block >= 1, "block side must be positive");
+  auto params = model.prunable_parameters();
+
+  // Two class-conditional sweeps with the same criterion and estimation
+  // settings: identical batching config means the scores differ only by the
+  // class split, which is the signal. Saliency runs train-mode forwards, so
+  // snapshot/restore keeps BatchNorm statistics (and the caller's model)
+  // exactly as they were.
+  SaliencyConfig scfg = cfg.saliency;
+  scfg.criterion = cfg.criterion;
+  const TensorMap snapshot = model.state_dict();
+  const SaliencyMap s_forget = estimate_saliency(model, forget, scfg);
+  model.load_state_dict(snapshot);
+  const SaliencyMap s_retain = estimate_saliency(model, retain, scfg);
+  model.load_state_dict(snapshot);
+
+  std::vector<Tensor> masks(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    nn::Parameter& p = *params[i];
+    const sparse::BlockGrid grid{p.matrix_rows, p.matrix_cols, cfg.block};
+    const std::int64_t grows = grid.grid_rows(), gcols = grid.grid_cols();
+
+    // Forget-specificity per block: how much the forget classes rely on it
+    // beyond what the retain classes do.
+    const Tensor nf = normalized_block_scores(s_forget[i], p, grid);
+    const Tensor nr = normalized_block_scores(s_retain[i], p, grid);
+    Tensor spec(nf.shape());
+    for (std::int64_t e = 0; e < spec.numel(); ++e)
+      spec[e] = nf[e] - static_cast<float>(cfg.retain_weight) * nr[e];
+
+    // A block "survives" when the current mask keeps any of its elements;
+    // only survivors are candidates (re-pruning a dead block is a no-op and
+    // would waste the per-row budget).
+    std::vector<std::uint8_t> alive(
+        static_cast<std::size_t>(grows * gcols), 1);
+    if (!p.mask.empty()) {
+      for (std::int64_t gr = 0; gr < grows; ++gr)
+        for (std::int64_t gc = 0; gc < gcols; ++gc) {
+          bool any = false;
+          for (std::int64_t r = gr * grid.block;
+               r < gr * grid.block + grid.row_extent(gr) && !any; ++r)
+            for (std::int64_t c = gc * grid.block;
+                 c < gc * grid.block + grid.col_extent(gc); ++c)
+              if (p.mask[r * p.matrix_cols + c] != 0.0f) {
+                any = true;
+                break;
+              }
+          alive[static_cast<std::size_t>(gr * gcols + gc)] = any ? 1 : 0;
+        }
+    }
+
+    // Every row must keep at least one block after the drop, or the layer
+    // sits out (empty tensor — caller leaves its mask alone).
+    std::int64_t min_alive = gcols;
+    for (std::int64_t gr = 0; gr < grows; ++gr) {
+      std::int64_t n = 0;
+      for (std::int64_t gc = 0; gc < gcols; ++gc)
+        n += alive[static_cast<std::size_t>(gr * gcols + gc)];
+      if (n < min_alive) min_alive = n;
+    }
+    if (min_alive <= cfg.drop_per_row) continue;
+
+    // Per block-row: drop the `drop_per_row` most forget-specific surviving
+    // blocks. One owner per row, serial argmax inside (first max wins on
+    // ties) — deterministic and thread-count independent.
+    Tensor mask = Tensor::ones(p.value.shape());
+    kernels::parallel_for(
+        grows,
+        [&](std::int64_t g0, std::int64_t g1) {
+          for (std::int64_t gr = g0; gr < g1; ++gr) {
+            std::vector<std::uint8_t> taken(static_cast<std::size_t>(gcols), 0);
+            for (std::int64_t k = 0; k < cfg.drop_per_row; ++k) {
+              std::int64_t best = -1;
+              float best_score = 0.0f;
+              for (std::int64_t gc = 0; gc < gcols; ++gc) {
+                if (taken[static_cast<std::size_t>(gc)] ||
+                    !alive[static_cast<std::size_t>(gr * gcols + gc)])
+                  continue;
+                const float sc = spec[gr * gcols + gc];
+                if (best < 0 || sc > best_score) {
+                  best = gc;
+                  best_score = sc;
+                }
+              }
+              taken[static_cast<std::size_t>(best)] = 1;
+              for (std::int64_t r = gr * grid.block;
+                   r < gr * grid.block + grid.row_extent(gr); ++r)
+                for (std::int64_t c = best * grid.block;
+                     c < best * grid.block + grid.col_extent(best); ++c)
+                  mask[r * p.matrix_cols + c] = 0.0f;
+            }
+          }
+        },
+        kernels::rows_grain(gcols * grid.block));
+    masks[i] = std::move(mask);
+  }
+  return masks;
+}
+
+UnlearnReport unlearn_classes(nn::Sequential& model,
+                              const data::Dataset& forget,
+                              const data::Dataset& retain,
+                              const UnlearnConfig& cfg, Rng& rng) {
+  auto params = model.prunable_parameters();
+  UnlearnReport report;
+  report.sparsity_before = take_census(model, cfg.block).global_sparsity;
+
+  const std::vector<Tensor> forget_masks =
+      derive_forget_masks(model, forget, retain, cfg);
+  report.dropped_per_row.resize(params.size(), 0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (forget_masks[i].numel() == 0) continue;
+    nn::Parameter& p = *params[i];
+    p.ensure_mask();
+    p.mask = sparse::mask_and(p.mask, forget_masks[i]);
+    report.dropped_per_row[i] = cfg.drop_per_row;
+  }
+
+  if (cfg.finetune_epochs > 0) {
+    // Retain-set recovery: repairs retained-class accuracy and — because no
+    // forget-class gradient ever flows — drifts the surviving weights away
+    // from the forgotten classes, deepening the unlearning.
+    nn::TrainConfig tc;
+    tc.epochs = cfg.finetune_epochs;
+    tc.batch_size = cfg.batch_size;
+    tc.sgd = cfg.finetune_sgd;
+    const auto stats = nn::train(model, retain, tc, rng);
+    report.finetune_loss = stats.empty() ? 0.0f : stats.back().loss;
+  }
+
+  report.sparsity_after = take_census(model, cfg.block).global_sparsity;
+  return report;
+}
+
+}  // namespace crisp::core

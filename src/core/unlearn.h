@@ -1,0 +1,85 @@
+// Class unlearning by saliency-targeted mask pruning — the CRISP machinery
+// run in reverse.
+//
+// CRISP keeps the blocks salient for the classes a user *sees*; unlearning
+// removes the blocks salient for classes the deployment must *forget*
+// (right-to-be-forgotten, expired content packs, tenant class churn). The
+// same criterion registry scores the forget set and the retain set
+// separately; the forget-specificity score
+//
+//   spec = normalize(S_forget) − retain_weight · normalize(S_retain)
+//
+// ranks blocks by how exclusively the forget classes rely on them
+// (per-layer normalization keeps layers comparable; compare the TF-IDF
+// channel scoring of wangjunxiao/unlearning in SNIPPETS.md). The top
+// `drop_per_row` blocks of every block-row are pruned — dropping the SAME
+// count per row keeps the CRISP uniform-rows invariant, so the unlearned
+// mask stays packable AND expressible as a tenant::MaskDelta against the
+// pre-unlearning model (a strict restriction of it). A short retain-set
+// fine-tune then repairs retained accuracy while deepening the forgetting
+// (gradients only flow from retain batches; masked forget-blocks stay 0).
+//
+// serve::Engine::swap_model is the deployment half: compile the unlearned
+// model and swap it into a live engine with zero failed in-flight requests
+// (tests/test_serve_swap.cpp), or ship it fleet-wide as a refreshed mask
+// delta through tenant::Router::refresh_tenant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/saliency.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+
+namespace crisp::core {
+
+struct UnlearnConfig {
+  /// Registry criterion scoring both the forget and retain sets ("auto" is
+  /// not meaningful here — the two sweeps must be comparable).
+  std::string criterion = "cass";
+  /// Blocks pruned from every block-row of every prunable layer. The
+  /// element sparsity added is drop_per_row / grid_cols per layer.
+  std::int64_t drop_per_row = 1;
+  std::int64_t block = 16;  ///< block side (match the serving artifact's)
+  /// Penalty weight on retain-set saliency when ranking forget blocks:
+  /// 0 forgets hardest, larger values protect shared features first.
+  double retain_weight = 1.0;
+  SaliencyConfig saliency;  ///< estimation settings (criterion overridden)
+  /// Retain-set recovery epochs after mask install (0 = mask-only).
+  std::int64_t finetune_epochs = 4;
+  nn::SgdConfig finetune_sgd{/*lr=*/0.02f, /*momentum=*/0.9f,
+                             /*weight_decay=*/4e-5f};
+  std::int64_t batch_size = 32;
+};
+
+struct UnlearnReport {
+  /// Blocks pruned per block-row, per prunable parameter (0 where the grid
+  /// is too narrow to drop without emptying the row).
+  std::vector<std::int64_t> dropped_per_row;
+  double sparsity_before = 0.0;  ///< global mask sparsity pre-unlearning
+  double sparsity_after = 0.0;
+  float finetune_loss = 0.0f;  ///< last retain fine-tune epoch's loss
+};
+
+/// Computes the forget-specificity masks WITHOUT installing them: for each
+/// prunable parameter, a mask that zeroes the `drop_per_row` most
+/// forget-specific *surviving* blocks of every block-row (already-pruned
+/// blocks are never selected, so the result ANDs into the current mask).
+/// Parameters whose grid cannot give up a block (≤ drop_per_row surviving
+/// blocks in some row) come back as empty tensors (left untouched).
+std::vector<Tensor> derive_forget_masks(nn::Sequential& model,
+                                        const data::Dataset& forget,
+                                        const data::Dataset& retain,
+                                        const UnlearnConfig& cfg);
+
+/// Full unlearning pass: derive forget masks, AND them into the installed
+/// masks, fine-tune on the retain set. The model keeps STE semantics —
+/// masked weights stay resident, so unlearning is reversible by mask swap
+/// until bake().
+UnlearnReport unlearn_classes(nn::Sequential& model,
+                              const data::Dataset& forget,
+                              const data::Dataset& retain,
+                              const UnlearnConfig& cfg, Rng& rng);
+
+}  // namespace crisp::core

@@ -176,6 +176,22 @@ EngineStats Engine::stats() const {
   return stats_;
 }
 
+void Engine::swap_model(std::shared_ptr<const CompiledModel> model) {
+  CRISP_CHECK(model != nullptr, "serve::Engine: null model in swap_model");
+  std::shared_ptr<const CompiledModel> old;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    old = std::move(model_);  // release the old artifact outside the lock
+    model_ = std::move(model);
+    stats_.swaps += 1;
+  }
+}
+
+std::shared_ptr<const CompiledModel> Engine::model() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return model_;
+}
+
 void Engine::fulfill_terminal(Pending& p, Response::Status status,
                               Clock::time_point now) {
   Response r;
@@ -346,6 +362,15 @@ void Engine::worker_main() {
 void Engine::run_batch(std::vector<Pending>& batch) {
   const std::int64_t n = static_cast<std::int64_t>(batch.size());
   const Clock::time_point formed = Clock::now();
+  // Snapshot the served model under the lock: a concurrent swap_model may
+  // replace model_ at any moment, and this batch must run start-to-finish
+  // on ONE coherent artifact (the shared_ptr keeps it alive even if the
+  // swap drops the last other reference mid-forward).
+  std::shared_ptr<const CompiledModel> model;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    model = model_;
+  }
   try {
     // Stack the batch into (n, sample dims...).
     const Shape& sshape = batch.front().sample.shape();
@@ -360,7 +385,7 @@ void Engine::run_batch(std::vector<Pending>& batch) {
                   batch[static_cast<std::size_t>(i)].sample.data(),
                   static_cast<std::size_t>(stride) * sizeof(float));
 
-    Tensor out = model_->run(stacked);
+    Tensor out = model->run(stacked);
     const Clock::time_point done = Clock::now();
     CRISP_CHECK(out.dim() >= 1 && out.size(0) == n,
                 "serve::Engine: model returned leading dimension "

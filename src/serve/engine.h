@@ -226,6 +226,8 @@ struct EngineStats {
   /// Accepted requests drained unserved by shutdown(Drain::kCancel).
   std::int64_t cancelled = 0;
   std::int64_t max_batch = 0;  ///< largest batch coalesced so far
+  /// Completed swap_model() calls (hot mask/model swaps on a live engine).
+  std::int64_t swaps = 0;
   /// Sum of per-request queue_time in microseconds, served requests only
   /// (shed/expired/cancelled queue time would bias the serving picture).
   double total_queue_us = 0.0;
@@ -287,9 +289,23 @@ class Engine {
   /// blocked submitters is safe.
   void shutdown(Drain drain = Drain::kServe);
 
+  /// Atomically replaces the served model on a live engine — the hot mask
+  /// swap behind class-set switching and unlearning rollout (docs/criteria.md).
+  /// Every request batched after the swap runs on the new model; a batch
+  /// already in flight completes on the old one (its shared_ptr keeps the
+  /// artifact alive), so no in-flight request ever fails or sees a torn
+  /// model. Queued-but-unbatched requests serve on the new model: the swap
+  /// point sits between batches, never inside one
+  /// (tests/test_serve_swap.cpp drives this under mixed-priority load and
+  /// the TSan job). The new model must accept the same input shapes.
+  /// Thread-safe; throws only on a null model.
+  void swap_model(std::shared_ptr<const CompiledModel> model);
+
   EngineStats stats() const;
   const EngineOptions& options() const { return options_; }
-  const CompiledModel& model() const { return *model_; }
+  /// Snapshot of the currently served model (the swap target may replace
+  /// it at any time; the returned pointer stays valid regardless).
+  std::shared_ptr<const CompiledModel> model() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -326,6 +342,8 @@ class Engine {
   double estimated_completion_us_locked(Priority p) const;
   std::int64_t queued_total_locked() const;
 
+  /// Currently served model. Guarded by mu_: run_batch snapshots it under
+  /// the lock before each forward, swap_model replaces it under the lock.
   std::shared_ptr<const CompiledModel> model_;
   EngineOptions options_;
 

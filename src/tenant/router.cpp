@@ -254,6 +254,29 @@ void Router::shutdown() {
   if (forwarder_.joinable()) forwarder_.join();
 }
 
+bool Router::refresh_tenant(const std::string& tenant_id) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    CRISP_CHECK(!stopping_, "tenant::Router: refresh after shutdown");
+  }
+  // Compile the refreshed artifact outside the router lock (the Store's
+  // cache was invalidated when the new delta registered, so this builds
+  // the new personalization; an unregistered tenant throws here).
+  std::shared_ptr<const serve::CompiledModel> artifact =
+      store_->acquire(tenant_id);
+
+  std::shared_ptr<serve::Engine> engine;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = engines_.find(tenant_id);
+    if (it == engines_.end()) return false;  // not resident; nothing to swap
+    engine = it->second.engine;
+    stats_.refreshed += 1;
+  }
+  engine->swap_model(std::move(artifact));
+  return true;
+}
+
 RouterStats Router::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;

@@ -65,6 +65,8 @@ struct RouterStats {
   std::int64_t cancelled = 0;       ///< parked at shutdown (kCancelled)
   std::int64_t engines_built = 0;
   std::int64_t engines_retired = 0;
+  std::int64_t refreshed = 0;       ///< live engines hot-swapped by
+                                    ///< refresh_tenant()
 };
 
 class Router {
@@ -80,6 +82,17 @@ class Router {
   /// every other outcome is a status on the returned future. Thread-safe.
   std::future<serve::Response> submit(const std::string& tenant_id,
                                       serve::Request request);
+
+  /// Pushes a changed personalization to a live engine without a restart:
+  /// re-acquires `tenant_id`'s artifact from the Store (register_tenant
+  /// with a new delta already invalidated the compiled cache, so this
+  /// compiles the new personalization) and hot-swaps it into the resident
+  /// engine via serve::Engine::swap_model — in-flight batches finish on
+  /// the old artifact, everything after serves the new one, zero failed
+  /// requests. Returns false when the tenant has no resident engine (the
+  /// next cold miss compiles the new delta anyway). Throws for an
+  /// unregistered tenant or after shutdown. Thread-safe.
+  bool refresh_tenant(const std::string& tenant_id);
 
   /// Stops accepting submissions, cancels parked cold requests
   /// (kCancelled), drains and retires every resident engine

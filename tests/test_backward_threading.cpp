@@ -377,11 +377,11 @@ std::unique_ptr<nn::Sequential> tiny_conv_model() {
 }
 
 core::SaliencyMap saliency_at(int threads, const data::Dataset& calib,
-                              core::SaliencyKind kind) {
+                              const std::string& criterion) {
   kernels::set_num_threads(threads);
   auto model = tiny_conv_model();
   core::SaliencyConfig cfg;
-  cfg.kind = kind;
+  cfg.criterion = criterion;
   cfg.batch_size = 8;
   cfg.max_batches = 2;
   return core::estimate_saliency(*model, calib, cfg);
@@ -391,10 +391,10 @@ TEST(SaliencyThreading, CassSweepThreadInvariant) {
   ThreadGuard guard;
   const data::TrainTest split = tiny_split();
   const core::SaliencyMap serial =
-      saliency_at(1, split.train, core::SaliencyKind::kClassAwareGradient);
+      saliency_at(1, split.train, "cass");
   for (const int t : {2, 8}) {
     const core::SaliencyMap threaded =
-        saliency_at(t, split.train, core::SaliencyKind::kClassAwareGradient);
+        saliency_at(t, split.train, "cass");
     ASSERT_EQ(serial.size(), threaded.size());
     for (std::size_t i = 0; i < serial.size(); ++i)
       EXPECT_EQ(max_abs_diff(serial[i], threaded[i]), 0.0f)

@@ -392,7 +392,7 @@ TEST(CrispPruner, BlockScoresIgnoreNmPrunedElements) {
   cfg.iterations = 1;
   cfg.finetune_epochs = 0;
   cfg.recovery_epochs = 0;
-  cfg.saliency.kind = SaliencyKind::kMagnitude;
+  cfg.saliency.criterion = "magnitude";
   CrispPruner pruner(model, cfg);
   Rng prng(3);
   pruner.run(split.train, prng);
@@ -412,6 +412,86 @@ TEST(CrispPruner, BlockScoresIgnoreNmPrunedElements) {
       EXPECT_EQ(mask[base + 3], 0.0f);
     }
   }
+}
+
+// Freeze regression: with freeze_at_target on, a layer that reached the
+// final target stops being re-scored and re-masked on later iterations —
+// verified through a counting criterion that records how many layers each
+// saliency sweep actually visited.
+std::vector<std::int64_t> g_counting_active_layers;
+
+class CountingCriterion final : public SaliencyCriterion {
+ public:
+  const char* name() const override { return "test-counting"; }
+  bool needs_gradients() const override { return false; }
+  SaliencyMap compute(nn::Sequential& model, const data::Dataset& d,
+                      const SaliencyConfig& cfg,
+                      const std::vector<std::uint8_t>& active) override {
+    const auto params = model.prunable_parameters();
+    std::int64_t n = 0;
+    for (std::size_t i = 0; i < params.size(); ++i)
+      n += (active.empty() || active[i] != 0);
+    g_counting_active_layers.push_back(n);
+    return make_criterion("magnitude")->compute(model, d, cfg, active);
+  }
+};
+
+TEST(CrispPruner, FreezeAtTargetSkipsFrozenLayers) {
+  if (!has_criterion("test-counting"))
+    register_criterion("test-counting", [] {
+      return std::unique_ptr<SaliencyCriterion>(new CountingCriterion());
+    });
+  g_counting_active_layers.clear();
+
+  PrunerFixture fx;
+  CrispConfig cfg;
+  cfg.n = 2;
+  cfg.m = 4;
+  cfg.block = 8;
+  cfg.enable_block = false;  // pure N:M: the floor IS the target, so every
+                             // 4-divisible layer lands exactly on it
+  cfg.target_sparsity = 0.5;
+  cfg.iterations = 2;
+  cfg.finetune_epochs = 1;
+  cfg.recovery_epochs = 0;
+  cfg.freeze_at_target = true;
+  cfg.saliency.criterion = "test-counting";
+  CrispPruner pruner(*fx.model, cfg);
+  Rng rng(7);
+  const PruneReport report = pruner.run(fx.user_train, rng);
+
+  const auto params = fx.model->prunable_parameters();
+  const std::int64_t total = static_cast<std::int64_t>(params.size());
+
+  // Iteration 1 never freezes (nothing is pruned yet); by iteration 2
+  // every layer that landed exactly on the 2:4 floor is frozen.
+  ASSERT_EQ(report.frozen_per_iteration.size(), 2u);
+  EXPECT_EQ(report.frozen_per_iteration[0], 0);
+  EXPECT_GT(report.frozen_per_iteration[1], 0);
+  EXPECT_LE(report.frozen_per_iteration[1], total);
+
+  // The saliency sweep visited exactly the unfrozen layers.
+  ASSERT_EQ(g_counting_active_layers.size(), 2u);
+  EXPECT_EQ(g_counting_active_layers[0], total);
+  EXPECT_EQ(g_counting_active_layers[1],
+            total - report.frozen_per_iteration[1]);
+
+  // Freezing must not change the outcome here: both iterations target the
+  // same floor, so the achieved sparsity is the N:M floor either way.
+  EXPECT_NEAR(report.achieved_sparsity(), 0.5, 0.02);
+
+  // Without the flag, no layer freezes and every sweep is full-width.
+  g_counting_active_layers.clear();
+  PrunerFixture fx2;
+  cfg.freeze_at_target = false;
+  CrispPruner pruner2(*fx2.model, cfg);
+  Rng rng2(7);
+  const PruneReport report2 = pruner2.run(fx2.user_train, rng2);
+  ASSERT_EQ(report2.frozen_per_iteration.size(), 2u);
+  EXPECT_EQ(report2.frozen_per_iteration[0], 0);
+  EXPECT_EQ(report2.frozen_per_iteration[1], 0);
+  ASSERT_EQ(g_counting_active_layers.size(), 2u);
+  EXPECT_EQ(g_counting_active_layers[1], total);
 }
 
 }  // namespace

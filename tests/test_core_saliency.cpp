@@ -1,7 +1,10 @@
 // CASS tests: the class-aware saliency score against hand-computed
-// gradients, plus the ablation saliency kinds.
+// gradients, plus the ablation criteria. The registry-wide battery
+// (bit-identity across thread counts, ranking sanity, custom registration)
+// lives in tests/test_criteria.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/saliency.h"
@@ -28,7 +31,7 @@ TEST(Saliency, CassMatchesAnalyticGradient) {
   d.num_classes = 2;
 
   SaliencyConfig cfg;
-  cfg.kind = SaliencyKind::kClassAwareGradient;
+  cfg.criterion = "cass";
   cfg.batch_size = 1;
   const SaliencyMap scores = estimate_saliency(model, d, cfg);
   ASSERT_EQ(scores.size(), 1u);
@@ -98,7 +101,7 @@ TEST(Saliency, MagnitudeKindIsAbsWeight) {
   auto& lin = model.emplace<nn::Linear>("l", 4, 4, rng, /*bias=*/false);
   data::Dataset empty;  // magnitude needs no data
   SaliencyConfig cfg;
-  cfg.kind = SaliencyKind::kMagnitude;
+  cfg.criterion = "magnitude";
   const auto scores = estimate_saliency(model, empty, cfg);
   EXPECT_TRUE(allclose(scores[0], lin.weight().value.abs(), 0.0f, 0.0f));
 }
@@ -109,7 +112,7 @@ TEST(Saliency, RandomKindDeterministicPositive) {
   model.emplace<nn::Linear>("l", 8, 4, rng, /*bias=*/false);
   data::Dataset empty;
   SaliencyConfig cfg;
-  cfg.kind = SaliencyKind::kRandom;
+  cfg.criterion = "random";
   cfg.seed = 21;
   const auto a = estimate_saliency(model, empty, cfg);
   const auto b = estimate_saliency(model, empty, cfg);
@@ -128,7 +131,7 @@ TEST(Saliency, CassRequiresCalibrationData) {
   data::Dataset empty;
   empty.num_classes = 2;
   SaliencyConfig cfg;
-  cfg.kind = SaliencyKind::kClassAwareGradient;
+  cfg.criterion = "cass";
   EXPECT_THROW(estimate_saliency(model, empty, cfg), std::runtime_error);
 }
 
@@ -152,10 +155,12 @@ TEST(Saliency, MaxBatchesCapsWork) {
   EXPECT_TRUE(std::isfinite(scores[0].max()));
 }
 
-TEST(Saliency, KindNames) {
-  EXPECT_STREQ(saliency_kind_name(SaliencyKind::kClassAwareGradient), "cass");
-  EXPECT_STREQ(saliency_kind_name(SaliencyKind::kMagnitude), "magnitude");
-  EXPECT_STREQ(saliency_kind_name(SaliencyKind::kRandom), "random");
+TEST(Saliency, RegistryListsBuiltins) {
+  for (const char* name : {"cass", "taylor", "lasso", "magnitude", "random"})
+    EXPECT_TRUE(has_criterion(name)) << name;
+  const auto names = criterion_names();
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
 }  // namespace

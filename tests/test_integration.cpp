@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/pruner.h"
+#include "core/unlearn.h"
 #include "data/class_pattern.h"
 #include "nn/flops.h"
 #include "nn/models/common.h"
@@ -170,6 +171,81 @@ TEST(Integration, HigherSparsityNeverIncreasesFlops) {
     EXPECT_LT(ratio, last_ratio) << "kappa " << kappa;
     last_ratio = ratio;
   }
+}
+
+// The CRISP machinery in reverse: unlearn two classes from a trained model
+// by saliency-targeted mask pruning + retain-set fine-tune. The contract
+// (docs/criteria.md): forget-class accuracy drops to chance (+5 %) while
+// retained-class accuracy stays within 2 % of its pre-unlearning value.
+TEST(Integration, UnlearnClassesForgetsWithoutCollapsingRetained) {
+  data::ClassPatternConfig dcfg = data::ClassPatternConfig::cifar100_like();
+  dcfg.num_classes = 6;
+  dcfg.image_size = 8;
+  dcfg.train_per_class = 24;
+  dcfg.test_per_class = 12;
+  // Same mild difficulty as PruneThenExecuteThroughCrispFormat: the test
+  // checks the unlearning mechanics, not bench-scale robustness.
+  dcfg.noise_std = 0.15f;
+  dcfg.max_shift = 1;
+  dcfg.gain_jitter = 0.15f;
+  const data::TrainTest split = data::make_class_pattern_dataset(dcfg);
+
+  nn::ModelConfig mcfg;
+  mcfg.num_classes = 6;
+  mcfg.input_size = 8;
+  mcfg.width_mult = 0.125f;
+  auto model = nn::make_vgg16(mcfg);
+
+  nn::TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.lr = 0.05f;
+  Rng rng(1);
+  nn::train(*model, split.train, tc, rng);
+
+  const std::vector<std::int64_t> all_classes{0, 1, 2, 3, 4, 5};
+  const std::vector<std::int64_t> forget_classes{0, 1};
+  const std::vector<std::int64_t> retain_classes{2, 3, 4, 5};
+  const data::Dataset forget_train =
+      data::filter_classes(split.train, forget_classes);
+  const data::Dataset retain_train =
+      data::filter_classes(split.train, retain_classes);
+  const data::Dataset forget_test =
+      data::filter_classes(split.test, forget_classes);
+  const data::Dataset retain_test =
+      data::filter_classes(split.test, retain_classes);
+
+  // Evaluation stays over the FULL class menu: a forgotten sample must
+  // lose to the retained classes, not just get relabeled within a subset.
+  const float forget_before = nn::evaluate(*model, forget_test, 64, all_classes);
+  const float retain_before = nn::evaluate(*model, retain_test, 64, all_classes);
+  ASSERT_GT(forget_before, 0.5f)
+      << "the model never learned the forget classes; the test is vacuous";
+  ASSERT_GT(retain_before, 0.5f);
+
+  core::UnlearnConfig ucfg;
+  ucfg.block = 8;  // matches the tiny model's layer widths
+  ucfg.drop_per_row = 1;
+  ucfg.finetune_epochs = 4;
+  ucfg.batch_size = 16;
+  const core::UnlearnReport rep =
+      core::unlearn_classes(*model, forget_train, retain_train, ucfg, rng);
+
+  const float forget_after = nn::evaluate(*model, forget_test, 64, all_classes);
+  const float retain_after = nn::evaluate(*model, retain_test, 64, all_classes);
+  const float chance = 1.0f / static_cast<float>(all_classes.size());
+  EXPECT_LE(forget_after, chance + 0.05f)
+      << "forget classes survived unlearning (before: " << forget_before
+      << ")";
+  EXPECT_GE(retain_after, retain_before - 0.02f)
+      << "retained accuracy collapsed (before: " << retain_before << ")";
+
+  // Unlearning only ever restricts the mask — sparsity grows, and at
+  // least one layer actually dropped blocks.
+  EXPECT_GT(rep.sparsity_after, rep.sparsity_before);
+  std::int64_t pruned_layers = 0;
+  for (const std::int64_t d : rep.dropped_per_row) pruned_layers += (d > 0);
+  EXPECT_GT(pruned_layers, 0);
 }
 
 }  // namespace

@@ -747,5 +747,51 @@ TEST(Router, ConcurrentProducersAcrossTenantsAllServed) {
   EXPECT_EQ(store->excess_base_copies(), 0);
 }
 
+TEST(Router, RefreshTenantHotSwapsResidentEngine) {
+  const ModelFactory factory = [] { return make_mlp(); };
+  auto base = make_base(factory, 0);
+  auto store = std::make_shared<Store>(base, factory);
+  store->register_tenant("t1", tenant_delta(*base, factory, 0, 1));
+  Router router(store);
+
+  // Make t1 resident and verify it serves the original personalization.
+  const Tensor sample = random_sample(41, {32});
+  auto old_artifact = store->acquire("t1");
+  serve::Response r0 = router.submit("t1", make_request(sample)).get();
+  ASSERT_EQ(r0.status, serve::Response::Status::kOk);
+  EXPECT_LE(max_abs_diff(r0.output, serial_reference(*old_artifact, sample)),
+            1e-4f);
+
+  // A changed personalization: register_tenant with a different delta
+  // invalidates the Store's compiled cache, refresh_tenant pushes the
+  // recompiled artifact into the live engine — no restart, no cold miss.
+  store->register_tenant("t1", tenant_delta(*base, factory, 0, 2));
+  EXPECT_TRUE(router.refresh_tenant("t1"));
+  auto new_artifact = store->acquire("t1");
+  const Tensor want_new = serial_reference(*new_artifact, sample);
+  ASSERT_GT(max_abs_diff(serial_reference(*old_artifact, sample), want_new),
+            0.0f);  // the two deltas really differ on this sample
+
+  serve::Response r1 = router.submit("t1", make_request(sample)).get();
+  ASSERT_EQ(r1.status, serve::Response::Status::kOk);
+  EXPECT_LE(max_abs_diff(r1.output, want_new), 1e-4f);
+
+  const RouterStats s = router.stats();
+  EXPECT_EQ(s.refreshed, 1);
+  EXPECT_EQ(s.hot, 1);           // the post-swap submit was a hot hit,
+  EXPECT_EQ(s.cold_misses, 1);   // not a rebuild
+  EXPECT_EQ(s.engines_built, 1);
+
+  // Non-resident tenant: refresh is a no-op (next cold miss compiles the
+  // fresh delta anyway). Unregistered tenant: throws like submit does.
+  store->register_tenant("t2", tenant_delta(*base, factory, 0, 3));
+  EXPECT_FALSE(router.refresh_tenant("t2"));
+  EXPECT_THROW(router.refresh_tenant("ghost"), std::runtime_error);
+  EXPECT_EQ(router.stats().refreshed, 1);
+
+  router.shutdown();
+  EXPECT_THROW(router.refresh_tenant("t1"), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace crisp::tenant

@@ -8,14 +8,20 @@
 //   crisp_cli packinfo --in packed.crisp
 //   crisp_cli simulate [--nm 2:4] [--block 64] [--sparsity 0.9]
 //   crisp_cli dse      [--nm 2:4] [--block 64]
+//   crisp_cli criteria
+//   crisp_cli unlearn  --model vgg16 --classes 10 --forget 2 [--drop 1]
 //
 // `prune` runs the full pipeline (zoo pre-train -> user classes -> CRISP ->
 // bake -> save); `pack` does the same but ships the CRISP packed artifact
 // (hybrid format + carried dense state) and verifies it serves identically;
 // `info`/`packinfo` inspect saved artifacts; `simulate` estimates CRISP-STC
 // latency/energy on the true ResNet-50 shapes; `dse` sweeps the fabric
-// knobs and prints the Pareto-efficient configurations. No command needs
-// external data — everything runs on the synthetic substrate.
+// knobs and prints the Pareto-efficient configurations. `criteria` lists
+// the registered saliency criteria (prune/pack/sensitivity take
+// --criterion NAME, including "auto" for the loss-aware per-layer
+// selector); `unlearn` prunes the blocks salient for a forget-class split
+// and reports forgotten vs retained accuracy. No command needs external
+// data — everything runs on the synthetic substrate.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -26,6 +32,7 @@
 #include "accel/report.h"
 #include "core/pruner.h"
 #include "core/sensitivity.h"
+#include "core/unlearn.h"
 #include "deploy/packed_exec.h"
 #include "deploy/packed_model.h"
 #include "nn/flops.h"
@@ -116,6 +123,7 @@ PruneOutcome run_prune_pipeline(const Args& args) {
   cfg.iterations = args.get_int("iterations", 3);
   cfg.finetune_epochs = args.get_int("finetune-epochs", 2);
   cfg.recovery_epochs = args.get_int("recovery-epochs", 12);
+  cfg.saliency.criterion = args.get("criterion", "cass");
   cfg.verbose = true;
 
   // The Sequential lives on the heap: moving the unique_ptr into the
@@ -280,6 +288,7 @@ int cmd_sensitivity(const Args& args) {
   core::SensitivityConfig cfg;
   parse_nm(args.get("nm", "2:4"), cfg.n, cfg.m);
   cfg.block = args.get_int("block", 8);
+  cfg.saliency.criterion = args.get("criterion", "cass");
   const auto profile = core::layer_sensitivity(*pm.model, user_train, cfg);
   const double budget = args.get_double("budget", 0.1);
 
@@ -327,6 +336,77 @@ int cmd_dse(const Args& args) {
   return 0;
 }
 
+int cmd_criteria(const Args&) {
+  std::printf("registered saliency criteria (crisp_cli ... --criterion NAME):\n");
+  for (const std::string& name : core::criterion_names())
+    std::printf("  %s\n", name.c_str());
+  std::printf("  auto  (loss-aware per-layer selection; prune/pack only)\n");
+  return 0;
+}
+
+int cmd_unlearn(const Args& args) {
+  nn::ZooSpec spec;
+  spec.model = parse_model(args.get("model", "vgg16"));
+  spec.dataset = args.get("dataset", "cifar100") == "imagenet"
+                     ? nn::DatasetKind::kImageNetLike
+                     : nn::DatasetKind::kCifar100Like;
+  spec.width_mult = static_cast<float>(args.get_double("width", 0.125));
+  spec.input_size = args.get_int("input", 16);
+  spec.pretrain_epochs = args.get_int("pretrain-epochs", 12);
+  spec.train_per_class = args.get_int("train-per-class", 16);
+  nn::PretrainedModel pm = nn::zoo_pretrained(spec, /*verbose=*/true);
+
+  Rng rng(args.get_int("seed", 2024));
+  const auto classes = data::sample_user_classes(
+      pm.data.train.num_classes, args.get_int("classes", 10), rng);
+  const std::int64_t nforget = args.get_int("forget", 2);
+  CRISP_CHECK(nforget >= 1 &&
+                  nforget < static_cast<std::int64_t>(classes.size()),
+              "--forget must leave at least one retained class");
+  const std::vector<std::int64_t> forget_classes(
+      classes.begin(), classes.begin() + nforget);
+  const std::vector<std::int64_t> retain_classes(
+      classes.begin() + nforget, classes.end());
+
+  const data::Dataset forget_train =
+      data::filter_classes(pm.data.train, forget_classes);
+  const data::Dataset retain_train =
+      data::filter_classes(pm.data.train, retain_classes);
+  const data::Dataset forget_test =
+      data::filter_classes(pm.data.test, forget_classes);
+  const data::Dataset retain_test =
+      data::filter_classes(pm.data.test, retain_classes);
+
+  const float forget_before =
+      nn::evaluate(*pm.model, forget_test, 64, forget_classes);
+  const float retain_before =
+      nn::evaluate(*pm.model, retain_test, 64, retain_classes);
+
+  core::UnlearnConfig cfg;
+  cfg.criterion = args.get("criterion", "cass");
+  cfg.drop_per_row = args.get_int("drop", 1);
+  cfg.block = args.get_int("block", 16);
+  cfg.retain_weight = args.get_double("retain-weight", 1.0);
+  cfg.finetune_epochs = args.get_int("finetune-epochs", 4);
+  const core::UnlearnReport report =
+      core::unlearn_classes(*pm.model, forget_train, retain_train, cfg, rng);
+
+  const float forget_after =
+      nn::evaluate(*pm.model, forget_test, 64, forget_classes);
+  const float retain_after =
+      nn::evaluate(*pm.model, retain_test, 64, retain_classes);
+  std::printf("\nunlearned %lld of %zu classes (criterion %s, drop %lld "
+              "block/row): sparsity %.1f%% -> %.1f%%\n",
+              static_cast<long long>(nforget), classes.size(),
+              cfg.criterion.c_str(), static_cast<long long>(cfg.drop_per_row),
+              100 * report.sparsity_before, 100 * report.sparsity_after);
+  std::printf("  forgotten classes: %.1f%% -> %.1f%% accuracy\n",
+              100 * forget_before, 100 * forget_after);
+  std::printf("  retained classes:  %.1f%% -> %.1f%% accuracy\n",
+              100 * retain_before, 100 * retain_after);
+  return 0;
+}
+
 void usage() {
   std::printf(
       "usage:\n"
@@ -338,7 +418,12 @@ void usage() {
       "  crisp_cli packinfo --in packed.crisp\n"
       "  crisp_cli simulate [--nm 2:4] [--block 64] [--sparsity 0.9]\n"
       "  crisp_cli dse      [--nm 2:4] [--block 64]\n"
-      "  crisp_cli sensitivity --model resnet50 --classes 10 [--budget 0.1]\n");
+      "  crisp_cli sensitivity --model resnet50 --classes 10 [--budget 0.1]\n"
+      "  crisp_cli criteria\n"
+      "  crisp_cli unlearn  --model vgg16 --classes 10 --forget 2 [--drop 1]\n"
+      "                     [--criterion cass] [--retain-weight 1.0]\n"
+      "(prune, pack, and sensitivity also take --criterion NAME; prune and\n"
+      " pack accept --criterion auto for loss-aware per-layer selection)\n");
 }
 
 }  // namespace
@@ -358,6 +443,8 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "dse") return cmd_dse(args);
     if (cmd == "sensitivity") return cmd_sensitivity(args);
+    if (cmd == "criteria") return cmd_criteria(args);
+    if (cmd == "unlearn") return cmd_unlearn(args);
     usage();
     return 1;
   } catch (const std::exception& e) {
