@@ -372,6 +372,9 @@ ProfileResult run_profile(const std::string& profile, double load,
       case serve::Response::Status::kExpired: ++m.expired; break;
       case serve::Response::Status::kShed: ++m.shed; break;
       case serve::Response::Status::kCancelled: ++m.cancelled; break;
+      // A bare engine never degrades — that's the tenant router's fallback
+      // status. Counted as served if it ever shows up here.
+      case serve::Response::Status::kDegraded: ++m.ok; break;
     }
   }
   res.occupancy = engine.stats().occupancy();

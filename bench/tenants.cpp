@@ -20,8 +20,12 @@
 //   Tenants/fleet/gate_failed_requests      every routed request resolves kOk
 //   Tenants/fleet/gate_resident_over_budget compiled residency never exceeds
 //                                           the configured budget (bytes over)
+//   Tenants/fleet/gate_lost_tenants         save -> fresh store -> load must
+//                                           recover every registered tenant
+//   Tenants/fleet/gate_crc_failures         a just-written shard must scan
+//                                           with zero integrity failures
 // Everything else (delta sizes, residency split, naive-fleet comparison,
-// hit/evict counts, serve rps) is informational.
+// hit/evict counts, serve rps, shard save/load times) is informational.
 //
 // Usage:
 //   bench_tenants [--tenants N] [--engines E] [--budget-mib M]
@@ -252,6 +256,41 @@ int main(int argc, char** argv) {
   const tenant::RouterStats rstats = router.stats();
   router.shutdown();
 
+  // ---- durability phase: save -> restart -> load -> serve -------------------
+  // The whole fleet goes to a CRSPSHRD shard (atomic temp+rename write),
+  // comes back into a *fresh* store — the process-restart story — and the
+  // recovered fleet serves routed traffic. Gated: zero tenants lost, zero
+  // integrity failures on a just-written shard, and the recovered serve
+  // counts into gate_failed_requests like any other routed request.
+  const std::string shard_path =
+      "/tmp/bench_tenants_" + std::to_string(seed) + ".shard";
+  const Clock::time_point t_save0 = Clock::now();
+  const std::int64_t shard_saved = store->save_shard(shard_path);
+  const double save_s =
+      std::chrono::duration<double>(Clock::now() - t_save0).count();
+
+  auto restored = std::make_shared<tenant::Store>(base, factory, sopts);
+  const Clock::time_point t_load0 = Clock::now();
+  const tenant::ShardLoadReport lrep = restored->load_shard(shard_path);
+  const double load_s =
+      std::chrono::duration<double>(Clock::now() - t_load0).count();
+  std::remove(shard_path.c_str());
+
+  const std::int64_t lost_tenants = tenants - restored->tenant_count();
+  const std::int64_t crc_failures =
+      lrep.scan.crc_failures + lrep.scan.malformed + lrep.quarantined;
+
+  {
+    tenant::Router recovered_router(restored, ropts);
+    for (std::int64_t t = 0; t < std::min(engines, tenants); ++t) {
+      serve::Request req;
+      req.sample = sample;
+      if (recovered_router.submit(tenant_id(t), std::move(req)).get().status !=
+          serve::Response::Status::kOk)
+        ++failed;
+    }
+  }
+
   // ---- accounting -----------------------------------------------------------
   const tenant::ResidentBytes res = store->resident_bytes();
   const tenant::StoreStats stats = store->stats();
@@ -297,6 +336,12 @@ int main(int argc, char** argv) {
                 "compiled over budget %lld B\n",
                 register_s, static_cast<long long>(excess),
                 static_cast<long long>(over_budget));
+    std::printf("durability         %lld records saved in %.2f s, recovered "
+                "%lld in %.2f s | lost %lld, integrity failures %lld\n",
+                static_cast<long long>(shard_saved), save_s,
+                static_cast<long long>(lrep.loaded), load_s,
+                static_cast<long long>(lost_tenants),
+                static_cast<long long>(crc_failures));
   }
 
   if (!json_path.empty()) {
@@ -318,6 +363,10 @@ int main(int argc, char** argv) {
                static_cast<double>(failed));
     json_entry(f, &first, b + "gate_resident_over_budget",
                static_cast<double>(over_budget));
+    json_entry(f, &first, b + "gate_lost_tenants",
+               static_cast<double>(lost_tenants));
+    json_entry(f, &first, b + "gate_crc_failures",
+               static_cast<double>(crc_failures));
     // Informational entries.
     json_entry(f, &first, b + "tenants", static_cast<double>(tenants));
     json_entry(f, &first, b + "base_kib",
@@ -331,8 +380,13 @@ int main(int argc, char** argv) {
     json_entry(f, &first, b + "evictions",
                static_cast<double>(stats.evictions));
     json_entry(f, &first, b + "serve_rps", rps);
+    json_entry(f, &first, b + "shard_save_ms", save_s * 1e3);
+    json_entry(f, &first, b + "shard_load_ms", load_s * 1e3);
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
   }
-  return failed == 0 && excess == 0 && over_budget == 0 ? 0 : 1;
+  return failed == 0 && excess == 0 && over_budget == 0 && lost_tenants == 0 &&
+                 crc_failures == 0
+             ? 0
+             : 1;
 }

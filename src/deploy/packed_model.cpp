@@ -3,7 +3,9 @@
 #include <fstream>
 #include <utility>
 
+#include "tensor/crc32.h"
 #include "tensor/pod_stream.h"
+#include "testing/fault_injection.h"
 
 namespace crisp::deploy {
 
@@ -12,7 +14,10 @@ namespace {
 constexpr std::uint64_t kMagic = 0x4352535050414B44ull;  // "CRSPPAKD"
 // v2: CrispMatrix entries carry an optional int8 payload (and may omit the
 // fp32 slots). v1 files lack the payload flag and are rejected.
-constexpr std::uint32_t kVersion = 2;
+// v3: a CRC32C trailer over everything after the version field, and every
+// embedded QuantizedPayload carries its own trailer. v2 files still load
+// (crc_verified() == false); both versions reject trailing bytes.
+constexpr std::uint32_t kVersion = 3;
 
 constexpr const char* kCtx = "PackedModel::load";
 
@@ -117,57 +122,76 @@ PackedModel PackedModel::assemble(std::int64_t block, std::int64_t n,
   return out;
 }
 
-void PackedModel::save(const std::string& path) const {
+void PackedModel::save(const std::string& path, std::uint32_t version) const {
+  testing::maybe_fail("packedmodel.save");
+  CRISP_CHECK(version == 2 || version == kVersion,
+              "PackedModel::save: cannot write version " << version);
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   CRISP_CHECK(os.is_open(), "PackedModel::save: cannot open " << path);
   write_pod(os, kMagic);
-  write_pod(os, kVersion);
-  write_pod(os, n_);
-  write_pod(os, m_);
-  write_pod(os, block_);
-  write_pod(os, static_cast<std::uint64_t>(entries_.size()));
+  write_pod(os, version);
+  io::Crc32Ostream co(os);
+  write_pod(co, n_);
+  write_pod(co, m_);
+  write_pod(co, block_);
+  write_pod(co, static_cast<std::uint64_t>(entries_.size()));
   for (const PackedEntry& e : entries_) {
-    write_string(os, e.name);
-    write_shape(os, e.shape);
-    e.matrix.write(os);
+    write_string(co, e.name);
+    write_shape(co, e.shape);
+    e.matrix.write(co, /*payload_crc=*/version >= 3);
   }
-  write_pod(os, static_cast<std::uint64_t>(dense_.size()));
+  write_pod(co, static_cast<std::uint64_t>(dense_.size()));
   for (const auto& [name, tensor] : dense_) {
-    write_string(os, name);
-    write_tensor(os, tensor);
+    write_string(co, name);
+    write_tensor(co, tensor);
   }
+  if (version >= 3) write_pod(os, co.crc());
   CRISP_CHECK(os.good(), "PackedModel::save: write failed for " << path);
 }
 
 PackedModel PackedModel::load(const std::string& path) {
+  testing::maybe_fail("packedmodel.load");
   std::ifstream is(path, std::ios::binary);
   CRISP_CHECK(is.is_open(), "PackedModel::load: cannot open " << path);
   CRISP_CHECK(read_pod<std::uint64_t>(is) == kMagic,
               path << " is not a packed CRISP model");
-  CRISP_CHECK(read_pod<std::uint32_t>(is) == kVersion,
+  const auto version = read_pod<std::uint32_t>(is);
+  CRISP_CHECK(version == 2 || version == kVersion,
               "unsupported packed-model version in " << path);
+  io::Crc32Istream ci(is);
   PackedModel out;
-  out.n_ = read_pod<std::int64_t>(is);
-  out.m_ = read_pod<std::int64_t>(is);
-  out.block_ = read_pod<std::int64_t>(is);
-  const auto entry_count = read_pod<std::uint64_t>(is);
+  out.n_ = io::read_pod<std::int64_t>(ci, kCtx);
+  out.m_ = io::read_pod<std::int64_t>(ci, kCtx);
+  out.block_ = io::read_pod<std::int64_t>(ci, kCtx);
+  const auto entry_count = io::read_pod<std::uint64_t>(ci, kCtx);
   out.entries_.reserve(static_cast<std::size_t>(entry_count));
   for (std::uint64_t i = 0; i < entry_count; ++i) {
     PackedEntry e;
-    e.name = read_string(is);
-    e.shape = read_shape(is);
-    e.matrix = sparse::CrispMatrix::read(is);
+    e.name = read_string(ci);
+    e.shape = read_shape(ci);
+    e.matrix = sparse::CrispMatrix::read(ci, /*payload_crc=*/version >= 3);
     CRISP_CHECK(shape_numel(e.shape) ==
                     e.matrix.rows() * e.matrix.cols(),
                 "PackedModel::load: entry " << e.name
                                             << " shape/matrix mismatch");
     out.entries_.push_back(std::move(e));
   }
-  const auto dense_count = read_pod<std::uint64_t>(is);
+  const auto dense_count = io::read_pod<std::uint64_t>(ci, kCtx);
   for (std::uint64_t i = 0; i < dense_count; ++i) {
-    std::string name = read_string(is);
-    out.dense_.emplace(std::move(name), read_tensor(is));
+    std::string name = read_string(ci);
+    out.dense_.emplace(std::move(name), read_tensor(ci));
   }
+  if (version >= 3) {
+    const std::uint32_t want = ci.crc();
+    const auto got = io::read_pod<std::uint32_t>(is, kCtx);
+    CRISP_CHECK(got == want,
+                kCtx << ": checksum mismatch (artifact corrupt) in " << path);
+    out.crc_verified_ = true;
+  }
+  // Either version must end exactly here: trailing bytes mean the file is
+  // not what the writer produced (appended garbage, a concatenated file).
+  CRISP_CHECK(is.peek() == std::char_traits<char>::eof(),
+              kCtx << ": trailing bytes after artifact in " << path);
   return out;
 }
 

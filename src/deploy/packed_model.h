@@ -66,10 +66,20 @@ class PackedModel {
                               TensorMap dense_state);
 
   /// Binary round-trip. `load` throws on missing file, bad magic/version,
-  /// or truncation. (Format v2: entries may carry an int8 payload — older
-  /// v1 files are rejected; re-pack from the source model.)
-  void save(const std::string& path) const;
+  /// truncation, trailing bytes after the artifact, or (v3) a CRC32C
+  /// mismatch. Format v3 trails the whole stream — and every embedded
+  /// quantized payload — with a CRC32C; v2 files (no checksums) still
+  /// load, with crc_verified() == false. v1 files lack the int8 payload
+  /// flag and are rejected; re-pack from the source model. The `version`
+  /// parameter exists so compatibility tests can write the legacy v2
+  /// layout — production callers always write the default.
+  void save(const std::string& path, std::uint32_t version = 3) const;
   static PackedModel load(const std::string& path);
+
+  /// True when load() verified a CRC32C trailer (v3 files). False for a
+  /// legacy v2 load and for artifacts built in-process (pack/assemble) —
+  /// there was no stream whose integrity could be checked.
+  bool crc_verified() const { return crc_verified_; }
 
   /// Re-encodes every entry's value payload as symmetric int8 with one
   /// scale per block-row (sparse/quantized.h). With keep_fp32 the fp32
@@ -110,6 +120,7 @@ class PackedModel {
   std::int64_t n_ = 0, m_ = 0, block_ = 0;
   std::vector<PackedEntry> entries_;
   TensorMap dense_;
+  bool crc_verified_ = false;
 };
 
 }  // namespace crisp::deploy

@@ -171,9 +171,10 @@ struct RequestStats {
 };
 
 struct Response {
-  /// Terminal outcome of the request. Only kOk carries an output; every
-  /// other status is the scheduler saying *why* it refused or dropped the
-  /// work instead of hiding the drop inside unbounded latency.
+  /// Terminal outcome of the request. Only kOk and kDegraded carry an
+  /// output; every other status is the scheduler saying *why* it refused
+  /// or dropped the work instead of hiding the drop inside unbounded
+  /// latency.
   enum class Status {
     kOk = 0,      ///< served; `output` is valid
     kRejected,    ///< refused at admission: full queue under
@@ -188,11 +189,17 @@ struct Response {
                   ///< victim selection)
     kCancelled,   ///< accepted, then drained unserved by
                   ///< shutdown(Drain::kCancel)
+    kDegraded,    ///< served, but from the shared base model instead of
+                  ///< the tenant's personalization — tenant::Router's
+                  ///< quarantine path for a delta that failed to load or
+                  ///< compile; `output` is valid. The engine itself never
+                  ///< emits this; the router rewrites kOk on its fallback
+                  ///< bridge.
   };
   Status status = Status::kOk;
   /// This sample's output with the batch axis stripped: submitting (C,H,W)
   /// yields the same shape a B=1 forward would, minus the leading 1.
-  /// Empty unless status == kOk.
+  /// Empty unless status == kOk or kDegraded.
   Tensor output;
   RequestStats stats;
 };

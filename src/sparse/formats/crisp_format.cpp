@@ -362,7 +362,7 @@ std::int64_t CrispMatrix::payload_bits() const {
   return bits;
 }
 
-void CrispMatrix::write(std::ostream& os) const {
+void CrispMatrix::write(std::ostream& os, bool payload_crc) const {
   io::write_pod(os, grid_.rows);
   io::write_pod(os, grid_.cols);
   io::write_pod(os, grid_.block);
@@ -373,10 +373,10 @@ void CrispMatrix::write(std::ostream& os) const {
   io::write_array(os, values_);  // size 0 after release_fp32_payload
   io::write_array(os, offsets_);
   io::write_pod(os, static_cast<std::uint8_t>(has_quantized() ? 1 : 0));
-  if (has_quantized()) qvalues_.write(os);
+  if (has_quantized()) qvalues_.write(os, payload_crc);
 }
 
-CrispMatrix CrispMatrix::read(std::istream& is) {
+CrispMatrix CrispMatrix::read(std::istream& is, bool payload_crc) {
   CrispMatrix out;
   out.grid_.rows = io::read_pod<std::int64_t>(is, kCtx);
   out.grid_.cols = io::read_pod<std::int64_t>(is, kCtx);
@@ -393,7 +393,7 @@ CrispMatrix CrispMatrix::read(std::istream& is) {
   out.values_ = io::read_array<float>(is, kCtx);
   out.offsets_ = io::read_array<std::uint8_t>(is, kCtx);
   if (io::read_pod<std::uint8_t>(is, kCtx) != 0)
-    out.qvalues_ = QuantizedPayload::read(is);
+    out.qvalues_ = QuantizedPayload::read(is, payload_crc);
 
   const std::int64_t total_blocks = out.grid_.grid_rows() * out.blocks_per_row_;
   const std::int64_t slots =

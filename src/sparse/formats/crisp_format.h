@@ -70,9 +70,12 @@ class CrispMatrix : public kernels::SpmmKernel {
   std::int64_t payload_bits() const;
 
   /// Binary persistence (host-endian, like tensor/serialize). `read` throws
-  /// on truncation or an internally inconsistent header.
-  void write(std::ostream& os) const;
-  static CrispMatrix read(std::istream& is);
+  /// on truncation, an internally inconsistent header, or a quantized
+  /// payload failing its CRC32C trailer. `payload_crc = false` selects the
+  /// legacy trailer-less QuantizedPayload layout embedded in PackedModel
+  /// v2 files — only that compatibility path should pass it.
+  void write(std::ostream& os, bool payload_crc = true) const;
+  static CrispMatrix read(std::istream& is, bool payload_crc = true);
 
   const BlockGrid& grid() const { return grid_; }
   std::int64_t rows() const override { return grid_.rows; }

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "tensor/check.h"
+#include "tensor/crc32.h"
 #include "tensor/pod_stream.h"
 
 namespace crisp::sparse {
@@ -74,17 +75,26 @@ std::vector<float> QuantizedPayload::dequantized() const {
   return out;
 }
 
-void QuantizedPayload::write(std::ostream& os) const {
-  io::write_pod(os, group_size);
-  io::write_array(os, values);
-  io::write_array(os, scales);
+void QuantizedPayload::write(std::ostream& os, bool crc_trailer) const {
+  io::Crc32Ostream co(os);
+  io::write_pod(co, group_size);
+  io::write_array(co, values);
+  io::write_array(co, scales);
+  if (crc_trailer) io::write_pod(os, co.crc());
 }
 
-QuantizedPayload QuantizedPayload::read(std::istream& is) {
+QuantizedPayload QuantizedPayload::read(std::istream& is, bool crc_trailer) {
+  io::Crc32Istream ci(is);
   QuantizedPayload out;
-  out.group_size = io::read_pod<std::int64_t>(is, kCtx);
-  out.values = io::read_array<std::int8_t>(is, kCtx);
-  out.scales = io::read_array<float>(is, kCtx);
+  out.group_size = io::read_pod<std::int64_t>(ci, kCtx);
+  out.values = io::read_array<std::int8_t>(ci, kCtx);
+  out.scales = io::read_array<float>(ci, kCtx);
+  if (crc_trailer) {
+    const std::uint32_t want = ci.crc();
+    const auto got = io::read_pod<std::uint32_t>(is, kCtx);
+    CRISP_CHECK(got == want,
+                kCtx << ": checksum mismatch (payload corrupt)");
+  }
   if (out.values.empty()) {
     CRISP_CHECK(out.scales.empty() && out.group_size == 0,
                 "QuantizedPayload::read: empty payload with non-empty header");

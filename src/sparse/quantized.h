@@ -57,9 +57,13 @@ struct QuantizedPayload {
   }
 
   /// Binary persistence (host-endian, like the formats that embed it).
-  /// `read` throws on truncation or an internally inconsistent header.
-  void write(std::ostream& os) const;
-  static QuantizedPayload read(std::istream& is);
+  /// `write` appends a CRC32C trailer over the payload bytes; `read`
+  /// throws on truncation, an internally inconsistent header, or a
+  /// checksum mismatch. `crc_trailer = false` reads/writes the legacy
+  /// trailer-less layout — only the PackedModel v2 compatibility path
+  /// (and the test that pins it) should ever pass it.
+  void write(std::ostream& os, bool crc_trailer = true) const;
+  static QuantizedPayload read(std::istream& is, bool crc_trailer = true);
 };
 
 }  // namespace crisp::sparse

@@ -5,14 +5,18 @@
 #include <ostream>
 #include <utility>
 
+#include "tensor/crc32.h"
 #include "tensor/pod_stream.h"
+#include "testing/fault_injection.h"
 
 namespace crisp::tenant {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4352535044454C54ull;  // "CRSPDELT"
-constexpr std::uint32_t kVersion = 1;
+// v2: a CRC32C trailer over everything after the version field. v1 files
+// (no trailer, same body layout) still read, without integrity cover.
+constexpr std::uint32_t kVersion = 2;
 
 constexpr const char* kCtx = "MaskDelta::read";
 
@@ -202,56 +206,68 @@ void MaskDelta::validate(const BaseArtifact& base) const {
 }
 
 void MaskDelta::write(std::ostream& os) const {
+  testing::maybe_fail("maskdelta.write");
   io::write_pod(os, kMagic);
   io::write_pod(os, kVersion);
-  io::write_pod(os, block_);
-  io::write_pod(os, n_);
-  io::write_pod(os, m_);
-  io::write_pod(os, static_cast<std::uint64_t>(entries_.size()));
+  // Everything after the version field is covered by the trailer CRC, so a
+  // bit flip anywhere in the body fails loudly at read time.
+  io::Crc32Ostream co(os);
+  io::write_pod(co, block_);
+  io::write_pod(co, n_);
+  io::write_pod(co, m_);
+  io::write_pod(co, static_cast<std::uint64_t>(entries_.size()));
   for (const EntryDelta& d : entries_) {
-    write_string(os, d.name);
-    io::write_pod(os, d.grid_rows);
-    io::write_pod(os, d.base_blocks_per_row);
-    io::write_pod(os, d.kept_per_row);
-    io::write_array(os, d.kept_bits);
-    io::write_array(os, d.scale_overrides);
+    write_string(co, d.name);
+    io::write_pod(co, d.grid_rows);
+    io::write_pod(co, d.base_blocks_per_row);
+    io::write_pod(co, d.kept_per_row);
+    io::write_array(co, d.kept_bits);
+    io::write_array(co, d.scale_overrides);
   }
+  io::write_pod(os, co.crc());
 }
 
 MaskDelta MaskDelta::read(std::istream& is) {
+  testing::maybe_fail("maskdelta.read");
   CRISP_CHECK(io::read_pod<std::uint64_t>(is, kCtx) == kMagic,
               kCtx << ": not a tenant mask delta (bad magic)");
   const auto version = io::read_pod<std::uint32_t>(is, kCtx);
-  CRISP_CHECK(version == kVersion,
+  CRISP_CHECK(version == 1 || version == kVersion,
               kCtx << ": unsupported tenant delta version " << version);
+  io::Crc32Istream ci(is);
   MaskDelta out;
-  out.block_ = io::read_pod<std::int64_t>(is, kCtx);
-  out.n_ = io::read_pod<std::int64_t>(is, kCtx);
-  out.m_ = io::read_pod<std::int64_t>(is, kCtx);
+  out.block_ = io::read_pod<std::int64_t>(ci, kCtx);
+  out.n_ = io::read_pod<std::int64_t>(ci, kCtx);
+  out.m_ = io::read_pod<std::int64_t>(ci, kCtx);
   CRISP_CHECK(out.block_ >= 1 && out.m_ >= 1 && out.n_ >= 1 &&
                   out.n_ <= out.m_ && out.block_ % out.m_ == 0,
               kCtx << ": inconsistent geometry header");
-  const auto count = io::read_pod<std::uint64_t>(is, kCtx);
+  const auto count = io::read_pod<std::uint64_t>(ci, kCtx);
   CRISP_CHECK(count < (1u << 20), kCtx << ": implausible entry count");
   out.entries_.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     EntryDelta d;
-    d.name = read_string(is);
-    d.grid_rows = io::read_pod<std::int64_t>(is, kCtx);
-    d.base_blocks_per_row = io::read_pod<std::int64_t>(is, kCtx);
-    d.kept_per_row = io::read_pod<std::int64_t>(is, kCtx);
-    d.kept_bits = io::read_array<std::uint8_t>(is, kCtx);
-    d.scale_overrides = io::read_array<float>(is, kCtx);
+    d.name = read_string(ci);
+    d.grid_rows = io::read_pod<std::int64_t>(ci, kCtx);
+    d.base_blocks_per_row = io::read_pod<std::int64_t>(ci, kCtx);
+    d.kept_per_row = io::read_pod<std::int64_t>(ci, kCtx);
+    d.kept_bits = io::read_array<std::uint8_t>(ci, kCtx);
+    d.scale_overrides = io::read_array<float>(ci, kCtx);
     check_entry(d, kCtx);
     out.entries_.push_back(std::move(d));
+  }
+  if (version >= 2) {
+    const std::uint32_t want = ci.crc();
+    const auto got = io::read_pod<std::uint32_t>(is, kCtx);
+    CRISP_CHECK(got == want, kCtx << ": checksum mismatch (delta corrupt)");
   }
   return out;
 }
 
 std::int64_t MaskDelta::delta_bytes() const {
   // Mirrors write(): magic + version + geometry + entry count, then each
-  // entry's fields with their u64 length prefixes. test_tenant.cpp pins
-  // this to the actual stream size.
+  // entry's fields with their u64 length prefixes, then the CRC32C
+  // trailer. test_tenant.cpp pins this to the actual stream size.
   std::int64_t bytes = 8 + 4 + 3 * 8 + 8;
   for (const EntryDelta& d : entries_) {
     bytes += 8 + static_cast<std::int64_t>(d.name.size());
@@ -259,7 +275,7 @@ std::int64_t MaskDelta::delta_bytes() const {
     bytes += 8 + static_cast<std::int64_t>(d.kept_bits.size());
     bytes += 8 + 4 * static_cast<std::int64_t>(d.scale_overrides.size());
   }
-  return bytes;
+  return bytes + 4;
 }
 
 void MaskDelta::set_scale_overrides(const std::string& name,

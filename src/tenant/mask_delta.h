@@ -77,8 +77,10 @@ class MaskDelta {
   /// uniform per-row popcounts, override lengths fit. Throws on violation.
   void validate(const BaseArtifact& base) const;
 
-  /// Versioned binary stream (host-endian, like the formats). `read`
-  /// throws on bad magic, unsupported version, truncation, or an
+  /// Versioned binary stream (host-endian, like the formats). v2 carries a
+  /// CRC32C trailer over everything after the version field; v1 files (no
+  /// trailer) still read, without integrity cover. `read` throws on bad
+  /// magic, unsupported version, truncation, a checksum mismatch, or an
   /// internally inconsistent bitmap.
   void write(std::ostream& os) const;
   static MaskDelta read(std::istream& is);

@@ -34,6 +34,8 @@ std::future<serve::Response> Router::submit(const std::string& tenant_id,
   // reference, and an engine drains on destruction, so a request that got
   // its engine always gets its response.
   std::shared_ptr<serve::Engine> engine;
+  std::shared_ptr<serve::Engine> fallback;
+  bool quarantined = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_)
@@ -44,9 +46,36 @@ std::future<serve::Response> Router::submit(const std::string& tenant_id,
       ++stats_.submitted;
       ++stats_.hot;
       engine = it->second.engine;
+    } else if (quarantined_.count(tenant_id) != 0) {
+      // Compile already failed twice for this tenant: no point parking
+      // behind another doomed attempt — serve the shared base directly.
+      quarantined = true;
+      fallback = fallback_;
+      if (fallback != nullptr) ++stats_.submitted;
     }
   }
   if (engine) return engine->submit(std::move(request));
+  if (quarantined) {
+    std::promise<serve::Response> to;
+    std::future<serve::Response> fut = to.get_future();
+    if (fallback == nullptr) {
+      // Even the base model failed to compile — refuse rather than crash.
+      serve::Response r;
+      r.status = serve::Response::Status::kRejected;
+      to.set_value(std::move(r));
+      return fut;
+    }
+    Bridge b;
+    b.degraded = true;
+    b.from = fallback->submit(std::move(request));
+    b.to = std::move(to);
+    {
+      std::lock_guard<std::mutex> blk(bridge_mu_);
+      bridges_.push_back(std::move(b));
+    }
+    cv_bridge_.notify_all();
+    return fut;
+  }
 
   CRISP_CHECK(store_->has_tenant(tenant_id),
               "tenant::Router::submit: unknown tenant " << tenant_id);
@@ -103,15 +132,38 @@ void Router::compiler_main() {
 
     // Build the engine outside the lock — this is the slow part (model
     // clone + overlay compile via Store::acquire), and hot routing must
-    // not stall behind it.
-    std::exception_ptr err;
+    // not stall behind it. Any exception out of the delta apply / overlay
+    // compile (corrupt stream, allocation failure, an injected fault) is
+    // contained here: one bounded-backoff retry, then quarantine + the
+    // base-model fallback. The worker thread itself never dies, and no
+    // parked future is ever left broken.
     std::shared_ptr<serve::Engine> retired;
+    std::shared_ptr<serve::Engine> fallback;
     if (engine == nullptr) {
       try {
         engine = std::make_shared<serve::Engine>(store_->acquire(id),
                                                  options_.engine);
       } catch (...) {
-        err = std::current_exception();
+        // Transient failures (allocation pressure, a delta replaced
+        // mid-compile) deserve one more attempt before the tenant
+        // degrades. The backoff waits on cv_compile_ so shutdown can
+        // interrupt it.
+        {
+          std::unique_lock<std::mutex> blk(mu_);
+          ++stats_.compile_retries;
+          cv_compile_.wait_for(blk, options_.compile_retry_backoff,
+                               [&] { return stopping_; });
+        }
+        try {
+          engine = std::make_shared<serve::Engine>(store_->acquire(id),
+                                                   options_.engine);
+        } catch (...) {
+          // Second failure: quarantine. Parked and future requests serve
+          // from the shared base model as kDegraded.
+          fallback = ensure_fallback();
+          std::lock_guard<std::mutex> qlk(mu_);
+          if (quarantined_.insert(id).second) ++stats_.quarantined;
+        }
       }
       if (engine != nullptr) {
         lk.lock();
@@ -148,9 +200,14 @@ void Router::compiler_main() {
     std::int64_t expired = 0;
     std::vector<Bridge> built;
     built.reserve(flush.size());
+    serve::Engine* target = engine ? engine.get() : fallback.get();
     for (ColdRequest& cr : flush) {
-      if (err != nullptr) {
-        cr.promise.set_exception(err);
+      if (target == nullptr) {
+        // Compile failed twice and even the base model would not build:
+        // complete the future with a refusal — never an exception.
+        serve::Response r;
+        r.status = serve::Response::Status::kRejected;
+        cr.promise.set_value(std::move(r));
         continue;
       }
       if (cr.request.deadline.count() > 0) {
@@ -168,8 +225,11 @@ void Router::compiler_main() {
         }
         cr.request.deadline -= waited;
       }
-      built.push_back(
-          Bridge{engine->submit(std::move(cr.request)), std::move(cr.promise)});
+      Bridge b;
+      b.degraded = engine == nullptr;
+      b.from = target->submit(std::move(cr.request));
+      b.to = std::move(cr.promise);
+      built.push_back(std::move(b));
     }
     if (expired > 0) {
       std::lock_guard<std::mutex> slk(mu_);
@@ -192,11 +252,37 @@ void Router::forwarder_main() {
     bridges_.pop_front();
     lk.unlock();
     try {
-      b.to.set_value(b.from.get());
+      serve::Response r = b.from.get();
+      if (b.degraded && r.status == serve::Response::Status::kOk) {
+        // Served, but from the shared base instead of the tenant's
+        // personalization — the caller must be able to tell.
+        r.status = serve::Response::Status::kDegraded;
+        std::lock_guard<std::mutex> slk(mu_);
+        ++stats_.degraded;
+      }
+      b.to.set_value(std::move(r));
     } catch (...) {
       b.to.set_exception(std::current_exception());
     }
   }
+}
+
+std::shared_ptr<serve::Engine> Router::ensure_fallback() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fallback_ != nullptr) return fallback_;
+    if (stopping_) return nullptr;
+  }
+  std::shared_ptr<serve::Engine> built;
+  try {
+    built = std::make_shared<serve::Engine>(store_->acquire_base(),
+                                            options_.engine);
+  } catch (...) {
+    return nullptr;  // even the base failed; callers refuse with kRejected
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fallback_ == nullptr) fallback_ = built;
+  return fallback_;
 }
 
 std::shared_ptr<serve::Engine> Router::enforce_engine_cap_locked() {
@@ -234,17 +320,22 @@ void Router::shutdown() {
   }
   if (compiler_.joinable()) compiler_.join();
 
-  // Retire every engine: drop the pool's references and let the
-  // destructors drain accepted work (Drain::kServe). Done before the
-  // forwarder join so every bridged future completes.
+  // Retire every engine — the fallback included: drop the pool's
+  // references and let the destructors drain accepted work
+  // (Drain::kServe). Done before the forwarder join so every bridged
+  // future completes.
   std::unordered_map<std::string, EngineSlot> engines;
+  std::shared_ptr<serve::Engine> fallback;
   {
     std::lock_guard<std::mutex> lk(mu_);
     engines = std::move(engines_);
     engines_.clear();
     engine_lru_.clear();
+    fallback = std::move(fallback_);
+    fallback_.reset();
   }
   engines.clear();
+  fallback.reset();
 
   {
     std::lock_guard<std::mutex> lk(bridge_mu_);
@@ -268,6 +359,9 @@ bool Router::refresh_tenant(const std::string& tenant_id) {
   std::shared_ptr<serve::Engine> engine;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // The artifact compiled, so whatever quarantined this tenant is fixed:
+    // normal (cold-compile) service resumes with the next submit.
+    quarantined_.erase(tenant_id);
     auto it = engines_.find(tenant_id);
     if (it == engines_.end()) return false;  // not resident; nothing to swap
     engine = it->second.engine;

@@ -17,11 +17,19 @@
 //     end-to-end;
 //   * a forwarder thread that bridges engine futures back to the futures
 //     handed out at submit time, so callers see one uniform
-//     std::future<serve::Response> whether they hit hot or cold.
+//     std::future<serve::Response> whether they hit hot or cold;
+//   * graceful degradation instead of crashes: a cold compile that throws
+//     (corrupt delta, allocation failure — anything) is retried once with
+//     bounded backoff, and if it fails again the tenant is *quarantined* —
+//     its parked and future requests serve from the shared base model
+//     (Store::acquire_base) and complete with Status::kDegraded, never a
+//     broken future. refresh_tenant() lifts the quarantine once the delta
+//     is fixed. docs/tenants.md § durability covers the contract.
 // Statuses carry through unchanged: kOk/kExpired/kRejected/etc. mean the
 // same thing they mean at the engine, plus the router-level cases (cold
 // queue overflow → kRejected, deadline lapsed during compile → kExpired,
-// shutdown with work parked → kCancelled). docs/tenants.md covers tuning.
+// shutdown with work parked → kCancelled, quarantined tenant served from
+// base → kDegraded). docs/tenants.md covers tuning.
 #pragma once
 
 #include <chrono>
@@ -35,6 +43,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "serve/engine.h"
@@ -53,6 +62,9 @@ struct RouterOptions {
   /// Bound on requests parked behind one tenant's cold compile; beyond
   /// it, submits complete immediately with Status::kRejected.
   std::int64_t cold_queue_depth = 256;
+  /// Pause before the single retry of a failed cold compile. Bounded and
+  /// interruptible — shutdown never waits on it.
+  std::chrono::milliseconds compile_retry_backoff{10};
 };
 
 struct RouterStats {
@@ -67,6 +79,12 @@ struct RouterStats {
   std::int64_t engines_retired = 0;
   std::int64_t refreshed = 0;       ///< live engines hot-swapped by
                                     ///< refresh_tenant()
+  std::int64_t compile_retries = 0; ///< failed cold compiles retried after
+                                    ///< the bounded backoff
+  std::int64_t quarantined = 0;     ///< tenants degraded to base-model
+                                    ///< service after the retry also failed
+  std::int64_t degraded = 0;        ///< responses served from the shared
+                                    ///< base model (Status::kDegraded)
 };
 
 class Router {
@@ -78,8 +96,10 @@ class Router {
   Router& operator=(const Router&) = delete;
 
   /// Routes one request to `tenant_id`'s engine, building it first when
-  /// non-resident. Throws for an unregistered tenant or after shutdown;
-  /// every other outcome is a status on the returned future. Thread-safe.
+  /// non-resident. A quarantined tenant's request goes straight to the
+  /// shared base-model fallback and completes with Status::kDegraded.
+  /// Throws for an unregistered tenant or after shutdown; every other
+  /// outcome is a status on the returned future. Thread-safe.
   std::future<serve::Response> submit(const std::string& tenant_id,
                                       serve::Request request);
 
@@ -90,8 +110,10 @@ class Router {
   /// engine via serve::Engine::swap_model — in-flight batches finish on
   /// the old artifact, everything after serves the new one, zero failed
   /// requests. Returns false when the tenant has no resident engine (the
-  /// next cold miss compiles the new delta anyway). Throws for an
-  /// unregistered tenant or after shutdown. Thread-safe.
+  /// next cold miss compiles the new delta anyway). A successful acquire
+  /// also lifts the tenant's quarantine — this is the documented way back
+  /// to personalized service after a delta was repaired and re-registered.
+  /// Throws for an unregistered tenant or after shutdown. Thread-safe.
   bool refresh_tenant(const std::string& tenant_id);
 
   /// Stops accepting submissions, cancels parked cold requests
@@ -117,10 +139,13 @@ class Router {
     std::promise<serve::Response> promise;
     Clock::time_point submitted;
   };
-  /// An engine future bridged back to a cold submit's promise.
+  /// An engine future bridged back to a cold submit's promise. `degraded`
+  /// marks a base-model fallback serve: the forwarder rewrites kOk to
+  /// kDegraded so the caller knows the personalization was bypassed.
   struct Bridge {
     std::future<serve::Response> from;
     std::promise<serve::Response> to;
+    bool degraded = false;
   };
 
   void compiler_main();
@@ -128,6 +153,9 @@ class Router {
   /// Retires the coldest engine past the cap. Requires mu_; returns the
   /// retired engine so the caller drains it outside the lock.
   std::shared_ptr<serve::Engine> enforce_engine_cap_locked();
+  /// Returns the shared base-model fallback engine, building it on first
+  /// use (outside the lock). nullptr when even the base fails to compile.
+  std::shared_ptr<serve::Engine> ensure_fallback();
 
   std::shared_ptr<Store> store_;
   RouterOptions options_;
@@ -138,6 +166,12 @@ class Router {
   std::list<std::string> engine_lru_;  ///< front = most recently submitted
   std::unordered_map<std::string, std::vector<ColdRequest>> pending_;
   std::deque<std::string> compile_queue_;
+  /// Tenants whose compile failed twice: served from fallback_ until
+  /// refresh_tenant() succeeds for them. Never counted in engines_.
+  std::unordered_set<std::string> quarantined_;
+  /// Base-model engine shared by every quarantined tenant; built lazily
+  /// by the first degradation and retired at shutdown like the rest.
+  std::shared_ptr<serve::Engine> fallback_;
   bool stopping_ = false;
   RouterStats stats_;
 

@@ -1,0 +1,87 @@
+// Delta shard: crash-safe persistence for a tenant fleet.
+//
+// A shard is one append-able "CRSPSHRD" file holding many
+// (tenant_id, MaskDelta) records — the durable form of tenant::Store's
+// registry, so a fleet survives restart without re-deriving masks
+// (docs/persistence.md has the byte layout and recovery rules).
+//
+// Durability model, WAL-style:
+//   * write_shard() is atomic: the whole image is serialized, written to
+//     `path`.tmp, fsynced, renamed over `path`, and the directory is
+//     fsynced — a crash at any byte leaves the previous generation intact.
+//   * append_shard() is the incremental path: one length+CRC-framed record
+//     appended in place. A crash mid-append leaves a torn tail that
+//     scan_shard() detects and (with repair) truncates cleanly — every
+//     previously committed record survives.
+//   * scan_shard() is recovery and fsck in one: it walks records forward,
+//     keeps every frame whose CRC32C verifies, and stops at the first bad
+//     frame. It never trusts bytes past a failed checksum — the length
+//     that frames the next record lives under the same corruption — so
+//     "stop and truncate" is the only boundary that provably preserves
+//     exactly the committed prefix.
+//
+// Record framing: u32 body length | u32 crc32c(body) | body, where body is
+// u64 id length | id bytes | the delta's own versioned CRSPDELT stream.
+// Duplicate tenant ids are legal — the shard is an append log, and readers
+// apply records in order, so the last write wins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tenant/mask_delta.h"
+
+namespace crisp::tenant {
+
+/// One intact record recovered by scan_shard().
+struct ShardRecord {
+  std::string tenant_id;
+  MaskDelta delta;
+};
+
+/// What a scan found wrong (all zero on a clean shard). The scan stops at
+/// the first bad frame, so crc_failures and malformed are 0 or 1; the
+/// bytes from that frame to end-of-file are dropped_bytes.
+struct ShardReport {
+  std::int64_t records = 0;       ///< intact records recovered
+  std::int64_t crc_failures = 0;  ///< complete frame, checksum mismatch
+  std::int64_t malformed = 0;     ///< checksum fine, body failed to parse
+  std::int64_t dropped_bytes = 0; ///< torn/corrupt tail discarded
+  bool clean() const {
+    return crc_failures == 0 && malformed == 0 && dropped_bytes == 0;
+  }
+};
+
+struct ShardScanResult {
+  std::vector<ShardRecord> records;
+  ShardReport report;
+  /// Offset one past the last intact record — what repair truncates to.
+  std::int64_t good_bytes = 0;
+};
+
+/// Atomically replaces `path` with a shard holding `records` in order
+/// (temp file + fsync + rename + directory fsync). Throws on I/O failure;
+/// on any throw the previous file generation is untouched.
+void write_shard(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::shared_ptr<const MaskDelta>>>&
+        records);
+
+/// Appends one framed record in place, creating the shard (header
+/// included) when `path` is absent or empty. Not atomic: a crash
+/// mid-append leaves a torn tail for scan_shard() to truncate.
+void append_shard(const std::string& path, const std::string& tenant_id,
+                  const MaskDelta& delta);
+
+/// Scans `path` forward, recovering every intact record. Throws when the
+/// file is missing or its (complete) header is not a CRSPSHRD header —
+/// refusing to "repair" a file that was never a shard. A torn header
+/// (file shorter than the header) reads as an empty shard with the stub
+/// counted in dropped_bytes. With `repair`, the file is truncated to
+/// good_bytes so subsequent appends extend a clean log.
+ShardScanResult scan_shard(const std::string& path, bool repair = false);
+
+}  // namespace crisp::tenant

@@ -1,6 +1,9 @@
 #include "tenant/store.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "testing/fault_injection.h"
 
 namespace crisp::tenant {
 
@@ -88,6 +91,7 @@ std::shared_ptr<const serve::CompiledModel> Store::acquire(
 
   // The slow part — clone, template load, overlay hooks — runs unlocked,
   // so hot acquires and registrations never stall behind a miss.
+  testing::maybe_fail("store.compile");
   std::shared_ptr<nn::Sequential> clone = factory_();
   CRISP_CHECK(clone != nullptr, "tenant::Store: factory returned null model");
   clone->load_state_dict(template_state_);
@@ -159,6 +163,44 @@ ResidentBytes Store::resident_bytes() const {
 StoreStats Store::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+std::shared_ptr<const serve::CompiledModel> Store::acquire_base() const {
+  testing::maybe_fail("store.compile_base");
+  std::shared_ptr<nn::Sequential> clone = factory_();
+  CRISP_CHECK(clone != nullptr, "tenant::Store: factory returned null model");
+  clone->load_state_dict(template_state_);
+  return serve::CompiledModel::compile(std::move(clone), base_->packed_ptr());
+}
+
+std::int64_t Store::save_shard(const std::string& path) const {
+  std::vector<std::pair<std::string, std::shared_ptr<const MaskDelta>>> recs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    recs.reserve(tenants_.size());
+    for (const auto& [id, t] : tenants_) recs.emplace_back(id, t.delta);
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  write_shard(path, recs);
+  return static_cast<std::int64_t>(recs.size());
+}
+
+ShardLoadReport Store::load_shard(const std::string& path, bool repair) {
+  ShardScanResult scan = scan_shard(path, repair);
+  ShardLoadReport rep;
+  rep.scan = scan.report;
+  for (ShardRecord& r : scan.records) {
+    try {
+      register_tenant(r.tenant_id, std::move(r.delta));
+      ++rep.loaded;
+    } catch (const std::exception&) {
+      // An intact record for the wrong base (or a base that since moved
+      // on) is contained: skipped, counted, never fatal to the fleet.
+      ++rep.quarantined;
+    }
+  }
+  return rep;
 }
 
 std::int64_t Store::excess_base_copies() const {

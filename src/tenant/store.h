@@ -30,8 +30,20 @@
 #include <vector>
 
 #include "tenant/overlay.h"
+#include "tenant/shard.h"
 
 namespace crisp::tenant {
+
+/// What Store::load_shard did with a scanned shard: `scan` is the file's
+/// integrity story, `loaded` the records registered (duplicates re-register
+/// — last write wins, so tenant_count() can be lower), `quarantined` the
+/// intact records whose delta failed validate() against this store's base
+/// (wrong geometry, foreign entry — contained, never fatal).
+struct ShardLoadReport {
+  ShardReport scan;
+  std::int64_t loaded = 0;
+  std::int64_t quarantined = 0;
+};
 
 struct StoreOptions {
   /// LRU budget over compiled tenants, in bytes (model clone + bookkeeping
@@ -88,6 +100,29 @@ class Store {
   /// caller holds it, eviction notwithstanding — eviction only drops the
   /// cache's reference.
   std::shared_ptr<const serve::CompiledModel> acquire(const std::string& id);
+
+  /// Compiles the shared base model itself — no personalization. This is
+  /// the graceful-degradation artifact tenant::Router serves when a
+  /// tenant's delta is quarantined. Deliberately uncached and not counted
+  /// in resident_bytes(): the caller owns it, and the fleet accounting
+  /// identity stays exactly base + deltas + compiled.
+  std::shared_ptr<const serve::CompiledModel> acquire_base() const;
+
+  /// Atomically persists every registered tenant (id + delta) to a
+  /// CRSPSHRD shard at `path` (tenant/shard.h: temp file + fsync + atomic
+  /// rename — a crash mid-save leaves the previous generation intact).
+  /// Records are written in sorted id order so equal fleets produce
+  /// byte-identical shards. Returns the record count. Thread-safe; the
+  /// snapshot is taken under the lock, the I/O runs outside it.
+  std::int64_t save_shard(const std::string& path) const;
+
+  /// Recovers a shard into this store: every intact record is registered
+  /// in file order (duplicate ids — last write wins), records that fail
+  /// validation against this base are skipped and counted, and with
+  /// `repair` (the default) a torn tail is truncated off the file so the
+  /// log is clean for future appends. Throws only when the file is
+  /// missing or not a shard — corruption is reported, never thrown.
+  ShardLoadReport load_shard(const std::string& path, bool repair = true);
 
   std::int64_t compiled_count() const;
   ResidentBytes resident_bytes() const;

@@ -1,0 +1,52 @@
+#include "tensor/crc32.h"
+
+#include <array>
+
+namespace crisp::io {
+
+namespace {
+
+// Slicing-by-4 tables for the reflected Castagnoli polynomial 0x82F63B78.
+// Built once at first use; ~4 KiB, fast enough for the cold persistence
+// paths this repo checksums (artifact save/load, shard scan).
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t s = 1; s < 4; ++s)
+        t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (len >= 4) {
+    crc ^= static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace crisp::io

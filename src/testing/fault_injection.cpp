@@ -1,0 +1,142 @@
+#include "testing/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace crisp::testing {
+
+namespace {
+
+struct Site {
+  bool armed = false;
+  std::int64_t nth = 0;
+  std::int64_t times = 1;
+  std::int64_t arg = 0;
+  std::int64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+  // Fast-path gate: should_fail() takes the mutex only when something is
+  // (or was) armed. Monotonic per arm/reset epoch — disarming one site
+  // keeps the gate up until reset_faults(), which is fine: failpoints live
+  // on cold paths.
+  std::atomic<bool> any_armed{false};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void parse_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* env = std::getenv("CRISP_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    std::string all(env);
+    std::size_t begin = 0;
+    while (begin <= all.size()) {
+      const std::size_t end = all.find(',', begin);
+      const std::string spec =
+          all.substr(begin, end == std::string::npos ? end : end - begin);
+      if (!spec.empty()) arm_fault_spec(spec);
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+  });
+}
+
+}  // namespace
+
+void arm_fault(const std::string& site, std::int64_t nth, std::int64_t times,
+               std::int64_t arg) {
+  if (site.empty()) throw std::runtime_error("arm_fault: empty site name");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  Site& s = r.sites[site];
+  s.armed = true;
+  s.nth = nth;
+  s.times = times;
+  s.arg = arg;
+  s.hits = 0;
+  r.any_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm_fault_spec(const std::string& spec) {
+  // site:nth[:times[:arg]]
+  std::size_t pos = spec.find(':');
+  if (pos == std::string::npos || pos == 0)
+    throw std::runtime_error("arm_fault_spec: malformed spec \"" + spec +
+                             "\" (want site:nth[:times[:arg]])");
+  const std::string site = spec.substr(0, pos);
+  std::int64_t fields[3] = {0, 1, 0};
+  for (int i = 0; i < 3 && pos != std::string::npos; ++i) {
+    const std::size_t next = spec.find(':', pos + 1);
+    const std::string tok =
+        spec.substr(pos + 1, next == std::string::npos ? next : next - pos - 1);
+    try {
+      fields[i] = std::stoll(tok);
+    } catch (const std::exception&) {
+      throw std::runtime_error("arm_fault_spec: bad number \"" + tok +
+                               "\" in \"" + spec + "\"");
+    }
+    pos = next;
+  }
+  if (pos != std::string::npos)
+    throw std::runtime_error("arm_fault_spec: too many fields in \"" + spec +
+                             "\"");
+  arm_fault(site, fields[0], fields[1], fields[2]);
+}
+
+void disarm_fault(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.armed = false;
+}
+
+void reset_faults() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.sites.clear();
+  r.any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool should_fail(const char* site) {
+  parse_env_once();
+  Registry& r = registry();
+  if (!r.any_armed.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return false;
+  Site& s = it->second;
+  const std::int64_t hit = s.hits++;
+  if (hit < s.nth) return false;
+  return s.times < 0 || hit < s.nth + s.times;
+}
+
+void maybe_fail(const char* site) {
+  if (should_fail(site))
+    throw std::runtime_error(std::string("fault injected: ") + site);
+}
+
+std::int64_t fault_arg(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.arg;
+}
+
+std::int64_t fault_hits(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+}  // namespace crisp::testing

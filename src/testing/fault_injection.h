@@ -1,0 +1,74 @@
+// Deterministic failpoint registry for fault-injection tests.
+//
+// Robustness code is only as good as the failures it has actually seen.
+// This registry lets a test (or an operator, via the CRISP_FAULT
+// environment variable) force a failure at an exact, named site inside
+// the persistence and serving paths — a torn shard write after byte k, a
+// compile that throws on its first attempt but not its retry — so the
+// recovery and degradation machinery is exercised on demand instead of
+// waiting for real corruption.
+//
+// Sites are plain string names compiled into the code under test
+// (grep for should_fail / maybe_fail; docs/persistence.md lists them):
+//   store.compile            tenant::Store::acquire, before the overlay
+//                            compile (arg unused)
+//   store.compile_base       tenant::Store::acquire_base (arg unused)
+//   maskdelta.read           MaskDelta::read entry (arg unused)
+//   maskdelta.write          MaskDelta::write entry (arg unused)
+//   packedmodel.load         PackedModel::load entry (arg unused)
+//   packedmodel.save         PackedModel::save entry (arg unused)
+//   shard.save.torn          write_shard: write only `arg` bytes of the
+//                            new image to the temp file, then throw (the
+//                            rename never happens)
+//   shard.save.before_rename write_shard: full temp written + fsynced,
+//                            throw just before the atomic rename
+//   shard.append.torn        append_shard: write only `arg` bytes of the
+//                            record frame, then throw (torn tail)
+//
+// Semantics: arm_fault(site, nth, times, arg) makes the site fire on hit
+// numbers [nth, nth + times) — hits are 0-based and counted from the
+// arm() call; times < 0 fires forever. The environment form
+// CRISP_FAULT="site:nth[:times[:arg]][,site:...]" is parsed once, at the
+// first registry use. When nothing is armed, should_fail() is a single
+// relaxed atomic load — the production cost of a failpoint is nil.
+//
+// Everything here throws/returns deterministically: no clocks, no
+// randomness, so a fault schedule replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace crisp::testing {
+
+/// Arms `site` to fire on hit numbers [nth, nth + times) (times < 0 =
+/// forever). `arg` is a site-specific payload (e.g. a byte budget).
+/// Re-arming a site resets its hit counter.
+void arm_fault(const std::string& site, std::int64_t nth = 0,
+               std::int64_t times = 1, std::int64_t arg = 0);
+
+/// Arms one "site:nth[:times[:arg]]" spec — the CRISP_FAULT grammar, one
+/// entry at a time. Throws on a malformed spec.
+void arm_fault_spec(const std::string& spec);
+
+/// Disarms `site` (keeps its hit counter readable).
+void disarm_fault(const std::string& site);
+
+/// Disarms every site and zeroes every hit counter.
+void reset_faults();
+
+/// True when `site` fires this hit. Advances the site's hit counter
+/// whenever any fault is armed; free (one relaxed load) otherwise.
+bool should_fail(const char* site);
+
+/// should_fail(), throwing std::runtime_error("fault injected: <site>")
+/// when the site fires.
+void maybe_fail(const char* site);
+
+/// Payload of the most recent arm of `site` (0 when never armed).
+std::int64_t fault_arg(const char* site);
+
+/// Hits observed at `site` since it was last armed (0 when never armed).
+std::int64_t fault_hits(const char* site);
+
+}  // namespace crisp::testing

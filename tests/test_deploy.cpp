@@ -281,6 +281,79 @@ TEST(PackedModel, LoadRejectsWrongMagicAndVersion) {
   std::remove(bad_version.c_str());
 }
 
+TEST(PackedModel, V3TrailerVerifiesAndCatchesSilentCorruption) {
+  auto model = make_convnet();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  const std::string path = temp_path("packed_v3.bin");
+  PackedModel::pack(*model, 8, 2, 4).save(path);
+
+  const PackedModel loaded = PackedModel::load(path);
+  EXPECT_TRUE(loaded.crc_verified());
+
+  std::ifstream is(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  is.close();
+  std::remove(path.c_str());
+
+  const auto write_mutated = [&](std::size_t offset, char flip) {
+    std::vector<char> mutated = bytes;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ flip);
+    const std::string p = temp_path("packed_v3_mutated.bin");
+    std::ofstream os(p, std::ios::binary);
+    os.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    return p;
+  };
+
+  // A low bit flipped in the body's tail — raw float payload, invisible
+  // to every structural check — and a flipped trailer byte must both be
+  // rejected by the checksum.
+  const std::string body_flip = write_mutated(bytes.size() - 5, 0x01);
+  EXPECT_THROW(PackedModel::load(body_flip), std::runtime_error);
+  std::remove(body_flip.c_str());
+  const std::string trailer_flip = write_mutated(bytes.size() - 1, 0x01);
+  EXPECT_THROW(PackedModel::load(trailer_flip), std::runtime_error);
+  std::remove(trailer_flip.c_str());
+}
+
+TEST(PackedModel, V2ArtifactLoadsCompatiblyButUnverified) {
+  auto model = make_convnet();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  const std::string path = temp_path("packed_v2.bin");
+  packed.save(path, /*version=*/2);  // the legacy writer, for compat tests
+
+  const PackedModel loaded = PackedModel::load(path);
+  std::remove(path.c_str());
+  // Pre-upgrade artifacts stay loadable — but the caller can tell no
+  // checksum covered them.
+  EXPECT_FALSE(loaded.crc_verified());
+  ASSERT_EQ(loaded.entries().size(), packed.entries().size());
+  for (std::size_t i = 0; i < packed.entries().size(); ++i)
+    EXPECT_FLOAT_EQ(max_abs_diff(loaded.entries()[i].matrix.decode(),
+                                 packed.entries()[i].matrix.decode()),
+                    0.0f);
+}
+
+TEST(PackedModel, LoadRejectsTrailingGarbage) {
+  // Appended bytes used to load silently on v2 — a truncated-or-spliced
+  // artifact must never pass as intact, at either version.
+  auto model = make_convnet();
+  install_random_hybrid_masks(*model, 8, 2, 4, 1);
+  const PackedModel packed = PackedModel::pack(*model, 8, 2, 4);
+  for (const std::uint32_t version : {2u, 3u}) {
+    const std::string path = temp_path("packed_trailing.bin");
+    packed.save(path, version);
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::app);
+      os << "stowaway";
+    }
+    EXPECT_THROW(PackedModel::load(path), std::runtime_error)
+        << "version " << version;
+    std::remove(path.c_str());
+  }
+}
+
 TEST(PackedModel, UnpackRestoresEffectiveWeightsAndMasks) {
   auto model = make_convnet();
   install_random_hybrid_masks(*model, 8, 2, 4, 1);

@@ -1,0 +1,504 @@
+// Shard persistence and fault-injection tests: the crash-safety story of
+// docs/persistence.md, proven the exhaustive way.
+//
+// The corruption matrix mirrors the discipline the CRSPDELT stream reader
+// set (truncation at every byte): a shard is truncated at *every* byte
+// offset, every record's body takes a CRC-breaking flip, saves and appends
+// are torn at every byte by the failpoint registry — and in every case
+// recovery keeps exactly the committed prefix, with zero crashes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/block_pruning.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "tenant/shard.h"
+#include "tenant/store.h"
+#include "testing/fault_injection.h"
+
+namespace crisp::tenant {
+namespace {
+
+using core::install_random_hybrid_masks;
+using crisp::testing::arm_fault;
+using crisp::testing::arm_fault_spec;
+using crisp::testing::fault_arg;
+using crisp::testing::fault_hits;
+using crisp::testing::reset_faults;
+using crisp::testing::should_fail;
+
+constexpr std::int64_t kBlock = 8, kN = 2, kM = 4;
+
+std::string temp_path(const std::string& stem) {
+  return std::string(::testing::TempDir()) + stem;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  std::ostringstream buf(std::ios::binary);
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.is_open()) << path;
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::shared_ptr<nn::Sequential> make_mlp() {
+  Rng rng(9);
+  auto model = std::make_shared<nn::Sequential>("shardmlp");
+  model->emplace<nn::Linear>("fc1", 32, 24, rng);
+  model->emplace<nn::ReLU>("relu");
+  model->emplace<nn::Linear>("fc2", 24, 8, rng);
+  return model;
+}
+
+/// A structurally alien architecture, for the foreign-delta test: records
+/// written against it parse fine but can never validate against the MLP.
+std::shared_ptr<nn::Sequential> make_convnet() {
+  Rng rng(7);
+  auto model = std::make_shared<nn::Sequential>("shardnet");
+  nn::Conv2dSpec c1;
+  c1.in_channels = 3;
+  c1.out_channels = 16;
+  c1.kernel = 3;
+  c1.padding = 1;
+  model->emplace<nn::Conv2d>("conv1", c1, rng);
+  model->emplace<nn::ReLU>("relu1");
+  model->emplace<nn::GlobalAvgPool>("gap");
+  model->emplace<nn::Flatten>("flatten");
+  model->emplace<nn::Linear>("fc", 16, 8, rng);
+  return model;
+}
+
+std::shared_ptr<const BaseArtifact> make_base(const ModelFactory& factory) {
+  std::shared_ptr<nn::Sequential> model = factory();
+  install_random_hybrid_masks(*model, kBlock, kN, kM, 0);
+  deploy::PackedModel packed =
+      deploy::PackedModel::pack(*model, kBlock, kN, kM);
+  return BaseArtifact::create(
+      std::make_shared<const deploy::PackedModel>(std::move(packed)));
+}
+
+/// Zeroes one surviving block per block-row, selected by `salt` — distinct
+/// salts model distinct tenants (same construction as test_tenant.cpp).
+void drop_one_block_per_row(nn::Sequential& model, std::uint64_t salt) {
+  for (nn::Parameter* p : model.prunable_parameters()) {
+    if (!p->has_mask()) continue;
+    const std::int64_t rows = p->matrix_rows, cols = p->matrix_cols;
+    const std::int64_t grid_rows = (rows + kBlock - 1) / kBlock;
+    const std::int64_t grid_cols = (cols + kBlock - 1) / kBlock;
+    float* mask = p->mask.data();
+    for (std::int64_t br = 0; br < grid_rows; ++br) {
+      const std::int64_t r0 = br * kBlock, r1 = std::min(rows, r0 + kBlock);
+      std::vector<std::int64_t> survivors;
+      for (std::int64_t bc = 0; bc < grid_cols; ++bc) {
+        const std::int64_t c0 = bc * kBlock, c1 = std::min(cols, c0 + kBlock);
+        bool live = false;
+        for (std::int64_t r = r0; r < r1 && !live; ++r)
+          for (std::int64_t c = c0; c < c1; ++c)
+            if (mask[r * cols + c] != 0.0f) {
+              live = true;
+              break;
+            }
+        if (live) survivors.push_back(bc);
+      }
+      ASSERT_FALSE(survivors.empty());
+      const std::int64_t bc = survivors[static_cast<std::size_t>(
+          (salt + static_cast<std::uint64_t>(br)) % survivors.size())];
+      const std::int64_t c0 = bc * kBlock, c1 = std::min(cols, c0 + kBlock);
+      for (std::int64_t r = r0; r < r1; ++r)
+        for (std::int64_t c = c0; c < c1; ++c) mask[r * cols + c] = 0.0f;
+    }
+  }
+}
+
+MaskDelta tenant_delta(const BaseArtifact& base, const ModelFactory& factory,
+                       std::uint64_t salt) {
+  std::shared_ptr<nn::Sequential> model = factory();
+  install_random_hybrid_masks(*model, kBlock, kN, kM, 0);
+  drop_one_block_per_row(*model, salt);
+  return MaskDelta::from_model(base, *model);
+}
+
+std::string delta_stream(const MaskDelta& d) {
+  std::ostringstream os(std::ios::binary);
+  d.write(os);
+  return os.str();
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const MaskDelta>>>
+make_fleet(const BaseArtifact& base, int n) {
+  std::vector<std::pair<std::string, std::shared_ptr<const MaskDelta>>> recs;
+  for (int i = 0; i < n; ++i)
+    recs.emplace_back(
+        "tenant" + std::to_string(i),
+        std::make_shared<const MaskDelta>(
+            tenant_delta(base, make_mlp, static_cast<std::uint64_t>(i))));
+  return recs;
+}
+
+class ShardTest : public ::testing::Test {
+ protected:
+  void TearDown() override { reset_faults(); }
+};
+
+// ---- failpoint registry -----------------------------------------------------
+
+TEST_F(ShardTest, FaultRegistryNthTimesSemantics) {
+  reset_faults();
+  EXPECT_FALSE(should_fail("unit.site"));  // unarmed: never fires
+  EXPECT_NO_THROW(crisp::testing::maybe_fail("unit.site"));
+  arm_fault("unit.site", /*nth=*/2, /*times=*/3, /*arg=*/42);
+  EXPECT_EQ(fault_arg("unit.site"), 42);
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(should_fail("unit.site"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true, false,
+                                      false, false}));
+  EXPECT_EQ(fault_hits("unit.site"), 8);
+
+  arm_fault("unit.forever", 0, /*times=*/-1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(should_fail("unit.forever"));
+  crisp::testing::disarm_fault("unit.forever");
+  EXPECT_FALSE(should_fail("unit.forever"));
+
+  // Re-arming resets the hit counter: the schedule replays from zero.
+  arm_fault("unit.site", 2, 3, 42);
+  EXPECT_EQ(fault_hits("unit.site"), 0);
+  EXPECT_FALSE(should_fail("unit.site"));
+}
+
+TEST_F(ShardTest, FaultRegistryMaybeFailAndSpecs) {
+  reset_faults();
+  arm_fault_spec("unit.spec:1:2:7");
+  EXPECT_FALSE(should_fail("unit.spec"));  // hit 0 < nth
+  EXPECT_EQ(fault_arg("unit.spec"), 7);
+  EXPECT_THROW(crisp::testing::maybe_fail("unit.spec"), std::runtime_error);
+  EXPECT_THROW(crisp::testing::maybe_fail("unit.spec"), std::runtime_error);
+  EXPECT_NO_THROW(crisp::testing::maybe_fail("unit.spec"));  // times spent
+  EXPECT_THROW(arm_fault_spec("nocolon"), std::runtime_error);
+  EXPECT_THROW(arm_fault_spec("site:abc"), std::runtime_error);
+  EXPECT_THROW(arm_fault_spec("site:1:2:3:4"), std::runtime_error);
+}
+
+// ---- round trip and append --------------------------------------------------
+
+TEST_F(ShardTest, WriteScanRoundTripIsCleanAndDeterministic) {
+  auto base = make_base(make_mlp);
+  auto recs = make_fleet(*base, 5);
+  const std::string path = temp_path("roundtrip.shard");
+  write_shard(path, recs);
+
+  ShardScanResult scan = scan_shard(path);
+  EXPECT_TRUE(scan.report.clean());
+  ASSERT_EQ(scan.report.records, 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(scan.records[static_cast<std::size_t>(i)].tenant_id,
+              recs[static_cast<std::size_t>(i)].first);
+    EXPECT_EQ(delta_stream(scan.records[static_cast<std::size_t>(i)].delta),
+              delta_stream(*recs[static_cast<std::size_t>(i)].second));
+  }
+
+  // Same records -> byte-identical file (atomic replace, deterministic
+  // serialization); no stale temp file left behind.
+  const std::string first = read_file(path);
+  write_shard(path, recs);
+  EXPECT_EQ(read_file(path), first);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+  std::remove(path.c_str());
+}
+
+TEST_F(ShardTest, AppendCreatesAndExtends) {
+  auto base = make_base(make_mlp);
+  const std::string path = temp_path("append.shard");
+  std::remove(path.c_str());
+  append_shard(path, "a", tenant_delta(*base, make_mlp, 1));  // creates
+  append_shard(path, "b", tenant_delta(*base, make_mlp, 2));
+  ShardScanResult scan = scan_shard(path);
+  EXPECT_TRUE(scan.report.clean());
+  ASSERT_EQ(scan.report.records, 2);
+  EXPECT_EQ(scan.records[0].tenant_id, "a");
+  EXPECT_EQ(scan.records[1].tenant_id, "b");
+  std::remove(path.c_str());
+}
+
+TEST_F(ShardTest, ScanRejectsNonShardsAndMissingFiles) {
+  const std::string path = temp_path("notashard.bin");
+  write_file(path, std::string("this is not a shard, full stop."));
+  EXPECT_THROW(scan_shard(path), std::runtime_error);
+  EXPECT_THROW(scan_shard(temp_path("no_such.shard")), std::runtime_error);
+  // Wrong version in an otherwise valid header: refuse, don't "recover".
+  auto base = make_base(make_mlp);
+  const std::string shard = temp_path("badver.shard");
+  write_shard(shard, make_fleet(*base, 1));
+  std::string bytes = read_file(shard);
+  bytes[8] = static_cast<char>(bytes[8] + 1);
+  write_file(shard, bytes);
+  EXPECT_THROW(scan_shard(shard), std::runtime_error);
+  std::remove(path.c_str());
+  std::remove(shard.c_str());
+}
+
+// ---- the corruption matrix --------------------------------------------------
+
+TEST_F(ShardTest, TruncationAtEveryByteKeepsEveryCommittedRecord) {
+  auto base = make_base(make_mlp);
+  auto recs = make_fleet(*base, 3);
+  const std::string path = temp_path("trunc.shard");
+  write_shard(path, recs);
+  const std::string full = read_file(path);
+
+  // Record boundaries, reconstructed from frame lengths (header is 12
+  // bytes, frame header 8).
+  std::vector<std::int64_t> boundaries{12};
+  {
+    std::int64_t off = 12;
+    while (off < static_cast<std::int64_t>(full.size())) {
+      std::uint32_t len;
+      std::memcpy(&len, full.data() + off, sizeof(len));
+      off += 8 + static_cast<std::int64_t>(len);
+      boundaries.push_back(off);
+    }
+  }
+  ASSERT_EQ(boundaries.size(), 4u);  // header + 3 records
+
+  const std::string cut = temp_path("trunc_cut.shard");
+  for (std::size_t L = 0; L <= full.size(); ++L) {
+    write_file(cut, full.substr(0, L));
+    // Committed records = boundaries fully below the cut.
+    std::int64_t expect = 0;
+    for (std::size_t b = 1; b < boundaries.size(); ++b)
+      if (boundaries[b] <= static_cast<std::int64_t>(L)) ++expect;
+    if (L < 12) {
+      // Header torn: an empty shard with the stub reported dropped.
+      ShardScanResult scan = scan_shard(cut);
+      EXPECT_EQ(scan.report.records, 0) << "L=" << L;
+      EXPECT_EQ(scan.report.dropped_bytes, static_cast<std::int64_t>(L))
+          << "L=" << L;
+      continue;
+    }
+    ShardScanResult scan = scan_shard(cut, /*repair=*/true);
+    EXPECT_EQ(scan.report.records, expect) << "L=" << L;
+    EXPECT_EQ(scan.good_bytes, boundaries[static_cast<std::size_t>(expect)])
+        << "L=" << L;
+    EXPECT_EQ(scan.report.crc_failures, 0) << "L=" << L;
+    // Repair truncated the torn tail: the file now rescans clean and
+    // extends by append.
+    ShardScanResult again = scan_shard(cut);
+    EXPECT_TRUE(again.report.clean()) << "L=" << L;
+    EXPECT_EQ(again.report.records, expect) << "L=" << L;
+  }
+  // After the worst repair (everything torn), the log still grows.
+  write_file(cut, full.substr(0, 13));
+  scan_shard(cut, /*repair=*/true);
+  append_shard(cut, "postrepair", tenant_delta(*base, make_mlp, 9));
+  ShardScanResult regrown = scan_shard(cut);
+  EXPECT_TRUE(regrown.report.clean());
+  ASSERT_EQ(regrown.report.records, 1);
+  EXPECT_EQ(regrown.records[0].tenant_id, "postrepair");
+  std::remove(path.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST_F(ShardTest, CrcMismatchOnEachRecordKeepsThePrefix) {
+  auto base = make_base(make_mlp);
+  auto recs = make_fleet(*base, 3);
+  const std::string path = temp_path("flip.shard");
+  write_shard(path, recs);
+  const std::string full = read_file(path);
+
+  std::vector<std::int64_t> starts{12};
+  while (true) {
+    std::uint32_t len;
+    std::memcpy(&len, full.data() + starts.back(), sizeof(len));
+    const std::int64_t next = starts.back() + 8 + len;
+    if (next >= static_cast<std::int64_t>(full.size())) break;
+    starts.push_back(next);
+  }
+  ASSERT_EQ(starts.size(), 3u);
+
+  const std::string hurt = temp_path("flip_hurt.shard");
+  for (std::size_t r = 0; r < starts.size(); ++r) {
+    std::string bytes = full;
+    // Flip a bit mid-body of record r (past the 8-byte frame header).
+    bytes[static_cast<std::size_t>(starts[r] + 8 + 16)] ^=
+        static_cast<char>(0x10);
+    write_file(hurt, bytes);
+    ShardScanResult scan = scan_shard(hurt);
+    EXPECT_EQ(scan.report.records, static_cast<std::int64_t>(r)) << "r=" << r;
+    EXPECT_EQ(scan.report.crc_failures, 1) << "r=" << r;
+    EXPECT_GT(scan.report.dropped_bytes, 0) << "r=" << r;
+  }
+  std::remove(path.c_str());
+  std::remove(hurt.c_str());
+}
+
+TEST_F(ShardTest, DuplicateTenantIdLastWriteWins) {
+  auto base = make_base(make_mlp);
+  const std::string path = temp_path("dups.shard");
+  write_shard(path, make_fleet(*base, 2));
+  const MaskDelta replacement = tenant_delta(*base, make_mlp, 77);
+  append_shard(path, "tenant0", replacement);
+
+  Store store(base, make_mlp);
+  ShardLoadReport rep = store.load_shard(path);
+  EXPECT_TRUE(rep.scan.clean());
+  EXPECT_EQ(rep.loaded, 3);        // every record registered, in order
+  EXPECT_EQ(rep.quarantined, 0);
+  EXPECT_EQ(store.tenant_count(), 2);  // ...but ids collapse, last wins
+
+  // The surviving delta is the appended one: saving the store re-emits it.
+  const std::string out = temp_path("dups_out.shard");
+  store.save_shard(out);
+  ShardScanResult scan = scan_shard(out);
+  ASSERT_EQ(scan.report.records, 2);
+  EXPECT_EQ(scan.records[0].tenant_id, "tenant0");
+  EXPECT_EQ(delta_stream(scan.records[0].delta), delta_stream(replacement));
+  std::remove(path.c_str());
+  std::remove(out.c_str());
+}
+
+// ---- kill-during-save / torn writes via fault injection ---------------------
+
+TEST_F(ShardTest, TornSaveAtEveryByteLeavesPreviousGenerationIntact) {
+  auto base = make_base(make_mlp);
+  const std::string path = temp_path("tornsave.shard");
+  write_shard(path, make_fleet(*base, 2));  // generation 1
+  const std::string gen1 = read_file(path);
+
+  auto gen2 = make_fleet(*base, 3);
+  const std::string probe = temp_path("tornsave_probe.shard");
+  write_shard(probe, gen2);
+  const std::size_t image_size = read_file(probe).size();
+  std::remove(probe.c_str());
+
+  for (std::size_t k = 0; k < image_size; ++k) {
+    arm_fault("shard.save.torn", 0, 1, static_cast<std::int64_t>(k));
+    EXPECT_THROW(write_shard(path, gen2), std::runtime_error) << "k=" << k;
+    // The crash hit the temp file; the shard itself never changed.
+    EXPECT_EQ(read_file(path), gen1) << "k=" << k;
+  }
+  reset_faults();
+  ShardScanResult scan = scan_shard(path);
+  EXPECT_TRUE(scan.report.clean());
+  EXPECT_EQ(scan.report.records, 2);
+
+  // And the save succeeds once the fault clears.
+  write_shard(path, gen2);
+  EXPECT_EQ(scan_shard(path).report.records, 3);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(ShardTest, CrashBeforeRenameLeavesPreviousGenerationIntact) {
+  auto base = make_base(make_mlp);
+  const std::string path = temp_path("prerename.shard");
+  write_shard(path, make_fleet(*base, 2));
+  const std::string gen1 = read_file(path);
+
+  arm_fault("shard.save.before_rename");
+  EXPECT_THROW(write_shard(path, make_fleet(*base, 3)), std::runtime_error);
+  reset_faults();
+  EXPECT_EQ(read_file(path), gen1);  // fully-written temp, never renamed
+  EXPECT_EQ(scan_shard(path).report.records, 2);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST_F(ShardTest, TornAppendAtEveryByteRecoversAndRegrows) {
+  auto base = make_base(make_mlp);
+  const std::string path = temp_path("tornappend.shard");
+  const std::string work = temp_path("tornappend_work.shard");
+  write_shard(path, make_fleet(*base, 2));
+  const std::string committed = read_file(path);
+  const MaskDelta extra = tenant_delta(*base, make_mlp, 5);
+
+  // Frame size of the appended record: append once cleanly and measure.
+  write_file(work, committed);
+  append_shard(work, "extra", extra);
+  const std::int64_t frame_bytes =
+      static_cast<std::int64_t>(read_file(work).size() - committed.size());
+  ASSERT_GT(frame_bytes, 8);
+
+  for (std::int64_t k = 0; k < frame_bytes; ++k) {
+    write_file(work, committed);
+    arm_fault("shard.append.torn", 0, 1, k);
+    EXPECT_THROW(append_shard(work, "extra", extra), std::runtime_error)
+        << "k=" << k;
+    reset_faults();
+    // Recovery: both committed records survive, the torn tail goes, and
+    // the log keeps growing afterwards — kill-at-any-byte, zero loss.
+    ShardScanResult scan = scan_shard(work, /*repair=*/true);
+    EXPECT_EQ(scan.report.records, 2) << "k=" << k;
+    EXPECT_EQ(scan.report.dropped_bytes, k) << "k=" << k;
+    append_shard(work, "extra", extra);
+    EXPECT_EQ(scan_shard(work).report.records, 3) << "k=" << k;
+  }
+  std::remove(path.c_str());
+  std::remove(work.c_str());
+}
+
+// ---- Store::save_shard / load_shard -----------------------------------------
+
+TEST_F(ShardTest, StoreFleetSurvivesSaveAndLoad) {
+  auto base = make_base(make_mlp);
+  auto store = std::make_shared<Store>(base, make_mlp);
+  auto recs = make_fleet(*base, 6);
+  for (const auto& [id, delta] : recs) store->register_tenant(id, *delta);
+  const std::int64_t deltas_before = store->resident_bytes().deltas;
+
+  const std::string path = temp_path("fleet.shard");
+  EXPECT_EQ(store->save_shard(path), 6);
+
+  Store restored(base, make_mlp);
+  ShardLoadReport rep = restored.load_shard(path);
+  EXPECT_TRUE(rep.scan.clean());
+  EXPECT_EQ(rep.loaded, 6);
+  EXPECT_EQ(rep.quarantined, 0);
+  EXPECT_EQ(restored.tenant_count(), 6);
+  // Byte-exact accounting carries across the restart: same deltas, same
+  // resident-bytes identity.
+  EXPECT_EQ(restored.resident_bytes().deltas, deltas_before);
+  for (const auto& [id, delta] : recs) EXPECT_TRUE(restored.has_tenant(id));
+  std::remove(path.c_str());
+}
+
+TEST_F(ShardTest, LoadShardQuarantinesDeltasForeignToTheBase) {
+  // A record written against a structurally different base parses fine
+  // (its CRC holds) but fails validation on load — contained, counted,
+  // and the rest of the fleet loads anyway.
+  auto base = make_base(make_mlp);
+  auto foreign_base = make_base(make_convnet);
+  const std::string path = temp_path("foreign.shard");
+  write_shard(path, make_fleet(*base, 2));
+  append_shard(path, "foreigner",
+               tenant_delta(*foreign_base, make_convnet, 3));
+
+  Store store(base, make_mlp);
+  ShardLoadReport rep = store.load_shard(path);
+  EXPECT_TRUE(rep.scan.clean());
+  EXPECT_EQ(rep.loaded, 2);
+  EXPECT_EQ(rep.quarantined, 1);
+  EXPECT_EQ(store.tenant_count(), 2);
+  EXPECT_FALSE(store.has_tenant("foreigner"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace crisp::tenant

@@ -29,6 +29,7 @@
 #include "nn/linear.h"
 #include "nn/pooling.h"
 #include "tenant/router.h"
+#include "testing/fault_injection.h"
 #include "thread_guard.h"
 
 namespace crisp::tenant {
@@ -275,6 +276,22 @@ TEST(MaskDelta, StreamRejectsHeaderAndBitmapCorruption) {
       bits_off + static_cast<std::size_t>((total + 7) / 8) - 1;
   EXPECT_THROW(read_delta_bytes(mutated(last, static_cast<char>(0x80))),
                std::runtime_error);
+}
+
+TEST(MaskDelta, StreamReadsVersion1WithoutTrailer) {
+  // Deltas persisted before the integrity upgrade carry version 1 and no
+  // CRC32C trailer. They still read — the fleet's existing shards stay
+  // loadable — they just don't get corruption cover until re-saved.
+  auto base = make_base(make_mlp, 0);
+  const MaskDelta delta = tenant_delta(*base, make_mlp, 0, 4);
+  std::string bytes = delta_stream(delta);
+  bytes[8] = static_cast<char>(1);            // version u32 @8: 2 -> 1
+  bytes.resize(bytes.size() - 4);             // drop the CRC trailer
+  const MaskDelta back = read_delta_bytes(bytes);
+  EXPECT_NO_THROW(back.validate(*base));
+  // Re-writing emits the current version: byte-identical to the original
+  // v2 stream, trailer included.
+  EXPECT_EQ(delta_stream(back), delta_stream(delta));
 }
 
 TEST(MaskDelta, FromModelRejectsForeignBlocksAndNonUniformRows) {
@@ -791,6 +808,142 @@ TEST(Router, RefreshTenantHotSwapsResidentEngine) {
 
   router.shutdown();
   EXPECT_THROW(router.refresh_tenant("t1"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: compile failures, quarantine, base-model fallback.
+
+TEST(Router, CompileFailureRetriesOnceThenServes) {
+  const ModelFactory factory = [] { return make_mlp(); };
+  auto base = make_base(factory, 0);
+  auto store = std::make_shared<Store>(base, factory);
+  store->register_tenant("t1", tenant_delta(*base, factory, 0, 1));
+  RouterOptions opts;
+  opts.compile_retry_backoff = std::chrono::milliseconds(1);
+  Router router(store, opts);
+
+  // The first compile attempt throws (injected); the bounded-backoff
+  // retry succeeds. The caller sees a plain kOk, fully personalized — a
+  // transient failure never surfaces.
+  crisp::testing::arm_fault("store.compile", /*nth=*/0, /*times=*/1);
+  const Tensor sample = random_sample(71, {32});
+  serve::Response r = router.submit("t1", make_request(sample)).get();
+  crisp::testing::reset_faults();
+  ASSERT_EQ(r.status, serve::Response::Status::kOk);
+  EXPECT_LE(
+      max_abs_diff(r.output, serial_reference(*store->acquire("t1"), sample)),
+      1e-4f);
+
+  const RouterStats s = router.stats();
+  EXPECT_EQ(s.compile_retries, 1);
+  EXPECT_EQ(s.quarantined, 0);
+  EXPECT_EQ(s.degraded, 0);
+  EXPECT_EQ(s.engines_built, 1);
+}
+
+TEST(Router, DoubleCompileFailureQuarantinesAndServesDegraded) {
+  const ModelFactory factory = [] { return make_mlp(); };
+  auto base = make_base(factory, 0);
+  auto store = std::make_shared<Store>(base, factory);
+  store->register_tenant("t1", tenant_delta(*base, factory, 0, 1));
+  store->register_tenant("t2", tenant_delta(*base, factory, 0, 2));
+  RouterOptions opts;
+  opts.compile_retry_backoff = std::chrono::milliseconds(1);
+  Router router(store, opts);
+
+  // Both compile attempts fail: t1 is quarantined — but its parked
+  // request still completes, served from the shared base model and
+  // flagged kDegraded with a real output. Never a broken future.
+  crisp::testing::arm_fault("store.compile", 0, /*times=*/2);
+  const Tensor sample = random_sample(72, {32});
+  serve::Response r = router.submit("t1", make_request(sample)).get();
+  ASSERT_EQ(r.status, serve::Response::Status::kDegraded);
+  ASSERT_FALSE(r.output.empty());
+  EXPECT_LE(max_abs_diff(r.output,
+                         serial_reference(*store->acquire_base(), sample)),
+            1e-4f);
+
+  // Subsequent submits skip the doomed compile and go straight to the
+  // fallback engine...
+  serve::Response again = router.submit("t1", make_request(sample)).get();
+  EXPECT_EQ(again.status, serve::Response::Status::kDegraded);
+  // ...while other tenants are untouched by the quarantine.
+  crisp::testing::reset_faults();
+  serve::Response healthy = router.submit("t2", make_request(sample)).get();
+  EXPECT_EQ(healthy.status, serve::Response::Status::kOk);
+
+  const RouterStats s = router.stats();
+  EXPECT_EQ(s.compile_retries, 1);
+  EXPECT_EQ(s.quarantined, 1);
+  EXPECT_EQ(s.degraded, 2);
+  EXPECT_EQ(s.engines_built, 1);  // only t2's; the fallback isn't a tenant
+  EXPECT_EQ(router.resident_engines(), 1);
+
+  // refresh_tenant is the way back: the delta compiles now, so the
+  // quarantine lifts (no resident engine to swap -> false) and the next
+  // submit is a normal cold miss serving the personalization again.
+  EXPECT_FALSE(router.refresh_tenant("t1"));
+  serve::Response back = router.submit("t1", make_request(sample)).get();
+  ASSERT_EQ(back.status, serve::Response::Status::kOk);
+  EXPECT_LE(max_abs_diff(back.output,
+                         serial_reference(*store->acquire("t1"), sample)),
+            1e-4f);
+  EXPECT_EQ(router.stats().quarantined, 1);  // historical count, not current
+}
+
+TEST(Router, QuarantineUnderConcurrentLoadCompletesEveryFuture) {
+  const ModelFactory factory = [] { return make_mlp(); };
+  auto base = make_base(factory, 0);
+  auto store = std::make_shared<Store>(base, factory);
+  store->register_tenant("bad", tenant_delta(*base, factory, 0, 1));
+  store->register_tenant("good", tenant_delta(*base, factory, 0, 2));
+  RouterOptions opts;
+  opts.compile_retry_backoff = std::chrono::milliseconds(1);
+  Router router(store, opts);
+
+  // Quarantine "bad" deterministically first, then hammer both tenants
+  // from concurrent producers. The contract under test: every future
+  // completes with a status — zero exceptions out of .get(), degraded and
+  // healthy traffic interleaved freely (TSan covers the bridge path).
+  crisp::testing::arm_fault("store.compile", 0, /*times=*/2);
+  serve::Response first =
+      router.submit("bad", make_request(random_sample(80, {32}))).get();
+  crisp::testing::reset_faults();
+  ASSERT_EQ(first.status, serve::Response::Status::kDegraded);
+
+  constexpr int kThreads = 4, kPerThread = 8;
+  std::vector<std::vector<std::future<serve::Response>>> futures(kThreads);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      const std::string id = (t % 2 == 0) ? "bad" : "good";
+      for (int i = 0; i < kPerThread; ++i)
+        futures[static_cast<std::size_t>(t)].push_back(router.submit(
+            id, make_request(random_sample(
+                    static_cast<std::uint64_t>(8000 + t * 100 + i), {32}))));
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  std::int64_t degraded = 0, ok = 0;
+  for (int t = 0; t < kThreads; ++t)
+    for (auto& f : futures[static_cast<std::size_t>(t)]) {
+      serve::Response r = f.get();  // must never throw
+      if (r.status == serve::Response::Status::kDegraded) {
+        EXPECT_FALSE(r.output.empty());
+        ++degraded;
+      } else {
+        ASSERT_EQ(r.status, serve::Response::Status::kOk);
+        ++ok;
+      }
+    }
+  EXPECT_EQ(degraded, (kThreads / 2) * kPerThread);  // all of "bad"'s
+  EXPECT_EQ(ok, (kThreads / 2) * kPerThread);        // all of "good"'s
+
+  const RouterStats s = router.stats();
+  EXPECT_EQ(s.quarantined, 1);
+  EXPECT_EQ(s.degraded, degraded + 1);  // + the quarantining request
+  EXPECT_EQ(s.submitted, kThreads * kPerThread + 1);
 }
 
 }  // namespace

@@ -10,6 +10,9 @@
 //   crisp_cli dse      [--nm 2:4] [--block 64]
 //   crisp_cli criteria
 //   crisp_cli unlearn  --model vgg16 --classes 10 --forget 2 [--drop 1]
+//   crisp_cli fleet save --out fleet.shard [--tenants 8] [--seed 11]
+//   crisp_cli fleet load --in fleet.shard  [--seed 11]
+//   crisp_cli fleet fsck --in fleet.shard  [--repair 1]
 //
 // `prune` runs the full pipeline (zoo pre-train -> user classes -> CRISP ->
 // bake -> save); `pack` does the same but ships the CRISP packed artifact
@@ -20,8 +23,14 @@
 // the registered saliency criteria (prune/pack/sensitivity take
 // --criterion NAME, including "auto" for the loss-aware per-layer
 // selector); `unlearn` prunes the blocks salient for a forget-class split
-// and reports forgotten vs retained accuracy. No command needs external
-// data — everything runs on the synthetic substrate.
+// and reports forgotten vs retained accuracy. `fleet` exercises the
+// durable-tenant path end to end: `save` registers a synthetic fleet of
+// mask-delta personalizations and persists it to one CRSPSHRD shard,
+// `load` re-derives the same base (the seed must match the save) and
+// recovers the fleet from the shard, `fsck` scans a shard and reports its
+// integrity (docs/persistence.md) — exit 1 when the scan is not clean.
+// No command needs external data — everything runs on the synthetic
+// substrate.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -30,14 +39,19 @@
 
 #include "accel/dse.h"
 #include "accel/report.h"
+#include "core/block_pruning.h"
 #include "core/pruner.h"
 #include "core/sensitivity.h"
 #include "core/unlearn.h"
 #include "deploy/packed_exec.h"
 #include "deploy/packed_model.h"
+#include "nn/activations.h"
 #include "nn/flops.h"
+#include "nn/linear.h"
 #include "nn/zoo.h"
 #include "sparse/block.h"
+#include "tenant/shard.h"
+#include "tenant/store.h"
 
 using namespace crisp;
 
@@ -407,6 +421,151 @@ int cmd_unlearn(const Args& args) {
   return 0;
 }
 
+// ---- fleet: durable tenant shards ------------------------------------------
+// The synthetic fleet mirrors bench/tenants.cpp: one small MLP base under
+// the hybrid pattern, each tenant dropping one more surviving block per
+// block-row. The shard carries only the deltas — both `save` and `load`
+// re-derive the base from --seed, so the seeds must match (load_shard
+// quarantines structurally incompatible deltas, but a same-architecture
+// base from another seed is on the operator to avoid, exactly as a real
+// deployment must pair a shard with its base artifact).
+
+constexpr std::int64_t kFleetBlock = 8, kFleetN = 2, kFleetM = 4;
+constexpr std::int64_t kFleetPrunedRanks = 2;
+
+std::shared_ptr<nn::Sequential> fleet_model(std::uint64_t seed) {
+  Rng rng(seed);
+  auto model = std::make_shared<nn::Sequential>("fleet_mlp");
+  model->emplace<nn::Linear>("fc1", 128, 96, rng);
+  model->emplace<nn::ReLU>("relu1");
+  model->emplace<nn::Linear>("fc2", 96, 64, rng);
+  model->emplace<nn::ReLU>("relu2");
+  model->emplace<nn::Linear>("head", 64, 16, rng);
+  return model;
+}
+
+struct Fleet {
+  std::shared_ptr<const tenant::BaseArtifact> base;
+  tenant::ModelFactory factory;
+};
+
+Fleet fleet_base(std::uint64_t seed) {
+  const tenant::ModelFactory factory = [seed] { return fleet_model(seed); };
+  auto model = factory();
+  core::install_random_hybrid_masks(*model, kFleetBlock, kFleetN, kFleetM,
+                                    kFleetPrunedRanks, seed);
+  auto base = tenant::BaseArtifact::create(
+      std::make_shared<const deploy::PackedModel>(
+          deploy::PackedModel::pack(*model, kFleetBlock, kFleetN, kFleetM)));
+  return Fleet{std::move(base), factory};
+}
+
+/// Zeroes one surviving block per block-row of every masked parameter,
+/// selected by `salt` — the same per-tenant restriction the bench uses.
+void fleet_drop_blocks(nn::Sequential& model, std::uint64_t salt) {
+  for (nn::Parameter* p : model.prunable_parameters()) {
+    if (!p->has_mask()) continue;
+    const std::int64_t rows = p->matrix_rows, cols = p->matrix_cols;
+    const std::int64_t grid_rows = (rows + kFleetBlock - 1) / kFleetBlock;
+    const std::int64_t grid_cols = (cols + kFleetBlock - 1) / kFleetBlock;
+    float* mask = p->mask.data();
+    for (std::int64_t br = 0; br < grid_rows; ++br) {
+      const std::int64_t r0 = br * kFleetBlock;
+      const std::int64_t r1 = std::min(rows, r0 + kFleetBlock);
+      std::vector<std::int64_t> survivors;
+      for (std::int64_t bc = 0; bc < grid_cols; ++bc) {
+        const std::int64_t c0 = bc * kFleetBlock;
+        const std::int64_t c1 = std::min(cols, c0 + kFleetBlock);
+        bool live = false;
+        for (std::int64_t r = r0; r < r1 && !live; ++r)
+          for (std::int64_t c = c0; c < c1; ++c)
+            if (mask[r * cols + c] != 0.0f) {
+              live = true;
+              break;
+            }
+        if (live) survivors.push_back(bc);
+      }
+      if (survivors.empty()) continue;
+      const std::int64_t bc = survivors[static_cast<std::size_t>(
+          (salt + static_cast<std::uint64_t>(br)) % survivors.size())];
+      const std::int64_t c0 = bc * kFleetBlock;
+      const std::int64_t c1 = std::min(cols, c0 + kFleetBlock);
+      for (std::int64_t r = r0; r < r1; ++r)
+        for (std::int64_t c = c0; c < c1; ++c) mask[r * cols + c] = 0.0f;
+    }
+  }
+}
+
+int cmd_fleet_save(const Args& args) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const std::int64_t tenants = args.get_int("tenants", 8);
+  const std::string path = args.get("out", "fleet.shard");
+
+  Fleet fleet = fleet_base(seed);
+  tenant::Store store(fleet.base, fleet.factory);
+  for (std::int64_t i = 0; i < tenants; ++i) {
+    auto model = fleet.factory();
+    core::install_random_hybrid_masks(*model, kFleetBlock, kFleetN, kFleetM,
+                                      kFleetPrunedRanks, seed);
+    fleet_drop_blocks(*model, static_cast<std::uint64_t>(i));
+    store.register_tenant("tenant-" + std::to_string(i),
+                          tenant::MaskDelta::from_model(*fleet.base, *model));
+  }
+  const std::int64_t saved = store.save_shard(path);
+  const tenant::ResidentBytes rb = store.resident_bytes();
+  std::printf("saved %lld tenants to %s (base %.1f KiB shared once, "
+              "deltas %.2f KiB total)\n",
+              static_cast<long long>(saved), path.c_str(),
+              static_cast<double>(rb.base) / 1024.0,
+              static_cast<double>(rb.deltas) / 1024.0);
+  return 0;
+}
+
+int cmd_fleet_load(const Args& args) {
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const std::string path = args.get("in", "fleet.shard");
+
+  Fleet fleet = fleet_base(seed);
+  tenant::Store store(fleet.base, fleet.factory);
+  const tenant::ShardLoadReport rep = store.load_shard(path);
+  std::printf("%s: recovered %lld tenants (%lld quarantined, scan %s)\n",
+              path.c_str(), static_cast<long long>(rep.loaded),
+              static_cast<long long>(rep.quarantined),
+              rep.scan.clean() ? "clean" : "NOT clean");
+  if (rep.loaded > 0) {
+    // Prove one recovered personalization actually serves.
+    const auto compiled = store.acquire("tenant-0");
+    Rng rng(7);
+    const Tensor out = compiled->run(Tensor::rand({1, 128}, rng, -1.0f, 1.0f));
+    std::printf("tenant-0 serves: output [1 x %lld] OK\n",
+                static_cast<long long>(out.shape().back()));
+  }
+  return rep.scan.clean() && rep.quarantined == 0 ? 0 : 1;
+}
+
+int cmd_fleet_fsck(const Args& args) {
+  const std::string path = args.get("in", "fleet.shard");
+  const bool repair = args.get_int("repair", 0) != 0;
+  const tenant::ShardScanResult scan = tenant::scan_shard(path, repair);
+  std::printf("%s: %lld intact records, %lld crc failures, %lld malformed, "
+              "%lld bytes dropped -> %s\n",
+              path.c_str(), static_cast<long long>(scan.report.records),
+              static_cast<long long>(scan.report.crc_failures),
+              static_cast<long long>(scan.report.malformed),
+              static_cast<long long>(scan.report.dropped_bytes),
+              scan.report.clean() ? "clean" : "NOT clean");
+  for (const tenant::ShardRecord& r : scan.records)
+    std::printf("  %-24s %6lld delta bytes\n", r.tenant_id.c_str(),
+                static_cast<long long>(r.delta.delta_bytes()));
+  if (!scan.report.clean() && repair)
+    std::printf("repaired: truncated to the last intact record (%lld "
+                "bytes)\n",
+                static_cast<long long>(scan.good_bytes));
+  return scan.report.clean() ? 0 : 1;
+}
+
 void usage() {
   std::printf(
       "usage:\n"
@@ -422,8 +581,12 @@ void usage() {
       "  crisp_cli criteria\n"
       "  crisp_cli unlearn  --model vgg16 --classes 10 --forget 2 [--drop 1]\n"
       "                     [--criterion cass] [--retain-weight 1.0]\n"
+      "  crisp_cli fleet save --out fleet.shard [--tenants 8] [--seed 11]\n"
+      "  crisp_cli fleet load --in fleet.shard  [--seed 11]\n"
+      "  crisp_cli fleet fsck --in fleet.shard  [--repair 1]\n"
       "(prune, pack, and sensitivity also take --criterion NAME; prune and\n"
-      " pack accept --criterion auto for loss-aware per-layer selection)\n");
+      " pack accept --criterion auto for loss-aware per-layer selection;\n"
+      " fleet load must use the save's --seed to re-derive the same base)\n");
 }
 
 }  // namespace
@@ -435,6 +598,19 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
+    if (cmd == "fleet") {
+      if (argc < 3) {
+        usage();
+        return 1;
+      }
+      const std::string sub = argv[2];
+      const Args args = parse_args(argc, argv, 3);
+      if (sub == "save") return cmd_fleet_save(args);
+      if (sub == "load") return cmd_fleet_load(args);
+      if (sub == "fsck") return cmd_fleet_fsck(args);
+      usage();
+      return 1;
+    }
     const Args args = parse_args(argc, argv, 2);
     if (cmd == "prune") return cmd_prune(args);
     if (cmd == "pack") return cmd_pack(args);
